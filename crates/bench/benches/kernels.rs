@@ -1,0 +1,68 @@
+//! Criterion benchmarks of the performance-critical kernels of the PropHunt pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prophunt::ambiguity::{find_ambiguous_subgraph, DecodingGraph};
+use prophunt::minweight::min_weight_logical_error;
+use prophunt_circuit::schedule::ScheduleSpec;
+use prophunt_circuit::{DetectorErrorModel, MemoryBasis, MemoryExperiment, NoiseModel};
+use prophunt_decoders::{BpOsdDecoder, Decoder, UnionFindDecoder};
+use prophunt_qec::surface::rotated_surface_code_with_layout;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_dem_construction(c: &mut Criterion) {
+    let (code, layout) = rotated_surface_code_with_layout(5);
+    let schedule = ScheduleSpec::surface_hand_designed(&code, &layout);
+    let exp = MemoryExperiment::build(&code, &schedule, 5, MemoryBasis::Z).unwrap();
+    c.bench_function("dem_construction_surface_d5", |b| {
+        b.iter(|| DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(1e-3)))
+    });
+}
+
+fn bench_ambiguous_subgraph(c: &mut Criterion) {
+    let (code, layout) = rotated_surface_code_with_layout(3);
+    let schedule = ScheduleSpec::surface_poor(&code, &layout);
+    let graph = DecodingGraph::build(&code, &schedule, 3, MemoryBasis::Z, 1e-3).unwrap();
+    c.bench_function("ambiguous_subgraph_finding_d3_poor", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| find_ambiguous_subgraph(&graph, &mut rng, 60))
+    });
+}
+
+fn bench_subgraph_maxsat(c: &mut Criterion) {
+    let (code, layout) = rotated_surface_code_with_layout(3);
+    let schedule = ScheduleSpec::surface_poor(&code, &layout);
+    let graph = DecodingGraph::build(&code, &schedule, 3, MemoryBasis::Z, 1e-3).unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    let sub = (0..50)
+        .find_map(|_| find_ambiguous_subgraph(&graph, &mut rng, 60))
+        .expect("subgraph");
+    c.bench_function("subgraph_maxsat_min_weight_d3", |b| {
+        b.iter(|| min_weight_logical_error(&sub, Duration::from_secs(30)))
+    });
+}
+
+fn bench_decoders(c: &mut Criterion) {
+    let (code, layout) = rotated_surface_code_with_layout(3);
+    let schedule = ScheduleSpec::surface_hand_designed(&code, &layout);
+    let exp = MemoryExperiment::build(&code, &schedule, 3, MemoryBasis::Z).unwrap();
+    let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(5e-3));
+    let bposd = BpOsdDecoder::new(&dem);
+    let uf = UnionFindDecoder::new(&dem);
+    let mut sampler = dem.sampler(3);
+    let shots: Vec<_> = (0..32).map(|_| sampler.sample().0).collect();
+    c.bench_function("decode_bposd_surface_d3_32shots", |b| {
+        b.iter(|| shots.iter().map(|s| bposd.decode(s)).count())
+    });
+    c.bench_function("decode_unionfind_surface_d3_32shots", |b| {
+        b.iter(|| shots.iter().map(|s| uf.decode(s)).count())
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    targets = bench_dem_construction, bench_ambiguous_subgraph, bench_subgraph_maxsat, bench_decoders
+}
+criterion_main!(kernels);

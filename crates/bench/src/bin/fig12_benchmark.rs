@@ -1,0 +1,52 @@
+//! Figure 12: PropHunt vs the coloration-circuit baseline (and the hand-designed circuit
+//! where one exists) across the benchmark code suite.
+
+use prophunt::{PropHunt, PropHuntConfig};
+use prophunt_bench::{benchmark_suite, combined_logical_error_rate};
+use prophunt_circuit::schedule::ScheduleSpec;
+
+fn main() {
+    let full = std::env::var("PROPHUNT_FULL").is_ok();
+    let shots = if full { 20_000 } else { 1_200 };
+    let ps: &[f64] = if full { &[1e-3, 2e-3, 5e-3, 1e-2] } else { &[2e-3, 8e-3] };
+    println!("Figure 12: logical error rates, coloration start vs PropHunt end vs hand-designed");
+    for bench in benchmark_suite(full) {
+        let code = &bench.code;
+        let rounds = bench.rounds.min(3);
+        let baseline = ScheduleSpec::coloration(code);
+        let mut config = if full {
+            PropHuntConfig::paper_like(rounds)
+        } else {
+            PropHuntConfig::quick(rounds)
+        };
+        if !full {
+            config.iterations = 3;
+            config.samples_per_iteration = 30;
+        }
+        let prophunt = PropHunt::new(code.clone(), config);
+        let result = prophunt.optimize(baseline.clone());
+        println!(
+            "== {} (depth {} -> {}, {} changes) ==",
+            code,
+            baseline.depth().unwrap(),
+            result.final_depth(),
+            result.total_changes_applied()
+        );
+        println!("{:>10} {:>14} {:>14} {:>14}", "p", "coloration", "prophunt", "hand");
+        for &p in ps {
+            let before =
+                combined_logical_error_rate(code, &baseline, rounds, p, shots, 21, 8).rate();
+            let after =
+                combined_logical_error_rate(code, &result.final_schedule, rounds, p, shots, 21, 8)
+                    .rate();
+            let hand = bench
+                .hand_designed
+                .as_ref()
+                .map(|h| combined_logical_error_rate(code, h, rounds, p, shots, 21, 8).rate());
+            match hand {
+                Some(h) => println!("{p:>10.4} {before:>14.5} {after:>14.5} {h:>14.5}"),
+                None => println!("{p:>10.4} {before:>14.5} {after:>14.5} {:>14}", "-"),
+            }
+        }
+    }
+}

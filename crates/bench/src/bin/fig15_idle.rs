@@ -1,0 +1,37 @@
+//! Figure 15: sensitivity of the benchmark circuits to idle errors between gate layers,
+//! with the paper's hardware points (superconducting, neutral atom, atom movement).
+
+use prophunt_bench::{benchmark_suite, combined_logical_error_rate_with_idle};
+use prophunt_circuit::schedule::ScheduleSpec;
+
+fn main() {
+    let full = std::env::var("PROPHUNT_FULL").is_ok();
+    let shots = if full { 10_000 } else { 800 };
+    let gate_p = 1e-3;
+    // Idle error strength = t_gate / T_coherence. Hardware points from the paper's cited
+    // numbers: superconducting (~30 ns / 100 us), neutral atoms (~300 ns / 10 s gates but
+    // ~1 ms measurement), movement-based atoms (~500 us movement / 10 s).
+    let idle_points: &[(f64, &str)] = &[
+        (0.0, "no idle"),
+        (3e-5, "neutral atom"),
+        (3e-4, "superconducting"),
+        (5e-3, "atom movement"),
+        (2e-2, "(stress)"),
+    ];
+    println!("Figure 15: idle-error sensitivity at gate error {gate_p}");
+    println!("{:<14} {:>14} {:>10} {:>14}", "code", "idle strength", "label", "LER");
+    for bench in benchmark_suite(false) {
+        let schedule = match &bench.hand_designed {
+            Some(h) => h.clone(),
+            None => ScheduleSpec::coloration(&bench.code),
+        };
+        let rounds = bench.rounds.min(3);
+        for &(idle, label) in idle_points {
+            let ler = combined_logical_error_rate_with_idle(
+                &bench.code, &schedule, rounds, gate_p, idle, shots, 17, 8,
+            )
+            .rate();
+            println!("{:<14} {:>14.1e} {:>10} {:>14.5}", bench.code.name(), idle, label, ler);
+        }
+    }
+}

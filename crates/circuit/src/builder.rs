@@ -1,0 +1,322 @@
+//! Expansion of an abstract schedule into a full memory-experiment circuit with
+//! detectors and logical observables.
+
+use crate::ops::{Circuit, Op};
+use crate::schedule::{ScheduleSpec, StabilizerId};
+use crate::CircuitError;
+use prophunt_qec::{CssCode, StabilizerKind};
+
+/// The basis of a memory experiment: which logical observable is protected and measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoryBasis {
+    /// Data qubits initialised and finally measured in the Z basis; protects `L_Z`.
+    Z,
+    /// Data qubits initialised and finally measured in the X basis; protects `L_X`.
+    X,
+}
+
+impl MemoryBasis {
+    /// The stabilizer kind whose outcomes are deterministic in the first round and
+    /// reconstructible from the final data measurement.
+    pub fn deterministic_kind(self) -> StabilizerKind {
+        match self {
+            MemoryBasis::Z => StabilizerKind::Z,
+            MemoryBasis::X => StabilizerKind::X,
+        }
+    }
+}
+
+/// Identifies what a detector compares, for diagnostics and for mapping circuit-level
+/// structures back to code-level ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DetectorInfo {
+    /// The stabilizer whose measurements this detector compares.
+    pub stabilizer: StabilizerId,
+    /// The syndrome-measurement round of the *later* measurement involved. The detector
+    /// comparing the last round to the final data measurement uses `round == rounds`.
+    pub round: usize,
+}
+
+/// A complete syndrome-measurement memory experiment: the physical circuit plus the
+/// definitions of its detectors and logical observables in terms of measurement indices.
+///
+/// Built by [`MemoryExperiment::build`]; consumed by
+/// [`DetectorErrorModel::from_experiment`](crate::dem::DetectorErrorModel::from_experiment).
+#[derive(Debug, Clone)]
+pub struct MemoryExperiment {
+    /// The physical circuit.
+    pub circuit: Circuit,
+    /// Each detector as a set of measurement indices whose parity it records.
+    pub detectors: Vec<Vec<usize>>,
+    /// Each logical observable as a set of measurement indices whose parity it records.
+    pub observables: Vec<Vec<usize>>,
+    /// Metadata describing each detector.
+    pub detector_info: Vec<DetectorInfo>,
+    /// Number of data qubits (`code.n()`); ancilla `s` is qubit `num_data + s`.
+    pub num_data: usize,
+    /// Number of syndrome-measurement rounds.
+    pub rounds: usize,
+    /// The memory basis.
+    pub basis: MemoryBasis,
+    /// The schedule the experiment was built from.
+    pub schedule: ScheduleSpec,
+}
+
+impl MemoryExperiment {
+    /// Builds a `rounds`-round memory experiment for `code` using `schedule`.
+    ///
+    /// The circuit is, per round: ancilla (re)preparation, the schedule's CNOT layers,
+    /// then ancilla measurement; data qubits are prepared before the first round and
+    /// measured transversally after the last. Detectors compare consecutive measurements
+    /// of the same stabilizer (plus the deterministic first-round and final-round
+    /// comparisons of the basis-matching stabilizer kind), and the observables are the
+    /// basis-matching logical operators evaluated on the final data measurement.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`CircuitError`] raised by schedule validation.
+    pub fn build(
+        code: &CssCode,
+        schedule: &ScheduleSpec,
+        rounds: usize,
+        basis: MemoryBasis,
+    ) -> Result<MemoryExperiment, CircuitError> {
+        assert!(rounds >= 1, "a memory experiment needs at least one round");
+        schedule.validate(code)?;
+        let layers = schedule.cnot_layers()?;
+        let n = code.n();
+        let num_stabs = code.num_stabilizers();
+        let num_qubits = n + num_stabs;
+        let ancilla = |s: StabilizerId| n + s;
+
+        let mut circuit = Circuit::new(num_qubits);
+        // measurement index bookkeeping
+        let mut meas_counter = 0usize;
+        let mut stab_meas: Vec<Vec<usize>> = vec![Vec::with_capacity(rounds); num_stabs];
+        let mut data_meas: Vec<usize> = vec![usize::MAX; n];
+
+        for round in 0..rounds {
+            // Preparation moment: ancillas every round; data only before the first round.
+            let mut prep = Vec::new();
+            if round == 0 {
+                for q in 0..n {
+                    prep.push(match basis {
+                        MemoryBasis::Z => Op::ResetZ(q),
+                        MemoryBasis::X => Op::ResetX(q),
+                    });
+                }
+            }
+            for s in 0..num_stabs {
+                prep.push(match schedule.kind_of(s) {
+                    StabilizerKind::X => Op::ResetX(ancilla(s)),
+                    StabilizerKind::Z => Op::ResetZ(ancilla(s)),
+                });
+            }
+            circuit.push_moment(prep);
+
+            // CNOT layers.
+            for layer in &layers {
+                let ops = layer
+                    .iter()
+                    .map(|&(s, q)| match schedule.kind_of(s) {
+                        StabilizerKind::X => Op::Cnot(ancilla(s), q),
+                        StabilizerKind::Z => Op::Cnot(q, ancilla(s)),
+                    })
+                    .collect();
+                circuit.push_moment(ops);
+            }
+
+            // Ancilla measurement moment.
+            let mut meas = Vec::new();
+            for s in 0..num_stabs {
+                meas.push(match schedule.kind_of(s) {
+                    StabilizerKind::X => Op::MeasureX(ancilla(s)),
+                    StabilizerKind::Z => Op::MeasureZ(ancilla(s)),
+                });
+                stab_meas[s].push(meas_counter);
+                meas_counter += 1;
+            }
+            let _ = round;
+            circuit.push_moment(meas);
+        }
+
+        // Final transversal data measurement.
+        let mut final_meas = Vec::new();
+        for q in 0..n {
+            final_meas.push(match basis {
+                MemoryBasis::Z => Op::MeasureZ(q),
+                MemoryBasis::X => Op::MeasureX(q),
+            });
+            data_meas[q] = meas_counter;
+            meas_counter += 1;
+        }
+        circuit.push_moment(final_meas);
+        debug_assert_eq!(meas_counter, circuit.num_measurements());
+
+        // Detectors.
+        let deterministic = basis.deterministic_kind();
+        let mut detectors = Vec::new();
+        let mut detector_info = Vec::new();
+        for s in 0..num_stabs {
+            let (kind, index) = schedule.kind_index(s);
+            // First-round detector only for the deterministic kind.
+            if kind == deterministic {
+                detectors.push(vec![stab_meas[s][0]]);
+                detector_info.push(DetectorInfo { stabilizer: s, round: 0 });
+            }
+            // Consecutive-round comparisons.
+            for r in 1..rounds {
+                detectors.push(vec![stab_meas[s][r - 1], stab_meas[s][r]]);
+                detector_info.push(DetectorInfo { stabilizer: s, round: r });
+            }
+            // Final comparison against the reconstructed stabilizer value.
+            if kind == deterministic {
+                let mut members = vec![stab_meas[s][rounds - 1]];
+                for q in code.stabilizer_support(kind, index) {
+                    members.push(data_meas[q]);
+                }
+                detectors.push(members);
+                detector_info.push(DetectorInfo { stabilizer: s, round: rounds });
+            }
+        }
+
+        // Observables: the basis-matching logicals evaluated on the final data measurement.
+        let logicals = match basis {
+            MemoryBasis::Z => code.lz(),
+            MemoryBasis::X => code.lx(),
+        };
+        let observables: Vec<Vec<usize>> = logicals
+            .rows_iter()
+            .map(|row| row.ones().map(|q| data_meas[q]).collect())
+            .collect();
+
+        Ok(MemoryExperiment {
+            circuit,
+            detectors,
+            observables,
+            detector_info,
+            num_data: n,
+            rounds,
+            basis,
+            schedule: schedule.clone(),
+        })
+    }
+
+    /// Returns the number of detectors.
+    pub fn num_detectors(&self) -> usize {
+        self.detectors.len()
+    }
+
+    /// Returns the number of logical observables.
+    pub fn num_observables(&self) -> usize {
+        self.observables.len()
+    }
+
+    /// Returns the stabilizer whose ancilla is physical qubit `q`, if `q` is an ancilla.
+    pub fn stabilizer_of_qubit(&self, q: usize) -> Option<StabilizerId> {
+        (q >= self.num_data).then(|| q - self.num_data)
+    }
+
+    /// Returns `true` if physical qubit `q` is a data qubit.
+    pub fn is_data_qubit(&self, q: usize) -> bool {
+        q < self.num_data
+    }
+
+    /// Returns the syndrome-measurement round that contains circuit moment `m`, or `None`
+    /// for the final data-measurement moment.
+    pub fn round_of_moment(&self, m: usize) -> Option<usize> {
+        let moments_per_round = (self.circuit.num_moments() - 1) / self.rounds;
+        let r = m / moments_per_round;
+        (r < self.rounds).then_some(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ScheduleSpec;
+    use prophunt_qec::small::quantum_repetition_code;
+    use prophunt_qec::surface::rotated_surface_code_with_layout;
+
+    #[test]
+    fn d3_z_memory_counts() {
+        let (code, layout) = rotated_surface_code_with_layout(3);
+        let schedule = ScheduleSpec::surface_hand_designed(&code, &layout);
+        let exp = MemoryExperiment::build(&code, &schedule, 3, MemoryBasis::Z).unwrap();
+        // 17 qubits: 9 data + 8 ancillas.
+        assert_eq!(exp.circuit.num_qubits(), 17);
+        // Measurements: 8 ancillas x 3 rounds + 9 data.
+        assert_eq!(exp.circuit.num_measurements(), 8 * 3 + 9);
+        // Detectors: Z stabs get rounds+1 = 4 each, X stabs get rounds-1 = 2 each.
+        assert_eq!(exp.num_detectors(), 4 * 4 + 4 * 2);
+        assert_eq!(exp.num_observables(), 1);
+        // CNOT count: 2 qubits * weight sum per round.
+        assert_eq!(exp.circuit.num_cnots(), 24 * 3);
+        assert_eq!(exp.circuit.cnot_depth(), 4 * 3);
+    }
+
+    #[test]
+    fn x_memory_swaps_roles() {
+        let (code, layout) = rotated_surface_code_with_layout(3);
+        let schedule = ScheduleSpec::surface_hand_designed(&code, &layout);
+        let z = MemoryExperiment::build(&code, &schedule, 2, MemoryBasis::Z).unwrap();
+        let x = MemoryExperiment::build(&code, &schedule, 2, MemoryBasis::X).unwrap();
+        assert_eq!(z.num_detectors(), x.num_detectors());
+        // Observable support sizes follow the logicals: both are weight 3 for d=3.
+        assert_eq!(z.observables[0].len(), 3);
+        assert_eq!(x.observables[0].len(), 3);
+        assert_ne!(z.circuit, x.circuit);
+    }
+
+    #[test]
+    fn detector_membership_indices_are_valid() {
+        let (code, layout) = rotated_surface_code_with_layout(5);
+        let schedule = ScheduleSpec::coloration(&code);
+        let exp = MemoryExperiment::build(&code, &schedule, 5, MemoryBasis::Z).unwrap();
+        let num_meas = exp.circuit.num_measurements();
+        for det in &exp.detectors {
+            assert!(!det.is_empty());
+            assert!(det.iter().all(|&m| m < num_meas));
+        }
+        for obs in &exp.observables {
+            assert!(obs.iter().all(|&m| m < num_meas));
+        }
+        assert_eq!(exp.detector_info.len(), exp.num_detectors());
+    }
+
+    #[test]
+    fn repetition_code_experiment_has_only_z_checks() {
+        let code = quantum_repetition_code(5);
+        let schedule = ScheduleSpec::coloration(&code);
+        let exp = MemoryExperiment::build(&code, &schedule, 2, MemoryBasis::Z).unwrap();
+        // 4 Z stabilizers, each with rounds+1 = 3 detectors.
+        assert_eq!(exp.num_detectors(), 4 * 3);
+        assert_eq!(exp.num_observables(), 1);
+    }
+
+    #[test]
+    fn ancilla_qubit_mapping_roundtrips() {
+        let (code, layout) = rotated_surface_code_with_layout(3);
+        let schedule = ScheduleSpec::surface_hand_designed(&code, &layout);
+        let exp = MemoryExperiment::build(&code, &schedule, 1, MemoryBasis::Z).unwrap();
+        assert!(exp.is_data_qubit(0));
+        assert!(!exp.is_data_qubit(9));
+        assert_eq!(exp.stabilizer_of_qubit(9), Some(0));
+        assert_eq!(exp.stabilizer_of_qubit(16), Some(7));
+        assert_eq!(exp.stabilizer_of_qubit(3), None);
+    }
+
+    #[test]
+    fn round_of_moment_is_monotone() {
+        let (code, layout) = rotated_surface_code_with_layout(3);
+        let schedule = ScheduleSpec::surface_hand_designed(&code, &layout);
+        let exp = MemoryExperiment::build(&code, &schedule, 3, MemoryBasis::Z).unwrap();
+        let mut last = 0;
+        for m in 0..exp.circuit.num_moments() - 1 {
+            let r = exp.round_of_moment(m).unwrap();
+            assert!(r >= last && r < 3);
+            last = r;
+        }
+        assert_eq!(exp.round_of_moment(exp.circuit.num_moments() - 1), None);
+    }
+}

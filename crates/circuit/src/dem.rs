@@ -1,0 +1,521 @@
+//! Detector error models: static propagation of every circuit fault into the
+//! circuit-level check matrix `H` and observable matrix `L`, plus Monte-Carlo sampling.
+//!
+//! This is the circuit-level model of the paper's Section 2.7: each elementary fault the
+//! noise model can inject is propagated (deterministically, using the CNOT propagation
+//! rules of Figure 3b) through the remainder of the circuit, and recorded by the set of
+//! detectors and logical observables it flips. Faults with identical signatures are
+//! merged into a single *error mechanism* with a combined probability. The resulting
+//! bipartite structure (error mechanisms vs. detectors) is exactly the decoding graph
+//! PropHunt's ambiguity analysis walks over.
+
+use crate::builder::MemoryExperiment;
+use crate::noise::{Fault, NoiseModel, SparsePauli};
+use crate::ops::Op;
+use prophunt_gf2::{BitMatrix, BitVec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// The circuit fault (or one of several merged faults) behind an [`ErrorMechanism`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSource {
+    /// Moment index of the faulty operation.
+    pub moment: usize,
+    /// The operation the fault is attached to.
+    pub op: Op,
+    /// The injected Pauli error.
+    pub error: SparsePauli,
+}
+
+/// One column of the detector error model: a set of detectors and observables flipped
+/// together with some probability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorMechanism {
+    /// Probability that this mechanism fires in one shot.
+    pub probability: f64,
+    /// Sorted detector indices flipped by the mechanism.
+    pub detectors: Vec<usize>,
+    /// Sorted observable indices flipped by the mechanism.
+    pub observables: Vec<usize>,
+    /// The circuit faults merged into this mechanism.
+    pub sources: Vec<FaultSource>,
+}
+
+impl ErrorMechanism {
+    /// Returns `true` if the mechanism flips at least one logical observable.
+    pub fn flips_observable(&self) -> bool {
+        !self.observables.is_empty()
+    }
+}
+
+/// The detector error model of a noisy memory experiment.
+///
+/// Rows of [`DetectorErrorModel::h_matrix`] are detectors, columns are error mechanisms;
+/// rows of [`DetectorErrorModel::l_matrix`] are logical observables.
+#[derive(Debug, Clone)]
+pub struct DetectorErrorModel {
+    num_detectors: usize,
+    num_observables: usize,
+    errors: Vec<ErrorMechanism>,
+}
+
+impl DetectorErrorModel {
+    /// Builds the detector error model of `experiment` under `noise` by enumerating and
+    /// propagating every elementary fault.
+    pub fn from_experiment(experiment: &MemoryExperiment, noise: &NoiseModel) -> Self {
+        let faults = noise.enumerate_faults(&experiment.circuit);
+        Self::from_faults(experiment, &faults)
+    }
+
+    /// Builds a detector error model from an explicit fault list (used by tests and by
+    /// effective-distance analyses that want unit-probability faults).
+    pub fn from_faults(experiment: &MemoryExperiment, faults: &[Fault]) -> Self {
+        let circuit = &experiment.circuit;
+        let num_qubits = circuit.num_qubits();
+
+        // Measurement index of each (moment, op_index).
+        let mut meas_index: Vec<Vec<usize>> = Vec::with_capacity(circuit.num_moments());
+        let mut counter = 0usize;
+        for moment in circuit.moments() {
+            let mut row = Vec::with_capacity(moment.len());
+            for op in moment {
+                if op.is_measurement() {
+                    row.push(counter);
+                    counter += 1;
+                } else {
+                    row.push(usize::MAX);
+                }
+            }
+            meas_index.push(row);
+        }
+
+        // Membership maps from measurement index to detectors / observables.
+        let mut meas_to_detectors: Vec<Vec<usize>> = vec![Vec::new(); counter];
+        for (d, members) in experiment.detectors.iter().enumerate() {
+            for &m in members {
+                meas_to_detectors[m].push(d);
+            }
+        }
+        let mut meas_to_observables: Vec<Vec<usize>> = vec![Vec::new(); counter];
+        for (o, members) in experiment.observables.iter().enumerate() {
+            for &m in members {
+                meas_to_observables[m].push(o);
+            }
+        }
+
+        let mut frame_x = vec![false; num_qubits];
+        let mut frame_z = vec![false; num_qubits];
+        let mut touched: Vec<usize> = Vec::new();
+        let mut merged: HashMap<(Vec<usize>, Vec<usize>), usize> = HashMap::new();
+        let mut errors: Vec<ErrorMechanism> = Vec::new();
+
+        for fault in faults {
+            // Inject the error.
+            for &(q, pauli) in &fault.error {
+                if pauli.has_x() {
+                    frame_x[q] = !frame_x[q];
+                }
+                if pauli.has_z() {
+                    frame_z[q] = !frame_z[q];
+                }
+                touched.push(q);
+            }
+
+            // Propagate through the rest of the circuit, recording measurement flips.
+            let mut flipped_meas: Vec<usize> = Vec::new();
+            let start_op = if fault.pre_op { fault.op_index } else { fault.op_index.saturating_add(1) };
+            for mi in fault.moment..circuit.num_moments() {
+                let ops = circuit.moment(mi);
+                let first = if mi == fault.moment { start_op.min(ops.len()) } else { 0 };
+                for (oi, op) in ops.iter().enumerate().skip(first) {
+                    match *op {
+                        Op::Cnot(c, t) => {
+                            if frame_x[c] {
+                                frame_x[t] = !frame_x[t];
+                                touched.push(t);
+                            }
+                            if frame_z[t] {
+                                frame_z[c] = !frame_z[c];
+                                touched.push(c);
+                            }
+                        }
+                        Op::H(q) => {
+                            let (x, z) = (frame_x[q], frame_z[q]);
+                            frame_x[q] = z;
+                            frame_z[q] = x;
+                        }
+                        Op::ResetZ(q) | Op::ResetX(q) => {
+                            frame_x[q] = false;
+                            frame_z[q] = false;
+                        }
+                        Op::MeasureZ(q) => {
+                            if frame_x[q] {
+                                flipped_meas.push(meas_index[mi][oi]);
+                            }
+                        }
+                        Op::MeasureX(q) => {
+                            if frame_z[q] {
+                                flipped_meas.push(meas_index[mi][oi]);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Clear the frame for the next fault.
+            for &q in &touched {
+                frame_x[q] = false;
+                frame_z[q] = false;
+            }
+            touched.clear();
+
+            // Convert measurement flips into detector / observable flips.
+            let mut det_parity: HashMap<usize, bool> = HashMap::new();
+            let mut obs_parity: HashMap<usize, bool> = HashMap::new();
+            for &m in &flipped_meas {
+                for &d in &meas_to_detectors[m] {
+                    *det_parity.entry(d).or_insert(false) ^= true;
+                }
+                for &o in &meas_to_observables[m] {
+                    *obs_parity.entry(o).or_insert(false) ^= true;
+                }
+            }
+            let mut detectors: Vec<usize> =
+                det_parity.into_iter().filter_map(|(d, on)| on.then_some(d)).collect();
+            let mut observables: Vec<usize> =
+                obs_parity.into_iter().filter_map(|(o, on)| on.then_some(o)).collect();
+            detectors.sort_unstable();
+            observables.sort_unstable();
+            if detectors.is_empty() && observables.is_empty() {
+                continue;
+            }
+
+            let source = FaultSource {
+                moment: fault.moment,
+                op: fault.op,
+                error: fault.error.clone(),
+            };
+            let key = (detectors.clone(), observables.clone());
+            match merged.get(&key) {
+                Some(&idx) => {
+                    let mech = &mut errors[idx];
+                    mech.probability = mech.probability * (1.0 - fault.probability)
+                        + fault.probability * (1.0 - mech.probability);
+                    mech.sources.push(source);
+                }
+                None => {
+                    merged.insert(key, errors.len());
+                    errors.push(ErrorMechanism {
+                        probability: fault.probability,
+                        detectors,
+                        observables,
+                        sources: vec![source],
+                    });
+                }
+            }
+        }
+
+        DetectorErrorModel {
+            num_detectors: experiment.num_detectors(),
+            num_observables: experiment.num_observables(),
+            errors,
+        }
+    }
+
+    /// Returns the number of detectors (rows of `H`).
+    pub fn num_detectors(&self) -> usize {
+        self.num_detectors
+    }
+
+    /// Returns the number of logical observables (rows of `L`).
+    pub fn num_observables(&self) -> usize {
+        self.num_observables
+    }
+
+    /// Returns the number of distinct error mechanisms (columns of `H` and `L`).
+    pub fn num_errors(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// Returns the error mechanisms.
+    pub fn errors(&self) -> &[ErrorMechanism] {
+        &self.errors
+    }
+
+    /// Returns error mechanism `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn error(&self, index: usize) -> &ErrorMechanism {
+        &self.errors[index]
+    }
+
+    /// Returns the circuit-level check matrix `H` (detectors × error mechanisms).
+    pub fn h_matrix(&self) -> BitMatrix {
+        let mut m = BitMatrix::zeros(self.num_detectors, self.errors.len());
+        for (col, err) in self.errors.iter().enumerate() {
+            for &d in &err.detectors {
+                m.set(d, col, true);
+            }
+        }
+        m
+    }
+
+    /// Returns the circuit-level observable matrix `L` (observables × error mechanisms).
+    pub fn l_matrix(&self) -> BitMatrix {
+        let mut m = BitMatrix::zeros(self.num_observables, self.errors.len());
+        for (col, err) in self.errors.iter().enumerate() {
+            for &o in &err.observables {
+                m.set(o, col, true);
+            }
+        }
+        m
+    }
+
+    /// Returns, for each detector, the indices of error mechanisms that flip it — the
+    /// adjacency used by subgraph expansion and by matching-style decoders.
+    pub fn detector_to_errors(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.num_detectors];
+        for (col, err) in self.errors.iter().enumerate() {
+            for &d in &err.detectors {
+                out[d].push(col);
+            }
+        }
+        out
+    }
+
+    /// Creates a Monte-Carlo sampler over this model with the given seed.
+    pub fn sampler(&self, seed: u64) -> DemSampler {
+        DemSampler {
+            probabilities: self.errors.iter().map(|e| e.probability).collect(),
+            detectors: self.errors.iter().map(|e| e.detectors.clone()).collect(),
+            observables: self.errors.iter().map(|e| e.observables.clone()).collect(),
+            num_detectors: self.num_detectors,
+            num_observables: self.num_observables,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+/// Samples detector/observable outcomes from a [`DetectorErrorModel`].
+///
+/// Sampling happens directly in detector space: each error mechanism fires independently
+/// with its probability and XORs its detector and observable signature into the shot,
+/// which is equivalent to Pauli-frame simulation of the underlying circuit noise.
+#[derive(Debug, Clone)]
+pub struct DemSampler {
+    probabilities: Vec<f64>,
+    detectors: Vec<Vec<usize>>,
+    observables: Vec<Vec<usize>>,
+    num_detectors: usize,
+    num_observables: usize,
+    rng: SmallRng,
+}
+
+impl DemSampler {
+    /// Samples one shot, returning `(detector outcomes, observable flips, fired errors)`.
+    pub fn sample_with_errors(&mut self) -> (BitVec, BitVec, Vec<usize>) {
+        let mut dets = BitVec::zeros(self.num_detectors);
+        let mut obs = BitVec::zeros(self.num_observables);
+        let mut fired = Vec::new();
+        for (i, &p) in self.probabilities.iter().enumerate() {
+            if self.rng.gen_bool(p) {
+                fired.push(i);
+                for &d in &self.detectors[i] {
+                    dets.flip(d);
+                }
+                for &o in &self.observables[i] {
+                    obs.flip(o);
+                }
+            }
+        }
+        (dets, obs, fired)
+    }
+
+    /// Samples one shot, returning `(detector outcomes, observable flips)`.
+    pub fn sample(&mut self) -> (BitVec, BitVec) {
+        let (d, o, _) = self.sample_with_errors();
+        (d, o)
+    }
+
+    /// Returns the number of detectors per shot.
+    pub fn num_detectors(&self) -> usize {
+        self.num_detectors
+    }
+
+    /// Returns the number of observables per shot.
+    pub fn num_observables(&self) -> usize {
+        self.num_observables
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{MemoryBasis, MemoryExperiment};
+    use crate::noise::Pauli;
+    use crate::schedule::ScheduleSpec;
+    use prophunt_qec::small::quantum_repetition_code;
+    use prophunt_qec::surface::rotated_surface_code_with_layout;
+    use prophunt_qec::StabilizerKind;
+
+    fn d3_experiment(rounds: usize) -> (prophunt_qec::CssCode, MemoryExperiment) {
+        let (code, layout) = rotated_surface_code_with_layout(3);
+        let schedule = ScheduleSpec::surface_hand_designed(&code, &layout);
+        let exp = MemoryExperiment::build(&code, &schedule, rounds, MemoryBasis::Z).unwrap();
+        (code, exp)
+    }
+
+    #[test]
+    fn noiseless_model_has_no_error_mechanisms() {
+        let (_, exp) = d3_experiment(2);
+        let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::noiseless());
+        assert_eq!(dem.num_errors(), 0);
+    }
+
+    #[test]
+    fn every_mechanism_flips_something_and_probabilities_are_sane() {
+        let (_, exp) = d3_experiment(3);
+        let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(1e-3));
+        assert!(dem.num_errors() > 100);
+        for err in dem.errors() {
+            assert!(!err.detectors.is_empty() || !err.observables.is_empty());
+            assert!(err.probability > 0.0 && err.probability < 0.1);
+            assert!(!err.sources.is_empty());
+            assert!(err.detectors.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn initial_data_x_error_flips_round_zero_z_detectors_and_observable() {
+        let (code, exp) = d3_experiment(3);
+        let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(1e-3));
+        // Find the mechanism sourced from an X error after the initial reset of data
+        // qubit 4 (the central qubit, in the support of L_Z).
+        let mech = dem
+            .errors()
+            .iter()
+            .find(|e| {
+                e.sources.iter().any(|s| {
+                    s.moment == 0
+                        && s.op == Op::ResetZ(4)
+                        && s.error == vec![(4, Pauli::X)]
+                })
+            })
+            .expect("central data qubit reset fault must appear in the DEM");
+        // It flips the two round-0 detectors of the Z stabilizers containing qubit 4 and
+        // the logical observable.
+        assert_eq!(mech.detectors.len(), 2);
+        for &d in &mech.detectors {
+            let info = exp.detector_info[d];
+            assert_eq!(info.round, 0);
+            let (kind, index) = exp.schedule.kind_index(info.stabilizer);
+            assert_eq!(kind, StabilizerKind::Z);
+            assert!(code.stabilizer_support(StabilizerKind::Z, index).contains(&4));
+        }
+        assert_eq!(mech.observables, vec![0]);
+    }
+
+    #[test]
+    fn ancilla_measurement_flip_gives_time_pair() {
+        let (_, exp) = d3_experiment(4);
+        let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(1e-3));
+        // A measurement flip on a Z ancilla in a middle round flips exactly the two
+        // detectors comparing that round to its neighbours, and no observable.
+        let mech = dem
+            .errors()
+            .iter()
+            .find(|e| {
+                e.sources.iter().any(|s| {
+                    matches!(s.op, Op::MeasureZ(q) if q >= 9)
+                        && exp.round_of_moment(s.moment) == Some(1)
+                        && s.error.len() == 1
+                })
+            })
+            .expect("ancilla measurement flip must appear");
+        assert_eq!(mech.detectors.len(), 2);
+        assert!(mech.observables.is_empty());
+        let rounds: Vec<usize> = mech.detectors.iter().map(|&d| exp.detector_info[d].round).collect();
+        assert_eq!(rounds, vec![1, 2]);
+    }
+
+    #[test]
+    fn h_and_l_matrices_have_matching_shapes() {
+        let (_, exp) = d3_experiment(2);
+        let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(2e-3));
+        let h = dem.h_matrix();
+        let l = dem.l_matrix();
+        assert_eq!(h.num_rows(), exp.num_detectors());
+        assert_eq!(h.num_cols(), dem.num_errors());
+        assert_eq!(l.num_rows(), 1);
+        assert_eq!(l.num_cols(), dem.num_errors());
+        // detector_to_errors is the transpose adjacency of H.
+        let adj = dem.detector_to_errors();
+        for (d, errs) in adj.iter().enumerate() {
+            for &e in errs {
+                assert!(h.get(d, e));
+            }
+        }
+    }
+
+    #[test]
+    fn no_single_mechanism_is_an_undetected_logical_error_for_good_schedule() {
+        // With a valid schedule and d = 3, no single fault may flip the observable while
+        // flipping no detector (that would mean d_eff = 1).
+        let (_, exp) = d3_experiment(3);
+        let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(1e-3));
+        for err in dem.errors() {
+            assert!(
+                !(err.detectors.is_empty() && err.flips_observable()),
+                "found an undetectable single-fault logical error: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn repetition_code_dem_is_a_repetition_decoding_graph() {
+        let code = quantum_repetition_code(5);
+        let schedule = ScheduleSpec::coloration(&code);
+        let exp = MemoryExperiment::build(&code, &schedule, 3, MemoryBasis::Z).unwrap();
+        let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(1e-3));
+        // Every mechanism flips at most 2 detectors (the decoding graph is matchable).
+        for err in dem.errors() {
+            assert!(err.detectors.len() <= 2, "repetition DEM must be graph-like: {err:?}");
+        }
+    }
+
+    #[test]
+    fn sampler_is_deterministic_per_seed_and_zero_for_zero_noise() {
+        let (_, exp) = d3_experiment(2);
+        let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(5e-3));
+        let mut a = dem.sampler(42);
+        let mut b = dem.sampler(42);
+        for _ in 0..20 {
+            assert_eq!(a.sample(), b.sample());
+        }
+        let noiseless = DetectorErrorModel::from_experiment(&exp, &NoiseModel::noiseless());
+        let mut s = noiseless.sampler(1);
+        let (d, o) = s.sample();
+        assert!(d.is_zero() && o.is_zero());
+    }
+
+    #[test]
+    fn sampled_detector_rate_tracks_physical_error_rate() {
+        let (_, exp) = d3_experiment(3);
+        let p = 2e-2;
+        let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(p));
+        let mut sampler = dem.sampler(7);
+        let shots = 500;
+        let mut flips = 0usize;
+        for _ in 0..shots {
+            let (d, _) = sampler.sample();
+            flips += d.weight();
+        }
+        let mean = flips as f64 / shots as f64;
+        // The expected number of flipped detectors per shot is of order
+        // (total error probability); just check it is clearly nonzero and bounded.
+        assert!(mean > 0.5 && mean < 50.0, "mean flipped detectors {mean}");
+    }
+}

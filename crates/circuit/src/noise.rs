@@ -1,0 +1,262 @@
+//! The circuit-level Pauli noise model of the paper's evaluation (Section 6.1).
+//!
+//! Single-qubit operations are followed by one of `{X, Y, Z}` with probability `p/3`
+//! each; two-qubit operations are followed by one of the fifteen non-identity two-qubit
+//! Paulis with probability `p/15` each; measurements are preceded by an outcome-flipping
+//! error with probability `p`. Idle qubits optionally pick up a Pauli-twirled
+//! decoherence error between gate layers (Section 6.3's sensitivity study).
+
+use crate::ops::{Circuit, Op};
+use serde::{Deserialize, Serialize};
+
+/// A single-qubit Pauli operator (excluding identity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pauli {
+    /// Bit-flip error.
+    X,
+    /// Combined bit- and phase-flip error.
+    Y,
+    /// Phase-flip error.
+    Z,
+}
+
+impl Pauli {
+    /// All three non-identity Paulis.
+    pub const ALL: [Pauli; 3] = [Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// Returns `true` if the Pauli has an X component (X or Y).
+    pub fn has_x(self) -> bool {
+        matches!(self, Pauli::X | Pauli::Y)
+    }
+
+    /// Returns `true` if the Pauli has a Z component (Z or Y).
+    pub fn has_z(self) -> bool {
+        matches!(self, Pauli::Z | Pauli::Y)
+    }
+}
+
+/// A Pauli error on a small set of qubits, stored sparsely.
+pub type SparsePauli = Vec<(usize, Pauli)>;
+
+/// Circuit-level noise parameters.
+///
+/// All probabilities are per-operation. [`NoiseModel::uniform_depolarizing`] reproduces
+/// the paper's model with a single physical error rate `p`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Depolarizing probability after each single-qubit gate or reset.
+    pub p_single: f64,
+    /// Depolarizing probability after each two-qubit gate.
+    pub p_double: f64,
+    /// Outcome-flip probability before each measurement.
+    pub p_measure: f64,
+    /// Depolarizing probability applied to each idle qubit in each moment.
+    pub p_idle: f64,
+}
+
+impl NoiseModel {
+    /// The paper's uniform circuit-level depolarizing model at physical error rate `p`.
+    pub fn uniform_depolarizing(p: f64) -> Self {
+        NoiseModel {
+            p_single: p,
+            p_double: p,
+            p_measure: p,
+            p_idle: 0.0,
+        }
+    }
+
+    /// Adds idle errors of strength `p_idle` per qubit per moment (Pauli-twirled
+    /// decoherence approximation). The idle strength is typically `t_gate / T_coherence`
+    /// as in the paper's Figure 15.
+    pub fn with_idle(mut self, p_idle: f64) -> Self {
+        self.p_idle = p_idle;
+        self
+    }
+
+    /// A noiseless model (useful in tests).
+    pub fn noiseless() -> Self {
+        NoiseModel {
+            p_single: 0.0,
+            p_double: 0.0,
+            p_measure: 0.0,
+            p_idle: 0.0,
+        }
+    }
+
+    /// Enumerates every elementary fault the model can inject into `circuit`.
+    ///
+    /// Each fault is returned as `(moment, op_index_within_moment, error, probability,
+    /// is_pre_op)`. `is_pre_op` is `true` for measurement-flip errors, which are applied
+    /// *before* their operation so the flipped outcome is recorded.
+    pub fn enumerate_faults(&self, circuit: &Circuit) -> Vec<Fault> {
+        let mut faults = Vec::new();
+        for (mi, moment) in circuit.moments().enumerate() {
+            for (oi, op) in moment.iter().enumerate() {
+                match *op {
+                    Op::Cnot(c, t) => {
+                        if self.p_double > 0.0 {
+                            let p = self.p_double / 15.0;
+                            for pc in [None, Some(Pauli::X), Some(Pauli::Y), Some(Pauli::Z)] {
+                                for pt in [None, Some(Pauli::X), Some(Pauli::Y), Some(Pauli::Z)] {
+                                    if pc.is_none() && pt.is_none() {
+                                        continue;
+                                    }
+                                    let mut error = SparsePauli::new();
+                                    if let Some(pc) = pc {
+                                        error.push((c, pc));
+                                    }
+                                    if let Some(pt) = pt {
+                                        error.push((t, pt));
+                                    }
+                                    faults.push(Fault {
+                                        moment: mi,
+                                        op_index: oi,
+                                        op: *op,
+                                        error,
+                                        probability: p,
+                                        pre_op: false,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    Op::H(q) | Op::ResetZ(q) | Op::ResetX(q) => {
+                        if self.p_single > 0.0 {
+                            for pauli in Pauli::ALL {
+                                faults.push(Fault {
+                                    moment: mi,
+                                    op_index: oi,
+                                    op: *op,
+                                    error: vec![(q, pauli)],
+                                    probability: self.p_single / 3.0,
+                                    pre_op: false,
+                                });
+                            }
+                        }
+                    }
+                    Op::MeasureZ(q) => {
+                        if self.p_measure > 0.0 {
+                            faults.push(Fault {
+                                moment: mi,
+                                op_index: oi,
+                                op: *op,
+                                error: vec![(q, Pauli::X)],
+                                probability: self.p_measure,
+                                pre_op: true,
+                            });
+                        }
+                    }
+                    Op::MeasureX(q) => {
+                        if self.p_measure > 0.0 {
+                            faults.push(Fault {
+                                moment: mi,
+                                op_index: oi,
+                                op: *op,
+                                error: vec![(q, Pauli::Z)],
+                                probability: self.p_measure,
+                                pre_op: true,
+                            });
+                        }
+                    }
+                }
+            }
+            if self.p_idle > 0.0 {
+                for q in circuit.idle_qubits(mi) {
+                    for pauli in Pauli::ALL {
+                        faults.push(Fault {
+                            moment: mi,
+                            op_index: usize::MAX,
+                            op: Op::H(q), // placeholder op descriptor for idle locations
+                            error: vec![(q, pauli)],
+                            probability: self.p_idle / 3.0,
+                            pre_op: true,
+                        });
+                    }
+                }
+            }
+        }
+        faults
+    }
+}
+
+/// A single elementary fault location produced by [`NoiseModel::enumerate_faults`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fault {
+    /// Moment index in the circuit.
+    pub moment: usize,
+    /// Index of the operation within the moment (`usize::MAX` for idle-qubit faults).
+    pub op_index: usize,
+    /// The operation the fault is attached to.
+    pub op: Op,
+    /// The Pauli error injected.
+    pub error: SparsePauli,
+    /// The probability of this elementary fault.
+    pub probability: f64,
+    /// Whether the error acts before its operation (measurement flips, idle errors) or
+    /// after it (gate errors).
+    pub pre_op: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{Circuit, Op};
+
+    fn small_circuit() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.push_moment(vec![Op::ResetZ(0), Op::ResetX(1)]);
+        c.push_moment(vec![Op::Cnot(1, 0)]);
+        c.push_moment(vec![Op::H(1)]);
+        c.push_moment(vec![Op::MeasureZ(0), Op::MeasureX(1)]);
+        c
+    }
+
+    #[test]
+    fn uniform_model_counts_fault_locations() {
+        let c = small_circuit();
+        let model = NoiseModel::uniform_depolarizing(1e-3);
+        let faults = model.enumerate_faults(&c);
+        // 2 resets * 3 + 1 CNOT * 15 + 1 H * 3 + 2 measurements * 1 = 26.
+        assert_eq!(faults.len(), 26);
+        let total_p: f64 = faults.iter().map(|f| f.probability).sum();
+        // 3 single-qubit-style ops at p + 1 two-qubit op at p + 2 measurement flips at p.
+        assert!((total_p - 6.0e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_errors_added_when_enabled() {
+        let c = small_circuit();
+        let model = NoiseModel::uniform_depolarizing(1e-3).with_idle(1e-4);
+        let faults = model.enumerate_faults(&c);
+        // Idle qubits: moment 0 has qubit 2, moment 1 has qubit 2, moment 2 has 0 and 2,
+        // moment 3 has qubit 2 -> 5 idle locations * 3 Paulis.
+        let idle_faults = faults.iter().filter(|f| f.op_index == usize::MAX).count();
+        assert_eq!(idle_faults, 5 * 3);
+    }
+
+    #[test]
+    fn noiseless_model_has_no_faults() {
+        let c = small_circuit();
+        assert!(NoiseModel::noiseless().enumerate_faults(&c).is_empty());
+    }
+
+    #[test]
+    fn measurement_faults_are_pre_op() {
+        let c = small_circuit();
+        let model = NoiseModel::uniform_depolarizing(1e-3);
+        for f in model.enumerate_faults(&c) {
+            if matches!(f.op, Op::MeasureZ(_) | Op::MeasureX(_)) {
+                assert!(f.pre_op);
+            } else {
+                assert!(!f.pre_op);
+            }
+        }
+    }
+
+    #[test]
+    fn pauli_component_queries() {
+        assert!(Pauli::X.has_x() && !Pauli::X.has_z());
+        assert!(Pauli::Y.has_x() && Pauli::Y.has_z());
+        assert!(!Pauli::Z.has_x() && Pauli::Z.has_z());
+    }
+}

@@ -1,0 +1,252 @@
+//! The physical-circuit intermediate representation: moments of Clifford operations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single physical operation on one or two qubits.
+///
+/// Only the gate set needed for CSS syndrome-measurement circuits is modelled:
+/// computational/Hadamard-basis resets and measurements, the Hadamard gate and CNOT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Reset a qubit to `|0⟩`.
+    ResetZ(usize),
+    /// Reset a qubit to `|+⟩`.
+    ResetX(usize),
+    /// Hadamard gate.
+    H(usize),
+    /// Controlled-NOT with `(control, target)`.
+    Cnot(usize, usize),
+    /// Measure a qubit in the Z basis.
+    MeasureZ(usize),
+    /// Measure a qubit in the X basis.
+    MeasureX(usize),
+}
+
+impl Op {
+    /// Returns the qubits this operation acts on (one or two entries).
+    pub fn qubits(&self) -> Vec<usize> {
+        match *self {
+            Op::ResetZ(q) | Op::ResetX(q) | Op::H(q) | Op::MeasureZ(q) | Op::MeasureX(q) => vec![q],
+            Op::Cnot(c, t) => vec![c, t],
+        }
+    }
+
+    /// Returns `true` if this is a measurement operation.
+    pub fn is_measurement(&self) -> bool {
+        matches!(self, Op::MeasureZ(_) | Op::MeasureX(_))
+    }
+
+    /// Returns `true` if this is a two-qubit gate.
+    pub fn is_two_qubit(&self) -> bool {
+        matches!(self, Op::Cnot(_, _))
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Op::ResetZ(q) => write!(f, "RZ {q}"),
+            Op::ResetX(q) => write!(f, "RX {q}"),
+            Op::H(q) => write!(f, "H {q}"),
+            Op::Cnot(c, t) => write!(f, "CNOT {c} {t}"),
+            Op::MeasureZ(q) => write!(f, "MZ {q}"),
+            Op::MeasureX(q) => write!(f, "MX {q}"),
+        }
+    }
+}
+
+/// A physical circuit organised as a sequence of *moments* (parallel layers).
+///
+/// Within a moment every qubit participates in at most one operation; the builder
+/// enforces this invariant via [`Circuit::push_moment`]. Measurement operations are
+/// assigned consecutive measurement indices in circuit order, which detectors and
+/// observables refer to.
+///
+/// # Example
+///
+/// ```
+/// use prophunt_circuit::ops::{Circuit, Op};
+///
+/// let mut circuit = Circuit::new(3);
+/// circuit.push_moment(vec![Op::ResetZ(0), Op::ResetZ(1), Op::ResetZ(2)]);
+/// circuit.push_moment(vec![Op::Cnot(0, 1)]);
+/// circuit.push_moment(vec![Op::MeasureZ(1)]);
+/// assert_eq!(circuit.num_moments(), 3);
+/// assert_eq!(circuit.num_measurements(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Circuit {
+    num_qubits: usize,
+    moments: Vec<Vec<Op>>,
+    num_measurements: usize,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Circuit {
+            num_qubits,
+            moments: Vec::new(),
+            num_measurements: 0,
+        }
+    }
+
+    /// Returns the number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Returns the number of moments (parallel layers).
+    pub fn num_moments(&self) -> usize {
+        self.moments.len()
+    }
+
+    /// Returns the total number of measurement operations.
+    pub fn num_measurements(&self) -> usize {
+        self.num_measurements
+    }
+
+    /// Returns the operations of moment `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    pub fn moment(&self, m: usize) -> &[Op] {
+        &self.moments[m]
+    }
+
+    /// Returns an iterator over the moments.
+    pub fn moments(&self) -> impl Iterator<Item = &[Op]> {
+        self.moments.iter().map(Vec::as_slice)
+    }
+
+    /// Appends a moment of parallel operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two operations in the moment touch the same qubit or reference a qubit
+    /// outside the circuit.
+    pub fn push_moment(&mut self, ops: Vec<Op>) {
+        let mut used = vec![false; self.num_qubits];
+        for op in &ops {
+            for q in op.qubits() {
+                assert!(q < self.num_qubits, "operation {op} references qubit {q} >= {}", self.num_qubits);
+                assert!(!used[q], "qubit {q} used twice in one moment");
+                used[q] = true;
+            }
+            if op.is_measurement() {
+                self.num_measurements += 1;
+            }
+        }
+        self.moments.push(ops);
+    }
+
+    /// Returns the total number of CNOT gates.
+    pub fn num_cnots(&self) -> usize {
+        self.moments
+            .iter()
+            .flat_map(|m| m.iter())
+            .filter(|op| op.is_two_qubit())
+            .count()
+    }
+
+    /// Returns the number of moments that contain at least one CNOT — the circuit's
+    /// two-qubit-gate depth, the secondary optimization target of the paper.
+    pub fn cnot_depth(&self) -> usize {
+        self.moments
+            .iter()
+            .filter(|m| m.iter().any(Op::is_two_qubit))
+            .count()
+    }
+
+    /// Returns, for each measurement index, the `(moment, qubit)` where it occurs.
+    pub fn measurement_positions(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.num_measurements);
+        for (mi, moment) in self.moments.iter().enumerate() {
+            for op in moment {
+                match op {
+                    Op::MeasureZ(q) | Op::MeasureX(q) => out.push((mi, *q)),
+                    _ => {}
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns the qubits that are idle (no operation) in moment `m`.
+    pub fn idle_qubits(&self, m: usize) -> Vec<usize> {
+        let mut used = vec![false; self.num_qubits];
+        for op in &self.moments[m] {
+            for q in op.qubits() {
+                used[q] = true;
+            }
+        }
+        (0..self.num_qubits).filter(|&q| !used[q]).collect()
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# circuit: {} qubits, {} moments", self.num_qubits, self.moments.len())?;
+        for (i, moment) in self.moments.iter().enumerate() {
+            write!(f, "moment {i}:")?;
+            for op in moment {
+                write!(f, " [{op}]")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_qubits_and_kind_queries() {
+        assert_eq!(Op::Cnot(2, 5).qubits(), vec![2, 5]);
+        assert_eq!(Op::H(3).qubits(), vec![3]);
+        assert!(Op::MeasureX(0).is_measurement());
+        assert!(!Op::ResetZ(0).is_measurement());
+        assert!(Op::Cnot(0, 1).is_two_qubit());
+        assert!(!Op::H(0).is_two_qubit());
+    }
+
+    #[test]
+    fn circuit_counts_measurements_and_cnots() {
+        let mut c = Circuit::new(4);
+        c.push_moment(vec![Op::ResetZ(0), Op::ResetX(1)]);
+        c.push_moment(vec![Op::Cnot(0, 1), Op::Cnot(2, 3)]);
+        c.push_moment(vec![Op::Cnot(1, 2)]);
+        c.push_moment(vec![Op::MeasureZ(1), Op::MeasureX(0)]);
+        assert_eq!(c.num_cnots(), 3);
+        assert_eq!(c.cnot_depth(), 2);
+        assert_eq!(c.num_measurements(), 2);
+        assert_eq!(c.measurement_positions(), vec![(3, 1), (3, 0)]);
+        assert_eq!(c.idle_qubits(2), vec![0, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "used twice")]
+    fn overlapping_ops_in_moment_panic() {
+        let mut c = Circuit::new(3);
+        c.push_moment(vec![Op::Cnot(0, 1), Op::H(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "references qubit")]
+    fn out_of_range_qubit_panics() {
+        let mut c = Circuit::new(2);
+        c.push_moment(vec![Op::H(2)]);
+    }
+
+    #[test]
+    fn display_lists_moments() {
+        let mut c = Circuit::new(2);
+        c.push_moment(vec![Op::H(0)]);
+        let text = format!("{c}");
+        assert!(text.contains("moment 0: [H 0]"));
+    }
+}

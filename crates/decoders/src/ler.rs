@@ -1,0 +1,142 @@
+//! Monte-Carlo logical-error-rate estimation.
+
+use crate::Decoder;
+use prophunt_circuit::DetectorErrorModel;
+
+/// The result of a Monte-Carlo logical-error-rate estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogicalErrorEstimate {
+    /// Number of shots sampled.
+    pub shots: usize,
+    /// Number of shots in which the decoder's observable prediction was wrong.
+    pub failures: usize,
+}
+
+impl LogicalErrorEstimate {
+    /// Returns the estimated logical error rate (failures per shot).
+    pub fn rate(&self) -> f64 {
+        if self.shots == 0 {
+            return 0.0;
+        }
+        self.failures as f64 / self.shots as f64
+    }
+
+    /// Returns the binomial standard error of the estimate.
+    pub fn standard_error(&self) -> f64 {
+        if self.shots == 0 {
+            return 0.0;
+        }
+        let p = self.rate();
+        (p * (1.0 - p) / self.shots as f64).sqrt()
+    }
+
+    /// Combines two estimates (e.g. X- and Z-basis memory experiments) by summing shots
+    /// and failures.
+    pub fn combined(self, other: LogicalErrorEstimate) -> LogicalErrorEstimate {
+        LogicalErrorEstimate {
+            shots: self.shots + other.shots,
+            failures: self.failures + other.failures,
+        }
+    }
+}
+
+/// Estimates the logical error rate of `decoder` on shots sampled from `dem`.
+///
+/// A shot counts as a failure when the predicted observable flips differ from the true
+/// flips in *any* logical observable (the paper's per-shot logical error, covering both
+/// X and Z logicals when both experiments' estimates are combined). Sampling is split
+/// across `threads` worker threads with independent deterministic seeds derived from
+/// `seed`, so results are reproducible for a fixed thread count.
+pub fn estimate_logical_error_rate(
+    dem: &DetectorErrorModel,
+    decoder: &dyn Decoder,
+    shots: usize,
+    seed: u64,
+    threads: usize,
+) -> LogicalErrorEstimate {
+    let threads = threads.max(1);
+    if threads == 1 || shots < 2 * threads {
+        return run_shots(dem, decoder, shots, seed);
+    }
+    let per_thread = shots / threads;
+    let remainder = shots % threads;
+    let mut failures = 0usize;
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let thread_shots = per_thread + usize::from(t < remainder);
+            let thread_seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1));
+            handles.push(scope.spawn(move |_| run_shots(dem, decoder, thread_shots, thread_seed)));
+        }
+        for handle in handles {
+            failures += handle.join().expect("sampling thread panicked").failures;
+        }
+    })
+    .expect("crossbeam scope failed");
+    LogicalErrorEstimate { shots, failures }
+}
+
+fn run_shots(
+    dem: &DetectorErrorModel,
+    decoder: &dyn Decoder,
+    shots: usize,
+    seed: u64,
+) -> LogicalErrorEstimate {
+    let mut sampler = dem.sampler(seed);
+    let mut failures = 0usize;
+    for _ in 0..shots {
+        let (detectors, observables) = sampler.sample();
+        if decoder.decode(&detectors) != observables {
+            failures += 1;
+        }
+    }
+    LogicalErrorEstimate { shots, failures }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BpOsdDecoder;
+    use prophunt_circuit::schedule::ScheduleSpec;
+    use prophunt_circuit::{MemoryBasis, MemoryExperiment, NoiseModel};
+    use prophunt_qec::surface::rotated_surface_code_with_layout;
+
+    fn surface_dem(d: usize, p: f64, rounds: usize) -> DetectorErrorModel {
+        let (code, layout) = rotated_surface_code_with_layout(d);
+        let schedule = ScheduleSpec::surface_hand_designed(&code, &layout);
+        let exp = MemoryExperiment::build(&code, &schedule, rounds, MemoryBasis::Z).unwrap();
+        DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(p))
+    }
+
+    #[test]
+    fn estimate_math_is_consistent() {
+        let e = LogicalErrorEstimate { shots: 200, failures: 10 };
+        assert!((e.rate() - 0.05).abs() < 1e-12);
+        assert!(e.standard_error() > 0.0);
+        let c = e.combined(LogicalErrorEstimate { shots: 100, failures: 5 });
+        assert_eq!(c.shots, 300);
+        assert_eq!(c.failures, 15);
+        assert_eq!(LogicalErrorEstimate { shots: 0, failures: 0 }.rate(), 0.0);
+    }
+
+    #[test]
+    fn multithreaded_estimate_matches_shot_count_and_is_reasonable() {
+        let dem = surface_dem(3, 3e-3, 3);
+        let decoder = BpOsdDecoder::new(&dem);
+        let estimate = estimate_logical_error_rate(&dem, &decoder, 400, 7, 4);
+        assert_eq!(estimate.shots, 400);
+        // d=3 at p = 0.3% should fail well below 10% of shots.
+        assert!(estimate.rate() < 0.1, "rate {}", estimate.rate());
+    }
+
+    #[test]
+    fn higher_physical_error_rate_gives_higher_logical_error_rate() {
+        let low = surface_dem(3, 1e-3, 3);
+        let high = surface_dem(3, 2e-2, 3);
+        let dec_low = BpOsdDecoder::new(&low);
+        let dec_high = BpOsdDecoder::new(&high);
+        let e_low = estimate_logical_error_rate(&low, &dec_low, 300, 13, 2);
+        let e_high = estimate_logical_error_rate(&high, &dec_high, 300, 13, 2);
+        assert!(e_high.failures > e_low.failures);
+    }
+}

@@ -1,0 +1,470 @@
+//! Packed bit vectors over GF(2).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{BitXor, BitXorAssign};
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-length vector over GF(2), packed 64 bits per machine word.
+///
+/// Addition over GF(2) is XOR ([`BitXorAssign`] is implemented), and the inner product is
+/// the parity of the bitwise AND ([`BitVec::dot`]).
+///
+/// # Example
+///
+/// ```
+/// use prophunt_gf2::BitVec;
+///
+/// let mut v = BitVec::zeros(10);
+/// v.set(3, true);
+/// v.set(7, true);
+/// let w = BitVec::from_indices(10, &[3, 4]);
+/// assert_eq!((&v ^ &w).ones().collect::<Vec<_>>(), vec![4, 7]);
+/// assert!(v.dot(&w));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    /// Creates an all-zero vector of length `len`.
+    pub fn zeros(len: usize) -> Self {
+        let nwords = len.div_ceil(WORD_BITS);
+        BitVec {
+            len,
+            words: vec![0u64; nwords],
+        }
+    }
+
+    /// Creates a vector of length `len` with ones at the given indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= len`.
+    pub fn from_indices(len: usize, ones: &[usize]) -> Self {
+        let mut v = BitVec::zeros(len);
+        for &i in ones {
+            v.set(i, true);
+        }
+        v
+    }
+
+    /// Creates a vector from a slice of `0`/`1` bytes (any nonzero byte is treated as one).
+    pub fn from_u8(bits: &[u8]) -> Self {
+        let mut v = BitVec::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b != 0 {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Creates a vector from a slice of booleans.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut v = BitVec::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Returns the number of bits in the vector.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the vector has length zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the bit at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets the bit at position `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        let word = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        if value {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
+    }
+
+    /// Flips the bit at position `i`, returning its new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn flip(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        let word = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        *word ^= mask;
+        *word & mask != 0
+    }
+
+    /// Returns the Hamming weight (number of one bits).
+    pub fn weight(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Clears every bit.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Returns the GF(2) inner product with `other` (parity of the bitwise AND).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dot(&self, other: &BitVec) -> bool {
+        assert_eq!(self.len, other.len, "dot product length mismatch");
+        let mut acc = 0u64;
+        for (a, b) in self.words.iter().zip(other.words.iter()) {
+            acc ^= a & b;
+        }
+        acc.count_ones() % 2 == 1
+    }
+
+    /// Adds (XORs) `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn xor_assign_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "xor length mismatch");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a ^= b;
+        }
+    }
+
+    /// Returns the bitwise AND with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn and(&self, other: &BitVec) -> BitVec {
+        assert_eq!(self.len, other.len, "and length mismatch");
+        BitVec {
+            len: self.len,
+            words: self
+                .words
+                .iter()
+                .zip(other.words.iter())
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// Returns an iterator over the indices of the set bits, in increasing order.
+    pub fn ones(&self) -> Ones<'_> {
+        Ones {
+            vec: self,
+            word_index: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Returns the index of the lowest set bit, if any.
+    pub fn first_one(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(wi * WORD_BITS + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Collects the vector into a `Vec<u8>` of zeros and ones.
+    pub fn to_u8_vec(&self) -> Vec<u8> {
+        (0..self.len).map(|i| u8::from(self.get(i))).collect()
+    }
+
+    /// Returns a copy extended (with zeros) or truncated to `new_len` bits.
+    pub fn resized(&self, new_len: usize) -> BitVec {
+        let mut out = BitVec::zeros(new_len);
+        for i in self.ones() {
+            if i < new_len {
+                out.set(i, true);
+            }
+        }
+        out
+    }
+
+    /// Concatenates `self` and `other` into a new vector.
+    pub fn concat(&self, other: &BitVec) -> BitVec {
+        let mut out = BitVec::zeros(self.len + other.len);
+        for i in self.ones() {
+            out.set(i, true);
+        }
+        for i in other.ones() {
+            out.set(self.len + i, true);
+        }
+        out
+    }
+
+    /// Returns the sub-vector given by the listed positions, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any position is out of range.
+    pub fn select(&self, positions: &[usize]) -> BitVec {
+        let mut out = BitVec::zeros(positions.len());
+        for (j, &p) in positions.iter().enumerate() {
+            if self.get(p) {
+                out.set(j, true);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[")?;
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        Ok(())
+    }
+}
+
+impl BitXorAssign<&BitVec> for BitVec {
+    fn bitxor_assign(&mut self, rhs: &BitVec) {
+        self.xor_assign_with(rhs);
+    }
+}
+
+impl BitXor<&BitVec> for &BitVec {
+    type Output = BitVec;
+
+    fn bitxor(self, rhs: &BitVec) -> BitVec {
+        let mut out = self.clone();
+        out.xor_assign_with(rhs);
+        out
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let bits: Vec<bool> = iter.into_iter().collect();
+        BitVec::from_bools(&bits)
+    }
+}
+
+/// Iterator over the indices of set bits of a [`BitVec`], produced by [`BitVec::ones`].
+pub struct Ones<'a> {
+    vec: &'a BitVec,
+    word_index: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                let idx = self.word_index * WORD_BITS + bit;
+                if idx < self.vec.len {
+                    return Some(idx);
+                }
+                return None;
+            }
+            self.word_index += 1;
+            if self.word_index >= self.vec.words.len() {
+                return None;
+            }
+            self.current = self.vec.words[self.word_index];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zeros_has_no_ones() {
+        let v = BitVec::zeros(130);
+        assert_eq!(v.len(), 130);
+        assert_eq!(v.weight(), 0);
+        assert!(v.is_zero());
+        assert_eq!(v.ones().count(), 0);
+        assert_eq!(v.first_one(), None);
+    }
+
+    #[test]
+    fn set_get_roundtrip_across_word_boundaries() {
+        let mut v = BitVec::zeros(200);
+        for &i in &[0, 1, 63, 64, 65, 127, 128, 199] {
+            v.set(i, true);
+            assert!(v.get(i));
+        }
+        assert_eq!(v.weight(), 8);
+        assert_eq!(
+            v.ones().collect::<Vec<_>>(),
+            vec![0, 1, 63, 64, 65, 127, 128, 199]
+        );
+        v.set(64, false);
+        assert!(!v.get(64));
+        assert_eq!(v.weight(), 7);
+    }
+
+    #[test]
+    fn flip_toggles() {
+        let mut v = BitVec::zeros(5);
+        assert!(v.flip(2));
+        assert!(!v.flip(2));
+        assert!(v.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let v = BitVec::zeros(10);
+        let _ = v.get(10);
+    }
+
+    #[test]
+    fn xor_is_addition_mod_two() {
+        let a = BitVec::from_indices(10, &[1, 3, 5]);
+        let b = BitVec::from_indices(10, &[3, 4, 5, 9]);
+        let c = &a ^ &b;
+        assert_eq!(c.ones().collect::<Vec<_>>(), vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn dot_is_parity_of_overlap() {
+        let a = BitVec::from_indices(80, &[0, 64, 70]);
+        let b = BitVec::from_indices(80, &[64, 70, 79]);
+        assert!(!a.dot(&b)); // overlap {64, 70} has even parity
+        let c = BitVec::from_indices(80, &[0]);
+        assert!(a.dot(&c));
+    }
+
+    #[test]
+    fn from_u8_and_to_u8_roundtrip() {
+        let bits = [1u8, 0, 0, 1, 1, 0, 1];
+        let v = BitVec::from_u8(&bits);
+        assert_eq!(v.to_u8_vec(), bits.to_vec());
+    }
+
+    #[test]
+    fn concat_and_select() {
+        let a = BitVec::from_indices(3, &[0, 2]);
+        let b = BitVec::from_indices(4, &[1]);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 7);
+        assert_eq!(c.ones().collect::<Vec<_>>(), vec![0, 2, 4]);
+        let s = c.select(&[2, 3, 4]);
+        assert_eq!(s.ones().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn resized_truncates_and_extends() {
+        let a = BitVec::from_indices(5, &[0, 4]);
+        assert_eq!(a.resized(3).ones().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(a.resized(10).ones().collect::<Vec<_>>(), vec![0, 4]);
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        let v = BitVec::from_indices(4, &[1]);
+        assert_eq!(format!("{v}"), "0100");
+        assert_eq!(format!("{v:?}"), "BitVec[0100]");
+        let empty = BitVec::zeros(0);
+        assert_eq!(format!("{empty:?}"), "BitVec[]");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_xor_self_is_zero(bits in proptest::collection::vec(any::<bool>(), 0..300)) {
+            let v = BitVec::from_bools(&bits);
+            let z = &v ^ &v;
+            prop_assert!(z.is_zero());
+        }
+
+        #[test]
+        fn prop_weight_matches_naive(bits in proptest::collection::vec(any::<bool>(), 0..300)) {
+            let v = BitVec::from_bools(&bits);
+            prop_assert_eq!(v.weight(), bits.iter().filter(|&&b| b).count());
+        }
+
+        #[test]
+        fn prop_ones_matches_naive(bits in proptest::collection::vec(any::<bool>(), 0..300)) {
+            let v = BitVec::from_bools(&bits);
+            let expected: Vec<usize> = bits
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &b)| b.then_some(i))
+                .collect();
+            prop_assert_eq!(v.ones().collect::<Vec<_>>(), expected);
+        }
+
+        #[test]
+        fn prop_dot_commutes(
+            a in proptest::collection::vec(any::<bool>(), 150),
+            b in proptest::collection::vec(any::<bool>(), 150),
+        ) {
+            let va = BitVec::from_bools(&a);
+            let vb = BitVec::from_bools(&b);
+            prop_assert_eq!(va.dot(&vb), vb.dot(&va));
+        }
+
+        #[test]
+        fn prop_xor_associative(
+            a in proptest::collection::vec(any::<bool>(), 100),
+            b in proptest::collection::vec(any::<bool>(), 100),
+            c in proptest::collection::vec(any::<bool>(), 100),
+        ) {
+            let (va, vb, vc) = (BitVec::from_bools(&a), BitVec::from_bools(&b), BitVec::from_bools(&c));
+            let left = &(&va ^ &vb) ^ &vc;
+            let right = &va ^ &(&vb ^ &vc);
+            prop_assert_eq!(left, right);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Dense linear algebra over the two-element field GF(2).
+//!
+//! Quantum error correction over CSS codes is, at the classical-processing level, linear
+//! algebra modulo two: parity-check matrices, logical-observable matrices, syndromes,
+//! error vectors, row spaces and kernels. Every higher-level crate of the PropHunt suite
+//! ([`prophunt-qec`](https://docs.rs/prophunt-qec), `prophunt-circuit`, `prophunt`)
+//! builds on the two types exported here:
+//!
+//! * [`BitVec`] — a fixed-length vector over GF(2), packed 64 bits per word, and
+//! * [`BitMatrix`] — a dense matrix over GF(2) stored as a list of [`BitVec`] rows.
+//!
+//! The matrix type provides the operations the paper's ambiguity analysis needs:
+//! Gaussian elimination ([`BitMatrix::row_echelon`]), [`BitMatrix::rank`], row-space
+//! membership ([`BitMatrix::row_space_contains`]), kernel bases
+//! ([`BitMatrix::kernel_basis`]) and linear solving ([`BitMatrix::solve`]).
+//!
+//! # Example
+//!
+//! ```
+//! use prophunt_gf2::{BitMatrix, BitVec};
+//!
+//! // The Z-type parity checks of the distance-3 rotated surface code.
+//! let hz = BitMatrix::from_rows_u8(&[
+//!     &[0, 1, 1, 0, 1, 1, 0, 0, 0],
+//!     &[0, 0, 0, 1, 1, 0, 1, 1, 0],
+//!     &[1, 1, 0, 0, 0, 0, 0, 0, 0],
+//!     &[0, 0, 0, 0, 0, 0, 0, 1, 1],
+//! ]);
+//! // An X error on the central data qubit flips the first two checks.
+//! let mut e = BitVec::zeros(9);
+//! e.set(4, true);
+//! let syndrome = hz.mul_vec(&e);
+//! assert_eq!(syndrome.ones().collect::<Vec<_>>(), vec![0, 1]);
+//! assert_eq!(hz.rank(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitvec;
+mod matrix;
+
+pub use bitvec::BitVec;
+pub use matrix::{BitMatrix, RowEchelon};
+
+/// Errors produced by GF(2) linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Gf2Error {
+    /// Two operands had incompatible dimensions.
+    ///
+    /// The fields are the offending dimensions in the order they were encountered.
+    DimensionMismatch {
+        /// Dimension supplied by the left-hand / first operand.
+        left: usize,
+        /// Dimension supplied by the right-hand / second operand.
+        right: usize,
+    },
+}
+
+impl std::fmt::Display for Gf2Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Gf2Error::DimensionMismatch { left, right } => {
+                write!(f, "dimension mismatch: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Gf2Error {}

@@ -1,0 +1,212 @@
+//! Propositional variables, literals and CNF formula construction.
+
+use std::fmt;
+
+/// A propositional variable, identified by a zero-based index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Returns the zero-based index of the variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the positive literal of this variable.
+    pub fn positive(self) -> Lit {
+        Lit::new(self, true)
+    }
+
+    /// Returns the negative literal of this variable.
+    pub fn negative(self) -> Lit {
+        Lit::new(self, false)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable together with a polarity.
+///
+/// Encoded as `2 * var + (0 if positive, 1 if negative)`, which makes literal-indexed
+/// tables (e.g. watch lists) straightforward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// Creates a literal for `var` with the given polarity (`true` = positive).
+    pub fn new(var: Var, positive: bool) -> Lit {
+        Lit(var.0 * 2 + u32::from(!positive))
+    }
+
+    /// Returns the underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 / 2)
+    }
+
+    /// Returns `true` if the literal is positive.
+    pub fn is_positive(self) -> bool {
+        self.0 % 2 == 0
+    }
+
+    /// Returns the literal-table index (`2 * var + sign`).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the value of this literal under an assignment of its variable.
+    pub fn apply(self, var_value: bool) -> bool {
+        var_value == self.is_positive()
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "{}", self.var())
+        } else {
+            write!(f, "~{}", self.var())
+        }
+    }
+}
+
+/// An incrementally built CNF formula.
+///
+/// Tracks the number of variables and the clause list, and provides the higher-level
+/// encodings (XOR trees and totalizers) in the [`crate::encode`] module via inherent
+/// methods. Clause counts are split into "hard" clauses added directly and clauses added
+/// by the XOR encoder, so MaxSAT statistics can report them the way the paper's Table 2
+/// does.
+#[derive(Debug, Clone, Default)]
+pub struct CnfBuilder {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl CnfBuilder {
+    /// Creates an empty formula.
+    pub fn new() -> Self {
+        CnfBuilder::default()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.num_vars as u32);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Allocates `n` fresh variables.
+    pub fn new_vars(&mut self, n: usize) -> Vec<Var> {
+        (0..n).map(|_| self.new_var()).collect()
+    }
+
+    /// Returns the number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Returns the number of clauses added so far.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Returns the clauses added so far.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references an unallocated variable.
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        for l in lits {
+            assert!(
+                l.var().index() < self.num_vars,
+                "literal {l} references unallocated variable"
+            );
+        }
+        self.clauses.push(lits.to_vec());
+    }
+
+    /// Adds a unit clause forcing `lit` to be true.
+    pub fn add_unit(&mut self, lit: Lit) {
+        self.add_clause(&[lit]);
+    }
+
+    /// Builds a [`crate::solver::Solver`] over the current formula.
+    pub fn build_solver(&self) -> crate::solver::Solver {
+        let mut solver = crate::solver::Solver::new(self.num_vars);
+        for clause in &self.clauses {
+            solver.add_clause(clause);
+        }
+        solver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding_roundtrip() {
+        let v = Var(7);
+        let pos = v.positive();
+        let neg = v.negative();
+        assert!(pos.is_positive());
+        assert!(!neg.is_positive());
+        assert_eq!(pos.var(), v);
+        assert_eq!(neg.var(), v);
+        assert_eq!(!pos, neg);
+        assert_eq!(!neg, pos);
+        assert_eq!(pos.index() + 1, neg.index());
+    }
+
+    #[test]
+    fn apply_respects_polarity() {
+        let v = Var(0);
+        assert!(v.positive().apply(true));
+        assert!(!v.positive().apply(false));
+        assert!(v.negative().apply(false));
+        assert!(!v.negative().apply(true));
+    }
+
+    #[test]
+    fn builder_tracks_vars_and_clauses() {
+        let mut b = CnfBuilder::new();
+        let x = b.new_var();
+        let y = b.new_var();
+        b.add_clause(&[x.positive(), y.negative()]);
+        b.add_unit(y.positive());
+        assert_eq!(b.num_vars(), 2);
+        assert_eq!(b.num_clauses(), 2);
+        assert_eq!(b.clauses()[1], vec![y.positive()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn clause_with_unknown_var_panics() {
+        let mut b = CnfBuilder::new();
+        b.add_clause(&[Var(3).positive()]);
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Var(2);
+        assert_eq!(format!("{}", v.positive()), "x2");
+        assert_eq!(format!("{}", v.negative()), "~x2");
+    }
+}

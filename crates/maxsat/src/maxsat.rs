@@ -1,0 +1,320 @@
+//! Linear-search (LSU) MaxSAT on top of the CDCL solver.
+//!
+//! PropHunt's minimum-weight logical-error models use unit soft clauses only (each error
+//! variable prefers to be false), so unweighted MaxSAT with a cardinality bound over the
+//! violated softs is exactly what is needed. The driver repeatedly solves the hard
+//! formula augmented with "at most `cost − 1` violated softs" until it proves optimality
+//! or runs out of its wall-clock budget — the same upper-bounding strategy Loandra's
+//! linear search uses.
+
+use crate::cnf::{CnfBuilder, Lit, Var};
+use crate::solver::SolveResult;
+use std::time::{Duration, Instant};
+
+/// Size and effort statistics of a MaxSAT solve, matching the columns of the paper's
+/// Table 2 (variables, hard clauses, soft clauses, wall-clock time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaxSatStats {
+    /// Total number of variables in the final CNF (including auxiliaries).
+    pub num_variables: usize,
+    /// Number of hard clauses (before cardinality strengthening clauses are added).
+    pub num_hard_clauses: usize,
+    /// Number of soft clauses.
+    pub num_soft_clauses: usize,
+    /// Wall-clock time spent solving.
+    pub wall_time: Duration,
+    /// Total conflicts across all SAT calls (search effort proxy).
+    pub conflicts: u64,
+    /// Number of SAT-solver invocations performed by the linear search.
+    pub iterations: usize,
+}
+
+/// The outcome of a MaxSAT solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MaxSatOutcome {
+    /// An optimal model was found.
+    Optimal {
+        /// Variable assignment (indexed by variable).
+        model: Vec<bool>,
+        /// Number of violated soft clauses.
+        cost: usize,
+    },
+    /// The time budget expired after at least one model was found; the incumbent is
+    /// returned but may not be optimal.
+    Feasible {
+        /// Best variable assignment found.
+        model: Vec<bool>,
+        /// Number of violated soft clauses in the incumbent.
+        cost: usize,
+    },
+    /// The hard clauses are unsatisfiable.
+    Unsatisfiable,
+    /// The time budget expired before any model was found.
+    Timeout,
+}
+
+impl MaxSatOutcome {
+    /// Returns the cost of the returned model, if any.
+    pub fn cost(&self) -> Option<usize> {
+        match self {
+            MaxSatOutcome::Optimal { cost, .. } | MaxSatOutcome::Feasible { cost, .. } => Some(*cost),
+            _ => None,
+        }
+    }
+
+    /// Returns the model, if any.
+    pub fn model(&self) -> Option<&[bool]> {
+        match self {
+            MaxSatOutcome::Optimal { model, .. } | MaxSatOutcome::Feasible { model, .. } => {
+                Some(model)
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the outcome is provably optimal.
+    pub fn is_optimal(&self) -> bool {
+        matches!(self, MaxSatOutcome::Optimal { .. })
+    }
+}
+
+/// An unweighted partial MaxSAT solver (hard CNF + unit soft clauses).
+#[derive(Debug, Clone)]
+pub struct MaxSatSolver {
+    hard: CnfBuilder,
+    soft: Vec<Lit>,
+    last_stats: Option<MaxSatStats>,
+}
+
+impl MaxSatSolver {
+    /// Creates a MaxSAT instance whose hard constraints are the clauses of `hard`.
+    pub fn new(hard: CnfBuilder) -> Self {
+        MaxSatSolver {
+            hard,
+            soft: Vec::new(),
+            last_stats: None,
+        }
+    }
+
+    /// Adds a unit soft clause preferring `lit` to be true.
+    pub fn add_soft(&mut self, lit: Lit) {
+        self.soft.push(lit);
+    }
+
+    /// Adds a unit soft clause preferring variable `var` to be false — the form used by
+    /// the paper's formulation (`E_i = False` soft constraints).
+    pub fn add_soft_false(&mut self, var: Var) {
+        self.soft.push(var.negative());
+    }
+
+    /// Returns the number of soft clauses.
+    pub fn num_soft(&self) -> usize {
+        self.soft.len()
+    }
+
+    /// Returns the statistics of the most recent [`MaxSatSolver::solve`] call.
+    pub fn last_stats(&self) -> Option<MaxSatStats> {
+        self.last_stats
+    }
+
+    /// Solves the instance within the given wall-clock budget.
+    pub fn solve(&mut self, budget: Duration) -> MaxSatOutcome {
+        let start = Instant::now();
+        let deadline = start + budget;
+        let num_hard_clauses = self.hard.num_clauses();
+        let num_soft_clauses = self.soft.len();
+        let mut conflicts = 0u64;
+        let mut iterations = 0usize;
+
+        // Build the working formula: hard clauses + totalizer over soft-violation
+        // indicators. The totalizer outputs let the linear search tighten the bound by
+        // adding a single unit clause per iteration.
+        let mut formula = self.hard.clone();
+        let violation_outputs: Option<Vec<Lit>> = if self.soft.is_empty() {
+            None
+        } else {
+            let violated: Vec<Lit> = self.soft.iter().map(|&l| !l).collect();
+            Some(formula.totalizer(&violated))
+        };
+
+        let cost_of = |model: &[bool]| -> usize {
+            self.soft
+                .iter()
+                .filter(|l| !l.apply(model[l.var().index()]))
+                .count()
+        };
+
+        let mut best: Option<(Vec<bool>, usize)> = None;
+        let mut bounds: Vec<Lit> = Vec::new();
+        let outcome = loop {
+            iterations += 1;
+            let mut working = formula.clone();
+            for &b in &bounds {
+                working.add_unit(b);
+            }
+            let mut solver = working.build_solver();
+            let result = solver.solve(Some(deadline));
+            conflicts += solver.num_conflicts();
+            match result {
+                SolveResult::Sat(model) => {
+                    let cost = cost_of(&model);
+                    best = Some((model, cost));
+                    if cost == 0 {
+                        let (model, cost) = best.expect("just set");
+                        break MaxSatOutcome::Optimal { model, cost };
+                    }
+                    // Strengthen: at most cost - 1 violations.
+                    let outputs = violation_outputs
+                        .as_ref()
+                        .expect("soft clauses exist when cost > 0");
+                    bounds.push(!outputs[cost - 1]);
+                }
+                SolveResult::Unsat => {
+                    break match best.take() {
+                        Some((model, cost)) => MaxSatOutcome::Optimal { model, cost },
+                        None => MaxSatOutcome::Unsatisfiable,
+                    };
+                }
+                SolveResult::Unknown => {
+                    break match best.take() {
+                        Some((model, cost)) => MaxSatOutcome::Feasible { model, cost },
+                        None => MaxSatOutcome::Timeout,
+                    };
+                }
+            }
+        };
+
+        self.last_stats = Some(MaxSatStats {
+            num_variables: formula.num_vars(),
+            num_hard_clauses,
+            num_soft_clauses,
+            wall_time: start.elapsed(),
+            conflicts,
+            iterations,
+        });
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn minimises_true_variables_under_parity_constraint() {
+        // XOR of 5 variables must be 1; minimum cost is a single true variable.
+        let mut b = CnfBuilder::new();
+        let vars = b.new_vars(5);
+        let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
+        b.add_xor_constraint(&lits, true);
+        let mut solver = MaxSatSolver::new(b);
+        for v in &vars {
+            solver.add_soft_false(*v);
+        }
+        let outcome = solver.solve(Duration::from_secs(5));
+        assert!(outcome.is_optimal());
+        assert_eq!(outcome.cost(), Some(1));
+        let model = outcome.model().unwrap();
+        assert_eq!(vars.iter().filter(|v| model[v.index()]).count(), 1);
+        let stats = solver.last_stats().unwrap();
+        assert_eq!(stats.num_soft_clauses, 5);
+        assert!(stats.iterations >= 2);
+    }
+
+    #[test]
+    fn unsat_hard_clauses_reported() {
+        let mut b = CnfBuilder::new();
+        let v = b.new_var();
+        b.add_unit(v.positive());
+        b.add_unit(v.negative());
+        let mut solver = MaxSatSolver::new(b);
+        assert_eq!(solver.solve(Duration::from_secs(1)), MaxSatOutcome::Unsatisfiable);
+    }
+
+    #[test]
+    fn zero_cost_when_soft_clauses_are_satisfiable() {
+        let mut b = CnfBuilder::new();
+        let vars = b.new_vars(4);
+        // Hard: x0 or x1 (can be satisfied with everything false except... no: needs one
+        // true). Softs prefer x2, x3 false, which costs nothing.
+        b.add_clause(&[vars[0].positive(), vars[1].positive()]);
+        let mut solver = MaxSatSolver::new(b);
+        solver.add_soft_false(vars[2]);
+        solver.add_soft_false(vars[3]);
+        let outcome = solver.solve(Duration::from_secs(1));
+        assert_eq!(outcome.cost(), Some(0));
+        assert!(outcome.is_optimal());
+    }
+
+    /// Brute-force optimum for cross-validation.
+    fn brute_force_optimum(
+        num_vars: usize,
+        clauses: &[Vec<Lit>],
+        soft: &[Lit],
+    ) -> Option<usize> {
+        let mut best = None;
+        for mask in 0u64..(1 << num_vars) {
+            let values: Vec<bool> = (0..num_vars).map(|v| (mask >> v) & 1 == 1).collect();
+            if clauses.iter().all(|c| c.iter().any(|l| l.apply(values[l.var().index()]))) {
+                let cost = soft.iter().filter(|l| !l.apply(values[l.var().index()])).count();
+                best = Some(best.map_or(cost, |b: usize| b.min(cost)));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn random_instances_match_brute_force_optimum() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for case in 0..30 {
+            let num_vars = rng.gen_range(3..8);
+            let mut b = CnfBuilder::new();
+            let vars = b.new_vars(num_vars);
+            let mut clauses = Vec::new();
+            for _ in 0..rng.gen_range(2..10) {
+                let len = rng.gen_range(1..=3);
+                let clause: Vec<Lit> = (0..len)
+                    .map(|_| Lit::new(vars[rng.gen_range(0..num_vars)], rng.gen_bool(0.5)))
+                    .collect();
+                b.add_clause(&clause);
+                clauses.push(clause);
+            }
+            let soft: Vec<Lit> = vars.iter().map(|v| v.negative()).collect();
+            let expected = brute_force_optimum(num_vars, &clauses, &soft);
+            let mut solver = MaxSatSolver::new(b);
+            for v in &vars {
+                solver.add_soft_false(*v);
+            }
+            let outcome = solver.solve(Duration::from_secs(5));
+            match expected {
+                Some(opt) => {
+                    assert!(outcome.is_optimal(), "case {case}: expected optimal");
+                    assert_eq!(outcome.cost(), Some(opt), "case {case}: wrong optimum");
+                }
+                None => assert_eq!(outcome, MaxSatOutcome::Unsatisfiable, "case {case}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stats_record_model_size() {
+        let mut b = CnfBuilder::new();
+        let vars = b.new_vars(6);
+        let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
+        b.add_xor_constraint(&lits, false);
+        let hard_clauses = b.num_clauses();
+        let mut solver = MaxSatSolver::new(b);
+        for v in &vars {
+            solver.add_soft_false(*v);
+        }
+        let outcome = solver.solve(Duration::from_secs(5));
+        assert_eq!(outcome.cost(), Some(0));
+        let stats = solver.last_stats().unwrap();
+        assert_eq!(stats.num_hard_clauses, hard_clauses);
+        assert_eq!(stats.num_soft_clauses, 6);
+        assert!(stats.num_variables >= 6);
+        assert!(stats.wall_time < Duration::from_secs(5));
+    }
+}

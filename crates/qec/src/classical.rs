@@ -1,0 +1,186 @@
+//! Classical linear codes used as ingredients of product constructions.
+
+use prophunt_gf2::BitMatrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A classical binary linear code described by a parity-check matrix `H`.
+///
+/// Classical codes enter the PropHunt suite as the factors of hypergraph-product and
+/// lifted-product constructions ([`crate::product`]).
+///
+/// # Example
+///
+/// ```
+/// use prophunt_qec::ClassicalCode;
+///
+/// let rep = ClassicalCode::repetition(5);
+/// assert_eq!((rep.n(), rep.k()), (5, 1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassicalCode {
+    h: BitMatrix,
+}
+
+impl ClassicalCode {
+    /// Wraps an arbitrary parity-check matrix.
+    pub fn from_parity_check(h: BitMatrix) -> Self {
+        ClassicalCode { h }
+    }
+
+    /// The `[n, 1, n]` repetition code with a chain of `n − 1` weight-2 checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn repetition(n: usize) -> Self {
+        assert!(n >= 2, "repetition code needs n >= 2");
+        let mut h = BitMatrix::zeros(n - 1, n);
+        for i in 0..n - 1 {
+            h.set(i, i, true);
+            h.set(i, i + 1, true);
+        }
+        ClassicalCode { h }
+    }
+
+    /// The cyclic (ring) repetition code: `n` weight-2 checks with wrap-around, rank `n − 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn ring_repetition(n: usize) -> Self {
+        assert!(n >= 2, "ring repetition code needs n >= 2");
+        let mut h = BitMatrix::zeros(n, n);
+        for i in 0..n {
+            h.set(i, i, true);
+            h.set(i, (i + 1) % n, true);
+        }
+        ClassicalCode { h }
+    }
+
+    /// The `[7, 4, 3]` Hamming code.
+    pub fn hamming_7_4() -> Self {
+        ClassicalCode {
+            h: BitMatrix::from_rows_u8(&[
+                &[1, 0, 1, 0, 1, 0, 1],
+                &[0, 1, 1, 0, 0, 1, 1],
+                &[0, 0, 0, 1, 1, 1, 1],
+            ]),
+        }
+    }
+
+    /// A random (column-weight ≈ `col_weight`) LDPC parity-check matrix with `rows`
+    /// checks over `n` bits. Intended for generating hypergraph-product test inputs; no
+    /// distance guarantee is made.
+    pub fn random_ldpc<R: Rng>(n: usize, rows: usize, col_weight: usize, rng: &mut R) -> Self {
+        let mut h = BitMatrix::zeros(rows, n);
+        for c in 0..n {
+            let mut placed = 0;
+            let mut attempts = 0;
+            while placed < col_weight && attempts < 100 {
+                let r = rng.gen_range(0..rows);
+                if !h.get(r, c) {
+                    h.set(r, c, true);
+                    placed += 1;
+                }
+                attempts += 1;
+            }
+        }
+        ClassicalCode { h }
+    }
+
+    /// Returns the parity-check matrix.
+    pub fn parity_check(&self) -> &BitMatrix {
+        &self.h
+    }
+
+    /// Returns the block length `n`.
+    pub fn n(&self) -> usize {
+        self.h.num_cols()
+    }
+
+    /// Returns the code dimension `k = n − rank(H)`.
+    pub fn k(&self) -> usize {
+        self.n() - self.h.rank()
+    }
+
+    /// Returns the number of parity checks (rows of `H`, possibly redundant).
+    pub fn num_checks(&self) -> usize {
+        self.h.num_rows()
+    }
+
+    /// Computes the exact minimum distance by exhaustive search over codewords.
+    ///
+    /// Only feasible for small `k`; returns `None` when `k > 20` or the code has
+    /// dimension zero.
+    pub fn exact_distance(&self) -> Option<usize> {
+        let k = self.k();
+        if k == 0 || k > 20 {
+            return None;
+        }
+        let basis = self.h.kernel_basis();
+        let mut best = usize::MAX;
+        for mask in 1u64..(1u64 << k) {
+            let mut v = prophunt_gf2::BitVec::zeros(self.n());
+            for (i, row) in basis.rows_iter().enumerate() {
+                if (mask >> i) & 1 == 1 {
+                    v.xor_assign_with(row);
+                }
+            }
+            best = best.min(v.weight());
+        }
+        Some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn repetition_parameters() {
+        let c = ClassicalCode::repetition(7);
+        assert_eq!(c.n(), 7);
+        assert_eq!(c.k(), 1);
+        assert_eq!(c.num_checks(), 6);
+        assert_eq!(c.exact_distance(), Some(7));
+    }
+
+    #[test]
+    fn ring_repetition_has_redundant_check() {
+        let c = ClassicalCode::ring_repetition(6);
+        assert_eq!(c.n(), 6);
+        assert_eq!(c.k(), 1);
+        assert_eq!(c.num_checks(), 6);
+        assert_eq!(c.parity_check().rank(), 5);
+    }
+
+    #[test]
+    fn hamming_code_parameters() {
+        let c = ClassicalCode::hamming_7_4();
+        assert_eq!(c.n(), 7);
+        assert_eq!(c.k(), 4);
+        assert_eq!(c.exact_distance(), Some(3));
+    }
+
+    #[test]
+    fn random_ldpc_has_requested_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = ClassicalCode::random_ldpc(20, 10, 3, &mut rng);
+        assert_eq!(c.n(), 20);
+        assert_eq!(c.num_checks(), 10);
+        // Every column has the requested weight (10 rows >> 3, so placement succeeds).
+        for col in 0..20 {
+            assert_eq!(c.parity_check().column(col).weight(), 3);
+        }
+    }
+
+    #[test]
+    fn exact_distance_bails_on_large_dimension() {
+        let h = BitMatrix::zeros(1, 30);
+        let c = ClassicalCode::from_parity_check(h);
+        assert_eq!(c.exact_distance(), None);
+    }
+}

@@ -1,0 +1,89 @@
+//! Small named codes: the Steane code and the quantum repetition code.
+
+use crate::classical::ClassicalCode;
+use crate::css::CssCode;
+use prophunt_gf2::BitMatrix;
+
+/// The `[[7, 1, 3]]` Steane code (self-dual CSS code built from the Hamming `[7,4,3]` code).
+///
+/// The paper (Section 3) uses the Steane code as an example of a code where *every* CNOT
+/// ordering produces distance-reducing hook errors, motivating circuit-level analysis.
+pub fn steane_code() -> CssCode {
+    let h = ClassicalCode::hamming_7_4().parity_check().clone();
+    CssCode::with_known_distance("steane", h.clone(), h, 3)
+        .expect("Steane code is a valid CSS code")
+}
+
+/// The `[[n, 1, 1]]` quantum repetition (bit-flip) code: `n − 1` weight-2 Z checks and no
+/// X checks. It protects against X errors only, which makes it a convenient minimal
+/// test-bed for syndrome-measurement machinery.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn quantum_repetition_code(n: usize) -> CssCode {
+    assert!(n >= 2, "repetition code needs n >= 2");
+    let hz = ClassicalCode::repetition(n).parity_check().clone();
+    let hx = BitMatrix::zeros(0, n);
+    // L_X = X on every qubit, L_Z = Z on the first qubit.
+    let mut lx = BitMatrix::zeros(1, n);
+    for q in 0..n {
+        lx.set(0, q, true);
+    }
+    let mut lz = BitMatrix::zeros(1, n);
+    lz.set(0, 0, true);
+    CssCode::new(format!("repetition_{n}"), hx, hz)
+        .expect("repetition code is a valid CSS code")
+        .with_logicals(lx, lz)
+        .expect("repetition code logicals are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophunt_gf2::BitMatrix;
+
+    #[test]
+    fn steane_parameters() {
+        let code = steane_code();
+        assert_eq!((code.n(), code.k()), (7, 1));
+        assert_eq!(code.num_x_stabilizers(), 3);
+        assert_eq!(code.num_z_stabilizers(), 3);
+        assert_eq!(code.max_stabilizer_weight(), 4);
+        assert_eq!(code.known_distance(), Some(3));
+        // Self-dual: X and Z checks are identical matrices.
+        assert_eq!(code.hx(), code.hz());
+    }
+
+    #[test]
+    fn steane_logicals_are_weight_three_or_more() {
+        let code = steane_code();
+        assert!(code.lx().row(0).weight() >= 3);
+        assert!(code.lz().row(0).weight() >= 3);
+        let pairing = code.lx().mul(&code.lz().transpose()).unwrap();
+        assert_eq!(pairing, BitMatrix::identity(1));
+    }
+
+    #[test]
+    fn repetition_code_parameters() {
+        for n in [2, 3, 5, 9] {
+            let code = quantum_repetition_code(n);
+            assert_eq!((code.n(), code.k()), (n, 1));
+            assert_eq!(code.num_x_stabilizers(), 0);
+            assert_eq!(code.num_z_stabilizers(), n - 1);
+        }
+    }
+
+    #[test]
+    fn repetition_code_detects_single_x_errors() {
+        let code = quantum_repetition_code(5);
+        for q in 0..5 {
+            let e = prophunt_gf2::BitVec::from_indices(5, &[q]);
+            assert!(!code.syndrome_of_x_errors(&e).is_zero() || 5 == 1);
+        }
+        // The all-ones X error is undetected and flips the logical (it *is* L_X).
+        let all = prophunt_gf2::BitVec::from_bools(&[true; 5]);
+        assert!(code.syndrome_of_x_errors(&all).is_zero());
+        assert!(code.x_errors_flip_logical(&all));
+    }
+}

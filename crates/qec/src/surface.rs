@@ -1,0 +1,289 @@
+//! Rotated surface codes and their planar layout.
+//!
+//! The rotated surface code of odd distance `d` places `d × d` data qubits on a grid and
+//! `d² − 1` stabilizers on the faces between them (plus weight-2 boundary faces). The
+//! layout information (which data qubit sits at which corner of which face) is needed by
+//! the hand-designed "N/Z" CNOT schedule of the paper's Section 3.1, so the constructor
+//! can also return a [`SurfaceLayout`].
+
+use crate::css::{CssCode, StabilizerKind};
+use prophunt_gf2::BitMatrix;
+
+/// The four corners of a surface-code face, in the order used throughout this crate.
+///
+/// `NW` is "north-west" with rows increasing downward, i.e. the data qubit at the
+/// smallest row and column of the face.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Corner {
+    /// North-west corner (smallest row, smallest column).
+    Nw,
+    /// North-east corner (smallest row, largest column).
+    Ne,
+    /// South-west corner (largest row, smallest column).
+    Sw,
+    /// South-east corner (largest row, largest column).
+    Se,
+}
+
+impl Corner {
+    /// All four corners in canonical order `[NW, NE, SW, SE]`.
+    pub const ALL: [Corner; 4] = [Corner::Nw, Corner::Ne, Corner::Sw, Corner::Se];
+
+    /// Index of this corner within [`Corner::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            Corner::Nw => 0,
+            Corner::Ne => 1,
+            Corner::Sw => 2,
+            Corner::Se => 3,
+        }
+    }
+}
+
+/// Geometric layout of a rotated surface code: which data qubit sits at which corner of
+/// each stabilizer's face.
+///
+/// Stabilizer indices match the row order of the corresponding [`CssCode`] check
+/// matrices, so `x_corners[i]` describes row `i` of `H_X`.
+#[derive(Debug, Clone)]
+pub struct SurfaceLayout {
+    /// The code distance `d`.
+    pub distance: usize,
+    /// For each X stabilizer, the data qubit (if any) at each of `[NW, NE, SW, SE]`.
+    pub x_corners: Vec<[Option<usize>; 4]>,
+    /// For each Z stabilizer, the data qubit (if any) at each of `[NW, NE, SW, SE]`.
+    pub z_corners: Vec<[Option<usize>; 4]>,
+}
+
+impl SurfaceLayout {
+    /// Returns the corner table for the given stabilizer kind.
+    pub fn corners(&self, kind: StabilizerKind) -> &[[Option<usize>; 4]] {
+        match kind {
+            StabilizerKind::X => &self.x_corners,
+            StabilizerKind::Z => &self.z_corners,
+        }
+    }
+
+    /// Returns the data qubits of stabilizer `index` of `kind` ordered by the given
+    /// corner sequence, skipping absent corners (for weight-2 boundary stabilizers).
+    pub fn ordered_support(
+        &self,
+        kind: StabilizerKind,
+        index: usize,
+        corner_order: &[Corner],
+    ) -> Vec<usize> {
+        let corners = &self.corners(kind)[index];
+        corner_order
+            .iter()
+            .filter_map(|c| corners[c.index()])
+            .collect()
+    }
+}
+
+/// Constructs the rotated surface code of distance `d`.
+///
+/// The logical operators are the conventional string operators: `L_X` is the middle row
+/// of data qubits and `L_Z` the middle column, matching the paper's Section 2.2 example
+/// for `d = 3`.
+///
+/// # Panics
+///
+/// Panics if `d < 2`.
+pub fn rotated_surface_code(d: usize) -> CssCode {
+    rotated_surface_code_with_layout(d).0
+}
+
+/// Constructs the rotated surface code of distance `d` together with its planar layout.
+///
+/// # Panics
+///
+/// Panics if `d < 2`.
+pub fn rotated_surface_code_with_layout(d: usize) -> (CssCode, SurfaceLayout) {
+    assert!(d >= 2, "surface code distance must be at least 2");
+    let n = d * d;
+    let qubit = |r: usize, c: usize| r * d + c;
+
+    let mut x_rows: Vec<Vec<usize>> = Vec::new();
+    let mut z_rows: Vec<Vec<usize>> = Vec::new();
+    let mut x_corners: Vec<[Option<usize>; 4]> = Vec::new();
+    let mut z_corners: Vec<[Option<usize>; 4]> = Vec::new();
+
+    // Bulk faces between rows (fr, fr+1) and columns (fc, fc+1).
+    for fr in 0..d - 1 {
+        for fc in 0..d - 1 {
+            let corners = [
+                Some(qubit(fr, fc)),
+                Some(qubit(fr, fc + 1)),
+                Some(qubit(fr + 1, fc)),
+                Some(qubit(fr + 1, fc + 1)),
+            ];
+            let support: Vec<usize> = corners.iter().map(|q| q.unwrap()).collect();
+            if (fr + fc) % 2 == 0 {
+                x_rows.push(support);
+                x_corners.push(corners);
+            } else {
+                z_rows.push(support);
+                z_corners.push(corners);
+            }
+        }
+    }
+    // Left boundary X faces (virtual column -1): X-type when fr is odd.
+    for fr in 0..d - 1 {
+        if fr % 2 == 1 {
+            let corners = [None, Some(qubit(fr, 0)), None, Some(qubit(fr + 1, 0))];
+            x_rows.push(vec![qubit(fr, 0), qubit(fr + 1, 0)]);
+            x_corners.push(corners);
+        }
+    }
+    // Right boundary X faces (virtual column d-1 extended): X-type when fr + d - 1 even.
+    for fr in 0..d - 1 {
+        if (fr + d - 1) % 2 == 0 {
+            let corners = [Some(qubit(fr, d - 1)), None, Some(qubit(fr + 1, d - 1)), None];
+            x_rows.push(vec![qubit(fr, d - 1), qubit(fr + 1, d - 1)]);
+            x_corners.push(corners);
+        }
+    }
+    // Top boundary Z faces (virtual row -1): Z-type when fc is even.
+    for fc in 0..d - 1 {
+        if fc % 2 == 0 {
+            let corners = [None, None, Some(qubit(0, fc)), Some(qubit(0, fc + 1))];
+            z_rows.push(vec![qubit(0, fc), qubit(0, fc + 1)]);
+            z_corners.push(corners);
+        }
+    }
+    // Bottom boundary Z faces (virtual row d-1 extended): Z-type when fr + fc odd.
+    for fc in 0..d - 1 {
+        if (d - 1 + fc) % 2 == 1 {
+            let corners = [Some(qubit(d - 1, fc)), Some(qubit(d - 1, fc + 1)), None, None];
+            z_rows.push(vec![qubit(d - 1, fc), qubit(d - 1, fc + 1)]);
+            z_corners.push(corners);
+        }
+    }
+
+    let to_matrix = |rows: &[Vec<usize>]| {
+        let mut m = BitMatrix::zeros(rows.len(), n);
+        for (i, support) in rows.iter().enumerate() {
+            for &q in support {
+                m.set(i, q, true);
+            }
+        }
+        m
+    };
+    let hx = to_matrix(&x_rows);
+    let hz = to_matrix(&z_rows);
+
+    // Logical operators: middle row (X) and middle column (Z).
+    let mid = (d - 1) / 2;
+    let mut lx = BitMatrix::zeros(1, n);
+    let mut lz = BitMatrix::zeros(1, n);
+    for c in 0..d {
+        lx.set(0, qubit(mid, c), true);
+    }
+    for r in 0..d {
+        lz.set(0, qubit(r, mid), true);
+    }
+
+    let code = CssCode::with_known_distance(format!("surface_d{d}"), hx, hz, d)
+        .expect("rotated surface code construction must be a valid CSS code")
+        .with_logicals(lx, lz)
+        .expect("surface code string logicals must be valid");
+    let layout = SurfaceLayout {
+        distance: d,
+        x_corners,
+        z_corners,
+    };
+    (code, layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophunt_gf2::BitVec;
+    use std::collections::HashSet;
+
+    fn row_set(m: &BitMatrix) -> HashSet<Vec<usize>> {
+        m.rows_iter().map(|r| r.ones().collect()).collect()
+    }
+
+    #[test]
+    fn d3_matches_paper_matrices() {
+        let code = rotated_surface_code(3);
+        let paper_hx = BitMatrix::from_rows_u8(&[
+            &[1, 1, 0, 1, 1, 0, 0, 0, 0],
+            &[0, 0, 0, 0, 1, 1, 0, 1, 1],
+            &[0, 0, 0, 1, 0, 0, 1, 0, 0],
+            &[0, 0, 1, 0, 0, 1, 0, 0, 0],
+        ]);
+        let paper_hz = BitMatrix::from_rows_u8(&[
+            &[0, 1, 1, 0, 1, 1, 0, 0, 0],
+            &[0, 0, 0, 1, 1, 0, 1, 1, 0],
+            &[1, 1, 0, 0, 0, 0, 0, 0, 0],
+            &[0, 0, 0, 0, 0, 0, 0, 1, 1],
+        ]);
+        assert_eq!(row_set(code.hx()), row_set(&paper_hx));
+        assert_eq!(row_set(code.hz()), row_set(&paper_hz));
+        // Paper's logical operators (Section 2.4).
+        assert_eq!(code.lx().row(0), &BitVec::from_u8(&[0, 0, 0, 1, 1, 1, 0, 0, 0]));
+        assert_eq!(code.lz().row(0), &BitVec::from_u8(&[0, 1, 0, 0, 1, 0, 0, 1, 0]));
+    }
+
+    #[test]
+    fn parameters_scale_with_distance() {
+        for d in [2, 3, 5, 7, 9] {
+            let code = rotated_surface_code(d);
+            assert_eq!(code.n(), d * d, "n for d={d}");
+            assert_eq!(code.k(), 1, "k for d={d}");
+            assert_eq!(code.num_stabilizers(), d * d - 1, "stabilizer count for d={d}");
+            assert_eq!(code.known_distance(), Some(d));
+            assert!(code.max_stabilizer_weight() <= 4);
+        }
+    }
+
+    #[test]
+    fn stabilizer_counts_split_evenly_for_odd_d() {
+        for d in [3, 5, 7, 9, 11] {
+            let code = rotated_surface_code(d);
+            assert_eq!(code.num_x_stabilizers(), (d * d - 1) / 2);
+            assert_eq!(code.num_z_stabilizers(), (d * d - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn layout_corners_match_check_matrix_supports() {
+        let (code, layout) = rotated_surface_code_with_layout(5);
+        for (i, corners) in layout.x_corners.iter().enumerate() {
+            let from_layout: HashSet<usize> = corners.iter().flatten().copied().collect();
+            let from_matrix: HashSet<usize> =
+                code.stabilizer_support(StabilizerKind::X, i).into_iter().collect();
+            assert_eq!(from_layout, from_matrix);
+        }
+        for (i, corners) in layout.z_corners.iter().enumerate() {
+            let from_layout: HashSet<usize> = corners.iter().flatten().copied().collect();
+            let from_matrix: HashSet<usize> =
+                code.stabilizer_support(StabilizerKind::Z, i).into_iter().collect();
+            assert_eq!(from_layout, from_matrix);
+        }
+    }
+
+    #[test]
+    fn ordered_support_respects_corner_order_and_skips_missing() {
+        let (_, layout) = rotated_surface_code_with_layout(3);
+        // First X stabilizer is the bulk face at (0, 0) with corners 0, 1, 3, 4.
+        let order = [Corner::Nw, Corner::Sw, Corner::Ne, Corner::Se];
+        assert_eq!(layout.ordered_support(StabilizerKind::X, 0, &order), vec![0, 3, 1, 4]);
+        // Boundary X stabilizers have only two corners.
+        let boundary = layout.ordered_support(StabilizerKind::X, 2, &order);
+        assert_eq!(boundary.len(), 2);
+    }
+
+    #[test]
+    fn logicals_anticommute_once() {
+        for d in [3, 5, 7] {
+            let code = rotated_surface_code(d);
+            let overlap = code.lx().row(0).and(code.lz().row(0)).weight();
+            assert_eq!(overlap % 2, 1, "logicals must anticommute for d={d}");
+            assert_eq!(code.lx().row(0).weight(), d);
+            assert_eq!(code.lz().row(0).weight(), d);
+        }
+    }
+}

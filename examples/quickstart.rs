@@ -1,0 +1,59 @@
+//! Quickstart: optimize the syndrome-measurement circuit of a d = 3 surface code.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use prophunt_suite::circuit::schedule::ScheduleSpec;
+use prophunt_suite::circuit::{DetectorErrorModel, MemoryBasis, MemoryExperiment, NoiseModel};
+use prophunt_suite::core::{PropHunt, PropHuntConfig};
+use prophunt_suite::decoders::{estimate_logical_error_rate, BpOsdDecoder};
+use prophunt_suite::qec::surface::rotated_surface_code_with_layout;
+
+fn logical_error_rate(
+    code: &prophunt_suite::qec::CssCode,
+    schedule: &ScheduleSpec,
+    p: f64,
+    shots: usize,
+) -> f64 {
+    let mut combined_failures = 0;
+    let mut combined_shots = 0;
+    for basis in [MemoryBasis::Z, MemoryBasis::X] {
+        let exp = MemoryExperiment::build(code, schedule, 3, basis).expect("valid schedule");
+        let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(p));
+        let decoder = BpOsdDecoder::new(&dem);
+        let estimate = estimate_logical_error_rate(&dem, &decoder, shots, 42, 4);
+        combined_failures += estimate.failures;
+        combined_shots += estimate.shots;
+    }
+    combined_failures as f64 / combined_shots as f64
+}
+
+fn main() {
+    let (code, layout) = rotated_surface_code_with_layout(3);
+    println!("code: {code}");
+
+    // Start from a deliberately poor schedule (hook errors aligned with the logicals).
+    let poor = ScheduleSpec::surface_poor(&code, &layout);
+    let hand = ScheduleSpec::surface_hand_designed(&code, &layout);
+
+    let p = 3e-3;
+    let shots = 2_000;
+    println!("poor schedule         LER = {:.4}", logical_error_rate(&code, &poor, p, shots));
+    println!("hand-designed schedule LER = {:.4}", logical_error_rate(&code, &hand, p, shots));
+
+    // Let PropHunt repair the poor schedule automatically.
+    let prophunt = PropHunt::new(code.clone(), PropHuntConfig::quick(3));
+    let result = prophunt.optimize(poor);
+    println!(
+        "PropHunt applied {} changes over {} iterations (final CNOT depth {})",
+        result.total_changes_applied(),
+        result.records.len(),
+        result.final_depth()
+    );
+    println!(
+        "optimized schedule    LER = {:.4}",
+        logical_error_rate(&code, &result.final_schedule, p, shots)
+    );
+    if let Some(d_eff) = prophunt.estimate_effective_distance(&result.final_schedule, 10) {
+        println!("estimated effective distance of optimized circuit: {d_eff}");
+    }
+}

@@ -1,0 +1,28 @@
+//! Umbrella crate for the PropHunt reproduction suite.
+//!
+//! This crate re-exports the public API of every member crate so downstream users (and
+//! the examples and integration tests in this repository) can depend on a single crate:
+//!
+//! * [`gf2`] — GF(2) linear algebra ([`prophunt_gf2`]).
+//! * [`qec`] — CSS codes and constructions ([`prophunt_qec`]).
+//! * [`circuit`] — SM circuits, schedules, noise and detector error models
+//!   ([`prophunt_circuit`]).
+//! * [`maxsat`] — CNF, CDCL SAT and MaxSAT ([`prophunt_maxsat`]).
+//! * [`decoders`] — BP+OSD, union-find and logical-error-rate estimation
+//!   ([`prophunt_decoders`]).
+//! * [`core`] — the PropHunt optimizer itself ([`prophunt`]).
+//! * [`zne`] — Hook-ZNE and DS-ZNE ([`prophunt_zne`]).
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for the map from
+//! the paper's evaluation to this repository.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use prophunt as core;
+pub use prophunt_circuit as circuit;
+pub use prophunt_decoders as decoders;
+pub use prophunt_gf2 as gf2;
+pub use prophunt_maxsat as maxsat;
+pub use prophunt_qec as qec;
+pub use prophunt_zne as zne;
