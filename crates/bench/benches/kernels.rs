@@ -16,7 +16,9 @@ fn bench_dem_construction(c: &mut Criterion) {
     let schedule = ScheduleSpec::surface_hand_designed(&code, &layout);
     let exp = MemoryExperiment::build(&code, &schedule, 5, MemoryBasis::Z).unwrap();
     c.bench_function("dem_construction_surface_d5", |b| {
-        b.iter(|| DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(1e-3)))
+        b.iter(|| {
+            DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(1e-3))
+        })
     });
 }
 
@@ -53,10 +55,10 @@ fn bench_decoders(c: &mut Criterion) {
     let mut sampler = dem.sampler(3);
     let shots: Vec<_> = (0..32).map(|_| sampler.sample().0).collect();
     c.bench_function("decode_bposd_surface_d3_32shots", |b| {
-        b.iter(|| shots.iter().map(|s| bposd.decode(s)).count())
+        b.iter(|| shots.iter().map(|s| bposd.decode(s)).collect::<Vec<_>>())
     });
     c.bench_function("decode_unionfind_surface_d3_32shots", |b| {
-        b.iter(|| shots.iter().map(|s| uf.decode(s)).count())
+        b.iter(|| shots.iter().map(|s| uf.decode(s)).collect::<Vec<_>>())
     });
 }
 

@@ -1,0 +1,193 @@
+//! Thread-per-candidate vs pooled candidate verification (the tentpole of the
+//! `prophunt-runtime` refactor), measured on the d = 5 rotated surface code.
+//!
+//! The seed implementation's optimizer spawned **one OS thread per candidate
+//! change** during the verify stage. This bench rebuilds that workload — a
+//! decoding graph, a batch of ambiguous subgraphs with their minimum-weight
+//! solutions, and every enumerated candidate — and times three executions of
+//! the identical verification work:
+//!
+//! * `verify_thread_per_candidate` — the seed's strategy: spawn one scoped OS
+//!   thread per candidate.
+//! * `verify_pooled_8_threads` — `Runtime::par_map` with 8 bounded workers.
+//! * `verify_sequential` — single-threaded reference.
+//!
+//! Run with `cargo bench --bench runtime`. The measurements are also written
+//! to `BENCH_runtime.json` at the repository root so the baseline is recorded
+//! alongside the code.
+
+use criterion::Criterion;
+use prophunt::ambiguity::{find_ambiguous_subgraph, AmbiguousSubgraph, DecodingGraph};
+use prophunt::changes::{enumerate_candidates, verify_candidate};
+use prophunt::minweight::{min_weight_logical_error, MinWeightSolution};
+use prophunt::CandidateChange;
+use prophunt_circuit::schedule::ScheduleSpec;
+use prophunt_circuit::MemoryBasis;
+use prophunt_qec::surface::rotated_surface_code_with_layout;
+use prophunt_qec::CssCode;
+use prophunt_runtime::{Runtime, RuntimeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+const ROUNDS: usize = 5;
+const P: f64 = 1e-3;
+
+struct Workload {
+    code: CssCode,
+    schedule: ScheduleSpec,
+    graph: DecodingGraph,
+    tasks: Vec<(AmbiguousSubgraph, MinWeightSolution, Vec<CandidateChange>)>,
+    candidates: usize,
+}
+
+fn build_workload() -> Workload {
+    let (code, layout) = rotated_surface_code_with_layout(5);
+    let schedule = ScheduleSpec::surface_poor(&code, &layout);
+    let graph =
+        DecodingGraph::build(&code, &schedule, ROUNDS, MemoryBasis::Z, P).expect("valid schedule");
+    // Reproduce the optimizer's first-iteration workload: sample, dedup, solve,
+    // enumerate.
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut subgraphs: Vec<AmbiguousSubgraph> = (0..120)
+        .filter_map(|_| find_ambiguous_subgraph(&graph, &mut rng, 120))
+        .collect();
+    subgraphs.sort_by_key(|s| (s.errors.len(), s.detectors.clone()));
+    subgraphs.dedup_by(|a, b| a.detectors == b.detectors);
+    subgraphs.truncate(8);
+    let mut tasks = Vec::new();
+    let mut candidates = 0;
+    for sub in subgraphs {
+        let Some(solution) = min_weight_logical_error(&sub, Duration::from_secs(30)) else {
+            continue;
+        };
+        let cands = enumerate_candidates(&graph, &code, &schedule, &solution, &mut rng);
+        candidates += cands.len();
+        tasks.push((sub, solution, cands));
+    }
+    assert!(
+        candidates >= 8,
+        "workload too small: {candidates} candidates"
+    );
+    Workload {
+        code,
+        schedule,
+        graph,
+        tasks,
+        candidates,
+    }
+}
+
+/// The seed implementation's strategy: one scoped OS thread per candidate.
+fn verify_thread_per_candidate(w: &Workload) -> usize {
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (sub, solution, candidates) in &w.tasks {
+            for candidate in candidates {
+                handles.push(scope.spawn(move || {
+                    verify_candidate(
+                        &w.code,
+                        &w.schedule,
+                        candidate,
+                        sub,
+                        solution,
+                        &w.graph,
+                        ROUNDS,
+                        MemoryBasis::Z,
+                        P,
+                    )
+                }));
+            }
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("verification thread"))
+            .filter(Option::is_some)
+            .count()
+    })
+}
+
+/// The runtime's strategy: bounded pooled tasks.
+fn verify_pooled(w: &Workload, threads: usize) -> usize {
+    let runtime = Runtime::new(RuntimeConfig::new(threads, 1, 0));
+    let work: Vec<(&AmbiguousSubgraph, &MinWeightSolution, &CandidateChange)> = w
+        .tasks
+        .iter()
+        .flat_map(|(sub, solution, candidates)| candidates.iter().map(move |c| (sub, solution, c)))
+        .collect();
+    runtime
+        .par_map(&work, |&(sub, solution, candidate)| {
+            verify_candidate(
+                &w.code,
+                &w.schedule,
+                candidate,
+                sub,
+                solution,
+                &w.graph,
+                ROUNDS,
+                MemoryBasis::Z,
+                P,
+            )
+        })
+        .into_iter()
+        .filter(Option::is_some)
+        .count()
+}
+
+fn write_baseline(w: &Workload, criterion: &Criterion) {
+    // A filtered run (`cargo bench <filter>`) measures only a subset; don't
+    // clobber the committed baseline with partial results.
+    if criterion.results().len() < 3 {
+        println!(
+            "skipping BENCH_runtime.json (only {} of 3 benches ran — filtered?)",
+            criterion.results().len()
+        );
+        return;
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
+    let mut entries = Vec::new();
+    for (name, sample) in criterion.results() {
+        entries.push(format!(
+            "    {{\n      \"name\": \"{name}\",\n      \"min_ns\": {:.0},\n      \"mean_ns\": {:.0},\n      \"max_ns\": {:.0}\n    }}",
+            sample.min_ns, sample.mean_ns, sample.max_ns
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"candidate verification: thread-per-candidate vs pooled\",\n  \
+         \"workload\": \"d=5 rotated surface code, poor schedule, {} subgraphs, {} candidates\",\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        w.tasks.len(),
+        w.candidates,
+        entries.join(",\n")
+    );
+    std::fs::write(path, json).expect("write BENCH_runtime.json");
+    println!("baseline written to BENCH_runtime.json");
+}
+
+fn main() {
+    let workload = build_workload();
+    println!(
+        "workload: {} subgraphs, {} candidates",
+        workload.tasks.len(),
+        workload.candidates
+    );
+    // Correctness cross-check before timing: all strategies agree.
+    let expected = verify_pooled(&workload, 1);
+    assert_eq!(verify_pooled(&workload, 8), expected);
+    assert_eq!(verify_thread_per_candidate(&workload), expected);
+
+    let mut criterion = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    criterion.bench_function("verify_thread_per_candidate", |b| {
+        b.iter(|| verify_thread_per_candidate(&workload))
+    });
+    criterion.bench_function("verify_pooled_8_threads", |b| {
+        b.iter(|| verify_pooled(&workload, 8))
+    });
+    criterion.bench_function("verify_sequential", |b| {
+        b.iter(|| verify_pooled(&workload, 1))
+    });
+    write_baseline(&workload, &criterion);
+}

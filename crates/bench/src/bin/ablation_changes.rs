@@ -20,8 +20,12 @@ fn main() {
     let mut verified = [0usize; 2];
     let mut subgraphs = 0;
     for _ in 0..40 {
-        let Some(sub) = find_ambiguous_subgraph(&graph, &mut rng, 60) else { continue };
-        let Some(sol) = min_weight_logical_error(&sub, Duration::from_secs(10)) else { continue };
+        let Some(sub) = find_ambiguous_subgraph(&graph, &mut rng, 60) else {
+            continue;
+        };
+        let Some(sol) = min_weight_logical_error(&sub, Duration::from_secs(10)) else {
+            continue;
+        };
         subgraphs += 1;
         for candidate in enumerate_candidates(&graph, &code, &schedule, &sol, &mut rng) {
             let idx = match candidate {
@@ -29,7 +33,19 @@ fn main() {
                 CandidateChange::Reschedule { .. } => 1,
             };
             totals[idx] += 1;
-            if verify_candidate(&code, &schedule, &candidate, &sub, &sol, &graph, 3, MemoryBasis::Z, 1e-3).is_some() {
+            if verify_candidate(
+                &code,
+                &schedule,
+                &candidate,
+                &sub,
+                &sol,
+                &graph,
+                3,
+                MemoryBasis::Z,
+                1e-3,
+            )
+            .is_some()
+            {
                 verified[idx] += 1;
             }
         }
@@ -37,5 +53,8 @@ fn main() {
     println!("Ablation: change families on the poor d=3 surface schedule ({subgraphs} subgraphs)");
     println!("{:<14} {:>12} {:>12}", "family", "enumerated", "verified");
     println!("{:<14} {:>12} {:>12}", "reordering", totals[0], verified[0]);
-    println!("{:<14} {:>12} {:>12}", "rescheduling", totals[1], verified[1]);
+    println!(
+        "{:<14} {:>12} {:>12}",
+        "rescheduling", totals[1], verified[1]
+    );
 }

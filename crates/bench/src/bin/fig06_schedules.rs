@@ -1,21 +1,23 @@
 //! Figure 6: logical performance of a d = 3 surface code under a good (hand-designed)
 //! vs poor CNOT schedule, over a sweep of physical error rates.
 
-use prophunt_bench::combined_logical_error_rate;
+use prophunt_bench::{runtime_config_from_env, sweep_logical_error_rates};
 use prophunt_circuit::schedule::ScheduleSpec;
 use prophunt_qec::surface::rotated_surface_code_with_layout;
 
 fn main() {
     let quick = std::env::var("PROPHUNT_FULL").is_err();
     let shots = if quick { 1_500 } else { 20_000 };
+    let runtime = runtime_config_from_env();
     let (code, layout) = rotated_surface_code_with_layout(3);
     let good = ScheduleSpec::surface_hand_designed(&code, &layout);
     let poor = ScheduleSpec::surface_poor(&code, &layout);
     println!("Figure 6: d = 3 surface code, good vs poor schedule ({shots} shots/point/basis)");
     println!("{:>10} {:>14} {:>14}", "p", "LER(good)", "LER(poor)");
-    for &p in &[2e-3, 5e-3, 1e-2, 2e-2] {
-        let g = combined_logical_error_rate(&code, &good, 3, p, shots, 11, 8).rate();
-        let b = combined_logical_error_rate(&code, &poor, 3, p, shots, 11, 8).rate();
-        println!("{p:>10.4} {g:>14.5} {b:>14.5}");
+    let ps = [2e-3, 5e-3, 1e-2, 2e-2];
+    let good_sweep = sweep_logical_error_rates(&code, &good, 3, &ps, shots, 11, &runtime);
+    let poor_sweep = sweep_logical_error_rates(&code, &poor, 3, &ps, shots, 11, &runtime);
+    for ((p, g), (_, b)) in good_sweep.into_iter().zip(poor_sweep) {
+        println!("{p:>10.4} {:>14.5} {:>14.5}", g.rate(), b.rate());
     }
 }

@@ -2,13 +2,20 @@
 //! where one exists) across the benchmark code suite.
 
 use prophunt::{PropHunt, PropHuntConfig};
-use prophunt_bench::{benchmark_suite, combined_logical_error_rate};
+use prophunt_bench::{
+    benchmark_suite, runtime_config_from_env, stage_seed, sweep_logical_error_rates,
+};
 use prophunt_circuit::schedule::ScheduleSpec;
 
 fn main() {
     let full = std::env::var("PROPHUNT_FULL").is_ok();
     let shots = if full { 20_000 } else { 1_200 };
-    let ps: &[f64] = if full { &[1e-3, 2e-3, 5e-3, 1e-2] } else { &[2e-3, 8e-3] };
+    let ps: &[f64] = if full {
+        &[1e-3, 2e-3, 5e-3, 1e-2]
+    } else {
+        &[2e-3, 8e-3]
+    };
+    let runtime = runtime_config_from_env();
     println!("Figure 12: logical error rates, coloration start vs PropHunt end vs hand-designed");
     for bench in benchmark_suite(full) {
         let code = &bench.code;
@@ -23,6 +30,7 @@ fn main() {
             config.iterations = 3;
             config.samples_per_iteration = 30;
         }
+        config.runtime = runtime.with_seed(stage_seed(&runtime, config.seed()));
         let prophunt = PropHunt::new(code.clone(), config);
         let result = prophunt.optimize(baseline.clone());
         println!(
@@ -32,19 +40,32 @@ fn main() {
             result.final_depth(),
             result.total_changes_applied()
         );
-        println!("{:>10} {:>14} {:>14} {:>14}", "p", "coloration", "prophunt", "hand");
-        for &p in ps {
-            let before =
-                combined_logical_error_rate(code, &baseline, rounds, p, shots, 21, 8).rate();
-            let after =
-                combined_logical_error_rate(code, &result.final_schedule, rounds, p, shots, 21, 8)
-                    .rate();
-            let hand = bench
-                .hand_designed
-                .as_ref()
-                .map(|h| combined_logical_error_rate(code, h, rounds, p, shots, 21, 8).rate());
-            match hand {
-                Some(h) => println!("{p:>10.4} {before:>14.5} {after:>14.5} {h:>14.5}"),
+        println!(
+            "{:>10} {:>14} {:>14} {:>14}",
+            "p", "coloration", "prophunt", "hand"
+        );
+        let before = sweep_logical_error_rates(code, &baseline, rounds, ps, shots, 21, &runtime);
+        let after = sweep_logical_error_rates(
+            code,
+            &result.final_schedule,
+            rounds,
+            ps,
+            shots,
+            21,
+            &runtime,
+        );
+        let hand = bench
+            .hand_designed
+            .as_ref()
+            .map(|h| sweep_logical_error_rates(code, h, rounds, ps, shots, 21, &runtime));
+        for (i, &p) in ps.iter().enumerate() {
+            let before = before[i].1.rate();
+            let after = after[i].1.rate();
+            match &hand {
+                Some(h) => println!(
+                    "{p:>10.4} {before:>14.5} {after:>14.5} {:>14.5}",
+                    h[i].1.rate()
+                ),
                 None => println!("{p:>10.4} {before:>14.5} {after:>14.5} {:>14}", "-"),
             }
         }

@@ -15,7 +15,10 @@ fn main() {
     let samples = if full { 1000 } else { 60 };
     let distances: &[usize] = if full { &[3, 5, 7] } else { &[3, 5] };
     println!("Figure 14: subgraph MaxSAT scaling ({samples} samples per code)");
-    println!("{:<12} {:>7} {:>9} {:>12} {:>12} {:>12}", "code", "weight", "samples", "vars(avg)", "clauses(avg)", "time(avg ms)");
+    println!(
+        "{:<12} {:>7} {:>9} {:>12} {:>12} {:>12}",
+        "code", "weight", "samples", "vars(avg)", "clauses(avg)", "time(avg ms)"
+    );
     for &d in distances {
         let (code, layout) = rotated_surface_code_with_layout(d);
         // The poor schedule exposes a range of logical-error weights as optimization
@@ -26,9 +29,13 @@ fn main() {
         use std::collections::BTreeMap;
         let mut by_weight: BTreeMap<usize, (usize, f64, f64, f64)> = BTreeMap::new();
         for _ in 0..samples {
-            let Some(sub) = find_ambiguous_subgraph(&graph, &mut rng, 80) else { continue };
+            let Some(sub) = find_ambiguous_subgraph(&graph, &mut rng, 80) else {
+                continue;
+            };
             let start = std::time::Instant::now();
-            let Some(sol) = min_weight_logical_error(&sub, Duration::from_secs(30)) else { continue };
+            let Some(sol) = min_weight_logical_error(&sub, Duration::from_secs(30)) else {
+                continue;
+            };
             let ms = start.elapsed().as_secs_f64() * 1e3;
             let entry = by_weight.entry(sol.weight).or_insert((0, 0.0, 0.0, 0.0));
             entry.0 += 1;

@@ -1,13 +1,16 @@
 //! Figure 15: sensitivity of the benchmark circuits to idle errors between gate layers,
 //! with the paper's hardware points (superconducting, neutral atom, atom movement).
 
-use prophunt_bench::{benchmark_suite, combined_logical_error_rate_with_idle};
+use prophunt_bench::{
+    benchmark_suite, combined_logical_error_rate_with_idle, runtime_config_from_env,
+};
 use prophunt_circuit::schedule::ScheduleSpec;
 
 fn main() {
     let full = std::env::var("PROPHUNT_FULL").is_ok();
     let shots = if full { 10_000 } else { 800 };
     let gate_p = 1e-3;
+    let runtime = runtime_config_from_env();
     // Idle error strength = t_gate / T_coherence. Hardware points from the paper's cited
     // numbers: superconducting (~30 ns / 100 us), neutral atoms (~300 ns / 10 s gates but
     // ~1 ms measurement), movement-based atoms (~500 us movement / 10 s).
@@ -19,7 +22,10 @@ fn main() {
         (2e-2, "(stress)"),
     ];
     println!("Figure 15: idle-error sensitivity at gate error {gate_p}");
-    println!("{:<14} {:>14} {:>10} {:>14}", "code", "idle strength", "label", "LER");
+    println!(
+        "{:<14} {:>14} {:>10} {:>14}",
+        "code", "idle strength", "label", "LER"
+    );
     for bench in benchmark_suite(false) {
         let schedule = match &bench.hand_designed {
             Some(h) => h.clone(),
@@ -28,10 +34,23 @@ fn main() {
         let rounds = bench.rounds.min(3);
         for &(idle, label) in idle_points {
             let ler = combined_logical_error_rate_with_idle(
-                &bench.code, &schedule, rounds, gate_p, idle, shots, 17, 8,
+                &bench.code,
+                &schedule,
+                rounds,
+                gate_p,
+                idle,
+                shots,
+                17,
+                &runtime,
             )
             .rate();
-            println!("{:<14} {:>14.1e} {:>10} {:>14.5}", bench.code.name(), idle, label, ler);
+            println!(
+                "{:<14} {:>14.1e} {:>10} {:>14.5}",
+                bench.code.name(),
+                idle,
+                label,
+                ler
+            );
         }
     }
 }

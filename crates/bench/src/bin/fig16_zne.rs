@@ -13,8 +13,15 @@ fn main() {
     }
     println!();
     println!("Figure 16b: estimator bias, DS-ZNE vs Hook-ZNE (lambda = 2, depth 50, 20k shots)");
-    println!("{:<12} {:>12} {:>12} {:>8}", "range", "DS-ZNE", "Hook-ZNE", "ratio");
-    let trials = if std::env::var("PROPHUNT_FULL").is_ok() { 400 } else { 80 };
+    println!(
+        "{:<12} {:>12} {:>12} {:>8}",
+        "range", "DS-ZNE", "Hook-ZNE", "ratio"
+    );
+    let trials = if std::env::var("PROPHUNT_FULL").is_ok() {
+        400
+    } else {
+        80
+    };
     for d_max in [13usize, 11, 9] {
         let cmp = compare_protocols(d_max, 2.0, 50, 20_000, trials, 77);
         println!(

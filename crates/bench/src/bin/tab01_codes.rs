@@ -9,8 +9,11 @@ use rand::SeedableRng;
 fn main() {
     let include_large = std::env::var("PROPHUNT_FULL").is_ok();
     let mut rng = StdRng::seed_from_u64(1);
-    println!("Table 1: benchmark QEC codes (substitutions documented in DESIGN.md)");
-    println!("{:<14} {:>5} {:>4} {:>6} {:>12}", "code", "n", "k", "d_est", "max weight");
+    println!("Table 1: benchmark QEC codes (substitutions documented in README.md)");
+    println!(
+        "{:<14} {:>5} {:>4} {:>6} {:>12}",
+        "code", "n", "k", "d_est", "max weight"
+    );
     for bench in benchmark_suite(include_large) {
         let params = code_parameters(&bench.code, 150, &mut rng);
         println!(

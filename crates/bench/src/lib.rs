@@ -1,7 +1,7 @@
 //! Shared helpers for the PropHunt benchmark harness.
 //!
 //! The binaries in `src/bin/` regenerate the data behind every table and figure of the
-//! paper's evaluation (see `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for
+//! paper's evaluation (see the root `README.md` for the experiment index and
 //! recorded results); the Criterion benches in `benches/` measure the performance-
 //! critical kernels (detector-error-model construction, ambiguity checking, subgraph
 //! MaxSAT solving, decoding throughput).
@@ -15,6 +15,43 @@ use prophunt_decoders::{estimate_logical_error_rate, BpOsdDecoder, LogicalErrorE
 use prophunt_qec::product::{bivariate_bicycle, generalized_bicycle};
 use prophunt_qec::surface::rotated_surface_code_with_layout;
 use prophunt_qec::CssCode;
+use prophunt_runtime::{Runtime, RuntimeConfig, SeedStream};
+
+/// Builds the shared [`RuntimeConfig`] used by every bench binary.
+///
+/// Defaults to 8 worker threads, the default chunk size and seed 0; the
+/// environment variables `PROPHUNT_THREADS`, `PROPHUNT_CHUNK_SIZE` and
+/// `PROPHUNT_SEED` override the respective fields. Only `PROPHUNT_THREADS`
+/// may change wall-clock time — results are a function of
+/// `(seed, chunk_size)` alone. The base seed is mixed with each stage's
+/// fixed label through [`stage_seed`], so `PROPHUNT_SEED` rotates every
+/// random stream a binary draws while stages stay decorrelated.
+pub fn runtime_config_from_env() -> RuntimeConfig {
+    fn env_parse(name: &str) -> Option<u64> {
+        std::env::var(name).ok().and_then(|v| v.parse().ok())
+    }
+    let mut config = RuntimeConfig::new(8, RuntimeConfig::DEFAULT_CHUNK_SIZE, 0);
+    if let Some(threads) = env_parse("PROPHUNT_THREADS") {
+        config.threads = threads as usize;
+    }
+    if let Some(chunk) = env_parse("PROPHUNT_CHUNK_SIZE") {
+        config.chunk_size = chunk as usize;
+    }
+    if let Some(seed) = env_parse("PROPHUNT_SEED") {
+        config.seed = seed;
+    }
+    config
+}
+
+/// Derives the effective seed for one benchmark stage: the runtime's base
+/// seed (e.g. `PROPHUNT_SEED`) mixed with the stage's fixed `label`.
+///
+/// Every figure/table binary labels its stages with small constants, so a
+/// single base seed rotates all of their streams coherently while keeping the
+/// stages decorrelated from each other.
+pub fn stage_seed(runtime: &RuntimeConfig, label: u64) -> u64 {
+    SeedStream::new(runtime.seed).substream(label).seed_for(0)
+}
 
 /// A benchmark code together with its optional hand-designed schedule.
 pub struct BenchmarkCode {
@@ -26,12 +63,16 @@ pub struct BenchmarkCode {
     pub rounds: usize,
 }
 
-/// The benchmark suite of Table 1, with the LDPC substitutions documented in `DESIGN.md`:
+/// The benchmark suite of Table 1, with the LDPC substitutions documented in `README.md`:
 /// rotated surface codes d = 3, 5, 7, 9 plus generalized-bicycle and bivariate-bicycle
 /// codes standing in for the paper's LP / RQT instances.
 pub fn benchmark_suite(include_large: bool) -> Vec<BenchmarkCode> {
     let mut out = Vec::new();
-    let distances: &[usize] = if include_large { &[3, 5, 7, 9] } else { &[3, 5] };
+    let distances: &[usize] = if include_large {
+        &[3, 5, 7, 9]
+    } else {
+        &[3, 5]
+    };
     for &d in distances {
         let (code, layout) = rotated_surface_code_with_layout(d);
         let hand = ScheduleSpec::surface_hand_designed(&code, &layout);
@@ -78,9 +119,9 @@ pub fn combined_logical_error_rate(
     p: f64,
     shots: usize,
     seed: u64,
-    threads: usize,
+    runtime: &RuntimeConfig,
 ) -> LogicalErrorEstimate {
-    combined_logical_error_rate_with_idle(code, schedule, rounds, p, 0.0, shots, seed, threads)
+    combined_logical_error_rate_with_idle(code, schedule, rounds, p, 0.0, shots, seed, runtime)
 }
 
 /// Estimates the combined logical error rate with an additional idle-error strength
@@ -94,17 +135,58 @@ pub fn combined_logical_error_rate_with_idle(
     idle: f64,
     shots: usize,
     seed: u64,
-    threads: usize,
+    runtime: &RuntimeConfig,
 ) -> LogicalErrorEstimate {
-    let mut total = LogicalErrorEstimate { shots: 0, failures: 0 };
+    // `seed` acts as this call site's stage label; the runtime's base seed
+    // (e.g. PROPHUNT_SEED) rotates the actual stream.
+    let seed = stage_seed(runtime, seed);
+    let runtime = Runtime::new(*runtime);
+    let mut total = LogicalErrorEstimate {
+        shots: 0,
+        failures: 0,
+    };
     for basis in [MemoryBasis::Z, MemoryBasis::X] {
         let exp = MemoryExperiment::build(code, schedule, rounds, basis).expect("valid schedule");
         let noise = NoiseModel::uniform_depolarizing(p).with_idle(idle);
         let dem = DetectorErrorModel::from_experiment(&exp, &noise);
         let decoder = BpOsdDecoder::new(&dem);
-        total = total.combined(estimate_logical_error_rate(&dem, &decoder, shots, seed, threads));
+        total = total.combined(estimate_logical_error_rate(
+            &dem, &decoder, shots, seed, &runtime,
+        ));
     }
     total
+}
+
+/// Sweeps the combined logical error rate of one schedule over several physical
+/// error rates, evaluating the sweep points as parallel tasks on `runtime` and
+/// returning `(p, estimate)` pairs in input order.
+///
+/// Each sweep point still seeds its Monte-Carlo chunks from `seed` alone, so a
+/// sweep returns the same estimates whether its points run in parallel here or
+/// one at a time.
+pub fn sweep_logical_error_rates(
+    code: &CssCode,
+    schedule: &ScheduleSpec,
+    rounds: usize,
+    ps: &[f64],
+    shots: usize,
+    seed: u64,
+    runtime: &RuntimeConfig,
+) -> Vec<(f64, LogicalErrorEstimate)> {
+    // Parallelism splits across the nesting levels: the outer sweep fans out
+    // over points and each point's estimator gets an equal share of the thread
+    // budget, so total concurrency stays ~bounded by `runtime.threads` without
+    // idling workers when there are fewer points than threads. Estimates are
+    // unchanged because results depend only on (seed, chunk_size), never on
+    // where the threads sit.
+    let outer = Runtime::new(*runtime);
+    let inner = runtime.with_threads(runtime.threads.max(1).div_ceil(ps.len().max(1)));
+    outer.par_map(ps, |&p| {
+        (
+            p,
+            combined_logical_error_rate(code, schedule, rounds, p, shots, seed, &inner),
+        )
+    })
 }
 
 #[cfg(test)]
@@ -129,8 +211,29 @@ mod tests {
         let suite = benchmark_suite(false);
         let bench = &suite[0];
         let schedule = ScheduleSpec::coloration(&bench.code);
-        let est = combined_logical_error_rate(&bench.code, &schedule, 2, 2e-3, 200, 1, 2);
+        let runtime = RuntimeConfig::new(2, 64, 0);
+        let est = combined_logical_error_rate(&bench.code, &schedule, 2, 2e-3, 200, 1, &runtime);
         assert!(est.rate() >= 0.0 && est.rate() <= 1.0);
         assert_eq!(est.shots, 400);
+    }
+
+    #[test]
+    fn sweeps_match_pointwise_estimates_and_preserve_order() {
+        let suite = benchmark_suite(false);
+        let bench = &suite[0];
+        let schedule = ScheduleSpec::coloration(&bench.code);
+        let runtime = RuntimeConfig::new(4, 64, 0);
+        let ps = [2e-3, 8e-3];
+        let sweep = sweep_logical_error_rates(&bench.code, &schedule, 2, &ps, 150, 5, &runtime);
+        assert_eq!(sweep.len(), 2);
+        for ((p, est), expected_p) in sweep.iter().zip(ps) {
+            assert_eq!(*p, expected_p);
+            let point =
+                combined_logical_error_rate(&bench.code, &schedule, 2, *p, 150, 5, &runtime);
+            assert_eq!(
+                est.failures, point.failures,
+                "sweep must match pointwise run"
+            );
+        }
     }
 }

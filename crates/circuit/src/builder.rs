@@ -162,12 +162,18 @@ impl MemoryExperiment {
             // First-round detector only for the deterministic kind.
             if kind == deterministic {
                 detectors.push(vec![stab_meas[s][0]]);
-                detector_info.push(DetectorInfo { stabilizer: s, round: 0 });
+                detector_info.push(DetectorInfo {
+                    stabilizer: s,
+                    round: 0,
+                });
             }
             // Consecutive-round comparisons.
             for r in 1..rounds {
                 detectors.push(vec![stab_meas[s][r - 1], stab_meas[s][r]]);
-                detector_info.push(DetectorInfo { stabilizer: s, round: r });
+                detector_info.push(DetectorInfo {
+                    stabilizer: s,
+                    round: r,
+                });
             }
             // Final comparison against the reconstructed stabilizer value.
             if kind == deterministic {
@@ -176,7 +182,10 @@ impl MemoryExperiment {
                     members.push(data_meas[q]);
                 }
                 detectors.push(members);
-                detector_info.push(DetectorInfo { stabilizer: s, round: rounds });
+                detector_info.push(DetectorInfo {
+                    stabilizer: s,
+                    round: rounds,
+                });
             }
         }
 
@@ -270,7 +279,7 @@ mod tests {
 
     #[test]
     fn detector_membership_indices_are_valid() {
-        let (code, layout) = rotated_surface_code_with_layout(5);
+        let (code, _layout) = rotated_surface_code_with_layout(5);
         let schedule = ScheduleSpec::coloration(&code);
         let exp = MemoryExperiment::build(&code, &schedule, 5, MemoryBasis::Z).unwrap();
         let num_meas = exp.circuit.num_measurements();

@@ -124,10 +124,18 @@ impl DetectorErrorModel {
 
             // Propagate through the rest of the circuit, recording measurement flips.
             let mut flipped_meas: Vec<usize> = Vec::new();
-            let start_op = if fault.pre_op { fault.op_index } else { fault.op_index.saturating_add(1) };
+            let start_op = if fault.pre_op {
+                fault.op_index
+            } else {
+                fault.op_index.saturating_add(1)
+            };
             for mi in fault.moment..circuit.num_moments() {
                 let ops = circuit.moment(mi);
-                let first = if mi == fault.moment { start_op.min(ops.len()) } else { 0 };
+                let first = if mi == fault.moment {
+                    start_op.min(ops.len())
+                } else {
+                    0
+                };
                 for (oi, op) in ops.iter().enumerate().skip(first) {
                     match *op {
                         Op::Cnot(c, t) => {
@@ -181,10 +189,14 @@ impl DetectorErrorModel {
                     *obs_parity.entry(o).or_insert(false) ^= true;
                 }
             }
-            let mut detectors: Vec<usize> =
-                det_parity.into_iter().filter_map(|(d, on)| on.then_some(d)).collect();
-            let mut observables: Vec<usize> =
-                obs_parity.into_iter().filter_map(|(o, on)| on.then_some(o)).collect();
+            let mut detectors: Vec<usize> = det_parity
+                .into_iter()
+                .filter_map(|(d, on)| on.then_some(d))
+                .collect();
+            let mut observables: Vec<usize> = obs_parity
+                .into_iter()
+                .filter_map(|(o, on)| on.then_some(o))
+                .collect();
             detectors.sort_unstable();
             observables.sort_unstable();
             if detectors.is_empty() && observables.is_empty() {
@@ -378,7 +390,8 @@ mod tests {
     #[test]
     fn every_mechanism_flips_something_and_probabilities_are_sane() {
         let (_, exp) = d3_experiment(3);
-        let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(1e-3));
+        let dem =
+            DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(1e-3));
         assert!(dem.num_errors() > 100);
         for err in dem.errors() {
             assert!(!err.detectors.is_empty() || !err.observables.is_empty());
@@ -391,7 +404,8 @@ mod tests {
     #[test]
     fn initial_data_x_error_flips_round_zero_z_detectors_and_observable() {
         let (code, exp) = d3_experiment(3);
-        let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(1e-3));
+        let dem =
+            DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(1e-3));
         // Find the mechanism sourced from an X error after the initial reset of data
         // qubit 4 (the central qubit, in the support of L_Z).
         let mech = dem
@@ -399,9 +413,7 @@ mod tests {
             .iter()
             .find(|e| {
                 e.sources.iter().any(|s| {
-                    s.moment == 0
-                        && s.op == Op::ResetZ(4)
-                        && s.error == vec![(4, Pauli::X)]
+                    s.moment == 0 && s.op == Op::ResetZ(4) && s.error == vec![(4, Pauli::X)]
                 })
             })
             .expect("central data qubit reset fault must appear in the DEM");
@@ -413,7 +425,9 @@ mod tests {
             assert_eq!(info.round, 0);
             let (kind, index) = exp.schedule.kind_index(info.stabilizer);
             assert_eq!(kind, StabilizerKind::Z);
-            assert!(code.stabilizer_support(StabilizerKind::Z, index).contains(&4));
+            assert!(code
+                .stabilizer_support(StabilizerKind::Z, index)
+                .contains(&4));
         }
         assert_eq!(mech.observables, vec![0]);
     }
@@ -421,7 +435,8 @@ mod tests {
     #[test]
     fn ancilla_measurement_flip_gives_time_pair() {
         let (_, exp) = d3_experiment(4);
-        let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(1e-3));
+        let dem =
+            DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(1e-3));
         // A measurement flip on a Z ancilla in a middle round flips exactly the two
         // detectors comparing that round to its neighbours, and no observable.
         let mech = dem
@@ -437,14 +452,19 @@ mod tests {
             .expect("ancilla measurement flip must appear");
         assert_eq!(mech.detectors.len(), 2);
         assert!(mech.observables.is_empty());
-        let rounds: Vec<usize> = mech.detectors.iter().map(|&d| exp.detector_info[d].round).collect();
+        let rounds: Vec<usize> = mech
+            .detectors
+            .iter()
+            .map(|&d| exp.detector_info[d].round)
+            .collect();
         assert_eq!(rounds, vec![1, 2]);
     }
 
     #[test]
     fn h_and_l_matrices_have_matching_shapes() {
         let (_, exp) = d3_experiment(2);
-        let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(2e-3));
+        let dem =
+            DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(2e-3));
         let h = dem.h_matrix();
         let l = dem.l_matrix();
         assert_eq!(h.num_rows(), exp.num_detectors());
@@ -465,7 +485,8 @@ mod tests {
         // With a valid schedule and d = 3, no single fault may flip the observable while
         // flipping no detector (that would mean d_eff = 1).
         let (_, exp) = d3_experiment(3);
-        let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(1e-3));
+        let dem =
+            DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(1e-3));
         for err in dem.errors() {
             assert!(
                 !(err.detectors.is_empty() && err.flips_observable()),
@@ -479,17 +500,22 @@ mod tests {
         let code = quantum_repetition_code(5);
         let schedule = ScheduleSpec::coloration(&code);
         let exp = MemoryExperiment::build(&code, &schedule, 3, MemoryBasis::Z).unwrap();
-        let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(1e-3));
+        let dem =
+            DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(1e-3));
         // Every mechanism flips at most 2 detectors (the decoding graph is matchable).
         for err in dem.errors() {
-            assert!(err.detectors.len() <= 2, "repetition DEM must be graph-like: {err:?}");
+            assert!(
+                err.detectors.len() <= 2,
+                "repetition DEM must be graph-like: {err:?}"
+            );
         }
     }
 
     #[test]
     fn sampler_is_deterministic_per_seed_and_zero_for_zero_noise() {
         let (_, exp) = d3_experiment(2);
-        let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(5e-3));
+        let dem =
+            DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(5e-3));
         let mut a = dem.sampler(42);
         let mut b = dem.sampler(42);
         for _ in 0..20 {

@@ -7,10 +7,9 @@
 //! decoherence error between gate layers (Section 6.3's sensitivity study).
 
 use crate::ops::{Circuit, Op};
-use serde::{Deserialize, Serialize};
 
 /// A single-qubit Pauli operator (excluding identity).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Pauli {
     /// Bit-flip error.
     X,
@@ -42,7 +41,7 @@ pub type SparsePauli = Vec<(usize, Pauli)>;
 ///
 /// All probabilities are per-operation. [`NoiseModel::uniform_depolarizing`] reproduces
 /// the paper's model with a single physical error rate `p`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NoiseModel {
     /// Depolarizing probability after each single-qubit gate or reset.
     pub p_single: f64,

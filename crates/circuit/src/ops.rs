@@ -1,13 +1,12 @@
 //! The physical-circuit intermediate representation: moments of Clifford operations.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A single physical operation on one or two qubits.
 ///
 /// Only the gate set needed for CSS syndrome-measurement circuits is modelled:
 /// computational/Hadamard-basis resets and measurements, the Hadamard gate and CNOT.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Op {
     /// Reset a qubit to `|0⟩`.
     ResetZ(usize),
@@ -75,7 +74,7 @@ impl fmt::Display for Op {
 /// assert_eq!(circuit.num_moments(), 3);
 /// assert_eq!(circuit.num_measurements(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Circuit {
     num_qubits: usize,
     moments: Vec<Vec<Op>>,
@@ -131,7 +130,11 @@ impl Circuit {
         let mut used = vec![false; self.num_qubits];
         for op in &ops {
             for q in op.qubits() {
-                assert!(q < self.num_qubits, "operation {op} references qubit {q} >= {}", self.num_qubits);
+                assert!(
+                    q < self.num_qubits,
+                    "operation {op} references qubit {q} >= {}",
+                    self.num_qubits
+                );
                 assert!(!used[q], "qubit {q} used twice in one moment");
                 used[q] = true;
             }
@@ -188,7 +191,12 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "# circuit: {} qubits, {} moments", self.num_qubits, self.moments.len())?;
+        writeln!(
+            f,
+            "# circuit: {} qubits, {} moments",
+            self.num_qubits,
+            self.moments.len()
+        )?;
         for (i, moment) in self.moments.iter().enumerate() {
             write!(f, "moment {i}:")?;
             for op in moment {

@@ -97,7 +97,12 @@ impl ScheduleSpec {
 
     /// Returns the stabilizer of the pair `(a, b)` that interacts with `qubit` first,
     /// or `None` if the pair was never ordered on that qubit.
-    pub fn first_on_qubit(&self, qubit: usize, a: StabilizerId, b: StabilizerId) -> Option<StabilizerId> {
+    pub fn first_on_qubit(
+        &self,
+        qubit: usize,
+        a: StabilizerId,
+        b: StabilizerId,
+    ) -> Option<StabilizerId> {
         if a == b {
             return Some(a);
         }
@@ -107,7 +112,10 @@ impl ScheduleSpec {
 
     /// Records that stabilizer `first` interacts with `qubit` before stabilizer `second`.
     pub fn set_relative_order(&mut self, qubit: usize, first: StabilizerId, second: StabilizerId) {
-        assert_ne!(first, second, "a stabilizer cannot be ordered against itself");
+        assert_ne!(
+            first, second,
+            "a stabilizer cannot be ordered against itself"
+        );
         let key = (qubit, first.min(second), first.max(second));
         self.relative.insert(key, first);
     }
@@ -135,7 +143,10 @@ impl ScheduleSpec {
     ///
     /// Panics if either qubit is not in the stabilizer's order.
     pub fn reorder_before(&mut self, s: StabilizerId, qubit_to_move: usize, anchor_qubit: usize) {
-        assert_ne!(qubit_to_move, anchor_qubit, "cannot move a qubit before itself");
+        assert_ne!(
+            qubit_to_move, anchor_qubit,
+            "cannot move a qubit before itself"
+        );
         let order = &mut self.orders[s];
         let from = order
             .iter()
@@ -231,7 +242,7 @@ impl ScheduleSpec {
             .map(|i| code.stabilizer_support(StabilizerKind::Z, i))
             .collect();
         let x_colors = edge_color_bipartite(&x_supports, code.n(), rng.as_deref_mut());
-        let z_colors = edge_color_bipartite(&z_supports, code.n(), rng.as_deref_mut());
+        let z_colors = edge_color_bipartite(&z_supports, code.n(), rng);
 
         // Per-stabilizer order: qubits sorted by the color of their edge.
         let order_by_color = |supports: &[Vec<usize>], colors: &[Vec<usize>]| -> Vec<Vec<usize>> {
@@ -269,12 +280,7 @@ impl ScheduleSpec {
                 v.into_iter().map(|(_, s)| s).collect()
             })
             .collect();
-        Self::from_orders(
-            code,
-            x_orders,
-            z_orders.clone(),
-            qubit_orders,
-        )
+        Self::from_orders(code, x_orders, z_orders.clone(), qubit_orders)
     }
 
     /// Builds the hand-designed surface-code schedule (the "N/Z" schedule of the paper's
@@ -314,7 +320,10 @@ impl ScheduleSpec {
 
         // Per-qubit order by global corner slot.
         let slot_of = |corner_order: &[Corner; 4], corner: Corner| -> usize {
-            corner_order.iter().position(|&c| c == corner).expect("corner present")
+            corner_order
+                .iter()
+                .position(|&c| c == corner)
+                .expect("corner present")
         };
         let mut qubit_orders: Vec<Vec<(usize, StabilizerId)>> = vec![Vec::new(); code.n()];
         for (i, corners) in layout.x_corners.iter().enumerate() {
@@ -357,7 +366,10 @@ impl ScheduleSpec {
             let mut actual = self.orders[s].clone();
             expected.sort_unstable();
             actual.sort_unstable();
-            assert_eq!(actual, expected, "schedule order for stabilizer {s} does not match code support");
+            assert_eq!(
+                actual, expected,
+                "schedule order for stabilizer {s} does not match code support"
+            );
         }
     }
 
@@ -387,7 +399,7 @@ impl ScheduleSpec {
                         None => return Err(CircuitError::IncompleteSchedule),
                     }
                 }
-                if x_first % 2 != 0 {
+                if !x_first.is_multiple_of(2) {
                     return Err(CircuitError::BreaksCommutation {
                         x_stabilizer: xi,
                         z_stabilizer: zi,
@@ -416,10 +428,11 @@ impl ScheduleSpec {
         }
         let mut succs: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
         let mut indeg: Vec<usize> = vec![0; nodes.len()];
-        let add_edge = |from: usize, to: usize, succs: &mut Vec<Vec<usize>>, indeg: &mut Vec<usize>| {
-            succs[from].push(to);
-            indeg[to] += 1;
-        };
+        let add_edge =
+            |from: usize, to: usize, succs: &mut Vec<Vec<usize>>, indeg: &mut Vec<usize>| {
+                succs[from].push(to);
+                indeg[to] += 1;
+            };
         // Chain CNOTs of the same stabilizer.
         for (s, order) in self.orders.iter().enumerate() {
             for w in order.windows(2) {
@@ -624,7 +637,12 @@ mod tests {
 
     #[test]
     fn edge_coloring_is_proper_and_uses_max_degree_colors() {
-        let supports = vec![vec![0, 1, 2, 3], vec![1, 2, 4], vec![0, 4, 5], vec![2, 3, 5]];
+        let supports = vec![
+            vec![0, 1, 2, 3],
+            vec![1, 2, 4],
+            vec![0, 4, 5],
+            vec![2, 3, 5],
+        ];
         let colors = edge_color_bipartite::<StdRng>(&supports, 6, None);
         // Proper at left vertices.
         for cols in &colors {

@@ -157,7 +157,11 @@ impl BpOsdDecoder {
     fn osd_zero(&self, syndrome: &BitVec, llr: &[f64]) -> BitVec {
         let num_errors = self.priors.len();
         let mut order: Vec<usize> = (0..num_errors).collect();
-        order.sort_by(|&a, &b| llr[a].partial_cmp(&llr[b]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&a, &b| {
+            llr[a]
+                .partial_cmp(&llr[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
 
         // Gaussian elimination over the column-permuted check matrix, carrying the
         // syndrome as an augmented column. Rows are detectors.
@@ -324,9 +328,16 @@ mod tests {
                 }
             }
         }
-        assert_eq!(boundary_failures, 0, "single-detector syndromes must never misdecode");
+        assert_eq!(
+            boundary_failures, 0,
+            "single-detector syndromes must never misdecode"
+        );
         let limit = dem.num_errors() / 20;
-        assert!(failures <= limit, "too many single-fault misdecodes: {failures}/{}", dem.num_errors());
+        assert!(
+            failures <= limit,
+            "too many single-fault misdecodes: {failures}/{}",
+            dem.num_errors()
+        );
     }
 
     #[test]
@@ -337,7 +348,11 @@ mod tests {
         for _ in 0..50 {
             let (dets, _) = sampler.sample();
             let errors = decoder.decode_to_errors(&dets);
-            assert_eq!(decoder.syndrome_of(&errors), dets, "correction must explain the syndrome");
+            assert_eq!(
+                decoder.syndrome_of(&errors),
+                dets,
+                "correction must explain the syndrome"
+            );
         }
     }
 
@@ -346,7 +361,8 @@ mod tests {
         let code = quantum_repetition_code(5);
         let schedule = ScheduleSpec::coloration(&code);
         let exp = MemoryExperiment::build(&code, &schedule, 3, MemoryBasis::Z).unwrap();
-        let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(5e-3));
+        let dem =
+            DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(5e-3));
         let decoder = BpOsdDecoder::new(&dem);
         let mut sampler = dem.sampler(3);
         let mut failures = 0;

@@ -2,6 +2,7 @@
 
 use crate::Decoder;
 use prophunt_circuit::DetectorErrorModel;
+use prophunt_runtime::{Runtime, SeedStream};
 
 /// The result of a Monte-Carlo logical-error-rate estimate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,35 +45,36 @@ impl LogicalErrorEstimate {
 ///
 /// A shot counts as a failure when the predicted observable flips differ from the true
 /// flips in *any* logical observable (the paper's per-shot logical error, covering both
-/// X and Z logicals when both experiments' estimates are combined). Sampling is split
-/// across `threads` worker threads with independent deterministic seeds derived from
-/// `seed`, so results are reproducible for a fixed thread count.
+/// X and Z logicals when both experiments' estimates are combined).
+///
+/// Sampling is split into fixed-size *chunks* of `runtime.chunk_size()` shots; chunk
+/// `c` draws its shots from an independent RNG stream seeded with
+/// `SeedStream::new(seed).seed_for(c)`. The chunk boundaries and seeds depend only on
+/// `(seed, chunk_size)`, never on the worker-thread count, so a fixed seed gives
+/// bit-identical failure counts at any `runtime.threads()`.
 pub fn estimate_logical_error_rate(
     dem: &DetectorErrorModel,
     decoder: &dyn Decoder,
     shots: usize,
     seed: u64,
-    threads: usize,
+    runtime: &Runtime,
 ) -> LogicalErrorEstimate {
-    let threads = threads.max(1);
-    if threads == 1 || shots < 2 * threads {
-        return run_shots(dem, decoder, shots, seed);
+    if shots == 0 {
+        return LogicalErrorEstimate {
+            shots: 0,
+            failures: 0,
+        };
     }
-    let per_thread = shots / threads;
-    let remainder = shots % threads;
-    let mut failures = 0usize;
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let thread_shots = per_thread + usize::from(t < remainder);
-            let thread_seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1));
-            handles.push(scope.spawn(move |_| run_shots(dem, decoder, thread_shots, thread_seed)));
-        }
-        for handle in handles {
-            failures += handle.join().expect("sampling thread panicked").failures;
-        }
-    })
-    .expect("crossbeam scope failed");
+    let chunk = runtime.chunk_size();
+    let chunks = shots.div_ceil(chunk);
+    let stream = SeedStream::new(seed);
+    let failures = runtime
+        .par_seeded(chunks, &stream, |c, chunk_seed| {
+            let chunk_shots = chunk.min(shots - c * chunk);
+            run_shots(dem, decoder, chunk_shots, chunk_seed).failures
+        })
+        .into_iter()
+        .sum();
     LogicalErrorEstimate { shots, failures }
 }
 
@@ -100,6 +102,7 @@ mod tests {
     use prophunt_circuit::schedule::ScheduleSpec;
     use prophunt_circuit::{MemoryBasis, MemoryExperiment, NoiseModel};
     use prophunt_qec::surface::rotated_surface_code_with_layout;
+    use prophunt_runtime::RuntimeConfig;
 
     fn surface_dem(d: usize, p: f64, rounds: usize) -> DetectorErrorModel {
         let (code, layout) = rotated_surface_code_with_layout(d);
@@ -110,20 +113,34 @@ mod tests {
 
     #[test]
     fn estimate_math_is_consistent() {
-        let e = LogicalErrorEstimate { shots: 200, failures: 10 };
+        let e = LogicalErrorEstimate {
+            shots: 200,
+            failures: 10,
+        };
         assert!((e.rate() - 0.05).abs() < 1e-12);
         assert!(e.standard_error() > 0.0);
-        let c = e.combined(LogicalErrorEstimate { shots: 100, failures: 5 });
+        let c = e.combined(LogicalErrorEstimate {
+            shots: 100,
+            failures: 5,
+        });
         assert_eq!(c.shots, 300);
         assert_eq!(c.failures, 15);
-        assert_eq!(LogicalErrorEstimate { shots: 0, failures: 0 }.rate(), 0.0);
+        assert_eq!(
+            LogicalErrorEstimate {
+                shots: 0,
+                failures: 0
+            }
+            .rate(),
+            0.0
+        );
     }
 
     #[test]
     fn multithreaded_estimate_matches_shot_count_and_is_reasonable() {
         let dem = surface_dem(3, 3e-3, 3);
         let decoder = BpOsdDecoder::new(&dem);
-        let estimate = estimate_logical_error_rate(&dem, &decoder, 400, 7, 4);
+        let runtime = Runtime::new(RuntimeConfig::new(4, 64, 0));
+        let estimate = estimate_logical_error_rate(&dem, &decoder, 400, 7, &runtime);
         assert_eq!(estimate.shots, 400);
         // d=3 at p = 0.3% should fail well below 10% of shots.
         assert!(estimate.rate() < 0.1, "rate {}", estimate.rate());
@@ -135,8 +152,34 @@ mod tests {
         let high = surface_dem(3, 2e-2, 3);
         let dec_low = BpOsdDecoder::new(&low);
         let dec_high = BpOsdDecoder::new(&high);
-        let e_low = estimate_logical_error_rate(&low, &dec_low, 300, 13, 2);
-        let e_high = estimate_logical_error_rate(&high, &dec_high, 300, 13, 2);
+        let runtime = Runtime::new(RuntimeConfig::new(2, 64, 0));
+        let e_low = estimate_logical_error_rate(&low, &dec_low, 300, 13, &runtime);
+        let e_high = estimate_logical_error_rate(&high, &dec_high, 300, 13, &runtime);
         assert!(e_high.failures > e_low.failures);
+    }
+
+    #[test]
+    fn failure_counts_are_identical_across_thread_counts() {
+        let dem = surface_dem(3, 8e-3, 3);
+        let decoder = BpOsdDecoder::new(&dem);
+        let reference = estimate_logical_error_rate(
+            &dem,
+            &decoder,
+            500,
+            42,
+            &Runtime::new(RuntimeConfig::new(1, 64, 0)),
+        );
+        assert!(reference.failures > 0, "want a nonzero count to compare");
+        for threads in [2, 8] {
+            let estimate = estimate_logical_error_rate(
+                &dem,
+                &decoder,
+                500,
+                42,
+                &Runtime::new(RuntimeConfig::new(threads, 64, 0)),
+            );
+            assert_eq!(estimate.failures, reference.failures, "threads = {threads}");
+            assert_eq!(estimate.shots, reference.shots);
+        }
     }
 }

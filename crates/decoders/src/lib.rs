@@ -21,13 +21,15 @@
 //! use prophunt_circuit::{MemoryBasis, MemoryExperiment, NoiseModel, DetectorErrorModel};
 //! use prophunt_circuit::schedule::ScheduleSpec;
 //! use prophunt_decoders::{BpOsdDecoder, estimate_logical_error_rate, Decoder};
+//! use prophunt_runtime::{Runtime, RuntimeConfig};
 //!
 //! let (code, layout) = rotated_surface_code_with_layout(3);
 //! let schedule = ScheduleSpec::surface_hand_designed(&code, &layout);
 //! let exp = MemoryExperiment::build(&code, &schedule, 3, MemoryBasis::Z).unwrap();
 //! let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(1e-3));
 //! let decoder = BpOsdDecoder::new(&dem);
-//! let estimate = estimate_logical_error_rate(&dem, &decoder, 200, 0xfeed, 1);
+//! let runtime = Runtime::new(RuntimeConfig::single_threaded(0));
+//! let estimate = estimate_logical_error_rate(&dem, &decoder, 200, 0xfeed, &runtime);
 //! assert!(estimate.rate() < 0.2);
 //! ```
 

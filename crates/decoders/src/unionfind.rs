@@ -264,7 +264,9 @@ mod tests {
         let dem = repetition_dem(1e-3);
         let decoder = UnionFindDecoder::new(&dem);
         assert!(decoder.num_edges() > 0);
-        assert!(decoder.decode(&BitVec::zeros(dem.num_detectors())).is_zero());
+        assert!(decoder
+            .decode(&BitVec::zeros(dem.num_detectors()))
+            .is_zero());
     }
 
     #[test]
@@ -301,7 +303,10 @@ mod tests {
                 failures += 1;
             }
         }
-        assert!(failures <= 4, "too many union-find failures: {failures}/400");
+        assert!(
+            failures <= 4,
+            "too many union-find failures: {failures}/400"
+        );
     }
 
     #[test]
@@ -309,7 +314,8 @@ mod tests {
         let (code, layout) = rotated_surface_code_with_layout(3);
         let schedule = ScheduleSpec::surface_hand_designed(&code, &layout);
         let exp = MemoryExperiment::build(&code, &schedule, 3, MemoryBasis::Z).unwrap();
-        let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(2e-3));
+        let dem =
+            DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(2e-3));
         let decoder = UnionFindDecoder::new(&dem);
         let mut sampler = dem.sampler(5);
         let mut failures = 0;

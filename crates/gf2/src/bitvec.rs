@@ -1,6 +1,5 @@
 //! Packed bit vectors over GF(2).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{BitXor, BitXorAssign};
 
@@ -23,7 +22,7 @@ const WORD_BITS: usize = 64;
 /// assert_eq!((&v ^ &w).ones().collect::<Vec<_>>(), vec![4, 7]);
 /// assert!(v.dot(&w));
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct BitVec {
     len: usize,
     words: Vec<u64>,
@@ -91,7 +90,11 @@ impl BitVec {
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
     }
 
@@ -102,7 +105,11 @@ impl BitVec {
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         let word = &mut self.words[i / WORD_BITS];
         let mask = 1u64 << (i % WORD_BITS);
         if value {
@@ -119,7 +126,11 @@ impl BitVec {
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn flip(&mut self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         let word = &mut self.words[i / WORD_BITS];
         let mask = 1u64 << (i % WORD_BITS);
         *word ^= mask;

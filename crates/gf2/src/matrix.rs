@@ -1,7 +1,6 @@
 //! Dense matrices over GF(2) and Gaussian-elimination based solvers.
 
 use crate::{BitVec, Gf2Error};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A dense matrix over GF(2), stored as a vector of packed [`BitVec`] rows.
@@ -22,7 +21,7 @@ use std::fmt;
 /// assert!(m.row_space_contains(&prophunt_gf2::BitVec::from_u8(&[1, 0, 1])));
 /// assert!(!m.row_space_contains(&prophunt_gf2::BitVec::from_u8(&[1, 0, 0])));
 /// ```
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct BitMatrix {
     rows: Vec<BitVec>,
     cols: usize,
@@ -600,11 +599,15 @@ mod tests {
                 }
                 None => {
                     // Verify inconsistency: b must not be in the column space.
-                    let aug = m.hstack(&BitMatrix::from_rows(
-                        b.to_u8_vec().iter().map(|&v| BitVec::from_u8(&[v])).collect(),
-                        1,
-                    ))
-                    .unwrap();
+                    let aug = m
+                        .hstack(&BitMatrix::from_rows(
+                            b.to_u8_vec()
+                                .iter()
+                                .map(|&v| BitVec::from_u8(&[v]))
+                                .collect(),
+                            1,
+                        ))
+                        .unwrap();
                     assert!(aug.rank() > m.rank());
                     unsolved += 1;
                 }

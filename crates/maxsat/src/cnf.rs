@@ -49,7 +49,7 @@ impl Lit {
 
     /// Returns `true` if the literal is positive.
     pub fn is_positive(self) -> bool {
-        self.0 % 2 == 0
+        self.0.is_multiple_of(2)
     }
 
     /// Returns the literal-table index (`2 * var + sign`).

@@ -57,7 +57,9 @@ impl MaxSatOutcome {
     /// Returns the cost of the returned model, if any.
     pub fn cost(&self) -> Option<usize> {
         match self {
-            MaxSatOutcome::Optimal { cost, .. } | MaxSatOutcome::Feasible { cost, .. } => Some(*cost),
+            MaxSatOutcome::Optimal { cost, .. } | MaxSatOutcome::Feasible { cost, .. } => {
+                Some(*cost)
+            }
             _ => None,
         }
     }
@@ -230,7 +232,10 @@ mod tests {
         b.add_unit(v.positive());
         b.add_unit(v.negative());
         let mut solver = MaxSatSolver::new(b);
-        assert_eq!(solver.solve(Duration::from_secs(1)), MaxSatOutcome::Unsatisfiable);
+        assert_eq!(
+            solver.solve(Duration::from_secs(1)),
+            MaxSatOutcome::Unsatisfiable
+        );
     }
 
     #[test]
@@ -249,16 +254,18 @@ mod tests {
     }
 
     /// Brute-force optimum for cross-validation.
-    fn brute_force_optimum(
-        num_vars: usize,
-        clauses: &[Vec<Lit>],
-        soft: &[Lit],
-    ) -> Option<usize> {
+    fn brute_force_optimum(num_vars: usize, clauses: &[Vec<Lit>], soft: &[Lit]) -> Option<usize> {
         let mut best = None;
         for mask in 0u64..(1 << num_vars) {
             let values: Vec<bool> = (0..num_vars).map(|v| (mask >> v) & 1 == 1).collect();
-            if clauses.iter().all(|c| c.iter().any(|l| l.apply(values[l.var().index()]))) {
-                let cost = soft.iter().filter(|l| !l.apply(values[l.var().index()])).count();
+            if clauses
+                .iter()
+                .all(|c| c.iter().any(|l| l.apply(values[l.var().index()])))
+            {
+                let cost = soft
+                    .iter()
+                    .filter(|l| !l.apply(values[l.var().index()]))
+                    .count();
                 best = Some(best.map_or(cost, |b: usize| b.min(cost)));
             }
         }

@@ -122,7 +122,11 @@ impl Solver {
     ///
     /// Panics if a literal references a variable outside the solver.
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
-        assert_eq!(self.decision_level(), 0, "clauses must be added before solving");
+        assert_eq!(
+            self.decision_level(),
+            0,
+            "clauses must be added before solving"
+        );
         if !self.ok {
             return false;
         }
@@ -319,7 +323,7 @@ impl Solver {
         let mut best: Option<usize> = None;
         for v in 0..self.num_vars {
             if self.assign[v] == UNASSIGNED
-                && best.map_or(true, |b| self.activity[v] > self.activity[b])
+                && best.is_none_or(|b| self.activity[v] > self.activity[b])
             {
                 best = Some(v);
             }
@@ -340,7 +344,7 @@ impl Solver {
         let mut conflicts_since_restart = 0u64;
         loop {
             if let Some(deadline) = deadline {
-                if self.conflicts % 64 == 0 && Instant::now() > deadline {
+                if self.conflicts.is_multiple_of(64) && Instant::now() > deadline {
                     self.backtrack(0);
                     return SolveResult::Unknown;
                 }
@@ -457,7 +461,10 @@ mod tests {
     fn brute_force_sat(num_vars: usize, clauses: &[Vec<Lit>]) -> bool {
         for mask in 0u64..(1 << num_vars) {
             let assignment: Vec<bool> = (0..num_vars).map(|v| (mask >> v) & 1 == 1).collect();
-            if clauses.iter().all(|c| c.iter().any(|l| l.apply(assignment[l.var().index()]))) {
+            if clauses
+                .iter()
+                .all(|c| c.iter().any(|l| l.apply(assignment[l.var().index()])))
+            {
                 return true;
             }
         }
@@ -497,7 +504,9 @@ mod tests {
                     }
                 }
                 (SolveResult::Unsat, false) => {}
-                other => panic!("case {case}: solver said {other:?} but brute force said {expected}"),
+                other => {
+                    panic!("case {case}: solver said {other:?} but brute force said {expected}")
+                }
             }
         }
     }

@@ -86,7 +86,12 @@ impl DecodingGraph {
         for &d in detectors {
             for &e in &self.detector_errors[d] {
                 if seen.insert(e)
-                    && self.dem.error(e).detectors.iter().all(|x| detector_set.contains(x))
+                    && self
+                        .dem
+                        .error(e)
+                        .detectors
+                        .iter()
+                        .all(|x| detector_set.contains(x))
                 {
                     contained.push(e);
                 }
@@ -276,7 +281,10 @@ mod tests {
                 found += 1;
             }
         }
-        assert!(found > 0, "expected at least one ambiguous subgraph in 20 attempts");
+        assert!(
+            found > 0,
+            "expected at least one ambiguous subgraph in 20 attempts"
+        );
     }
 
     #[test]

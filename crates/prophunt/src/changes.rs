@@ -235,8 +235,12 @@ fn updated_faults_still_logical(
     solution: &MinWeightSolution,
 ) -> bool {
     // Index the new mechanisms by (op, error, round) of their sources.
-    let mut index: HashMap<(Op, Vec<(usize, prophunt_circuit::noise::Pauli)>, Option<usize>), usize> =
-        HashMap::new();
+    type SourceKey = (
+        Op,
+        Vec<(usize, prophunt_circuit::noise::Pauli)>,
+        Option<usize>,
+    );
+    let mut index: HashMap<SourceKey, usize> = HashMap::new();
     for (i, err) in updated.dem().errors().iter().enumerate() {
         for src in &err.sources {
             let round = updated.experiment().round_of_moment(src.moment);
@@ -250,11 +254,10 @@ fn updated_faults_still_logical(
             return false;
         };
         let round = original.experiment().round_of_moment(src.moment);
-        match index.get(&(src.op, src.error.clone(), round)) {
-            Some(&new_idx) => mapped.push(new_idx),
-            // The fault now flips nothing (it vanished from the model) or cannot be
-            // matched; treat it as removed, which can only make the pattern detectable.
-            None => {}
+        // When the fault cannot be matched (it vanished from the model), treat it
+        // as removed, which can only make the pattern detectable.
+        if let Some(&new_idx) = index.get(&(src.op, src.error.clone(), round)) {
+            mapped.push(new_idx);
         }
     }
     mapped.sort_unstable();
@@ -321,8 +324,16 @@ mod tests {
         let before = s.first_on_qubit(shared[0], 0, z0).unwrap();
         let change = CandidateChange::Reschedule {
             swaps: vec![
-                RescheduleSwap { qubit: shared[0], a: 0, b: z0 },
-                RescheduleSwap { qubit: shared[1], a: 0, b: z0 },
+                RescheduleSwap {
+                    qubit: shared[0],
+                    a: 0,
+                    b: z0,
+                },
+                RescheduleSwap {
+                    qubit: shared[1],
+                    a: 0,
+                    b: z0,
+                },
             ],
         };
         change.apply(&mut s);
@@ -355,7 +366,11 @@ mod tests {
         // A single opposite-type swap on one shared qubit breaks commutation and must be
         // pruned regardless of its effect on ambiguity.
         let bad = CandidateChange::Reschedule {
-            swaps: vec![RescheduleSwap { qubit: shared[0], a: 0, b: z0 }],
+            swaps: vec![RescheduleSwap {
+                qubit: shared[0],
+                a: 0,
+                b: z0,
+            }],
         };
         let mut rng = StdRng::seed_from_u64(29);
         let sub = (0..30)
@@ -387,7 +402,7 @@ mod tests {
         let mut verified_somewhere: Vec<VerifiedChange> = Vec::new();
         let mut attempts = 0;
         for _ in 0..60 {
-            if verified_somewhere.len() >= 1 || attempts >= 8 {
+            if !verified_somewhere.is_empty() || attempts >= 8 {
                 break;
             }
             let Some(sub) = find_ambiguous_subgraph(&graph, &mut rng, 60) else {

@@ -72,7 +72,8 @@ fn extract_solution(
     let errors: Vec<usize> = error_vars
         .iter()
         .enumerate()
-        .filter_map(|(i, v)| model[v.index()].then(|| index_map[i]))
+        .filter(|&(_i, v)| model[v.index()])
+        .map(|(i, _v)| index_map[i])
         .collect();
     Some(MinWeightSolution {
         weight: errors.len(),
@@ -94,7 +95,13 @@ pub fn min_weight_logical_error(
     let (mut solver, vars) = build_model(&subgraph.h_sub, &subgraph.l_sub);
     let outcome = solver.solve(budget);
     let stats = solver.last_stats().expect("solve records stats");
-    extract_solution(&outcome, &vars, &subgraph.errors, ModelKind::Subgraph, stats)
+    extract_solution(
+        &outcome,
+        &vars,
+        &subgraph.errors,
+        ModelKind::Subgraph,
+        stats,
+    )
 }
 
 /// Solves (or attempts to solve) the global formulation over the entire decoding graph,
@@ -210,13 +217,23 @@ mod tests {
             for &e in &solution.errors {
                 let err = graph.dem().error(e);
                 for &d in &err.detectors {
-                    let pos = sub.detectors.iter().position(|&x| x == d).expect("in subgraph");
+                    let pos = sub
+                        .detectors
+                        .iter()
+                        .position(|&x| x == d)
+                        .expect("in subgraph");
                     det[pos] = !det[pos];
                 }
                 obs_flipped ^= !err.observables.is_empty();
             }
-            assert!(det.iter().all(|&x| !x), "solution must be undetected in the subgraph");
-            assert!(obs_flipped, "solution must flip an observable an odd number of times");
+            assert!(
+                det.iter().all(|&x| !x),
+                "solution must be undetected in the subgraph"
+            );
+            assert!(
+                obs_flipped,
+                "solution must flip an observable an odd number of times"
+            );
             solved += 1;
         }
         assert!(solved > 0);
@@ -241,8 +258,14 @@ mod tests {
         let poor = min_weight(&graph_for(3, true), &mut rng);
         let good = min_weight(&graph_for(3, false), &mut rng);
         assert!(poor <= good, "poor schedule weight {poor} vs good {good}");
-        assert!(poor <= 2, "poor schedule should expose weight-2 logical errors, got {poor}");
-        assert!(good >= 2, "hand-designed schedule should not have weight-1 logical errors");
+        assert!(
+            poor <= 2,
+            "poor schedule should expose weight-2 logical errors, got {poor}"
+        );
+        assert!(
+            good >= 2,
+            "hand-designed schedule should not have weight-1 logical errors"
+        );
     }
 
     #[test]
@@ -255,7 +278,10 @@ mod tests {
         let (sub_vars, sub_clauses, sub_soft) = subgraph_model_size(&sub);
         let (glob_vars, glob_clauses, glob_soft) = global_model_size(&graph);
         assert!(glob_vars > 5 * sub_vars, "{glob_vars} vs {sub_vars}");
-        assert!(glob_clauses > 5 * sub_clauses, "{glob_clauses} vs {sub_clauses}");
+        assert!(
+            glob_clauses > 5 * sub_clauses,
+            "{glob_clauses} vs {sub_clauses}"
+        );
         assert!(glob_soft > 5 * sub_soft);
     }
 

@@ -1,12 +1,26 @@
 //! The PropHunt iterative optimization loop (paper Section 5, Figure 8).
+//!
+//! Each iteration is an explicit pipeline of stages —
+//! `build_graph → sample → solve → enumerate → verify → apply` — whose
+//! parallel stages all run on the shared [`prophunt_runtime`] execution layer:
+//! work is divided into thread-count-independent tasks, every task derives its
+//! RNG seed from a [`prophunt_runtime::SeedStream`], and results are assembled
+//! in task order, so
+//! a fixed [`RuntimeConfig`] `(seed, chunk_size)` yields bit-identical
+//! [`OptimizationResult`]s at any thread count.
 
 use crate::ambiguity::{find_ambiguous_subgraph, AmbiguousSubgraph, DecodingGraph};
-use crate::changes::{apply_verified_changes, enumerate_candidates, verify_candidate, VerifiedChange};
+use crate::changes::{
+    apply_verified_changes, enumerate_candidates, verify_candidate, VerifiedChange,
+};
 use crate::minweight::{min_weight_logical_error, MinWeightSolution};
+use crate::CandidateChange;
 use prophunt_circuit::{MemoryBasis, ScheduleSpec};
 use prophunt_qec::CssCode;
+use prophunt_runtime::{Runtime, RuntimeConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Configuration of a PropHunt optimization run.
@@ -26,10 +40,19 @@ pub struct PropHuntConfig {
     pub max_subgraph_steps: usize,
     /// Maximum number of distinct ambiguous subgraphs processed per iteration.
     pub max_subgraphs_per_iteration: usize,
-    /// Number of worker threads for subgraph sampling and candidate verification.
-    pub threads: usize,
-    /// Base random seed (the run is deterministic for a fixed seed and thread count).
-    pub seed: u64,
+    /// Shared parallel-runtime configuration: worker-thread bound, chunk size
+    /// and the base random seed. The run is a deterministic function of
+    /// `(runtime.seed, runtime.chunk_size)`; `runtime.threads` affects
+    /// wall-clock time only.
+    ///
+    /// Caveat: [`Self::maxsat_budget`] is a *wall-clock* deadline. If a MaxSAT
+    /// solve actually hits it (possible when many solves share few cores, or
+    /// on a heavily loaded machine), the returned incumbent can differ between
+    /// runs and the determinism guarantee degrades to "per (seed, chunk_size,
+    /// machine-load)". The shipped configurations keep budgets 2-3 orders of
+    /// magnitude above observed solve times precisely so the deadline never
+    /// fires in practice.
+    pub runtime: RuntimeConfig,
 }
 
 impl PropHuntConfig {
@@ -44,8 +67,7 @@ impl PropHuntConfig {
             maxsat_budget: Duration::from_secs(20),
             max_subgraph_steps: 60,
             max_subgraphs_per_iteration: 6,
-            threads: 4,
-            seed: 0x5eed_0001,
+            runtime: RuntimeConfig::new(4, 16, 0x5eed_0001),
         }
     }
 
@@ -60,20 +82,30 @@ impl PropHuntConfig {
             maxsat_budget: Duration::from_secs(360),
             max_subgraph_steps: 120,
             max_subgraphs_per_iteration: 24,
-            threads: 8,
-            seed: 0x5eed_0001,
+            runtime: RuntimeConfig::new(8, 64, 0x5eed_0001),
         }
     }
 
     /// Overrides the random seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.runtime.seed = seed;
         self
+    }
+
+    /// Overrides the whole runtime configuration (threads, chunk size, seed).
+    pub fn with_runtime(mut self, runtime: RuntimeConfig) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Returns the base random seed.
+    pub fn seed(&self) -> u64 {
+        self.runtime.seed
     }
 }
 
 /// One iteration's bookkeeping.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IterationRecord {
     /// Iteration number (0-based).
     pub iteration: usize,
@@ -94,7 +126,7 @@ pub struct IterationRecord {
 }
 
 /// The result of a PropHunt optimization run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OptimizationResult {
     /// The schedule the run started from.
     pub initial_schedule: ScheduleSpec,
@@ -130,17 +162,61 @@ impl OptimizationResult {
     }
 }
 
+/// Pipeline-stage labels for [`SeedStream::substream`]: every parallel stage
+/// draws from its own independent seed stream, so stages can never alias each
+/// other's RNG streams even when task indices coincide.
+mod stage {
+    pub const SAMPLE: u64 = 1;
+    pub const ENUMERATE: u64 = 2;
+    pub const DISTANCE: u64 = 3;
+}
+
+/// A decoding graph cached per memory basis, keyed by the exact schedule it
+/// was built from.
+#[derive(Debug)]
+struct CachedGraph {
+    schedule: ScheduleSpec,
+    graph: Arc<DecodingGraph>,
+}
+
+fn basis_slot(basis: MemoryBasis) -> usize {
+    match basis {
+        MemoryBasis::Z => 0,
+        MemoryBasis::X => 1,
+    }
+}
+
 /// The PropHunt optimizer for a fixed CSS code.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct PropHunt {
     code: CssCode,
     config: PropHuntConfig,
+    runtime: Runtime,
+    /// Per-basis cache of the most recent decoding graph, shared between
+    /// [`PropHunt::optimize`]'s iterations and
+    /// [`PropHunt::estimate_effective_distance`] so the (expensive) detector
+    /// error model of an unchanged schedule is built once per basis, not once
+    /// per caller.
+    graph_cache: Mutex<[Option<CachedGraph>; 2]>,
+}
+
+impl Clone for PropHunt {
+    fn clone(&self) -> Self {
+        // The cache is a memo, not state: a clone starts cold.
+        PropHunt::new(self.code.clone(), self.config.clone())
+    }
 }
 
 impl PropHunt {
     /// Creates an optimizer for `code` with the given configuration.
     pub fn new(code: CssCode, config: PropHuntConfig) -> Self {
-        PropHunt { code, config }
+        let runtime = Runtime::new(config.runtime);
+        PropHunt {
+            code,
+            config,
+            runtime,
+            graph_cache: Mutex::new([None, None]),
+        }
     }
 
     /// Returns the code being optimized.
@@ -151,6 +227,11 @@ impl PropHunt {
     /// Returns the configuration.
     pub fn config(&self) -> &PropHuntConfig {
         &self.config
+    }
+
+    /// Returns the shared parallel runtime.
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
     }
 
     /// Runs the iterative optimization loop starting from `initial` (typically a
@@ -185,84 +266,38 @@ impl PropHunt {
         }
     }
 
+    /// One optimization iteration: the explicit stage pipeline.
     fn run_iteration(
         &self,
         iteration: usize,
         basis: MemoryBasis,
         schedule: &mut ScheduleSpec,
     ) -> IterationRecord {
-        let graph = DecodingGraph::build(
-            &self.code,
-            schedule,
-            self.config.rounds,
-            basis,
-            self.config.physical_error_rate,
-        )
-        .expect("schedule stays valid across iterations");
+        // Stage 1: build (or reuse) the decoding graph of the current schedule.
+        let graph = self
+            .build_graph(schedule, basis)
+            .expect("schedule stays valid across iterations");
 
-        // Stage 1: parallel ambiguous-subgraph sampling.
-        let subgraphs = self.sample_subgraphs(&graph, iteration);
+        // Stage 2: sample ambiguous subgraphs, one task per sample.
+        let subgraphs = self.sample_stage(&graph, iteration);
 
-        // Stage 2: minimum-weight logical errors per subgraph.
-        let mut solved: Vec<(AmbiguousSubgraph, MinWeightSolution)> = Vec::new();
-        for sub in subgraphs {
-            if let Some(solution) = min_weight_logical_error(&sub, self.config.maxsat_budget) {
-                solved.push((sub, solution));
-            }
-        }
+        // Stage 3: minimum-weight logical error per subgraph (MaxSAT).
+        let solved = self.solve_stage(subgraphs);
         let solution_weights: Vec<usize> = solved.iter().map(|(_, s)| s.weight).collect();
+        // A subgraph only counts as *found* once it has a minimum-weight
+        // solution: `optimize` stops on zero, and a sampled-but-unsolvable
+        // batch (every solve timing out) must stop the loop, not spin it.
+        let subgraphs_found = solved.len();
 
-        // Stage 3 + 4: enumerate and prune candidates, in parallel over subgraphs.
-        let mut rng = StdRng::seed_from_u64(
-            self.config
-                .seed
-                .wrapping_add(0x9e37_79b9u64.wrapping_mul(iteration as u64 + 1)),
-        );
-        let mut tasks: Vec<(usize, AmbiguousSubgraph, MinWeightSolution, Vec<crate::CandidateChange>)> =
-            Vec::new();
-        let mut candidates_enumerated = 0usize;
-        for (i, (sub, solution)) in solved.into_iter().enumerate() {
-            let candidates = enumerate_candidates(&graph, &self.code, schedule, &solution, &mut rng);
-            candidates_enumerated += candidates.len();
-            tasks.push((i, sub, solution, candidates));
-        }
-        let num_groups = tasks.len();
-        let mut verified_per_subgraph: Vec<Vec<VerifiedChange>> = vec![Vec::new(); num_groups];
-        let code = &self.code;
-        let base_schedule = &*schedule;
-        let rounds = self.config.rounds;
-        let p = self.config.physical_error_rate;
-        let graph_ref = &graph;
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (group, sub, solution, candidates) in &tasks {
-                for candidate in candidates {
-                    handles.push(scope.spawn(move |_| {
-                        verify_candidate(
-                            code,
-                            base_schedule,
-                            candidate,
-                            sub,
-                            solution,
-                            graph_ref,
-                            rounds,
-                            basis,
-                            p,
-                        )
-                        .map(|v| (*group, v))
-                    }));
-                }
-            }
-            for handle in handles {
-                if let Some((group, verified)) = handle.join().expect("verification thread") {
-                    verified_per_subgraph[group].push(verified);
-                }
-            }
-        })
-        .expect("crossbeam scope");
+        // Stage 4: enumerate candidate changes per subgraph.
+        let (tasks, candidates_enumerated) =
+            self.enumerate_stage(&graph, schedule, solved, iteration);
 
-        // Stage 5: apply the minimum-depth verified change of each subgraph.
-        let subgraphs_found = num_groups;
+        // Stage 5: verify candidates — bounded parallel tasks, never one OS
+        // thread per candidate.
+        let verified_per_subgraph = self.verify_stage(&graph, schedule, basis, &tasks);
+
+        // Stage 6: apply the minimum-depth verified change of each subgraph.
         let changes_applied = apply_verified_changes(&self.code, schedule, verified_per_subgraph);
         IterationRecord {
             iteration,
@@ -276,36 +311,58 @@ impl PropHunt {
         }
     }
 
-    /// Samples ambiguous subgraphs in parallel and deduplicates them by detector set.
-    fn sample_subgraphs(&self, graph: &DecodingGraph, iteration: usize) -> Vec<AmbiguousSubgraph> {
-        let threads = self.config.threads.max(1);
-        let per_thread = self.config.samples_per_iteration.div_ceil(threads);
-        let mut found: Vec<AmbiguousSubgraph> = Vec::new();
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for t in 0..threads {
-                let seed = self
-                    .config
-                    .seed
-                    .wrapping_add(1 + iteration as u64 * 1000 + t as u64);
-                handles.push(scope.spawn(move |_| {
-                    let mut rng = StdRng::seed_from_u64(seed);
-                    let mut local = Vec::new();
-                    for _ in 0..per_thread {
-                        if let Some(sub) =
-                            find_ambiguous_subgraph(graph, &mut rng, self.config.max_subgraph_steps)
-                        {
-                            local.push(sub);
-                        }
-                    }
-                    local
-                }));
+    /// Builds the decoding graph for `(schedule, basis)`, reusing the cached
+    /// graph when the schedule is unchanged since the last build for that
+    /// basis.
+    fn build_graph(
+        &self,
+        schedule: &ScheduleSpec,
+        basis: MemoryBasis,
+    ) -> Result<Arc<DecodingGraph>, String> {
+        let slot = basis_slot(basis);
+        {
+            let cache = self.graph_cache.lock().expect("graph cache poisoned");
+            if let Some(entry) = &cache[slot] {
+                if entry.schedule == *schedule {
+                    return Ok(Arc::clone(&entry.graph));
+                }
             }
-            for handle in handles {
-                found.extend(handle.join().expect("sampling thread"));
-            }
-        })
-        .expect("crossbeam scope");
+        }
+        let graph = Arc::new(
+            DecodingGraph::build(
+                &self.code,
+                schedule,
+                self.config.rounds,
+                basis,
+                self.config.physical_error_rate,
+            )
+            .map_err(|e| format!("{e:?}"))?,
+        );
+        let mut cache = self.graph_cache.lock().expect("graph cache poisoned");
+        cache[slot] = Some(CachedGraph {
+            schedule: schedule.clone(),
+            graph: Arc::clone(&graph),
+        });
+        Ok(graph)
+    }
+
+    /// Samples ambiguous subgraphs in parallel (one seeded task per sample) and
+    /// deduplicates them by detector set.
+    fn sample_stage(&self, graph: &DecodingGraph, iteration: usize) -> Vec<AmbiguousSubgraph> {
+        let stream = self
+            .runtime
+            .seed_stream()
+            .substream(stage::SAMPLE)
+            .substream(iteration as u64);
+        let mut found: Vec<AmbiguousSubgraph> = self
+            .runtime
+            .par_seeded(self.config.samples_per_iteration, &stream, |_task, seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                find_ambiguous_subgraph(graph, &mut rng, self.config.max_subgraph_steps)
+            })
+            .into_iter()
+            .flatten()
+            .collect();
         // Deduplicate by detector set and keep the smallest subgraphs first (they give
         // the most targeted changes).
         found.sort_by_key(|s| (s.errors.len(), s.detectors.clone()));
@@ -314,8 +371,104 @@ impl PropHunt {
         found
     }
 
+    /// Solves each subgraph's minimum-weight logical error in parallel
+    /// (MaxSAT is a pure function of the subgraph, so order-preserving
+    /// `par_map` keeps the stage deterministic).
+    fn solve_stage(
+        &self,
+        subgraphs: Vec<AmbiguousSubgraph>,
+    ) -> Vec<(AmbiguousSubgraph, MinWeightSolution)> {
+        let solutions = self.runtime.par_map(&subgraphs, |sub| {
+            min_weight_logical_error(sub, self.config.maxsat_budget)
+        });
+        subgraphs
+            .into_iter()
+            .zip(solutions)
+            .filter_map(|(sub, solution)| solution.map(|s| (sub, s)))
+            .collect()
+    }
+
+    /// Enumerates candidate changes for each solved subgraph with a
+    /// deterministic per-iteration RNG stream.
+    #[allow(clippy::type_complexity)]
+    fn enumerate_stage(
+        &self,
+        graph: &DecodingGraph,
+        schedule: &ScheduleSpec,
+        solved: Vec<(AmbiguousSubgraph, MinWeightSolution)>,
+        iteration: usize,
+    ) -> (
+        Vec<(AmbiguousSubgraph, MinWeightSolution, Vec<CandidateChange>)>,
+        usize,
+    ) {
+        let seed = self
+            .runtime
+            .seed_stream()
+            .substream(stage::ENUMERATE)
+            .seed_for(iteration as u64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tasks = Vec::with_capacity(solved.len());
+        let mut candidates_enumerated = 0usize;
+        for (sub, solution) in solved {
+            let candidates = enumerate_candidates(graph, &self.code, schedule, &solution, &mut rng);
+            candidates_enumerated += candidates.len();
+            tasks.push((sub, solution, candidates));
+        }
+        (tasks, candidates_enumerated)
+    }
+
+    /// Verifies every candidate change as a bounded parallel task and groups
+    /// the survivors by originating subgraph, preserving candidate order.
+    fn verify_stage(
+        &self,
+        graph: &DecodingGraph,
+        schedule: &ScheduleSpec,
+        basis: MemoryBasis,
+        tasks: &[(AmbiguousSubgraph, MinWeightSolution, Vec<CandidateChange>)],
+    ) -> Vec<Vec<VerifiedChange>> {
+        let work: Vec<(
+            usize,
+            &AmbiguousSubgraph,
+            &MinWeightSolution,
+            &CandidateChange,
+        )> = tasks
+            .iter()
+            .enumerate()
+            .flat_map(|(group, (sub, solution, candidates))| {
+                candidates
+                    .iter()
+                    .map(move |candidate| (group, sub, solution, candidate))
+            })
+            .collect();
+        let results = self
+            .runtime
+            .par_map(&work, |&(group, sub, solution, candidate)| {
+                verify_candidate(
+                    &self.code,
+                    schedule,
+                    candidate,
+                    sub,
+                    solution,
+                    graph,
+                    self.config.rounds,
+                    basis,
+                    self.config.physical_error_rate,
+                )
+                .map(|verified| (group, verified))
+            });
+        let mut verified_per_subgraph: Vec<Vec<VerifiedChange>> = vec![Vec::new(); tasks.len()];
+        for (group, verified) in results.into_iter().flatten() {
+            verified_per_subgraph[group].push(verified);
+        }
+        verified_per_subgraph
+    }
+
     /// Estimates the effective code distance of `schedule` by sampling ambiguous
     /// subgraphs in both memory bases and taking the minimum logical-error weight found.
+    ///
+    /// Shares the per-basis decoding-graph cache with [`PropHunt::optimize`], so
+    /// estimating the distance of a schedule the optimizer just analysed does not
+    /// rebuild its detector error model.
     ///
     /// Returns `None` if no ambiguous subgraph was found (which, for a complete decoding
     /// graph, only happens when the sampling budget is too small).
@@ -326,23 +479,20 @@ impl PropHunt {
     ) -> Option<usize> {
         let mut best: Option<usize> = None;
         for (i, basis) in [MemoryBasis::Z, MemoryBasis::X].into_iter().enumerate() {
-            let graph = DecodingGraph::build(
-                &self.code,
-                schedule,
-                self.config.rounds,
-                basis,
-                self.config.physical_error_rate,
-            )
-            .ok()?;
-            let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(7 + i as u64));
-            for _ in 0..samples {
-                if let Some(sub) =
-                    find_ambiguous_subgraph(&graph, &mut rng, self.config.max_subgraph_steps)
-                {
-                    if let Some(sol) = min_weight_logical_error(&sub, self.config.maxsat_budget) {
-                        best = Some(best.map_or(sol.weight, |b| b.min(sol.weight)));
-                    }
-                }
+            let graph = self.build_graph(schedule, basis).ok()?;
+            let stream = self
+                .runtime
+                .seed_stream()
+                .substream(stage::DISTANCE)
+                .substream(i as u64);
+            let weights = self.runtime.par_seeded(samples, &stream, |_task, seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                find_ambiguous_subgraph(&graph, &mut rng, self.config.max_subgraph_steps)
+                    .and_then(|sub| min_weight_logical_error(&sub, self.config.maxsat_budget))
+                    .map(|solution| solution.weight)
+            });
+            for weight in weights.into_iter().flatten() {
+                best = Some(best.map_or(weight, |b| b.min(weight)));
             }
         }
         best
@@ -365,6 +515,16 @@ mod tests {
     }
 
     #[test]
+    fn with_seed_updates_the_runtime_seed() {
+        let config = PropHuntConfig::quick(3).with_seed(99);
+        assert_eq!(config.seed(), 99);
+        assert_eq!(config.runtime.seed, 99);
+        let config = config.with_runtime(RuntimeConfig::new(2, 8, 7));
+        assert_eq!(config.runtime.threads, 2);
+        assert_eq!(config.seed(), 7);
+    }
+
+    #[test]
     fn optimizing_the_poor_d3_schedule_restores_effective_distance() {
         let (code, layout) = rotated_surface_code_with_layout(3);
         let poor = ScheduleSpec::surface_poor(&code, &layout);
@@ -372,9 +532,15 @@ mod tests {
         let prophunt = PropHunt::new(code.clone(), config);
         // The poor schedule has d_eff = 2.
         let before = prophunt.estimate_effective_distance(&poor, 15).unwrap();
-        assert_eq!(before, 2, "poor schedule should expose weight-2 logical errors");
+        assert_eq!(
+            before, 2,
+            "poor schedule should expose weight-2 logical errors"
+        );
         let result = prophunt.optimize(poor);
-        assert!(result.total_changes_applied() >= 1, "optimizer should change the circuit");
+        assert!(
+            result.total_changes_applied() >= 1,
+            "optimizer should change the circuit"
+        );
         result.final_schedule.validate(prophunt.code()).unwrap();
         let after = prophunt
             .estimate_effective_distance(&result.final_schedule, 15)
@@ -402,6 +568,27 @@ mod tests {
         let d_eff = prophunt
             .estimate_effective_distance(&result.final_schedule, 10)
             .unwrap();
-        assert!(d_eff >= 3, "optimization must not reduce d_eff below 3, got {d_eff}");
+        assert!(
+            d_eff >= 3,
+            "optimization must not reduce d_eff below 3, got {d_eff}"
+        );
+    }
+
+    #[test]
+    fn graph_cache_is_shared_between_optimize_and_distance_estimation() {
+        let (code, layout) = rotated_surface_code_with_layout(3);
+        let poor = ScheduleSpec::surface_poor(&code, &layout);
+        let prophunt = PropHunt::new(code, PropHuntConfig::quick(3).with_seed(11));
+        let first = prophunt.build_graph(&poor, MemoryBasis::Z).unwrap();
+        let second = prophunt.build_graph(&poor, MemoryBasis::Z).unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "unchanged schedule must hit the cache"
+        );
+        // A different schedule for the same basis evicts the entry.
+        let (code2, layout2) = rotated_surface_code_with_layout(3);
+        let hand = ScheduleSpec::surface_hand_designed(&code2, &layout2);
+        let third = prophunt.build_graph(&hand, MemoryBasis::Z).unwrap();
+        assert!(!Arc::ptr_eq(&first, &third));
     }
 }

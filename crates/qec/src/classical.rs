@@ -2,7 +2,6 @@
 
 use prophunt_gf2::BitMatrix;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A classical binary linear code described by a parity-check matrix `H`.
 ///
@@ -17,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// let rep = ClassicalCode::repetition(5);
 /// assert_eq!((rep.n(), rep.k()), (5, 1));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClassicalCode {
     h: BitMatrix,
 }

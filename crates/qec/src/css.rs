@@ -1,11 +1,10 @@
 //! CSS stabilizer codes: parity-check matrices, logical operators and validation.
 
 use prophunt_gf2::{BitMatrix, BitVec};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The two stabilizer types of a CSS code.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StabilizerKind {
     /// An X-type stabilizer (product of Pauli X operators); detects Z errors.
     X,
@@ -88,7 +87,7 @@ impl std::error::Error for CssCodeError {}
 /// assert_eq!(code.k(), 1);
 /// # Ok::<(), prophunt_qec::CssCodeError>(())
 /// ```
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct CssCode {
     name: String,
     hx: BitMatrix,
@@ -308,19 +307,26 @@ impl CssCode {
     /// # Errors
     ///
     /// Returns [`CssCodeError::StabilizersDoNotCommute`] if validation fails.
-    pub fn with_logicals(
-        mut self,
-        lx: BitMatrix,
-        lz: BitMatrix,
-    ) -> Result<CssCode, CssCodeError> {
+    pub fn with_logicals(mut self, lx: BitMatrix, lz: BitMatrix) -> Result<CssCode, CssCodeError> {
         let k = self.k();
         let valid = lx.num_rows() == k
             && lz.num_rows() == k
             && lx.num_cols() == self.n()
             && lz.num_cols() == self.n()
-            && self.hz.mul(&lx.transpose()).map(|m| m.is_zero()).unwrap_or(false)
-            && self.hx.mul(&lz.transpose()).map(|m| m.is_zero()).unwrap_or(false)
-            && lx.mul(&lz.transpose()).map(|m| m == BitMatrix::identity(k)).unwrap_or(false)
+            && self
+                .hz
+                .mul(&lx.transpose())
+                .map(|m| m.is_zero())
+                .unwrap_or(false)
+            && self
+                .hx
+                .mul(&lz.transpose())
+                .map(|m| m.is_zero())
+                .unwrap_or(false)
+            && lx
+                .mul(&lz.transpose())
+                .map(|m| m == BitMatrix::identity(k))
+                .unwrap_or(false)
             && lx.rows_iter().all(|r| !self.hx.row_space_contains(r))
             && lz.rows_iter().all(|r| !self.hz.row_space_contains(r));
         if !valid {
@@ -381,7 +387,9 @@ fn derive_logicals(hx: &BitMatrix, hz: &BitMatrix) -> Result<(BitMatrix, BitMatr
         // A such that M A^T = I, so column j of A^T satisfies M * col_j = e_j.
         let mut e = BitVec::zeros(k);
         e.set(j, true);
-        let col = m.solve(&e).expect("logical pairing matrix must be invertible");
+        let col = m
+            .solve(&e)
+            .expect("logical pairing matrix must be invertible");
         // Row j of new L_Z is sum_i col[i] * L_Z[i]  (since A[j][i] = A^T[i][j] = col[i]).
         let mut row = BitVec::zeros(n);
         for i in col.ones() {
@@ -470,7 +478,9 @@ mod tests {
 
         let single = BitVec::from_indices(9, &[4]);
         assert_eq!(
-            code.syndrome_of_x_errors(&single).ones().collect::<Vec<_>>(),
+            code.syndrome_of_x_errors(&single)
+                .ones()
+                .collect::<Vec<_>>(),
             vec![0, 1]
         );
         assert!(code.x_errors_flip_logical(&single));
@@ -540,7 +550,10 @@ mod tests {
         let central = &adj[4];
         assert_eq!(central.len(), 4);
         assert_eq!(
-            central.iter().filter(|(k, _)| *k == StabilizerKind::X).count(),
+            central
+                .iter()
+                .filter(|(k, _)| *k == StabilizerKind::X)
+                .count(),
             2
         );
         // Shared qubits between X stabilizer 0 and Z stabilizer 0 are {1, 4}.

@@ -10,7 +10,7 @@
 //! * **hypergraph-product** codes,
 //! * **generalized-bicycle** / **bivariate-bicycle** / cyclic **lifted-product** codes,
 //!   which stand in for the paper's LP and Random Quantum Tanner instances (see
-//!   `DESIGN.md` for the substitution rationale).
+//!   `README.md` for the substitution rationale).
 //!
 //! The central type is [`CssCode`]; construction validates stabilizer commutation and
 //! derives a symplectically paired basis of logical operators. Code distance can be

@@ -9,7 +9,7 @@
 //! * [`bivariate_bicycle`] — two-block codes over the product of two cyclic groups
 //!   (the family of IBM's recent high-threshold qLDPC memories); together with
 //!   [`generalized_bicycle`] these stand in for the paper's Random Quantum Tanner codes
-//!   (see `DESIGN.md` for the substitution rationale).
+//!   (see the crate map in `README.md` for the substitution rationale).
 //!
 //! All constructors validate CSS commutation by construction of a [`CssCode`].
 

@@ -137,8 +137,13 @@ pub fn rotated_surface_code_with_layout(d: usize) -> (CssCode, SurfaceLayout) {
     }
     // Right boundary X faces (virtual column d-1 extended): X-type when fr + d - 1 even.
     for fr in 0..d - 1 {
-        if (fr + d - 1) % 2 == 0 {
-            let corners = [Some(qubit(fr, d - 1)), None, Some(qubit(fr + 1, d - 1)), None];
+        if (fr + d - 1).is_multiple_of(2) {
+            let corners = [
+                Some(qubit(fr, d - 1)),
+                None,
+                Some(qubit(fr + 1, d - 1)),
+                None,
+            ];
             x_rows.push(vec![qubit(fr, d - 1), qubit(fr + 1, d - 1)]);
             x_corners.push(corners);
         }
@@ -154,7 +159,12 @@ pub fn rotated_surface_code_with_layout(d: usize) -> (CssCode, SurfaceLayout) {
     // Bottom boundary Z faces (virtual row d-1 extended): Z-type when fr + fc odd.
     for fc in 0..d - 1 {
         if (d - 1 + fc) % 2 == 1 {
-            let corners = [Some(qubit(d - 1, fc)), Some(qubit(d - 1, fc + 1)), None, None];
+            let corners = [
+                Some(qubit(d - 1, fc)),
+                Some(qubit(d - 1, fc + 1)),
+                None,
+                None,
+            ];
             z_rows.push(vec![qubit(d - 1, fc), qubit(d - 1, fc + 1)]);
             z_corners.push(corners);
         }
@@ -223,8 +233,14 @@ mod tests {
         assert_eq!(row_set(code.hx()), row_set(&paper_hx));
         assert_eq!(row_set(code.hz()), row_set(&paper_hz));
         // Paper's logical operators (Section 2.4).
-        assert_eq!(code.lx().row(0), &BitVec::from_u8(&[0, 0, 0, 1, 1, 1, 0, 0, 0]));
-        assert_eq!(code.lz().row(0), &BitVec::from_u8(&[0, 1, 0, 0, 1, 0, 0, 1, 0]));
+        assert_eq!(
+            code.lx().row(0),
+            &BitVec::from_u8(&[0, 0, 0, 1, 1, 1, 0, 0, 0])
+        );
+        assert_eq!(
+            code.lz().row(0),
+            &BitVec::from_u8(&[0, 1, 0, 0, 1, 0, 0, 1, 0])
+        );
     }
 
     #[test]
@@ -233,7 +249,11 @@ mod tests {
             let code = rotated_surface_code(d);
             assert_eq!(code.n(), d * d, "n for d={d}");
             assert_eq!(code.k(), 1, "k for d={d}");
-            assert_eq!(code.num_stabilizers(), d * d - 1, "stabilizer count for d={d}");
+            assert_eq!(
+                code.num_stabilizers(),
+                d * d - 1,
+                "stabilizer count for d={d}"
+            );
             assert_eq!(code.known_distance(), Some(d));
             assert!(code.max_stabilizer_weight() <= 4);
         }
@@ -253,14 +273,18 @@ mod tests {
         let (code, layout) = rotated_surface_code_with_layout(5);
         for (i, corners) in layout.x_corners.iter().enumerate() {
             let from_layout: HashSet<usize> = corners.iter().flatten().copied().collect();
-            let from_matrix: HashSet<usize> =
-                code.stabilizer_support(StabilizerKind::X, i).into_iter().collect();
+            let from_matrix: HashSet<usize> = code
+                .stabilizer_support(StabilizerKind::X, i)
+                .into_iter()
+                .collect();
             assert_eq!(from_layout, from_matrix);
         }
         for (i, corners) in layout.z_corners.iter().enumerate() {
             let from_layout: HashSet<usize> = corners.iter().flatten().copied().collect();
-            let from_matrix: HashSet<usize> =
-                code.stabilizer_support(StabilizerKind::Z, i).into_iter().collect();
+            let from_matrix: HashSet<usize> = code
+                .stabilizer_support(StabilizerKind::Z, i)
+                .into_iter()
+                .collect();
             assert_eq!(from_layout, from_matrix);
         }
     }
@@ -270,7 +294,10 @@ mod tests {
         let (_, layout) = rotated_surface_code_with_layout(3);
         // First X stabilizer is the bulk face at (0, 0) with corners 0, 1, 3, 4.
         let order = [Corner::Nw, Corner::Sw, Corner::Ne, Corner::Se];
-        assert_eq!(layout.ordered_support(StabilizerKind::X, 0, &order), vec![0, 3, 1, 4]);
+        assert_eq!(
+            layout.ordered_support(StabilizerKind::X, 0, &order),
+            vec![0, 3, 1, 4]
+        );
         // Boundary X stabilizers have only two corners.
         let boundary = layout.ordered_support(StabilizerKind::X, 2, &order);
         assert_eq!(boundary.len(), 2);

@@ -1,0 +1,393 @@
+//! Deterministic, bounded parallel execution for the PropHunt workspace.
+//!
+//! Every parallel stage of the optimization pipeline — ambiguous-subgraph
+//! sampling, candidate verification and Monte-Carlo logical-error-rate
+//! estimation — is embarrassingly parallel, but the seed implementation gave
+//! each call site its own `crossbeam::thread::scope` block, spawned one OS
+//! thread *per candidate* during verification, and derived RNG seeds per
+//! **thread**, so results silently changed with the thread count.
+//!
+//! This crate replaces all of that with one shared execution layer built on
+//! three rules:
+//!
+//! 1. **Work is split by task, never by thread.** A parallel call is divided
+//!    into a thread-count-independent list of tasks (items, chunks, or shot
+//!    batches). Worker threads pull task indices from a shared atomic counter,
+//!    so the *schedule* is dynamic but the *set of tasks* is fixed.
+//! 2. **Randomness is derived per task.** [`SeedStream`] maps `(base seed,
+//!    task index)` to an independent RNG seed via splitmix64. Any fixed
+//!    `(seed, chunk_size)` therefore yields bit-identical results at any
+//!    thread count.
+//! 3. **Results are assembled in task order.** Whatever order tasks finish
+//!    in, outputs are returned ordered by task index, so downstream code sees
+//!    a deterministic sequence.
+//!
+//! Threads are bounded by [`RuntimeConfig::threads`]; a parallel call spawns
+//! at most that many scoped workers (fewer when there are fewer tasks) and
+//! never one thread per work item.
+//!
+//! # Example
+//!
+//! ```
+//! use prophunt_runtime::{Runtime, RuntimeConfig, SeedStream};
+//!
+//! let runtime = Runtime::new(RuntimeConfig::new(4, 16, 0xfeed));
+//! let squares = runtime.par_map(&[1u64, 2, 3, 4], |x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//!
+//! // Per-task seeds: identical at any thread count.
+//! let stream = SeedStream::new(7);
+//! let a = runtime.par_seeded(8, &stream, |_task, seed| seed);
+//! let single = Runtime::new(RuntimeConfig::new(1, 16, 0xfeed));
+//! assert_eq!(a, single.par_seeded(8, &stream, |_task, seed| seed));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Configuration of the shared parallel runtime.
+///
+/// One `RuntimeConfig` is plumbed through `PropHuntConfig`, the LER estimator
+/// and the bench binaries so an entire run shares a single `(threads,
+/// chunk_size, seed)` triple. `threads` affects wall-clock time only;
+/// `chunk_size` and `seed` define the deterministic result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Maximum number of worker threads a parallel call may use.
+    pub threads: usize,
+    /// Number of work items (e.g. Monte-Carlo shots) per task. Part of the
+    /// deterministic contract: changing it changes which task processes which
+    /// item, and therefore which RNG stream the item sees.
+    pub chunk_size: usize,
+    /// Base seed from which every per-task seed is derived.
+    pub seed: u64,
+}
+
+impl RuntimeConfig {
+    /// Creates a configuration with the given thread bound, chunk size and seed.
+    pub fn new(threads: usize, chunk_size: usize, seed: u64) -> Self {
+        RuntimeConfig {
+            threads,
+            chunk_size,
+            seed,
+        }
+    }
+
+    /// A single-threaded configuration (useful as a determinism reference).
+    pub fn single_threaded(seed: u64) -> Self {
+        RuntimeConfig::new(1, Self::DEFAULT_CHUNK_SIZE, seed)
+    }
+
+    /// The default chunk size used by [`Default`] and [`Self::single_threaded`].
+    pub const DEFAULT_CHUNK_SIZE: usize = 64;
+
+    /// Returns the configuration with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the configuration with a different thread bound.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Returns the configuration with a different chunk size.
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size;
+        self
+    }
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        RuntimeConfig::new(threads, Self::DEFAULT_CHUNK_SIZE, 0)
+    }
+}
+
+const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The splitmix64 finalizer: a bijective avalanche mix on `u64`.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(GOLDEN_GAMMA);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derives independent per-*task* RNG seeds from one base seed.
+///
+/// The stream is a pure function: `seed_for(i)` is `splitmix64(base +
+/// (i + 1) * gamma)`, so any task can compute its seed without coordination
+/// and the mapping never depends on which OS thread runs the task — the fix
+/// for the seed implementation's per-thread seeding bug.
+///
+/// [`SeedStream::substream`] derives a statistically independent child stream
+/// for a labelled pipeline stage (e.g. one per optimizer iteration), keeping
+/// stage seeds from colliding even when task indices overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedStream {
+    base: u64,
+}
+
+impl SeedStream {
+    /// Creates the root stream for `seed`.
+    pub fn new(seed: u64) -> Self {
+        SeedStream {
+            base: splitmix64(seed),
+        }
+    }
+
+    /// Returns the seed for task `index`.
+    pub fn seed_for(&self, index: u64) -> u64 {
+        splitmix64(
+            self.base
+                .wrapping_add(index.wrapping_add(1).wrapping_mul(GOLDEN_GAMMA)),
+        )
+    }
+
+    /// Derives an independent child stream for the stage labelled `label`.
+    pub fn substream(&self, label: u64) -> SeedStream {
+        SeedStream {
+            base: splitmix64(self.base ^ label.wrapping_mul(0xd6e8_feb8_6659_fd93)),
+        }
+    }
+}
+
+/// The shared bounded worker pool.
+///
+/// A `Runtime` is cheap to construct and holds only its configuration; each
+/// parallel call opens a [`std::thread::scope`] with at most
+/// `config.threads` workers that pull task indices from an atomic counter
+/// (dynamic load balancing, fixed task set). Results are always returned in
+/// task order regardless of completion order.
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    config: RuntimeConfig,
+}
+
+impl Runtime {
+    /// Creates a runtime from `config`.
+    pub fn new(config: RuntimeConfig) -> Self {
+        Runtime { config }
+    }
+
+    /// Returns the runtime's configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Returns the effective thread bound (at least 1).
+    pub fn threads(&self) -> usize {
+        self.config.threads.max(1)
+    }
+
+    /// Returns the effective chunk size (at least 1).
+    pub fn chunk_size(&self) -> usize {
+        self.config.chunk_size.max(1)
+    }
+
+    /// Returns the root [`SeedStream`] of this runtime's seed.
+    pub fn seed_stream(&self) -> SeedStream {
+        SeedStream::new(self.config.seed)
+    }
+
+    /// Core primitive: evaluates `f(0..tasks)` with bounded workers and
+    /// returns the results ordered by task index.
+    pub fn run_tasks<U, F>(&self, tasks: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        let workers = self.threads().min(tasks);
+        if workers <= 1 {
+            return (0..tasks).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let f = &f;
+        let next = &next;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, U)> = Vec::new();
+                        loop {
+                            let task = next.fetch_add(1, Ordering::Relaxed);
+                            if task >= tasks {
+                                break;
+                            }
+                            local.push((task, f(task)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            let mut indexed: Vec<(usize, U)> = Vec::with_capacity(tasks);
+            for handle in handles {
+                indexed.extend(handle.join().expect("runtime worker panicked"));
+            }
+            indexed.sort_unstable_by_key(|(task, _)| *task);
+            indexed.into_iter().map(|(_, value)| value).collect()
+        })
+    }
+
+    /// Maps `f` over `items` in parallel, preserving item order.
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        self.run_tasks(items.len(), |i| f(&items[i]))
+    }
+
+    /// Maps `f` over contiguous chunks of `items` (each of
+    /// [`Self::chunk_size`] elements, except possibly the last), returning one
+    /// result per chunk in chunk order.
+    ///
+    /// `f` receives the chunk index and the chunk slice. The chunk boundaries
+    /// depend only on `chunk_size`, never on the thread count.
+    pub fn par_map_chunked<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &[T]) -> U + Sync,
+    {
+        let chunk = self.chunk_size();
+        let chunks = items.len().div_ceil(chunk);
+        self.run_tasks(chunks, |c| {
+            let start = c * chunk;
+            let end = (start + chunk).min(items.len());
+            f(c, &items[start..end])
+        })
+    }
+
+    /// Runs `tasks` seeded tasks — `f(task_index, seed)` with
+    /// `seed = stream.seed_for(task_index)` — and returns the per-task
+    /// results in task order.
+    ///
+    /// This is the deterministic replacement for "split the work across N
+    /// threads and seed each thread": the task count and per-task seeds are
+    /// independent of how many workers execute them.
+    pub fn par_seeded<U, F>(&self, tasks: usize, stream: &SeedStream, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize, u64) -> U + Sync,
+    {
+        self.run_tasks(tasks, |i| f(i, stream.seed_for(i as u64)))
+    }
+
+    /// Runs `tasks` tasks each producing a `Vec`, and concatenates the
+    /// per-task outputs in task order.
+    pub fn par_collect<U, F>(&self, tasks: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> Vec<U> + Sync,
+    {
+        self.run_tasks(tasks, f).into_iter().flatten().collect()
+    }
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Runtime::new(RuntimeConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn par_map_preserves_order() {
+        for threads in [1, 2, 8] {
+            let runtime = Runtime::new(RuntimeConfig::new(threads, 4, 0));
+            let items: Vec<usize> = (0..103).collect();
+            let out = runtime.par_map(&items, |&x| x * 2);
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_chunked_covers_items_in_order_with_exact_boundaries() {
+        let runtime = Runtime::new(RuntimeConfig::new(8, 10, 0));
+        let items: Vec<usize> = (0..95).collect();
+        let chunks = runtime.par_map_chunked(&items, |c, chunk| (c, chunk.to_vec()));
+        assert_eq!(chunks.len(), 10);
+        for (expected, (c, chunk)) in chunks.iter().enumerate() {
+            // Chunk results arrive in chunk order with the documented bounds.
+            assert_eq!(*c, expected);
+            let start = expected * 10;
+            let len = if expected == 9 { 5 } else { 10 };
+            assert_eq!(chunk.len(), len);
+            assert_eq!(chunk[0], start);
+        }
+        let flattened: Vec<usize> = chunks.into_iter().flat_map(|(_, c)| c).collect();
+        assert_eq!(flattened, items);
+    }
+
+    #[test]
+    fn seeded_results_are_identical_across_thread_counts() {
+        let stream = SeedStream::new(0x5eed);
+        let reference =
+            Runtime::new(RuntimeConfig::new(1, 7, 0)).par_seeded(33, &stream, |i, seed| (i, seed));
+        for threads in [2, 3, 8] {
+            let out = Runtime::new(RuntimeConfig::new(threads, 7, 0)).par_seeded(
+                33,
+                &stream,
+                |i, seed| (i, seed),
+            );
+            assert_eq!(out, reference);
+        }
+    }
+
+    #[test]
+    fn run_tasks_bounds_concurrency() {
+        let runtime = Runtime::new(RuntimeConfig::new(3, 1, 0));
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        runtime.run_tasks(64, |_| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 3);
+    }
+
+    #[test]
+    fn seed_stream_substreams_and_tasks_do_not_collide() {
+        let root = SeedStream::new(1);
+        let mut seen = std::collections::HashSet::new();
+        for label in 0..8u64 {
+            let sub = root.substream(label);
+            for task in 0..256u64 {
+                assert!(seen.insert(sub.seed_for(task)), "seed collision");
+            }
+        }
+        // Pure function of (seed, label, index).
+        assert_eq!(
+            SeedStream::new(1).substream(3).seed_for(5),
+            SeedStream::new(1).substream(3).seed_for(5)
+        );
+        assert_ne!(
+            SeedStream::new(1).seed_for(0),
+            SeedStream::new(2).seed_for(0)
+        );
+    }
+
+    #[test]
+    fn par_collect_concatenates_in_task_order() {
+        let runtime = Runtime::new(RuntimeConfig::new(8, 1, 0));
+        let out = runtime.par_collect(10, |i| vec![i; i % 3]);
+        let expected: Vec<usize> = (0..10).flat_map(|i| vec![i; i % 3]).collect();
+        assert_eq!(out, expected);
+    }
+}

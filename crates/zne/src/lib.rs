@@ -54,7 +54,10 @@ impl LogicalNoiseModel {
     ///
     /// Panics if `lambda <= 1.0` (the hardware would be above threshold).
     pub fn new(lambda: f64) -> Self {
-        assert!(lambda > 1.0, "suppression factor must exceed 1 (below threshold)");
+        assert!(
+            lambda > 1.0,
+            "suppression factor must exceed 1 (below threshold)"
+        );
         LogicalNoiseModel { lambda }
     }
 
@@ -197,7 +200,10 @@ pub struct ZneResult {
 
 /// Runs one ZNE experiment with the given protocol.
 pub fn run_zne(config: &ZneConfig, method: ZneMethod) -> ZneResult {
-    assert!(!config.distances.is_empty(), "ZNE needs at least one noise point");
+    assert!(
+        !config.distances.is_empty(),
+        "ZNE needs at least one noise point"
+    );
     let model = LogicalNoiseModel::new(config.lambda);
     let mut rng = StdRng::seed_from_u64(config.seed ^ (method as u64) << 32);
     let reference = model.logical_error_rate(config.distances[0]);
@@ -320,7 +326,10 @@ mod tests {
             .collect();
         assert!((exponential_extrapolate(&points) - 0.9).abs() < 1e-9);
         // Exact linear data.
-        let linear: Vec<(f64, f64)> = [1.0, 2.0, 3.0].iter().map(|&x| (x, 1.0 - 0.1 * x)).collect();
+        let linear: Vec<(f64, f64)> = [1.0, 2.0, 3.0]
+            .iter()
+            .map(|&x| (x, 1.0 - 0.1 * x))
+            .collect();
         assert!((linear_extrapolate(&linear) - 1.0).abs() < 1e-9);
         assert!((richardson_extrapolate(&linear) - 1.0).abs() < 1e-9);
     }

@@ -19,7 +19,10 @@ fn main() {
 
     println!();
     println!("Estimator bias, DS-ZNE vs Hook-ZNE (Figure 16b; lambda = 2, depth 50, 20k shots):");
-    println!("{:<12} {:>12} {:>12} {:>8}", "range", "DS-ZNE", "Hook-ZNE", "ratio");
+    println!(
+        "{:<12} {:>12} {:>12} {:>8}",
+        "range", "DS-ZNE", "Hook-ZNE", "ratio"
+    );
     for d_max in [13usize, 11, 9] {
         let cmp = compare_protocols(d_max, 2.0, 50, 20_000, 60, 2024);
         println!(

@@ -10,6 +10,7 @@ use prophunt_suite::core::{PropHunt, PropHuntConfig};
 use prophunt_suite::decoders::{estimate_logical_error_rate, BpOsdDecoder};
 use prophunt_suite::qec::product::generalized_bicycle;
 use prophunt_suite::qec::CssCode;
+use prophunt_suite::runtime::{Runtime, RuntimeConfig};
 
 fn logical_error_rate(code: &CssCode, schedule: &ScheduleSpec, p: f64, shots: usize) -> f64 {
     let mut failures = 0;
@@ -18,7 +19,8 @@ fn logical_error_rate(code: &CssCode, schedule: &ScheduleSpec, p: f64, shots: us
         let exp = MemoryExperiment::build(code, schedule, 2, basis).expect("valid schedule");
         let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(p));
         let decoder = BpOsdDecoder::new(&dem);
-        let estimate = estimate_logical_error_rate(&dem, &decoder, shots, 7, 4);
+        let runtime = Runtime::new(RuntimeConfig::new(4, 64, 0));
+        let estimate = estimate_logical_error_rate(&dem, &decoder, shots, 7, &runtime);
         failures += estimate.failures;
         total += estimate.shots;
     }
@@ -28,7 +30,10 @@ fn logical_error_rate(code: &CssCode, schedule: &ScheduleSpec, p: f64, shots: us
 fn main() {
     // A [[18, 2]] generalized-bicycle (lifted-product) code with weight-4 stabilizers.
     let code = generalized_bicycle(9, &[0, 1], &[0, 3], "gb_18_2");
-    println!("code: {code} (max stabilizer weight {})", code.max_stabilizer_weight());
+    println!(
+        "code: {code} (max stabilizer weight {})",
+        code.max_stabilizer_weight()
+    );
 
     let baseline = ScheduleSpec::coloration(&code);
     let p = 3e-3;

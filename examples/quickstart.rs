@@ -7,6 +7,7 @@ use prophunt_suite::circuit::{DetectorErrorModel, MemoryBasis, MemoryExperiment,
 use prophunt_suite::core::{PropHunt, PropHuntConfig};
 use prophunt_suite::decoders::{estimate_logical_error_rate, BpOsdDecoder};
 use prophunt_suite::qec::surface::rotated_surface_code_with_layout;
+use prophunt_suite::runtime::{Runtime, RuntimeConfig};
 
 fn logical_error_rate(
     code: &prophunt_suite::qec::CssCode,
@@ -20,7 +21,8 @@ fn logical_error_rate(
         let exp = MemoryExperiment::build(code, schedule, 3, basis).expect("valid schedule");
         let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(p));
         let decoder = BpOsdDecoder::new(&dem);
-        let estimate = estimate_logical_error_rate(&dem, &decoder, shots, 42, 4);
+        let runtime = Runtime::new(RuntimeConfig::new(4, 64, 0));
+        let estimate = estimate_logical_error_rate(&dem, &decoder, shots, 42, &runtime);
         combined_failures += estimate.failures;
         combined_shots += estimate.shots;
     }
@@ -37,8 +39,14 @@ fn main() {
 
     let p = 3e-3;
     let shots = 2_000;
-    println!("poor schedule         LER = {:.4}", logical_error_rate(&code, &poor, p, shots));
-    println!("hand-designed schedule LER = {:.4}", logical_error_rate(&code, &hand, p, shots));
+    println!(
+        "poor schedule         LER = {:.4}",
+        logical_error_rate(&code, &poor, p, shots)
+    );
+    println!(
+        "hand-designed schedule LER = {:.4}",
+        logical_error_rate(&code, &hand, p, shots)
+    );
 
     // Let PropHunt repair the poor schedule automatically.
     let prophunt = PropHunt::new(code.clone(), PropHuntConfig::quick(3));

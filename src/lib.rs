@@ -12,9 +12,11 @@
 //!   ([`prophunt_decoders`]).
 //! * [`core`] — the PropHunt optimizer itself ([`prophunt`]).
 //! * [`zne`] — Hook-ZNE and DS-ZNE ([`prophunt_zne`]).
+//! * [`runtime`] — the deterministic bounded parallel execution layer shared by
+//!   every parallel stage ([`prophunt_runtime`]).
 //!
-//! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for the map from
-//! the paper's evaluation to this repository.
+//! See `README.md` for a quickstart, the crate map and the runtime's
+//! determinism contract.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,4 +27,5 @@ pub use prophunt_decoders as decoders;
 pub use prophunt_gf2 as gf2;
 pub use prophunt_maxsat as maxsat;
 pub use prophunt_qec as qec;
+pub use prophunt_runtime as runtime;
 pub use prophunt_zne as zne;

@@ -1,0 +1,103 @@
+//! Determinism across thread counts.
+//!
+//! The contract of the `prophunt-runtime` layer: every result is a pure
+//! function of `(seed, chunk_size)` — the worker-thread count may only change
+//! wall-clock time. These tests pin that down end-to-end for the optimizer
+//! and for Monte-Carlo logical-error-rate estimation, at thread counts 1, 2
+//! and 8.
+
+use prophunt_suite::circuit::schedule::ScheduleSpec;
+use prophunt_suite::circuit::{DetectorErrorModel, MemoryBasis, MemoryExperiment, NoiseModel};
+use prophunt_suite::core::{OptimizationResult, PropHunt, PropHuntConfig};
+use prophunt_suite::decoders::{estimate_logical_error_rate, BpOsdDecoder};
+use prophunt_suite::qec::surface::rotated_surface_code_with_layout;
+use prophunt_suite::runtime::{Runtime, RuntimeConfig};
+
+fn optimize_poor_d3(threads: usize) -> OptimizationResult {
+    let (code, layout) = rotated_surface_code_with_layout(3);
+    let poor = ScheduleSpec::surface_poor(&code, &layout);
+    let mut config = PropHuntConfig::quick(3).with_seed(11);
+    config.runtime.threads = threads;
+    PropHunt::new(code, config).optimize(poor)
+}
+
+#[test]
+fn optimizer_records_are_bit_identical_across_thread_counts() {
+    let reference = optimize_poor_d3(1);
+    assert!(
+        !reference.records.is_empty() && reference.total_changes_applied() >= 1,
+        "reference run should do real work"
+    );
+    for threads in [2, 8] {
+        let result = optimize_poor_d3(threads);
+        assert_eq!(
+            result.records.len(),
+            reference.records.len(),
+            "iteration count diverged at threads = {threads}"
+        );
+        for (got, want) in result.records.iter().zip(&reference.records) {
+            assert_eq!(
+                got, want,
+                "iteration {} diverged at threads = {threads}",
+                want.iteration
+            );
+        }
+        assert_eq!(result, reference, "threads = {threads}");
+    }
+}
+
+#[test]
+fn effective_distance_is_identical_across_thread_counts() {
+    let (code, layout) = rotated_surface_code_with_layout(3);
+    let poor = ScheduleSpec::surface_poor(&code, &layout);
+    let estimate = |threads: usize| {
+        let mut config = PropHuntConfig::quick(3).with_seed(7);
+        config.runtime.threads = threads;
+        PropHunt::new(code.clone(), config).estimate_effective_distance(&poor, 12)
+    };
+    let reference = estimate(1);
+    assert_eq!(reference, Some(2), "poor d=3 schedule has d_eff = 2");
+    for threads in [2, 8] {
+        assert_eq!(estimate(threads), reference, "threads = {threads}");
+    }
+}
+
+#[test]
+fn ler_failure_counts_are_identical_across_thread_counts() {
+    let (code, layout) = rotated_surface_code_with_layout(3);
+    let schedule = ScheduleSpec::surface_hand_designed(&code, &layout);
+    let exp = MemoryExperiment::build(&code, &schedule, 3, MemoryBasis::Z).unwrap();
+    let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(8e-3));
+    let decoder = BpOsdDecoder::new(&dem);
+    let estimate = |threads: usize| {
+        let runtime = Runtime::new(RuntimeConfig::new(threads, 64, 0));
+        estimate_logical_error_rate(&dem, &decoder, 600, 42, &runtime)
+    };
+    let reference = estimate(1);
+    assert!(
+        reference.failures > 0,
+        "want nonzero failures to make the comparison meaningful"
+    );
+    for threads in [2, 8] {
+        let estimate = estimate(threads);
+        assert_eq!(estimate.failures, reference.failures, "threads = {threads}");
+        assert_eq!(estimate.shots, reference.shots);
+    }
+}
+
+#[test]
+fn chunk_size_is_part_of_the_deterministic_contract() {
+    // Different chunk sizes may legitimately give different (equally valid)
+    // streams; the contract is fixed (seed, chunk_size) => fixed result.
+    let (code, layout) = rotated_surface_code_with_layout(3);
+    let schedule = ScheduleSpec::surface_hand_designed(&code, &layout);
+    let exp = MemoryExperiment::build(&code, &schedule, 3, MemoryBasis::Z).unwrap();
+    let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(8e-3));
+    let decoder = BpOsdDecoder::new(&dem);
+    let estimate = |threads: usize, chunk: usize| {
+        let runtime = Runtime::new(RuntimeConfig::new(threads, chunk, 0));
+        estimate_logical_error_rate(&dem, &decoder, 500, 9, &runtime).failures
+    };
+    assert_eq!(estimate(1, 32), estimate(8, 32));
+    assert_eq!(estimate(1, 17), estimate(4, 17));
+}

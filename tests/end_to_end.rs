@@ -8,15 +8,23 @@ use prophunt_suite::decoders::{estimate_logical_error_rate, BpOsdDecoder, UnionF
 use prophunt_suite::qec::product::generalized_bicycle;
 use prophunt_suite::qec::surface::rotated_surface_code_with_layout;
 use prophunt_suite::qec::CssCode;
+use prophunt_suite::runtime::{Runtime, RuntimeConfig};
 
-fn combined_ler(code: &CssCode, schedule: &ScheduleSpec, rounds: usize, p: f64, shots: usize) -> f64 {
+fn combined_ler(
+    code: &CssCode,
+    schedule: &ScheduleSpec,
+    rounds: usize,
+    p: f64,
+    shots: usize,
+) -> f64 {
     let mut failures = 0;
     let mut total = 0;
     for basis in [MemoryBasis::Z, MemoryBasis::X] {
         let exp = MemoryExperiment::build(code, schedule, rounds, basis).expect("valid schedule");
         let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(p));
         let decoder = BpOsdDecoder::new(&dem);
-        let est = estimate_logical_error_rate(&dem, &decoder, shots, 99, 4);
+        let runtime = Runtime::new(RuntimeConfig::new(4, 64, 0));
+        let est = estimate_logical_error_rate(&dem, &decoder, shots, 99, &runtime);
         failures += est.failures;
         total += est.shots;
     }
@@ -54,7 +62,10 @@ fn prophunt_improves_a_poor_surface_schedule_end_to_end() {
     let after_deff = prophunt
         .estimate_effective_distance(&result.final_schedule, 12)
         .unwrap();
-    assert!(after_deff > before_deff, "d_eff {before_deff} -> {after_deff}");
+    assert!(
+        after_deff > before_deff,
+        "d_eff {before_deff} -> {after_deff}"
+    );
 
     // A Monte-Carlo LER comparison at this quick-test scale is shot-noise limited (the
     // decisive comparison is the Figure 12 harness); here we only require that the
@@ -78,8 +89,9 @@ fn decoders_agree_on_surface_code_order_of_magnitude() {
     let bposd = BpOsdDecoder::new(&dem);
     let uf = UnionFindDecoder::new(&dem);
     let shots = 800;
-    let a = estimate_logical_error_rate(&dem, &bposd, shots, 5, 4);
-    let b = estimate_logical_error_rate(&dem, &uf, shots, 5, 4);
+    let runtime = Runtime::new(RuntimeConfig::new(4, 64, 0));
+    let a = estimate_logical_error_rate(&dem, &bposd, shots, 5, &runtime);
+    let b = estimate_logical_error_rate(&dem, &uf, shots, 5, &runtime);
     // Union-find is less accurate but must stay within an order of magnitude.
     assert!(b.failures <= 10 * a.failures.max(3));
 }

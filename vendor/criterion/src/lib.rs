@@ -1,0 +1,231 @@
+//! Offline drop-in subset of the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking API.
+//!
+//! The build environment has no access to crates.io, so this crate provides the
+//! interface the workspace's benches use — [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`black_box`], [`criterion_group!`] and
+//! [`criterion_main!`] — backed by a simple but honest measurement loop:
+//! warm-up, then timed samples of adaptively sized batches, reporting
+//! min / mean / max per-iteration times.
+//!
+//! It is intentionally not a statistics suite; it exists so `cargo bench`
+//! compiles, runs and prints comparable numbers in this offline environment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// A single benchmark measurement, in per-iteration nanoseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Minimum observed per-iteration time.
+    pub min_ns: f64,
+    /// Mean per-iteration time across samples.
+    pub mean_ns: f64,
+    /// Maximum observed per-iteration time.
+    pub max_ns: f64,
+}
+
+/// The benchmark driver. Mirrors `criterion::Criterion`'s builder methods.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+    results: Vec<(String, Sample)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Honour the filter argument `cargo bench <filter>` forwards to the
+        // bench binary, ignoring harness flags such as `--bench`.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+            filter,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Sets the total time budget for the timed samples of one benchmark.
+    pub fn measurement_time(mut self, time: Duration) -> Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Sets the warm-up time before sampling starts.
+    pub fn warm_up_time(mut self, time: Duration) -> Self {
+        self.warm_up_time = time;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            sample: None,
+        };
+        f(&mut bencher);
+        match bencher.sample {
+            Some(s) => {
+                println!(
+                    "{name:<45} time: [{} {} {}]",
+                    format_ns(s.min_ns),
+                    format_ns(s.mean_ns),
+                    format_ns(s.max_ns)
+                );
+                self.results.push((name.to_string(), s));
+            }
+            None => println!("{name:<45} (no measurement: Bencher::iter never called)"),
+        }
+        self
+    }
+
+    /// Returns the measurements recorded so far (shim extension: real criterion
+    /// reports through its own output machinery, this shim lets bench binaries
+    /// persist baselines themselves).
+    pub fn results(&self) -> &[(String, Sample)] {
+        &self.results
+    }
+}
+
+/// Times a closure inside [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample: Option<Sample>,
+}
+
+impl Bencher {
+    /// Measures `f`, storing per-iteration statistics for the driver to report.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate a batch size targeting ~ measurement_time /
+        // sample_size per batch.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns = 0.0f64;
+        let mut total_ns = 0.0f64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+            min_ns = min_ns.min(ns);
+            max_ns = max_ns.max(ns);
+            total_ns += ns;
+        }
+        self.sample = Some(Sample {
+            min_ns,
+            mean_ns: total_ns / self.sample_size as f64,
+            max_ns,
+        });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        c.filter = None;
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| black_box(1u64 + 1));
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_and_main_macros_expand() {
+        fn target(c: &mut Criterion) {
+            let _ = c;
+        }
+        criterion_group!(smoke_group, target);
+        smoke_group();
+    }
+}

@@ -1,0 +1,290 @@
+//! Offline drop-in subset of the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing API.
+//!
+//! The build environment has no access to crates.io, so this crate implements
+//! the narrow interface the workspace's property tests use: the [`proptest!`]
+//! macro with `arg in strategy` bindings, [`prop_assert!`] /
+//! [`prop_assert_eq!`], [`strategy::Strategy`] implementations for integer
+//! ranges and `any::<bool>()` / `any::<u64>()`, and
+//! [`collection::vec`] with either a fixed size or a size range.
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case reports the
+//! deterministic case index so it can be replayed (cases are generated from a
+//! fixed seed, so failures are stable across runs and machines).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+
+/// Strategy trait and implementations.
+pub mod strategy {
+    use super::*;
+    use rand::Rng;
+
+    /// Generates values of type `Self::Value` from an RNG.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    /// Strategy for a `Range<T>` of integers: uniform in `[start, end)`.
+    impl Strategy for std::ops::Range<usize> {
+        type Value = usize;
+        fn generate(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for std::ops::Range<u64> {
+        type Value = u64;
+        fn generate(&self, rng: &mut StdRng) -> u64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for std::ops::Range<i32> {
+        type Value = i32;
+        fn generate(&self, rng: &mut StdRng) -> i32 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// The `any::<T>()` strategy: the full domain of `T`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    /// Creates the [`Any`] strategy for `T`.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy,
+    {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    impl Strategy for Any<u64> {
+        type Value = u64;
+        fn generate(&self, rng: &mut StdRng) -> u64 {
+            rng.gen_range(0..=u64::MAX)
+        }
+    }
+
+    impl Strategy for Any<u8> {
+        type Value = u8;
+        fn generate(&self, rng: &mut StdRng) -> u8 {
+            rng.gen_range(0..=u8::MAX)
+        }
+    }
+
+    impl Strategy for Any<usize> {
+        type Value = usize;
+        fn generate(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(0..=usize::MAX)
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::*;
+    use rand::Rng;
+
+    /// A number of elements: fixed, or uniform within a range.
+    #[derive(Debug, Clone)]
+    pub enum SizeRange {
+        /// Exactly this many elements.
+        Exact(usize),
+        /// Uniform in `[start, end)`.
+        Range(std::ops::Range<usize>),
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange::Exact(n)
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange::Range(r)
+        }
+    }
+
+    /// Strategy producing a `Vec` whose elements come from `element` and whose
+    /// length comes from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a [`VecStrategy`]; mirrors `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = match &self.size {
+                SizeRange::Exact(n) => *n,
+                SizeRange::Range(r) if r.is_empty() => r.start,
+                SizeRange::Range(r) => rng.gen_range(r.clone()),
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Per-test configuration; mirrors `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Everything a property test needs; mirrors `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+}
+
+/// Asserts a condition inside a property (no shrinking; panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Defines property tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` expands to a `#[test]` that
+/// evaluates the body for `cases` generated inputs (default 256, override with
+/// `#![proptest_config(...)]` as the first item). Generation is seeded from
+/// the test name, so runs are deterministic and a reported failing case index
+/// is replayable.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                use $crate::strategy::Strategy as _;
+                use rand::SeedableRng as _;
+                let config: $crate::ProptestConfig = $config;
+                // Seed from the property name: deterministic, distinct per test.
+                let seed = stringify!($name)
+                    .bytes()
+                    .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+                    });
+                for case in 0..config.cases {
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(
+                        seed.wrapping_add(case as u64),
+                    );
+                    $(let $arg = ($strategy).generate(&mut rng);)+
+                    let run = || -> () { $body };
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest case {case}/{} of {} failed",
+                            config.cases,
+                            stringify!($name),
+                        );
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$attr])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_sizes_respect_range(v in collection::vec(any::<bool>(), 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+        }
+
+        #[test]
+        fn fixed_size_vecs_are_exact(v in collection::vec(any::<u64>(), 10)) {
+            prop_assert_eq!(v.len(), 10);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_and_ranges_work(x in 1usize..12, y in any::<u64>()) {
+            prop_assert!((1..12).contains(&x));
+            prop_assert_ne!(x, 0);
+            let _ = y;
+        }
+    }
+}
