@@ -1,7 +1,9 @@
 //! Figure 6: logical performance of a d = 3 surface code under a good (hand-designed)
 //! vs poor CNOT schedule, over a sweep of physical error rates.
 
-use prophunt_bench::{runtime_config_from_env, sweep_logical_error_rates};
+use prophunt_bench::{
+    ler_record, runtime_config_from_env, sweep_logical_error_rates, write_bench_report,
+};
 use prophunt_circuit::schedule::ScheduleSpec;
 use prophunt_qec::surface::rotated_surface_code_with_layout;
 
@@ -17,7 +19,12 @@ fn main() {
     let ps = [2e-3, 5e-3, 1e-2, 2e-2];
     let good_sweep = sweep_logical_error_rates(&code, &good, 3, &ps, shots, 11, &runtime);
     let poor_sweep = sweep_logical_error_rates(&code, &poor, 3, &ps, shots, 11, &runtime);
+    let mut records = Vec::new();
     for ((p, g), (_, b)) in good_sweep.into_iter().zip(poor_sweep) {
         println!("{p:>10.4} {:>14.5} {:>14.5}", g.rate(), b.rate());
+        records.push(ler_record("good", p, 0.0, &g, 11, &runtime));
+        records.push(ler_record("poor", p, 0.0, &b, 11, &runtime));
     }
+    let path = write_bench_report("fig06_schedules", &records).expect("write benchmark report");
+    println!("data written to {}", path.display());
 }

@@ -3,9 +3,12 @@
 
 use prophunt::{PropHunt, PropHuntConfig};
 use prophunt_bench::{
-    benchmark_suite, runtime_config_from_env, stage_seed, sweep_logical_error_rates,
+    benchmark_suite, ler_record, runtime_config_from_env, stage_seed, sweep_logical_error_rates,
+    write_bench_report,
 };
 use prophunt_circuit::schedule::ScheduleSpec;
+use prophunt_formats::report::ReportRecord;
+use prophunt_formats::Json;
 
 fn main() {
     let full = std::env::var("PROPHUNT_FULL").is_ok();
@@ -16,6 +19,7 @@ fn main() {
         &[2e-3, 8e-3]
     };
     let runtime = runtime_config_from_env();
+    let mut records = Vec::new();
     println!("Figure 12: logical error rates, coloration start vs PropHunt end vs hand-designed");
     for bench in benchmark_suite(full) {
         let code = &bench.code;
@@ -40,6 +44,24 @@ fn main() {
             result.final_depth(),
             result.total_changes_applied()
         );
+        records.push(ReportRecord::Table {
+            name: "fig12_optimization".into(),
+            fields: vec![
+                ("code".into(), Json::Str(code.name().to_string())),
+                (
+                    "baseline_depth".into(),
+                    Json::UInt(baseline.depth().unwrap() as u64),
+                ),
+                (
+                    "final_depth".into(),
+                    Json::UInt(result.final_depth() as u64),
+                ),
+                (
+                    "changes".into(),
+                    Json::UInt(result.total_changes_applied() as u64),
+                ),
+            ],
+        });
         println!(
             "{:>10} {:>14} {:>14} {:>14}",
             "p", "coloration", "prophunt", "hand"
@@ -59,6 +81,32 @@ fn main() {
             .as_ref()
             .map(|h| sweep_logical_error_rates(code, h, rounds, ps, shots, 21, &runtime));
         for (i, &p) in ps.iter().enumerate() {
+            records.push(ler_record(
+                format!("{}/coloration", code.name()),
+                p,
+                0.0,
+                &before[i].1,
+                21,
+                &runtime,
+            ));
+            records.push(ler_record(
+                format!("{}/prophunt", code.name()),
+                p,
+                0.0,
+                &after[i].1,
+                21,
+                &runtime,
+            ));
+            if let Some(h) = &hand {
+                records.push(ler_record(
+                    format!("{}/hand", code.name()),
+                    p,
+                    0.0,
+                    &h[i].1,
+                    21,
+                    &runtime,
+                ));
+            }
             let before = before[i].1.rate();
             let after = after[i].1.rate();
             match &hand {
@@ -70,4 +118,6 @@ fn main() {
             }
         }
     }
+    let path = write_bench_report("fig12_benchmark", &records).expect("write benchmark report");
+    println!("data written to {}", path.display());
 }

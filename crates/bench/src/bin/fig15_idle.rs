@@ -2,7 +2,8 @@
 //! with the paper's hardware points (superconducting, neutral atom, atom movement).
 
 use prophunt_bench::{
-    benchmark_suite, combined_logical_error_rate_with_idle, runtime_config_from_env,
+    benchmark_suite, combined_logical_error_rate_with_idle, ler_record, runtime_config_from_env,
+    write_bench_report,
 };
 use prophunt_circuit::schedule::ScheduleSpec;
 
@@ -26,6 +27,7 @@ fn main() {
         "{:<14} {:>14} {:>10} {:>14}",
         "code", "idle strength", "label", "LER"
     );
+    let mut records = Vec::new();
     for bench in benchmark_suite(false) {
         let schedule = match &bench.hand_designed {
             Some(h) => h.clone(),
@@ -33,7 +35,7 @@ fn main() {
         };
         let rounds = bench.rounds.min(3);
         for &(idle, label) in idle_points {
-            let ler = combined_logical_error_rate_with_idle(
+            let estimate = combined_logical_error_rate_with_idle(
                 &bench.code,
                 &schedule,
                 rounds,
@@ -42,15 +44,24 @@ fn main() {
                 shots,
                 17,
                 &runtime,
-            )
-            .rate();
+            );
             println!(
                 "{:<14} {:>14.1e} {:>10} {:>14.5}",
                 bench.code.name(),
                 idle,
                 label,
-                ler
+                estimate.rate()
             );
+            records.push(ler_record(
+                format!("{}/{label}", bench.code.name()),
+                gate_p,
+                idle,
+                &estimate,
+                17,
+                &runtime,
+            ));
         }
     }
+    let path = write_bench_report("fig15_idle", &records).expect("write benchmark report");
+    println!("data written to {}", path.display());
 }

@@ -1,7 +1,9 @@
 //! Table 1: the benchmark code suite, with the substituted LDPC instances' actual
 //! parameters computed on the fly.
 
-use prophunt_bench::benchmark_suite;
+use prophunt_bench::{benchmark_suite, write_bench_report};
+use prophunt_formats::report::ReportRecord;
+use prophunt_formats::Json;
 use prophunt_qec::distance::code_parameters;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -14,6 +16,7 @@ fn main() {
         "{:<14} {:>5} {:>4} {:>6} {:>12}",
         "code", "n", "k", "d_est", "max weight"
     );
+    let mut records = Vec::new();
     for bench in benchmark_suite(include_large) {
         let params = code_parameters(&bench.code, 150, &mut rng);
         println!(
@@ -24,5 +27,20 @@ fn main() {
             params.d_estimate,
             params.max_stabilizer_weight
         );
+        records.push(ReportRecord::Table {
+            name: "code_parameters".into(),
+            fields: vec![
+                ("code".into(), Json::Str(bench.code.name().to_string())),
+                ("n".into(), Json::UInt(params.n as u64)),
+                ("k".into(), Json::UInt(params.k as u64)),
+                ("d_est".into(), Json::UInt(params.d_estimate as u64)),
+                (
+                    "max_weight".into(),
+                    Json::UInt(params.max_stabilizer_weight as u64),
+                ),
+            ],
+        });
     }
+    let path = write_bench_report("tab01_codes", &records).expect("write benchmark report");
+    println!("data written to {}", path.display());
 }

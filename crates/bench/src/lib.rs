@@ -12,10 +12,13 @@
 use prophunt_circuit::schedule::ScheduleSpec;
 use prophunt_circuit::{DetectorErrorModel, MemoryBasis, MemoryExperiment, NoiseModel};
 use prophunt_decoders::{estimate_logical_error_rate, BpOsdDecoder, LogicalErrorEstimate};
+use prophunt_formats::report::ReportRecord;
+use prophunt_formats::write_report;
 use prophunt_qec::product::{bivariate_bicycle, generalized_bicycle};
 use prophunt_qec::surface::rotated_surface_code_with_layout;
 use prophunt_qec::CssCode;
 use prophunt_runtime::{Runtime, RuntimeConfig, SeedStream};
+use std::path::PathBuf;
 
 /// Builds the shared [`RuntimeConfig`] used by every bench binary.
 ///
@@ -51,6 +54,46 @@ pub fn runtime_config_from_env() -> RuntimeConfig {
 /// stages decorrelated from each other.
 pub fn stage_seed(runtime: &RuntimeConfig, label: u64) -> u64 {
     SeedStream::new(runtime.seed).substream(label).seed_for(0)
+}
+
+/// Writes one benchmark binary's data rows as `BENCH_<name>.jsonl` in the current
+/// directory and returns the path.
+///
+/// This is the single code path through which every figure/table binary persists
+/// its recorded outputs (the human-readable `println!` tables remain on stdout);
+/// the files round-trip through [`prophunt_formats::parse_report`].
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when the file cannot be written.
+pub fn write_bench_report(name: &str, records: &[ReportRecord]) -> std::io::Result<PathBuf> {
+    let path = PathBuf::from(format!("BENCH_{name}.jsonl"));
+    std::fs::write(&path, write_report(records))?;
+    Ok(path)
+}
+
+/// Builds the `ler` report record of one sweep point. `stage` is the stage label
+/// the estimate was seeded with (the `seed` argument of
+/// [`combined_logical_error_rate`] / [`sweep_logical_error_rates`]); the record
+/// stores the *effective* seed `stage_seed(runtime, stage)` — the value that
+/// actually reproduces the failure count bit-for-bit at this chunk size.
+pub fn ler_record(
+    label: impl Into<String>,
+    p: f64,
+    idle: f64,
+    estimate: &LogicalErrorEstimate,
+    stage: u64,
+    runtime: &RuntimeConfig,
+) -> ReportRecord {
+    ReportRecord::ler(
+        label,
+        p,
+        idle,
+        estimate.shots as u64,
+        estimate.failures as u64,
+        stage_seed(runtime, stage),
+        runtime.chunk_size as u64,
+    )
 }
 
 /// A benchmark code together with its optional hand-designed schedule.

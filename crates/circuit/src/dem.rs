@@ -235,6 +235,83 @@ impl DetectorErrorModel {
         }
     }
 
+    /// Rebuilds a detector error model from its serialized parts: detector/observable
+    /// counts and an explicit mechanism list. This is the constructor behind the
+    /// `prophunt-formats` `.dem` parser; mechanisms reconstructed from a file carry no
+    /// [`FaultSource`]s (the file format does not record circuit provenance).
+    ///
+    /// Detector and observable index lists are sorted; mechanisms are kept in the given
+    /// order and are *not* merged by signature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidErrorModel`] if any mechanism names a detector
+    /// `>= num_detectors` or observable `>= num_observables`, repeats an index, or has a
+    /// probability outside `[0, 1]`.
+    pub fn from_parts(
+        num_detectors: usize,
+        num_observables: usize,
+        mut errors: Vec<ErrorMechanism>,
+    ) -> Result<Self, crate::CircuitError> {
+        let invalid = |reason: String| crate::CircuitError::InvalidErrorModel { reason };
+        for (i, err) in errors.iter_mut().enumerate() {
+            if !(0.0..=1.0).contains(&err.probability) {
+                return Err(invalid(format!(
+                    "error mechanism {i} has probability {} outside [0, 1]",
+                    err.probability
+                )));
+            }
+            err.detectors.sort_unstable();
+            err.observables.sort_unstable();
+            if err.detectors.windows(2).any(|w| w[0] == w[1]) {
+                return Err(invalid(format!("error mechanism {i} repeats a detector")));
+            }
+            if err.observables.windows(2).any(|w| w[0] == w[1]) {
+                return Err(invalid(format!(
+                    "error mechanism {i} repeats an observable"
+                )));
+            }
+            if let Some(&d) = err.detectors.last() {
+                if d >= num_detectors {
+                    return Err(invalid(format!(
+                        "error mechanism {i} flips detector {d} but the model has {num_detectors}"
+                    )));
+                }
+            }
+            if let Some(&o) = err.observables.last() {
+                if o >= num_observables {
+                    return Err(invalid(format!(
+                        "error mechanism {i} flips observable {o} but the model has {num_observables}"
+                    )));
+                }
+            }
+        }
+        Ok(DetectorErrorModel {
+            num_detectors,
+            num_observables,
+            errors,
+        })
+    }
+
+    /// Returns `true` if `self` and `other` describe the same error distribution: equal
+    /// detector/observable counts and, mechanism by mechanism *in order*, bit-identical
+    /// probabilities and identical detector/observable signatures.
+    ///
+    /// Fault provenance ([`ErrorMechanism::sources`]) is deliberately ignored — it is
+    /// what the `.dem` file format cannot carry, and it does not affect sampling or
+    /// decoding. Two models equal under this predicate produce identical
+    /// [`DemSampler`] streams for every seed.
+    pub fn same_distribution(&self, other: &Self) -> bool {
+        self.num_detectors == other.num_detectors
+            && self.num_observables == other.num_observables
+            && self.errors.len() == other.errors.len()
+            && self.errors.iter().zip(other.errors.iter()).all(|(a, b)| {
+                a.probability.to_bits() == b.probability.to_bits()
+                    && a.detectors == b.detectors
+                    && a.observables == b.observables
+            })
+    }
+
     /// Returns the number of detectors (rows of `H`).
     pub fn num_detectors(&self) -> usize {
         self.num_detectors

@@ -67,6 +67,18 @@ pub enum CircuitError {
     },
     /// The schedule does not cover every (stabilizer, data-qubit) pair of the code.
     IncompleteSchedule,
+    /// The schedule's components are internally inconsistent (bad stabilizer ids,
+    /// duplicate qubits in an order, a relative order naming an absent pair, ...).
+    InvalidSchedule {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// A detector error model's components are internally inconsistent (detector or
+    /// observable indices out of range, probabilities outside `[0, 1]`).
+    InvalidErrorModel {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for CircuitError {
@@ -81,6 +93,12 @@ impl std::fmt::Display for CircuitError {
             ),
             CircuitError::IncompleteSchedule => {
                 write!(f, "schedule does not cover every stabilizer/data-qubit pair of the code")
+            }
+            CircuitError::InvalidSchedule { reason } => {
+                write!(f, "invalid schedule: {reason}")
+            }
+            CircuitError::InvalidErrorModel { reason } => {
+                write!(f, "invalid detector error model: {reason}")
             }
         }
     }

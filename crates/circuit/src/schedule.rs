@@ -160,6 +160,20 @@ impl ScheduleSpec {
         order.insert(to, qubit_to_move);
     }
 
+    /// Returns every recorded relative order as `(qubit, a, b, first)` with `a < b` and
+    /// `first ∈ {a, b}`, in deterministic `(qubit, a, b)` order.
+    ///
+    /// Together with [`ScheduleSpec::order`] this exposes the complete state of a
+    /// schedule, which is what the `prophunt-formats` schedule file format serializes
+    /// ([`ScheduleSpec::from_components`] is the inverse).
+    pub fn relative_entries(
+        &self,
+    ) -> impl Iterator<Item = (usize, StabilizerId, StabilizerId, StabilizerId)> + '_ {
+        self.relative
+            .iter()
+            .map(|(&(q, a, b), &first)| (q, a, b, first))
+    }
+
     /// Returns every `(qubit, other_stabilizer)` pair for which `other_stabilizer` shares
     /// `qubit` with `s`.
     pub fn neighbors_of(&self, s: StabilizerId) -> Vec<(usize, StabilizerId)> {
@@ -187,18 +201,55 @@ impl ScheduleSpec {
     /// # Panics
     ///
     /// Panics if the orders are inconsistent with the code's check matrices (missing or
-    /// extra qubits).
+    /// extra qubits). Use [`ScheduleSpec::try_from_orders`] for a fallible variant.
     pub fn from_orders(
         code: &CssCode,
         x_orders: Vec<Vec<usize>>,
         z_orders: Vec<Vec<usize>>,
         qubit_orders: Vec<Vec<StabilizerId>>,
     ) -> ScheduleSpec {
+        Self::try_from_orders(code, x_orders, z_orders, qubit_orders)
+            .expect("orders must be consistent with the code's check matrices")
+    }
+
+    /// Fallible variant of [`ScheduleSpec::from_orders`]: builds a schedule from explicit
+    /// per-stabilizer orders and per-qubit stabilizer orders, validating instead of
+    /// panicking. This is the entry point used when the orders come from *outside* the
+    /// process (e.g. a parsed schedule file) rather than from a trusted constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidSchedule`] if the order lists have the wrong
+    /// lengths, name out-of-range stabilizers, order a stabilizer against itself, or do
+    /// not cover exactly the code's Tanner graph.
+    pub fn try_from_orders(
+        code: &CssCode,
+        x_orders: Vec<Vec<usize>>,
+        z_orders: Vec<Vec<usize>>,
+        qubit_orders: Vec<Vec<StabilizerId>>,
+    ) -> Result<ScheduleSpec, CircuitError> {
         let num_x = code.num_x_stabilizers();
         let num_z = code.num_z_stabilizers();
-        assert_eq!(x_orders.len(), num_x, "x_orders length mismatch");
-        assert_eq!(z_orders.len(), num_z, "z_orders length mismatch");
-        assert_eq!(qubit_orders.len(), code.n(), "qubit_orders length mismatch");
+        let invalid = |reason: String| CircuitError::InvalidSchedule { reason };
+        if x_orders.len() != num_x {
+            return Err(invalid(format!(
+                "expected {num_x} X-stabilizer orders, got {}",
+                x_orders.len()
+            )));
+        }
+        if z_orders.len() != num_z {
+            return Err(invalid(format!(
+                "expected {num_z} Z-stabilizer orders, got {}",
+                z_orders.len()
+            )));
+        }
+        if qubit_orders.len() != code.n() {
+            return Err(invalid(format!(
+                "expected {} per-qubit orders, got {}",
+                code.n(),
+                qubit_orders.len()
+            )));
+        }
         let mut orders = x_orders;
         orders.extend(z_orders);
         let mut spec = ScheduleSpec {
@@ -208,14 +259,102 @@ impl ScheduleSpec {
             relative: BTreeMap::new(),
         };
         for (q, stabs) in qubit_orders.iter().enumerate() {
+            for (i, &s) in stabs.iter().enumerate() {
+                if s >= spec.num_stabilizers() {
+                    return Err(invalid(format!(
+                        "qubit {q} orders an out-of-range stabilizer id {s}"
+                    )));
+                }
+                if stabs[..i].contains(&s) {
+                    return Err(invalid(format!(
+                        "qubit {q} lists stabilizer {s} twice in its order"
+                    )));
+                }
+            }
             for i in 0..stabs.len() {
                 for j in i + 1..stabs.len() {
                     spec.set_relative_order(q, stabs[i], stabs[j]);
                 }
             }
         }
-        spec.assert_covers(code);
-        spec
+        spec.check_covers(code)?;
+        Ok(spec)
+    }
+
+    /// Rebuilds a schedule from its serialized components: the stabilizer counts, the
+    /// per-stabilizer interaction orders, and the list of `(qubit, first, second)`
+    /// relative orders — exactly what [`ScheduleSpec::order`] and
+    /// [`ScheduleSpec::relative_entries`] expose.
+    ///
+    /// Unlike [`ScheduleSpec::try_from_orders`], this does not require the code: a
+    /// schedule file is self-contained. Consistency with a particular code is checked
+    /// separately by [`ScheduleSpec::validate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidSchedule`] if `orders` has the wrong length, an
+    /// order repeats a qubit, or a relative entry names an out-of-range stabilizer,
+    /// orders a stabilizer against itself, involves a stabilizer that does not act on
+    /// the named qubit, or contradicts an earlier entry for the same pair.
+    pub fn from_components(
+        num_x: usize,
+        num_z: usize,
+        orders: Vec<Vec<usize>>,
+        relative: impl IntoIterator<Item = (usize, StabilizerId, StabilizerId)>,
+    ) -> Result<ScheduleSpec, CircuitError> {
+        let invalid = |reason: String| CircuitError::InvalidSchedule { reason };
+        let num_stabs = num_x + num_z;
+        if orders.len() != num_stabs {
+            return Err(invalid(format!(
+                "expected {num_stabs} stabilizer orders ({num_x} X + {num_z} Z), got {}",
+                orders.len()
+            )));
+        }
+        for (s, order) in orders.iter().enumerate() {
+            let mut seen = order.clone();
+            seen.sort_unstable();
+            if seen.windows(2).any(|w| w[0] == w[1]) {
+                return Err(invalid(format!(
+                    "stabilizer {s} lists a data qubit twice in its order"
+                )));
+            }
+        }
+        let mut spec = ScheduleSpec {
+            num_x,
+            num_z,
+            orders,
+            relative: BTreeMap::new(),
+        };
+        for (qubit, first, second) in relative {
+            if first == second {
+                return Err(invalid(format!(
+                    "qubit {qubit}: stabilizer {first} is ordered against itself"
+                )));
+            }
+            for s in [first, second] {
+                if s >= num_stabs {
+                    return Err(invalid(format!(
+                        "qubit {qubit}: stabilizer id {s} out of range (have {num_stabs})"
+                    )));
+                }
+                if !spec.orders[s].contains(&qubit) {
+                    return Err(invalid(format!(
+                        "qubit {qubit}: stabilizer {s} does not act on this qubit"
+                    )));
+                }
+            }
+            // Reject duplicate/conflicting entries instead of silently letting the
+            // last one win — a hand-edited file with both `first q : a b` and
+            // `first q : b a` is a mistake the author needs to see.
+            if let Some(previous) = spec.first_on_qubit(qubit, first, second) {
+                return Err(invalid(format!(
+                    "qubit {qubit}: pair ({first}, {second}) is ordered twice \
+                     (earlier entry puts {previous} first)"
+                )));
+            }
+            spec.set_relative_order(qubit, first, second);
+        }
+        Ok(spec)
     }
 
     /// Builds the paper's baseline **coloration circuit** schedule (Algorithm 1 of
@@ -358,19 +497,59 @@ impl ScheduleSpec {
     // Validity and layout
     // ------------------------------------------------------------------
 
-    /// Checks that the schedule covers exactly the code's Tanner graph.
-    fn assert_covers(&self, code: &CssCode) {
+    /// Checks that the schedule covers exactly the code's Tanner graph: it must have one
+    /// order per stabilizer, each order must visit exactly the stabilizer's support, and
+    /// **every** pair of stabilizers sharing a data qubit — same-kind pairs included —
+    /// must have a recorded relative order. Without the last condition a schedule can
+    /// pass commutation checking (which only sees X/Z pairs) and then collide two CNOTs
+    /// on one data qubit in the same circuit moment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidSchedule`] naming the first mismatch.
+    pub fn check_covers(&self, code: &CssCode) -> Result<(), CircuitError> {
+        if self.num_x != code.num_x_stabilizers() || self.num_z != code.num_z_stabilizers() {
+            return Err(CircuitError::InvalidSchedule {
+                reason: format!(
+                    "schedule covers {}+{} stabilizers but the code has {}+{}",
+                    self.num_x,
+                    self.num_z,
+                    code.num_x_stabilizers(),
+                    code.num_z_stabilizers()
+                ),
+            });
+        }
         for s in 0..self.num_stabilizers() {
             let (kind, index) = self.kind_index(s);
             let mut expected = code.stabilizer_support(kind, index);
             let mut actual = self.orders[s].clone();
             expected.sort_unstable();
             actual.sort_unstable();
-            assert_eq!(
-                actual, expected,
-                "schedule order for stabilizer {s} does not match code support"
-            );
+            if actual != expected {
+                return Err(CircuitError::InvalidSchedule {
+                    reason: format!(
+                        "order for stabilizer {s} visits {actual:?} but the code support is {expected:?}"
+                    ),
+                });
+            }
         }
+        for (q, stabs) in code.qubit_stabilizers().into_iter().enumerate() {
+            for i in 0..stabs.len() {
+                for j in i + 1..stabs.len() {
+                    let a = self.stabilizer_id(stabs[i].0, stabs[i].1);
+                    let b = self.stabilizer_id(stabs[j].0, stabs[j].1);
+                    if self.first_on_qubit(q, a, b).is_none() {
+                        return Err(CircuitError::InvalidSchedule {
+                            reason: format!(
+                                "stabilizers {a} and {b} share data qubit {q} but the \
+                                 schedule does not order them (missing `first {q} : {a} {b}`)"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Verifies that the scheduled circuit still measures commuting operators.
@@ -483,8 +662,13 @@ impl ScheduleSpec {
         Ok(self.cnot_layers()?.len())
     }
 
-    /// Runs the full validity check: coverage is assumed (enforced at construction),
-    /// commutation must be preserved and the schedule must be layout-able.
+    /// Runs the validity check of the optimizer's inner loop: commutation must be
+    /// preserved and the schedule must be layout-able.
+    ///
+    /// Tanner-graph coverage is *not* re-checked here — trusted constructors enforce
+    /// it and schedule mutations preserve it, and this method runs once per candidate
+    /// change. Schedules arriving from outside the process (a parsed schedule file)
+    /// should go through [`ScheduleSpec::validate_for_code`] instead.
     ///
     /// # Errors
     ///
@@ -493,6 +677,17 @@ impl ScheduleSpec {
         self.check_commutation(code)?;
         self.cnot_layers()?;
         Ok(())
+    }
+
+    /// The full boundary check for externally supplied schedules: Tanner-graph
+    /// coverage ([`ScheduleSpec::check_covers`]) plus [`ScheduleSpec::validate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing [`CircuitError`].
+    pub fn validate_for_code(&self, code: &CssCode) -> Result<(), CircuitError> {
+        self.check_covers(code)?;
+        self.validate(code)
     }
 
     /// Applies a random valid permutation to every stabilizer's order and derives
@@ -822,6 +1017,66 @@ mod tests {
         a.validate(&code).unwrap();
         b.validate(&code).unwrap();
         assert_ne!(a, b, "random colorations should differ for d=5");
+    }
+
+    #[test]
+    fn from_components_rejects_conflicting_first_entries() {
+        let (code, layout) = rotated_surface_code_with_layout(3);
+        let schedule = ScheduleSpec::surface_hand_designed(&code, &layout);
+        let orders: Vec<Vec<usize>> = (0..schedule.num_stabilizers())
+            .map(|s| schedule.order(s).to_vec())
+            .collect();
+        let (q, a, b, first) = schedule.relative_entries().next().unwrap();
+        let second = if first == a { b } else { a };
+        // The same pair ordered twice — even consistently — must be rejected, so a
+        // conflicting hand-edit can never silently lose one of its lines.
+        let err = ScheduleSpec::from_components(
+            schedule.num_x_stabilizers(),
+            schedule.num_z_stabilizers(),
+            orders,
+            [(q, first, second), (q, second, first)],
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, CircuitError::InvalidSchedule { reason } if reason.contains("twice"))
+        );
+    }
+
+    #[test]
+    fn check_covers_requires_same_kind_pairs_to_be_ordered() {
+        use prophunt_qec::small::quantum_repetition_code;
+        let code = quantum_repetition_code(3);
+        // Both Z checks act on qubit 1, but the file gave no `first 1 : 0 1` line.
+        // Commutation checking never sees same-kind pairs, so without this check the
+        // schedule would reach circuit construction and collide two CNOTs on qubit 1.
+        let spec = ScheduleSpec::from_components(0, 2, vec![vec![1, 0], vec![1, 2]], []).unwrap();
+        assert!(matches!(
+            spec.check_covers(&code),
+            Err(CircuitError::InvalidSchedule { .. })
+        ));
+        assert!(spec.validate_for_code(&code).is_err());
+        // Adding the missing order makes the same schedule pass.
+        let spec =
+            ScheduleSpec::from_components(0, 2, vec![vec![1, 0], vec![1, 2]], [(1, 0, 1)]).unwrap();
+        spec.validate_for_code(&code).unwrap();
+    }
+
+    #[test]
+    fn try_from_orders_rejects_single_out_of_range_qubit_order() {
+        use prophunt_qec::small::quantum_repetition_code;
+        let code = quantum_repetition_code(3);
+        // z checks act on {0,1} and {1,2}; qubit 2's order names a bogus stabilizer
+        // as its only entry, which must still be caught.
+        let err = ScheduleSpec::try_from_orders(
+            &code,
+            vec![],
+            vec![vec![0, 1], vec![1, 2]],
+            vec![vec![0], vec![0, 1], vec![999]],
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, CircuitError::InvalidSchedule { reason } if reason.contains("out-of-range"))
+        );
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! A small `--flag value` argument parser with typed accessors.
+//!
+//! Every flag takes exactly one value; unknown flags, repeated flags and missing
+//! values are usage errors (exit code 2). No third-party parser is used because the
+//! vendor tree is offline-only.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// A CLI failure, split by exit code.
+#[derive(Debug)]
+pub enum CliError {
+    /// The invocation itself is wrong (unknown flag, missing argument): exit 2.
+    Usage(String),
+    /// The invocation is well-formed but the operation failed (parse error,
+    /// invalid schedule, I/O): exit 1.
+    Failure(String),
+}
+
+impl CliError {
+    /// Convenience constructor for [`CliError::Failure`].
+    pub fn failure(message: impl fmt::Display) -> CliError {
+        CliError::Failure(message.to_string())
+    }
+
+    /// Convenience constructor for [`CliError::Usage`].
+    pub fn usage(message: impl fmt::Display) -> CliError {
+        CliError::Usage(message.to_string())
+    }
+}
+
+/// Parsed `--flag value` pairs.
+pub struct Flags {
+    values: BTreeMap<String, String>,
+}
+
+impl Flags {
+    /// Parses `args`, accepting only flags named in `allowed` (canonical long names
+    /// without the leading `--`; `-o` is an alias for `--out`).
+    pub fn parse(args: &[String], allowed: &[&str]) -> Result<Flags, CliError> {
+        let mut values = BTreeMap::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let name = match arg.as_str() {
+                "-o" => "out",
+                s => s.strip_prefix("--").ok_or_else(|| {
+                    CliError::usage(format!("unexpected positional argument {s:?}"))
+                })?,
+            };
+            if !allowed.contains(&name) {
+                return Err(CliError::usage(format!(
+                    "unknown flag --{name} (expected one of: {})",
+                    allowed
+                        .iter()
+                        .map(|f| format!("--{f}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| CliError::usage(format!("flag --{name} needs a value")))?;
+            if values.insert(name.to_string(), value.clone()).is_some() {
+                return Err(CliError::usage(format!("flag --{name} given twice")));
+            }
+        }
+        Ok(Flags { values })
+    }
+
+    /// Returns a flag's value if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Returns a required flag's value.
+    pub fn require(&self, name: &str) -> Result<&str, CliError> {
+        self.get(name)
+            .ok_or_else(|| CliError::usage(format!("missing required flag --{name}")))
+    }
+
+    /// Parses an optional numeric flag, falling back to `default`.
+    pub fn num<T>(&self, name: &str, default: T) -> Result<T, CliError>
+    where
+        T: FromStr + Copy,
+    {
+        match self.get(name) {
+            None => Ok(default),
+            Some(text) => text.parse::<T>().map_err(|_| {
+                CliError::usage(format!("flag --{name} has an invalid value {text:?}"))
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs_and_aliases() {
+        let flags = Flags::parse(
+            &strings(&["--code", "surface:3", "-o", "x.dem"]),
+            &["code", "out"],
+        )
+        .unwrap();
+        assert_eq!(flags.get("code"), Some("surface:3"));
+        assert_eq!(flags.get("out"), Some("x.dem"));
+        assert_eq!(flags.num("shots", 500u64).unwrap(), 500);
+    }
+
+    #[test]
+    fn rejects_bad_invocations() {
+        assert!(matches!(
+            Flags::parse(&strings(&["positional"]), &[]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            Flags::parse(&strings(&["--nope", "1"]), &["code"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            Flags::parse(&strings(&["--code"]), &["code"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            Flags::parse(&strings(&["--code", "a", "--code", "b"]), &["code"]),
+            Err(CliError::Usage(_))
+        ));
+        let flags = Flags::parse(&strings(&["--shots", "abc"]), &["shots"]).unwrap();
+        assert!(matches!(flags.num("shots", 1u64), Err(CliError::Usage(_))));
+        assert!(matches!(flags.require("seed"), Err(CliError::Usage(_))));
+    }
+}

@@ -1,0 +1,70 @@
+//! `prophunt check` — re-parse any emitted file, auto-detecting its format.
+//!
+//! Used by CI (and humans) to confirm that every artifact the tool wrote can be
+//! read back. Detection is by content: the `prophunt-code v1` /
+//! `prophunt-schedule v1` headers, a leading `{` for JSON-lines reports, and the
+//! Stim DEM instruction set otherwise.
+
+use crate::args::CliError;
+use crate::common::read_file;
+use prophunt_formats::{
+    code::CODE_SPEC_HEADER, parse_code_spec, parse_dem, parse_report, parse_schedule,
+    schedule::SCHEDULE_HEADER,
+};
+
+pub const USAGE: &str = "\
+prophunt check <file>...
+
+  Re-parses each file (code spec, schedule, .dem, or JSON-lines report,
+  auto-detected by content) and prints a one-line summary. Exits non-zero on the
+  first file that fails to parse.";
+
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    if args.is_empty() {
+        return Err(CliError::usage("check needs at least one file"));
+    }
+    if let Some(flag) = args.iter().find(|a| a.starts_with('-')) {
+        return Err(CliError::usage(format!(
+            "check takes file paths only, got {flag:?}"
+        )));
+    }
+    for path in args {
+        let content = read_file(path)?;
+        let summary = check_one(&content).map_err(|e| CliError::Failure(format!("{path}: {e}")))?;
+        println!("{path}: {summary}");
+    }
+    Ok(())
+}
+
+fn check_one(content: &str) -> Result<String, String> {
+    let first_line = content
+        .lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .unwrap_or("");
+    if first_line == CODE_SPEC_HEADER {
+        let spec = parse_code_spec(content).map_err(|e| e.to_string())?;
+        let code = spec.to_code().map_err(|e| e.to_string())?;
+        Ok(format!("code spec, {code}"))
+    } else if first_line == SCHEDULE_HEADER {
+        let schedule = parse_schedule(content).map_err(|e| e.to_string())?;
+        Ok(format!(
+            "schedule, {} stabilizers, CNOT depth {}",
+            schedule.num_stabilizers(),
+            schedule
+                .depth()
+                .map_err(|e| format!("schedule does not lay out: {e}"))?
+        ))
+    } else if first_line.starts_with('{') {
+        let records = parse_report(content).map_err(|e| e.to_string())?;
+        Ok(format!("report, {} records", records.len()))
+    } else {
+        let dem = parse_dem(content).map_err(|e| e.to_string())?;
+        Ok(format!(
+            "detector error model, {} detectors, {} observables, {} error mechanisms",
+            dem.num_detectors(),
+            dem.num_observables(),
+            dem.num_errors()
+        ))
+    }
+}

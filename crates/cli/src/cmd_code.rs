@@ -1,0 +1,43 @@
+//! `prophunt code` — emit a code spec from a family, or validate a spec file.
+
+use crate::args::{CliError, Flags};
+use crate::common::{read_file, write_output};
+use prophunt_formats::{parse_code_spec, resolve_family, write_code_spec, CodeSpec};
+
+pub const USAGE: &str = "\
+prophunt code --family <family> [-o <file>]
+prophunt code --validate <spec-file>
+
+  --family    code family to emit as a spec: surface:<d>, steane, repetition:<n>,
+              generalized_bicycle:<l>:<a exps>:<b exps>,
+              bivariate_bicycle:<l>:<m>:<a terms>:<b terms>
+  --validate  parse a spec file, rebuild the code and print its parameters
+  -o, --out   write the spec to a file instead of stdout";
+
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["family", "validate", "out"])?;
+    match (flags.get("family"), flags.get("validate")) {
+        (Some(family), None) => {
+            let resolved = resolve_family(family).map_err(CliError::failure)?;
+            let spec = CodeSpec::from_code(&resolved.code);
+            write_output(flags.get("out"), &write_code_spec(&spec))
+        }
+        (None, Some(path)) => {
+            let spec = parse_code_spec(&read_file(path)?)
+                .map_err(|e| CliError::failure(format!("{path}: {e}")))?;
+            let code = spec
+                .to_code()
+                .map_err(|e| CliError::failure(format!("{path}: {e}")))?;
+            println!(
+                "{code}: {} X stabilizers, {} Z stabilizers, max weight {}",
+                code.num_x_stabilizers(),
+                code.num_z_stabilizers(),
+                code.max_stabilizer_weight()
+            );
+            Ok(())
+        }
+        _ => Err(CliError::usage(
+            "code needs exactly one of --family or --validate",
+        )),
+    }
+}

@@ -1,0 +1,48 @@
+//! `prophunt dem` — build a detector error model and write it as a `.dem` file.
+
+use crate::args::{CliError, Flags};
+use crate::common::{load_code, load_schedule, probability_flag, write_output};
+use prophunt_circuit::{DetectorErrorModel, MemoryBasis, MemoryExperiment, NoiseModel};
+use prophunt_formats::write_dem;
+
+pub const USAGE: &str = "\
+prophunt dem --code <family-or-spec-file> [options] [-o <file>]
+
+  --code      code family (surface:3, ...) or path to a prophunt-code spec file
+  --schedule  coloration (default), hand (surface codes), or a schedule file
+  --rounds    syndrome-measurement rounds (default 3)
+  --basis     memory basis: z (default) or x
+  --p         physical error rate (default 0.001)
+  --idle      idle error strength (default 0)
+  -o, --out   write the .dem to a file instead of stdout";
+
+pub fn parse_basis(flags: &Flags) -> Result<MemoryBasis, CliError> {
+    match flags.get("basis").unwrap_or("z") {
+        "z" | "Z" => Ok(MemoryBasis::Z),
+        "x" | "X" => Ok(MemoryBasis::X),
+        other => Err(CliError::usage(format!(
+            "--basis must be z or x, got {other:?}"
+        ))),
+    }
+}
+
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(
+        args,
+        &["code", "schedule", "rounds", "basis", "p", "idle", "out"],
+    )?;
+    let resolved = load_code(flags.require("code")?)?;
+    let schedule = load_schedule(flags.get("schedule"), &resolved)?;
+    let rounds = flags.num("rounds", 3usize)?;
+    if rounds == 0 {
+        return Err(CliError::usage("--rounds must be at least 1"));
+    }
+    let basis = parse_basis(&flags)?;
+    let p = probability_flag(&flags, "p", 1e-3)?;
+    let idle = probability_flag(&flags, "idle", 0.0)?;
+    let experiment = MemoryExperiment::build(&resolved.code, &schedule, rounds, basis)
+        .map_err(|e| CliError::failure(format!("cannot build the memory experiment: {e}")))?;
+    let noise = NoiseModel::uniform_depolarizing(p).with_idle(idle);
+    let dem = DetectorErrorModel::from_experiment(&experiment, &noise);
+    write_output(flags.get("out"), &write_dem(&dem))
+}

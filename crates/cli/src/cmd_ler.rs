@@ -1,0 +1,177 @@
+//! `prophunt ler` — Monte-Carlo logical-error-rate estimation from a `.dem` file or
+//! from a code + schedule, honoring the deterministic `(seed, chunk_size)` contract.
+
+use crate::args::{CliError, Flags};
+use crate::cmd_dem::parse_basis;
+use crate::common::{load_code, load_schedule, probability_flag, read_file, runtime_from_flags};
+use prophunt_circuit::{DetectorErrorModel, MemoryBasis, MemoryExperiment, NoiseModel};
+use prophunt_decoders::{estimate_logical_error_rate, BpOsdDecoder, LogicalErrorEstimate};
+use prophunt_formats::parse_dem;
+use prophunt_formats::report::ReportRecord;
+use prophunt_runtime::{Runtime, RuntimeConfig};
+
+pub const USAGE: &str = "\
+prophunt ler --dem <file> [options]
+prophunt ler --code <family-or-spec-file> [--schedule <s>] [options]
+
+  --dem         estimate from an exported .dem file
+  --code        estimate from a code (family string or spec file) ...
+  --schedule    ... with this schedule: coloration (default), hand, or a file
+  --basis       memory basis for --code: z (default), x, or both
+  --rounds      rounds for --code (default 3)
+  --p           physical error rate for --code (default 0.001)
+  --idle        idle error strength for --code (default 0)
+  --shots       Monte-Carlo shots (default 2000)
+  --seed        base RNG seed (default 0); with --chunk-size it fixes the
+                failure count bit-for-bit at any thread count
+  --threads     worker threads (default 4; wall-clock only)
+  --chunk-size  shots per deterministic chunk (default 64)
+  --label       label stored in the emitted record (default dem/schedule source)
+  -o, --out     append the JSON-lines record(s) to a file as well as stdout";
+
+fn estimate(
+    dem: &DetectorErrorModel,
+    shots: usize,
+    runtime: &RuntimeConfig,
+) -> LogicalErrorEstimate {
+    let decoder = BpOsdDecoder::new(dem);
+    estimate_logical_error_rate(dem, &decoder, shots, runtime.seed, &Runtime::new(*runtime))
+}
+
+fn ler_record(
+    label: &str,
+    p: f64,
+    idle: f64,
+    est: &LogicalErrorEstimate,
+    runtime: &RuntimeConfig,
+) -> ReportRecord {
+    // The CLI estimates directly with runtime.seed (no stage derivation), so the
+    // recorded pair is exactly what reproduces the count.
+    ReportRecord::ler(
+        label,
+        p,
+        idle,
+        est.shots as u64,
+        est.failures as u64,
+        runtime.seed,
+        runtime.chunk_size as u64,
+    )
+}
+
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "dem",
+            "code",
+            "schedule",
+            "basis",
+            "rounds",
+            "p",
+            "idle",
+            "shots",
+            "seed",
+            "threads",
+            "chunk-size",
+            "label",
+            "out",
+        ],
+    )?;
+    let shots = flags.num("shots", 2000usize)?;
+    if shots == 0 {
+        return Err(CliError::usage("--shots must be at least 1"));
+    }
+    let runtime = runtime_from_flags(&flags)?;
+
+    let mut records = Vec::new();
+    match (flags.get("dem"), flags.get("code")) {
+        (Some(path), None) => {
+            // These knobs shape the model construction, which a .dem file has
+            // already baked in — accepting them silently would mislead.
+            for code_only in ["schedule", "basis", "rounds", "p", "idle"] {
+                if flags.get(code_only).is_some() {
+                    return Err(CliError::usage(format!(
+                        "--{code_only} only applies with --code; the .dem file fixes the model"
+                    )));
+                }
+            }
+            let dem = parse_dem(&read_file(path)?)
+                .map_err(|e| CliError::failure(format!("{path}: {e}")))?;
+            let est = estimate(&dem, shots, &runtime);
+            let label = flags.get("label").unwrap_or(path);
+            // A .dem file does not carry the physical error rate it was built from;
+            // store 0 rather than a misleading guess.
+            records.push(ler_record(label, 0.0, 0.0, &est, &runtime));
+        }
+        (None, Some(code_value)) => {
+            let resolved = load_code(code_value)?;
+            let schedule = load_schedule(flags.get("schedule"), &resolved)?;
+            let rounds = flags.num("rounds", 3usize)?;
+            if rounds == 0 {
+                return Err(CliError::usage("--rounds must be at least 1"));
+            }
+            let p = probability_flag(&flags, "p", 1e-3)?;
+            let idle = probability_flag(&flags, "idle", 0.0)?;
+            let bases: Vec<MemoryBasis> = match flags.get("basis") {
+                Some("both") => vec![MemoryBasis::Z, MemoryBasis::X],
+                _ => vec![parse_basis(&flags)?],
+            };
+            let noise = NoiseModel::uniform_depolarizing(p).with_idle(idle);
+            let default_label = flags.get("schedule").unwrap_or("coloration").to_string();
+            let label = flags.get("label").unwrap_or(&default_label);
+            let mut combined = LogicalErrorEstimate {
+                shots: 0,
+                failures: 0,
+            };
+            for basis in &bases {
+                let experiment = MemoryExperiment::build(&resolved.code, &schedule, rounds, *basis)
+                    .map_err(|e| {
+                        CliError::failure(format!("cannot build the memory experiment: {e}"))
+                    })?;
+                let dem = DetectorErrorModel::from_experiment(&experiment, &noise);
+                let est = estimate(&dem, shots, &runtime);
+                let basis_label = format!("{label}/{basis:?}");
+                records.push(ler_record(&basis_label, p, idle, &est, &runtime));
+                combined = combined.combined(est);
+            }
+            if bases.len() > 1 {
+                records.push(ler_record(
+                    &format!("{label}/combined"),
+                    p,
+                    idle,
+                    &combined,
+                    &runtime,
+                ));
+            }
+        }
+        _ => return Err(CliError::usage("ler needs exactly one of --dem or --code")),
+    }
+
+    let mut text = String::new();
+    for record in &records {
+        text.push_str(&record.to_json_line());
+        text.push('\n');
+        if let ReportRecord::Ler {
+            label,
+            shots,
+            failures,
+            ..
+        } = record
+        {
+            let rate = *failures as f64 / *shots as f64;
+            eprintln!("{label}: {failures}/{shots} failures (LER {rate:.5})");
+        }
+    }
+    print!("{text}");
+    if let Some(path) = flags.get("out") {
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| CliError::failure(format!("cannot open {path}: {e}")))?;
+        file.write_all(text.as_bytes())
+            .map_err(|e| CliError::failure(format!("cannot write {path}: {e}")))?;
+    }
+    Ok(())
+}

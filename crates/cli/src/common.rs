@@ -1,0 +1,98 @@
+//! Shared helpers: loading codes/schedules from families or files, runtime
+//! configuration flags, and output sinks.
+
+use crate::args::{CliError, Flags};
+use prophunt_circuit::schedule::ScheduleSpec;
+use prophunt_formats::{parse_code_spec, parse_schedule, resolve_family, ResolvedCode};
+use prophunt_runtime::RuntimeConfig;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Reads a file, mapping I/O errors to [`CliError::Failure`] with the path.
+pub fn read_file(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| CliError::failure(format!("cannot read {path}: {e}")))
+}
+
+/// Writes a file, mapping I/O errors to [`CliError::Failure`] with the path.
+pub fn write_file(path: &str, content: &str) -> Result<(), CliError> {
+    std::fs::write(path, content)
+        .map_err(|e| CliError::failure(format!("cannot write {path}: {e}")))
+}
+
+/// Writes `content` to `--out` when given, else to stdout.
+pub fn write_output(out: Option<&str>, content: &str) -> Result<(), CliError> {
+    match out {
+        Some(path) => write_file(path, content),
+        None => {
+            print!("{content}");
+            std::io::stdout()
+                .flush()
+                .map_err(|e| CliError::failure(format!("cannot write to stdout: {e}")))
+        }
+    }
+}
+
+/// Resolves `--code`: a path to a `prophunt-code v1` spec file when one exists at
+/// that path, otherwise a code-family string like `surface:3`.
+pub fn load_code(value: &str) -> Result<ResolvedCode, CliError> {
+    if Path::new(value).is_file() {
+        let spec = parse_code_spec(&read_file(value)?)
+            .map_err(|e| CliError::failure(format!("{value}: {e}")))?;
+        let code = spec
+            .to_code()
+            .map_err(|e| CliError::failure(format!("{value}: {e}")))?;
+        Ok(ResolvedCode { code, layout: None })
+    } else {
+        resolve_family(value).map_err(|e| {
+            // A mistyped path lands here too; make sure the error says so instead
+            // of only pointing at the family mini-language.
+            CliError::failure(format!("{e} (and no file exists at {value:?})"))
+        })
+    }
+}
+
+/// Resolves `--schedule`: `coloration` (the default), `hand` (surface codes only),
+/// or a path to a `prophunt-schedule v1` file. The result is validated against the
+/// code.
+pub fn load_schedule(
+    value: Option<&str>,
+    resolved: &ResolvedCode,
+) -> Result<ScheduleSpec, CliError> {
+    let schedule = match value {
+        None | Some("coloration") => ScheduleSpec::coloration(&resolved.code),
+        Some("hand") => resolved.hand_designed_schedule().ok_or_else(|| {
+            CliError::failure("--schedule hand needs a code family with a layout (surface:<d>)")
+        })?,
+        Some(path) => parse_schedule(&read_file(path)?)
+            .map_err(|e| CliError::failure(format!("{path}: {e}")))?,
+    };
+    schedule
+        .validate_for_code(&resolved.code)
+        .map_err(|e| CliError::failure(format!("schedule is not valid for this code: {e}")))?;
+    Ok(schedule)
+}
+
+/// Builds the [`RuntimeConfig`] from `--threads`, `--chunk-size` and `--seed`.
+pub fn runtime_from_flags(flags: &Flags) -> Result<RuntimeConfig, CliError> {
+    let threads = flags.num("threads", 4usize)?;
+    if threads == 0 {
+        return Err(CliError::usage("--threads must be at least 1"));
+    }
+    let chunk_size = flags.num("chunk-size", RuntimeConfig::DEFAULT_CHUNK_SIZE)?;
+    if chunk_size == 0 {
+        return Err(CliError::usage("--chunk-size must be at least 1"));
+    }
+    let seed = flags.num("seed", 0u64)?;
+    Ok(RuntimeConfig::new(threads, chunk_size, seed))
+}
+
+/// Parses `--p`-style probability flags, requiring `[0, 1]`.
+pub fn probability_flag(flags: &Flags, name: &str, default: f64) -> Result<f64, CliError> {
+    let p = flags.num(name, default)?;
+    if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+        return Err(CliError::usage(format!(
+            "--{name} must be in [0, 1], got {p}"
+        )));
+    }
+    Ok(p)
+}

@@ -1,0 +1,97 @@
+//! `prophunt` — the batch command-line entry point of the PropHunt suite.
+//!
+//! Subcommands:
+//!
+//! * `code` — emit or validate CSS code spec files.
+//! * `dem` — build a Stim-compatible detector error model from a code + schedule.
+//! * `optimize` — run the PropHunt optimization loop, streaming JSON-lines
+//!   iteration records and writing the final schedule file; `--resume` restarts
+//!   from an exported schedule.
+//! * `ler` — Monte-Carlo logical-error-rate estimation from a `.dem` file or a
+//!   code + schedule.
+//! * `check` — re-parse any emitted file.
+//!
+//! Exit codes: 0 on success, 1 when an operation fails (unreadable file, invalid
+//! schedule, ...), 2 for usage errors. User input never panics the process: every
+//! input path goes through the typed parsers of `prophunt-formats`.
+
+#![forbid(unsafe_code)]
+
+mod args;
+mod cmd_check;
+mod cmd_code;
+mod cmd_dem;
+mod cmd_ler;
+mod cmd_optimize;
+mod common;
+
+use args::CliError;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+prophunt — automated optimization of quantum syndrome measurement circuits
+
+usage: prophunt <command> [flags]
+
+commands:
+  code      emit a code spec from a family, or validate a spec file
+  dem       build a detector error model and write it as a .dem file
+  optimize  run the PropHunt loop; stream JSON-lines records, write the schedule
+  ler       Monte-Carlo logical error rate from a .dem file or code + schedule
+  check     re-parse emitted files (auto-detects the format)
+
+run `prophunt <command> --help` for per-command flags";
+
+fn dispatch(command: &str, rest: &[String]) -> Result<(), CliError> {
+    let usage_of = |usage: &str| -> Result<(), CliError> {
+        println!("{usage}");
+        Ok(())
+    };
+    let wants_help = rest.iter().any(|a| a == "--help" || a == "-h");
+    match command {
+        "code" if wants_help => usage_of(cmd_code::USAGE),
+        "dem" if wants_help => usage_of(cmd_dem::USAGE),
+        "optimize" if wants_help => usage_of(cmd_optimize::USAGE),
+        "ler" if wants_help => usage_of(cmd_ler::USAGE),
+        "check" if wants_help => usage_of(cmd_check::USAGE),
+        "code" => cmd_code::run(rest),
+        "dem" => cmd_dem::run(rest),
+        "optimize" => cmd_optimize::run(rest),
+        "ler" => cmd_ler::run(rest),
+        "check" => cmd_check::run(rest),
+        "--help" | "-h" | "help" => usage_of(USAGE),
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    }
+}
+
+fn usage_for(command: &str) -> &'static str {
+    match command {
+        "code" => cmd_code::USAGE,
+        "dem" => cmd_dem::USAGE,
+        "optimize" => cmd_optimize::USAGE,
+        "ler" => cmd_ler::USAGE,
+        "check" => cmd_check::USAGE,
+        _ => USAGE,
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    match dispatch(command, rest) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(message)) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{}", usage_for(command));
+            ExitCode::from(2)
+        }
+        Err(CliError::Failure(message)) => {
+            eprintln!("error: {message}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! The Stim-compatible detector-error-model (`.dem`) text format.
+//!
+//! Every emitted file is a valid input to Stim's DEM parser; this crate's parser in
+//! turn accepts the subset of Stim's grammar that a flat (unrolled) model needs:
+//!
+//! ```text
+//! # comment
+//! detector D8
+//! logical_observable L0
+//! error(0.001) D0 D1 L0
+//! ```
+//!
+//! * `error(p) targets...` — one error mechanism; targets are `D<i>` (detector) and
+//!   `L<i>` (logical observable), in any order.
+//! * `detector D<i>` / `logical_observable L<i>` — declares the index, which pins the
+//!   detector/observable *count* to at least `i + 1`. The writer always emits the two
+//!   highest indices up front so a model with trailing untouched detectors
+//!   round-trips exactly.
+//! * `#` starts a comment (full-line or trailing); blank lines are ignored.
+//!
+//! Stim constructs this crate does not emit — `repeat` blocks, `shift_detectors`,
+//! `^` separators within an error — are rejected with a located [`FormatError`]
+//! rather than silently misread.
+//!
+//! Probabilities are written with Rust's shortest-round-trip float formatting, so
+//! `parse(write(dem))` reproduces every probability bit-for-bit.
+
+use crate::error::{parse_f64, parse_usize, tokens, FormatError};
+use prophunt_circuit::dem::{DetectorErrorModel, ErrorMechanism};
+use std::fmt::Write as _;
+
+/// Serializes a detector error model to the Stim-compatible `.dem` text format.
+pub fn write_dem(dem: &DetectorErrorModel) -> String {
+    let mut out = String::new();
+    out.push_str("# PropHunt detector error model (Stim-compatible subset)\n");
+    let _ = writeln!(
+        out,
+        "# detectors: {}, observables: {}, error mechanisms: {}",
+        dem.num_detectors(),
+        dem.num_observables(),
+        dem.num_errors()
+    );
+    if dem.num_detectors() > 0 {
+        let _ = writeln!(out, "detector D{}", dem.num_detectors() - 1);
+    }
+    if dem.num_observables() > 0 {
+        let _ = writeln!(out, "logical_observable L{}", dem.num_observables() - 1);
+    }
+    for err in dem.errors() {
+        let _ = write!(out, "error({})", err.probability);
+        for &d in &err.detectors {
+            let _ = write!(out, " D{d}");
+        }
+        for &o in &err.observables {
+            let _ = write!(out, " L{o}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the Stim-compatible `.dem` text format back into a [`DetectorErrorModel`].
+///
+/// The detector/observable counts are the highest declared or referenced index plus
+/// one. Mechanisms are kept in file order and are not merged by signature.
+///
+/// # Errors
+///
+/// Returns a [`FormatError`] carrying the 1-based line/column of the first offending
+/// token: unknown instructions, malformed probabilities or targets, probabilities
+/// outside `[0, 1]`, or duplicate targets within one `error`.
+pub fn parse_dem(input: &str) -> Result<DetectorErrorModel, FormatError> {
+    let mut num_detectors = 0usize;
+    let mut num_observables = 0usize;
+    let mut errors: Vec<ErrorMechanism> = Vec::new();
+
+    for (line_idx, raw_line) in input.lines().enumerate() {
+        let line_no = line_idx + 1;
+        let line = match raw_line.find('#') {
+            Some(i) => &raw_line[..i],
+            None => raw_line,
+        };
+        let toks = tokens(line);
+        let Some(&(col, instruction)) = toks.first() else {
+            continue;
+        };
+        if let Some(prob_text) = instruction
+            .strip_prefix("error(")
+            .and_then(|rest| rest.strip_suffix(')'))
+        {
+            let probability = parse_f64(prob_text, line_no, col + "error(".len())?;
+            if !(0.0..=1.0).contains(&probability) {
+                return Err(FormatError::at(
+                    line_no,
+                    col,
+                    format!("error probability {probability} is outside [0, 1]"),
+                ));
+            }
+            let mut detectors = Vec::new();
+            let mut observables = Vec::new();
+            for &(tcol, target) in &toks[1..] {
+                if let Some(d) = target.strip_prefix('D') {
+                    detectors.push(parse_usize(d, line_no, tcol + 1)?);
+                } else if let Some(o) = target.strip_prefix('L') {
+                    observables.push(parse_usize(o, line_no, tcol + 1)?);
+                } else {
+                    return Err(FormatError::at(
+                        line_no,
+                        tcol,
+                        format!("expected a D<index> or L<index> target, got {target:?}"),
+                    ));
+                }
+            }
+            detectors.sort_unstable();
+            observables.sort_unstable();
+            if detectors.windows(2).any(|w| w[0] == w[1])
+                || observables.windows(2).any(|w| w[0] == w[1])
+            {
+                return Err(FormatError::at_line(
+                    line_no,
+                    "error repeats a target; each detector/observable may appear once",
+                ));
+            }
+            if let Some(&d) = detectors.last() {
+                num_detectors = num_detectors.max(d + 1);
+            }
+            if let Some(&o) = observables.last() {
+                num_observables = num_observables.max(o + 1);
+            }
+            errors.push(ErrorMechanism {
+                probability,
+                detectors,
+                observables,
+                sources: Vec::new(),
+            });
+        } else if instruction == "detector" {
+            let &(tcol, target) = toks.get(1).ok_or_else(|| {
+                FormatError::at(line_no, col, "detector declaration needs a D<index> target")
+            })?;
+            if let Some(&(xcol, extra)) = toks.get(2) {
+                return Err(FormatError::at(
+                    line_no,
+                    xcol,
+                    format!("detector declares exactly one target, got extra token {extra:?}"),
+                ));
+            }
+            let d = target
+                .strip_prefix('D')
+                .ok_or_else(|| {
+                    FormatError::at(line_no, tcol, format!("expected D<index>, got {target:?}"))
+                })
+                .and_then(|t| parse_usize(t, line_no, tcol + 1))?;
+            num_detectors = num_detectors.max(d + 1);
+        } else if instruction == "logical_observable" {
+            let &(tcol, target) = toks.get(1).ok_or_else(|| {
+                FormatError::at(
+                    line_no,
+                    col,
+                    "logical_observable declaration needs an L<index> target",
+                )
+            })?;
+            if let Some(&(xcol, extra)) = toks.get(2) {
+                return Err(FormatError::at(
+                    line_no,
+                    xcol,
+                    format!(
+                        "logical_observable declares exactly one target, got extra token {extra:?}"
+                    ),
+                ));
+            }
+            let o = target
+                .strip_prefix('L')
+                .ok_or_else(|| {
+                    FormatError::at(line_no, tcol, format!("expected L<index>, got {target:?}"))
+                })
+                .and_then(|t| parse_usize(t, line_no, tcol + 1))?;
+            num_observables = num_observables.max(o + 1);
+        } else {
+            return Err(FormatError::at(
+                line_no,
+                col,
+                format!(
+                    "unsupported instruction {instruction:?} (this parser reads the flat \
+                     error/detector/logical_observable subset of Stim's DEM grammar)"
+                ),
+            ));
+        }
+    }
+
+    DetectorErrorModel::from_parts(num_detectors, num_observables, errors)
+        .map_err(|e| FormatError::whole_input(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophunt_circuit::schedule::ScheduleSpec;
+    use prophunt_circuit::{MemoryBasis, MemoryExperiment, NoiseModel};
+    use prophunt_qec::surface::rotated_surface_code_with_layout;
+
+    fn d3_dem() -> DetectorErrorModel {
+        let (code, layout) = rotated_surface_code_with_layout(3);
+        let schedule = ScheduleSpec::surface_hand_designed(&code, &layout);
+        let exp = MemoryExperiment::build(&code, &schedule, 2, MemoryBasis::Z).unwrap();
+        DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(1.25e-3))
+    }
+
+    #[test]
+    fn d3_model_round_trips_exactly() {
+        let dem = d3_dem();
+        let text = write_dem(&dem);
+        let parsed = parse_dem(&text).unwrap();
+        assert!(parsed.same_distribution(&dem));
+        assert_eq!(parsed.num_detectors(), dem.num_detectors());
+        assert_eq!(parsed.num_observables(), dem.num_observables());
+        // Idempotence: writing the parsed model reproduces the text.
+        assert_eq!(write_dem(&parsed), text);
+    }
+
+    #[test]
+    fn declarations_pin_counts_beyond_referenced_indices() {
+        let parsed = parse_dem("detector D9\nlogical_observable L1\nerror(0.5) D0\n").unwrap();
+        assert_eq!(parsed.num_detectors(), 10);
+        assert_eq!(parsed.num_observables(), 2);
+        assert_eq!(parsed.num_errors(), 1);
+    }
+
+    #[test]
+    fn comments_blank_lines_and_target_order_are_tolerated() {
+        let parsed =
+            parse_dem("# header\n\nerror(0.25) L0 D3 D1 # trailing comment\n  error(1e-4) D0\n")
+                .unwrap();
+        assert_eq!(parsed.num_errors(), 2);
+        assert_eq!(parsed.error(0).detectors, vec![1, 3]);
+        assert_eq!(parsed.error(0).observables, vec![0]);
+        assert_eq!(parsed.error(1).probability, 1e-4);
+    }
+
+    #[test]
+    fn malformed_inputs_give_located_errors() {
+        let err = parse_dem("error(2.0) D0\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = parse_dem("error(0.1) D0\nrepeat 3 {\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unsupported instruction"));
+        let err = parse_dem("error(0.1) D0 Q3\n").unwrap_err();
+        assert_eq!((err.line, err.column), (1, 15));
+        let err = parse_dem("error(0.1) D0 D0\n").unwrap_err();
+        assert!(err.message.contains("repeats"));
+        assert!(parse_dem("error(abc) D0\n").is_err());
+        assert!(parse_dem("detector\n").is_err());
+        // Declarations take exactly one target; extra tokens must not be dropped.
+        let err = parse_dem("detector D3 D9\n").unwrap_err();
+        assert_eq!((err.line, err.column), (1, 13));
+        assert!(parse_dem("logical_observable L0 L1\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_an_empty_model() {
+        let parsed = parse_dem("# nothing\n").unwrap();
+        assert_eq!(parsed.num_detectors(), 0);
+        assert_eq!(parsed.num_errors(), 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! The typed parse error shared by every format in this crate.
+
+use std::fmt;
+
+/// A parse (or semantic) error raised by one of the `prophunt-formats` parsers.
+///
+/// `line` and `column` are 1-based; `line == 0` marks a whole-input (semantic) error
+/// with no specific location, and `column == 0` marks a whole-line error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormatError {
+    /// 1-based line of the offending input (0 = whole input).
+    pub line: usize,
+    /// 1-based byte column of the offending token (0 = whole line).
+    pub column: usize,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl FormatError {
+    /// Creates an error at a specific line and column.
+    pub fn at(line: usize, column: usize, message: impl Into<String>) -> Self {
+        FormatError {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+
+    /// Creates an error covering a whole line.
+    pub fn at_line(line: usize, message: impl Into<String>) -> Self {
+        Self::at(line, 0, message)
+    }
+
+    /// Creates a whole-input (semantic) error with no location.
+    pub fn whole_input(message: impl Into<String>) -> Self {
+        Self::at(0, 0, message)
+    }
+
+    /// Returns the error shifted down by `offset` lines (used when a single-line parser
+    /// runs inside a multi-line document).
+    pub fn offset_lines(mut self, offset: usize) -> Self {
+        if self.line > 0 {
+            self.line += offset;
+        } else {
+            self.line = offset + 1;
+        }
+        self
+    }
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.line, self.column) {
+            (0, _) => write!(f, "{}", self.message),
+            (line, 0) => write!(f, "line {line}: {}", self.message),
+            (line, column) => write!(f, "line {line}, column {column}: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+/// Splits a line into whitespace-separated tokens with their 1-based byte columns.
+pub(crate) fn tokens(line: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut start = None;
+    for (i, c) in line.char_indices() {
+        if c.is_whitespace() {
+            if let Some(s) = start.take() {
+                out.push((s + 1, &line[s..i]));
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        out.push((s + 1, &line[s..]));
+    }
+    out
+}
+
+/// Parses an unsigned integer token, reporting `line`/`column` on failure.
+pub(crate) fn parse_usize(tok: &str, line: usize, column: usize) -> Result<usize, FormatError> {
+    tok.parse::<usize>().map_err(|_| {
+        FormatError::at(
+            line,
+            column,
+            format!("expected an unsigned integer, got {tok:?}"),
+        )
+    })
+}
+
+/// Parses a finite `f64` token, reporting `line`/`column` on failure.
+pub(crate) fn parse_f64(tok: &str, line: usize, column: usize) -> Result<f64, FormatError> {
+    match tok.parse::<f64>() {
+        Ok(v) if v.is_finite() => Ok(v),
+        _ => Err(FormatError::at(
+            line,
+            column,
+            format!("expected a finite number, got {tok:?}"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location_when_present() {
+        assert_eq!(
+            FormatError::at(3, 7, "bad token").to_string(),
+            "line 3, column 7: bad token"
+        );
+        assert_eq!(FormatError::at_line(2, "oops").to_string(), "line 2: oops");
+        assert_eq!(FormatError::whole_input("oops").to_string(), "oops");
+    }
+
+    #[test]
+    fn tokens_report_one_based_columns() {
+        assert_eq!(tokens("  a bb  c"), vec![(3, "a"), (5, "bb"), (9, "c")]);
+        assert!(tokens("   ").is_empty());
+    }
+
+    #[test]
+    fn numeric_parsers_reject_garbage_with_location() {
+        assert_eq!(parse_usize("12", 1, 1).unwrap(), 12);
+        let err = parse_usize("x", 4, 9).unwrap_err();
+        assert_eq!((err.line, err.column), (4, 9));
+        assert!(parse_f64("nan", 1, 1).is_err());
+        assert!(parse_f64("inf", 1, 1).is_err());
+        assert_eq!(parse_f64("1e-3", 1, 1).unwrap(), 1e-3);
+    }
+
+    #[test]
+    fn offset_lines_shifts_located_errors() {
+        let e = FormatError::at(2, 5, "x").offset_lines(10);
+        assert_eq!(e.line, 12);
+        let e = FormatError::whole_input("x").offset_lines(10);
+        assert_eq!(e.line, 11);
+    }
+}

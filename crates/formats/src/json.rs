@@ -1,0 +1,446 @@
+//! A minimal hand-rolled JSON reader/writer.
+//!
+//! The vendor tree ships no serde, so the JSON-lines run-report format is built on this
+//! small module instead. It supports the full JSON value grammar with two deliberate
+//! choices:
+//!
+//! * Integers that fit `u64` are kept exact ([`Json::UInt`]); everything else becomes
+//!   [`Json::Float`]. Report fields that are semantically integral (seeds, shot counts)
+//!   therefore survive a round-trip bit-exactly.
+//! * Objects preserve key order (stored as a `Vec` of pairs), so writing a parsed
+//!   object reproduces the original text byte-for-byte when the values are unchanged.
+
+use crate::error::FormatError;
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer that fits `u64` (written without a decimal point).
+    UInt(u64),
+    /// Any other finite number. JSON has no NaN/infinity: non-finite values are
+    /// serialized as `null` (matching `JSON.stringify`) rather than emitting text
+    /// the parser itself would reject.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, with key order preserved.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `u64` (strict: `UInt` only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `f64`, coercing exact integers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::UInt(v) => Some(*v as f64),
+            Json::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an array slice.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes the value to compact JSON (no whitespace).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    fn write_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Float(v) if !v.is_finite() => out.push_str("null"),
+            Json::Float(v) => {
+                // Rust's Display for f64 is the shortest representation that parses
+                // back to the same bits, so numeric round-trips are exact.
+                let mut text = String::new();
+                let _ = write!(text, "{v}");
+                // Keep floats recognizable as floats (2.0 displays as "2").
+                if !text.contains(['.', 'e', 'E']) {
+                    text.push_str(".0");
+                }
+                out.push_str(&text);
+            }
+            Json::Str(s) => write_json_string(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_into(out);
+                }
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(k, out);
+                    out.push(':');
+                    v.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a complete JSON document (one value plus optional trailing whitespace).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FormatError`] with 1-based line/column of the offending character.
+    pub fn parse(input: &str) -> Result<Json, FormatError> {
+        let mut lexer = Lexer::new(input);
+        let value = lexer.parse_value()?;
+        lexer.skip_whitespace();
+        if !lexer.at_end() {
+            return Err(lexer.error("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Lexer<'a> {
+    input: &'a str,
+    /// Byte position.
+    pos: usize,
+    line: usize,
+    /// Byte offset of the current line's start.
+    line_start: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Lexer {
+            input,
+            pos: 0,
+            line: 1,
+            line_start: 0,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> FormatError {
+        FormatError::at(self.line, self.pos - self.line_start + 1, message)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.input[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.line_start = self.pos;
+        }
+        Some(c)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), FormatError> {
+        self.skip_whitespace();
+        match self.peek() {
+            Some(got) if got == c => {
+                self.bump();
+                Ok(())
+            }
+            Some(got) => Err(self.error(format!("expected {c:?}, found {got:?}"))),
+            None => Err(self.error(format!("expected {c:?}, found end of input"))),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, FormatError> {
+        self.skip_whitespace();
+        match self.peek() {
+            None => Err(self.error("unexpected end of input")),
+            Some('{') => self.parse_object(),
+            Some('[') => self.parse_array(),
+            Some('"') => Ok(Json::Str(self.parse_string()?)),
+            Some('t') => self.parse_keyword("true", Json::Bool(true)),
+            Some('f') => self.parse_keyword("false", Json::Bool(false)),
+            Some('n') => self.parse_keyword("null", Json::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(self.error(format!("unexpected character {c:?}"))),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Json) -> Result<Json, FormatError> {
+        if self.input[self.pos..].starts_with(word) {
+            for _ in 0..word.len() {
+                self.bump();
+            }
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected {word:?}")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, FormatError> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.bump();
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                '0'..='9' => {
+                    self.bump();
+                }
+                '.' | 'e' | 'E' | '+' | '-' => {
+                    is_float = true;
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        let text = &self.input[start..self.pos];
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::UInt(v));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(Json::Float(v)),
+            _ => Err(self.error(format!("invalid number {text:?}"))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, FormatError> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated string")),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let mut v = 0u32;
+                        for _ in 0..4 {
+                            let c = self
+                                .bump()
+                                .ok_or_else(|| self.error("unterminated \\u escape"))?;
+                            let digit = c
+                                .to_digit(16)
+                                .ok_or_else(|| self.error("invalid \\u escape digit"))?;
+                            v = v * 16 + digit;
+                        }
+                        // Surrogate pairs are not needed for this crate's own output;
+                        // reject them rather than silently corrupting text.
+                        let c = char::from_u32(v)
+                            .ok_or_else(|| self.error("\\u escape is not a scalar value"))?;
+                        out.push(c);
+                    }
+                    Some(c) => return Err(self.error(format!("invalid escape \\{c}"))),
+                    None => return Err(self.error("unterminated escape")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, FormatError> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(']') {
+            self.bump();
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(',') => {
+                    self.bump();
+                }
+                Some(']') => {
+                    self.bump();
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, FormatError> {
+        self.expect('{')?;
+        let mut pairs = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some('}') {
+            self.bump();
+            return Ok(Json::Object(pairs));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.expect(':')?;
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(',') => {
+                    self.bump();
+                }
+                Some('}') => {
+                    self.bump();
+                    return Ok(Json::Object(pairs));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for text in ["null", "true", "false", "0", "42", "18446744073709551615"] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(v.to_json(), text, "{text}");
+        }
+        assert_eq!(Json::parse("-3").unwrap(), Json::Float(-3.0));
+        assert_eq!(Json::parse("0.001").unwrap(), Json::Float(0.001));
+        assert_eq!(Json::parse("1e-3").unwrap(), Json::Float(1e-3));
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for bits in [
+            0x3f50_624d_d2f1_a9fcu64,
+            0x3ff0_0000_0000_0001,
+            0x0010_0000_0000_0000,
+        ] {
+            let v = f64::from_bits(bits);
+            let text = Json::Float(v).to_json();
+            match Json::parse(&text).unwrap() {
+                Json::Float(parsed) => assert_eq!(parsed.to_bits(), bits),
+                Json::UInt(parsed) => assert_eq!((parsed as f64).to_bits(), bits),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = "a \"quoted\" \\ path\nwith newline\tand tab \u{1}";
+        let text = Json::Str(s.to_string()).to_json();
+        assert_eq!(Json::parse(&text).unwrap(), Json::Str(s.to_string()));
+    }
+
+    #[test]
+    fn objects_preserve_key_order() {
+        let text = r#"{"b":1,"a":[1,2.5,"x"],"c":{"nested":null}}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.to_json(), text);
+        assert_eq!(v.get("b"), Some(&Json::UInt(1)));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        let err = Json::parse("{\"a\": \n  tru }").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.column > 0);
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("[] []").is_err());
+    }
+
+    #[test]
+    fn integral_floats_keep_a_decimal_point() {
+        assert_eq!(Json::Float(2.0).to_json(), "2.0");
+        assert_eq!(Json::parse("2.0").unwrap(), Json::Float(2.0));
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let text = Json::Array(vec![Json::Float(v)]).to_json();
+            assert_eq!(text, "[null]");
+            assert_eq!(Json::parse(&text).unwrap(), Json::Array(vec![Json::Null]));
+        }
+    }
+}

@@ -1,0 +1,570 @@
+//! The JSON-lines run-report format.
+//!
+//! One record per line, each a JSON object with a `"type"` tag:
+//!
+//! * `run_start` / `iteration` / `run_end` — an optimization run. `iteration`
+//!   records mirror [`prophunt::IterationRecord`] field-for-field; schedules are
+//!   embedded as `prophunt-schedule v1` documents in a JSON string, so a report is a
+//!   complete, resumable account of a run ([`report_to_result`] is the inverse of
+//!   [`result_to_report`]).
+//! * `ler` — one Monte-Carlo logical-error-rate estimate, always carrying the
+//!   `(seed, chunk_size)` pair that makes the failure count reproducible
+//!   bit-for-bit.
+//! * `table` — a generic named row used by the benchmark binaries for figure/table
+//!   data that is not an LER point.
+//!
+//! Streaming writers emit records one line at a time (`prophunt optimize` writes an
+//! `iteration` line as each iteration completes); [`parse_report`] reads a whole
+//! document and reports errors with the line they occurred on.
+
+use crate::error::FormatError;
+use crate::json::Json;
+use crate::schedule::{parse_schedule, write_schedule};
+use prophunt::{IterationRecord, OptimizationResult};
+use prophunt_circuit::MemoryBasis;
+
+/// One record of a JSON-lines run report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReportRecord {
+    /// Start of an optimization run.
+    RunStart {
+        /// Name of the optimized code.
+        code: String,
+        /// Base RNG seed of the run.
+        seed: u64,
+        /// Deterministic chunk size of the run.
+        chunk_size: u64,
+        /// CNOT depth of the initial schedule.
+        initial_depth: u64,
+        /// The initial schedule, as a `prophunt-schedule v1` document.
+        initial_schedule: String,
+    },
+    /// One optimization iteration (mirrors [`prophunt::IterationRecord`]).
+    Iteration {
+        /// Iteration number (0-based).
+        iteration: u64,
+        /// Memory basis analysed (`"Z"` or `"X"`).
+        basis: String,
+        /// Number of ambiguous subgraphs with a minimum-weight solution.
+        subgraphs_found: u64,
+        /// Weights of the minimum-weight logical errors solved.
+        solution_weights: Vec<u64>,
+        /// Candidate changes enumerated before pruning.
+        candidates_enumerated: u64,
+        /// Verified changes applied to the schedule.
+        changes_applied: u64,
+        /// CNOT depth after this iteration.
+        depth: u64,
+        /// The schedule after this iteration, as a `prophunt-schedule v1` document.
+        schedule: String,
+    },
+    /// End of an optimization run.
+    RunEnd {
+        /// Number of iterations recorded.
+        iterations: u64,
+        /// Total changes applied across the run.
+        total_changes: u64,
+        /// CNOT depth of the final schedule.
+        final_depth: u64,
+        /// The final schedule, as a `prophunt-schedule v1` document.
+        final_schedule: String,
+    },
+    /// One Monte-Carlo logical-error-rate estimate.
+    Ler {
+        /// Free-form label (schedule name, hardware point, ...).
+        label: String,
+        /// Physical error rate.
+        p: f64,
+        /// Idle error strength (0 when the sweep has none).
+        idle: f64,
+        /// Number of shots sampled.
+        shots: u64,
+        /// Number of logical failures observed.
+        failures: u64,
+        /// Base seed of the estimate.
+        seed: u64,
+        /// Chunk size of the estimate (part of the determinism contract).
+        chunk_size: u64,
+    },
+    /// A generic named data row (benchmark tables).
+    Table {
+        /// Row kind (e.g. `"code_parameters"`).
+        name: String,
+        /// Field name/value pairs, in order. The keys `"type"` and `"name"` are
+        /// reserved for the record envelope: the writer skips fields using them
+        /// (emitting them would produce duplicate JSON keys the parser must strip).
+        fields: Vec<(String, Json)>,
+    },
+}
+
+fn get_u64(obj: &Json, key: &str) -> Result<u64, FormatError> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| FormatError::whole_input(format!("record is missing integer field {key:?}")))
+}
+
+fn get_f64(obj: &Json, key: &str) -> Result<f64, FormatError> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| FormatError::whole_input(format!("record is missing numeric field {key:?}")))
+}
+
+fn get_str(obj: &Json, key: &str) -> Result<String, FormatError> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| FormatError::whole_input(format!("record is missing string field {key:?}")))
+}
+
+impl ReportRecord {
+    /// Builds a [`ReportRecord::Ler`]. `seed` and `chunk_size` must be the pair the
+    /// estimate was *actually computed with* — the record's whole point is that
+    /// re-running with that pair reproduces `failures` bit-for-bit — so callers
+    /// deriving per-stage seeds must record the derived seed, not the base one.
+    pub fn ler(
+        label: impl Into<String>,
+        p: f64,
+        idle: f64,
+        shots: u64,
+        failures: u64,
+        seed: u64,
+        chunk_size: u64,
+    ) -> ReportRecord {
+        ReportRecord::Ler {
+            label: label.into(),
+            p,
+            idle,
+            shots,
+            failures,
+            seed,
+            chunk_size,
+        }
+    }
+
+    /// Serializes the record to one compact JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let obj = match self {
+            ReportRecord::RunStart {
+                code,
+                seed,
+                chunk_size,
+                initial_depth,
+                initial_schedule,
+            } => Json::Object(vec![
+                ("type".into(), Json::Str("run_start".into())),
+                ("code".into(), Json::Str(code.clone())),
+                ("seed".into(), Json::UInt(*seed)),
+                ("chunk_size".into(), Json::UInt(*chunk_size)),
+                ("initial_depth".into(), Json::UInt(*initial_depth)),
+                (
+                    "initial_schedule".into(),
+                    Json::Str(initial_schedule.clone()),
+                ),
+            ]),
+            ReportRecord::Iteration {
+                iteration,
+                basis,
+                subgraphs_found,
+                solution_weights,
+                candidates_enumerated,
+                changes_applied,
+                depth,
+                schedule,
+            } => Json::Object(vec![
+                ("type".into(), Json::Str("iteration".into())),
+                ("iteration".into(), Json::UInt(*iteration)),
+                ("basis".into(), Json::Str(basis.clone())),
+                ("subgraphs_found".into(), Json::UInt(*subgraphs_found)),
+                (
+                    "solution_weights".into(),
+                    Json::Array(solution_weights.iter().map(|&w| Json::UInt(w)).collect()),
+                ),
+                (
+                    "candidates_enumerated".into(),
+                    Json::UInt(*candidates_enumerated),
+                ),
+                ("changes_applied".into(), Json::UInt(*changes_applied)),
+                ("depth".into(), Json::UInt(*depth)),
+                ("schedule".into(), Json::Str(schedule.clone())),
+            ]),
+            ReportRecord::RunEnd {
+                iterations,
+                total_changes,
+                final_depth,
+                final_schedule,
+            } => Json::Object(vec![
+                ("type".into(), Json::Str("run_end".into())),
+                ("iterations".into(), Json::UInt(*iterations)),
+                ("total_changes".into(), Json::UInt(*total_changes)),
+                ("final_depth".into(), Json::UInt(*final_depth)),
+                ("final_schedule".into(), Json::Str(final_schedule.clone())),
+            ]),
+            ReportRecord::Ler {
+                label,
+                p,
+                idle,
+                shots,
+                failures,
+                seed,
+                chunk_size,
+            } => Json::Object(vec![
+                ("type".into(), Json::Str("ler".into())),
+                ("label".into(), Json::Str(label.clone())),
+                ("p".into(), Json::Float(*p)),
+                ("idle".into(), Json::Float(*idle)),
+                ("shots".into(), Json::UInt(*shots)),
+                ("failures".into(), Json::UInt(*failures)),
+                ("seed".into(), Json::UInt(*seed)),
+                ("chunk_size".into(), Json::UInt(*chunk_size)),
+            ]),
+            ReportRecord::Table { name, fields } => {
+                let mut pairs = vec![
+                    ("type".into(), Json::Str("table".into())),
+                    ("name".into(), Json::Str(name.clone())),
+                ];
+                pairs.extend(
+                    fields
+                        .iter()
+                        .filter(|(k, _)| k != "type" && k != "name")
+                        .cloned(),
+                );
+                Json::Object(pairs)
+            }
+        };
+        obj.to_json()
+    }
+
+    /// Parses one JSON line into a record.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FormatError`] for malformed JSON (with column information), an
+    /// unknown `"type"` tag, or missing/mistyped fields.
+    pub fn from_json_line(line: &str) -> Result<ReportRecord, FormatError> {
+        let obj = Json::parse(line)?;
+        let kind = get_str(&obj, "type")?;
+        match kind.as_str() {
+            "run_start" => Ok(ReportRecord::RunStart {
+                code: get_str(&obj, "code")?,
+                seed: get_u64(&obj, "seed")?,
+                chunk_size: get_u64(&obj, "chunk_size")?,
+                initial_depth: get_u64(&obj, "initial_depth")?,
+                initial_schedule: get_str(&obj, "initial_schedule")?,
+            }),
+            "iteration" => {
+                let weights = obj
+                    .get("solution_weights")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| {
+                        FormatError::whole_input("iteration record is missing solution_weights")
+                    })?
+                    .iter()
+                    .map(|w| {
+                        w.as_u64().ok_or_else(|| {
+                            FormatError::whole_input("solution_weights must be integers")
+                        })
+                    })
+                    .collect::<Result<Vec<u64>, FormatError>>()?;
+                Ok(ReportRecord::Iteration {
+                    iteration: get_u64(&obj, "iteration")?,
+                    basis: get_str(&obj, "basis")?,
+                    subgraphs_found: get_u64(&obj, "subgraphs_found")?,
+                    solution_weights: weights,
+                    candidates_enumerated: get_u64(&obj, "candidates_enumerated")?,
+                    changes_applied: get_u64(&obj, "changes_applied")?,
+                    depth: get_u64(&obj, "depth")?,
+                    schedule: get_str(&obj, "schedule")?,
+                })
+            }
+            "run_end" => Ok(ReportRecord::RunEnd {
+                iterations: get_u64(&obj, "iterations")?,
+                total_changes: get_u64(&obj, "total_changes")?,
+                final_depth: get_u64(&obj, "final_depth")?,
+                final_schedule: get_str(&obj, "final_schedule")?,
+            }),
+            "ler" => Ok(ReportRecord::Ler {
+                label: get_str(&obj, "label")?,
+                p: get_f64(&obj, "p")?,
+                idle: get_f64(&obj, "idle")?,
+                shots: get_u64(&obj, "shots")?,
+                failures: get_u64(&obj, "failures")?,
+                seed: get_u64(&obj, "seed")?,
+                chunk_size: get_u64(&obj, "chunk_size")?,
+            }),
+            "table" => {
+                let Json::Object(pairs) = obj else {
+                    unreachable!("get_str succeeded, so obj is an object");
+                };
+                let name = pairs
+                    .iter()
+                    .find(|(k, _)| k == "name")
+                    .and_then(|(_, v)| v.as_str())
+                    .ok_or_else(|| {
+                        FormatError::whole_input("table record is missing string field \"name\"")
+                    })?
+                    .to_string();
+                let fields = pairs
+                    .into_iter()
+                    .filter(|(k, _)| k != "type" && k != "name")
+                    .collect();
+                Ok(ReportRecord::Table { name, fields })
+            }
+            other => Err(FormatError::whole_input(format!(
+                "unknown report record type {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Serializes records to a JSON-lines document (one record per line, trailing
+/// newline).
+pub fn write_report<'a>(records: impl IntoIterator<Item = &'a ReportRecord>) -> String {
+    let mut out = String::new();
+    for record in records {
+        out.push_str(&record.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSON-lines document into records, skipping blank lines.
+///
+/// # Errors
+///
+/// Returns the first record's [`FormatError`] with its line number in the document.
+pub fn parse_report(input: &str) -> Result<Vec<ReportRecord>, FormatError> {
+    let mut out = Vec::new();
+    for (idx, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(ReportRecord::from_json_line(line).map_err(|e| FormatError {
+            line: idx + 1,
+            column: e.column,
+            message: e.message,
+        })?);
+    }
+    Ok(out)
+}
+
+fn basis_name(basis: MemoryBasis) -> &'static str {
+    match basis {
+        MemoryBasis::Z => "Z",
+        MemoryBasis::X => "X",
+    }
+}
+
+fn parse_basis(name: &str) -> Result<MemoryBasis, FormatError> {
+    match name {
+        "Z" => Ok(MemoryBasis::Z),
+        "X" => Ok(MemoryBasis::X),
+        other => Err(FormatError::whole_input(format!(
+            "basis must be \"Z\" or \"X\", got {other:?}"
+        ))),
+    }
+}
+
+/// Converts an in-memory [`IterationRecord`] into its report record.
+pub fn iteration_to_record(record: &IterationRecord) -> ReportRecord {
+    ReportRecord::Iteration {
+        iteration: record.iteration as u64,
+        basis: basis_name(record.basis).to_string(),
+        subgraphs_found: record.subgraphs_found as u64,
+        solution_weights: record.solution_weights.iter().map(|&w| w as u64).collect(),
+        candidates_enumerated: record.candidates_enumerated as u64,
+        changes_applied: record.changes_applied as u64,
+        depth: record.depth as u64,
+        schedule: write_schedule(&record.schedule),
+    }
+}
+
+/// Converts an `iteration` report record back into an [`IterationRecord`].
+///
+/// # Errors
+///
+/// Returns a [`FormatError`] if the record is not an `iteration` record or its
+/// embedded basis/schedule fail to parse.
+pub fn record_to_iteration(record: &ReportRecord) -> Result<IterationRecord, FormatError> {
+    let ReportRecord::Iteration {
+        iteration,
+        basis,
+        subgraphs_found,
+        solution_weights,
+        candidates_enumerated,
+        changes_applied,
+        depth,
+        schedule,
+    } = record
+    else {
+        return Err(FormatError::whole_input("expected an iteration record"));
+    };
+    Ok(IterationRecord {
+        iteration: *iteration as usize,
+        basis: parse_basis(basis)?,
+        subgraphs_found: *subgraphs_found as usize,
+        solution_weights: solution_weights.iter().map(|&w| w as usize).collect(),
+        candidates_enumerated: *candidates_enumerated as usize,
+        changes_applied: *changes_applied as usize,
+        depth: *depth as usize,
+        schedule: parse_schedule(schedule)?,
+    })
+}
+
+/// Serializes a whole [`OptimizationResult`] as `run_start`, `iteration`...,
+/// `run_end` records.
+pub fn result_to_report(
+    result: &OptimizationResult,
+    code_name: &str,
+    seed: u64,
+    chunk_size: usize,
+) -> Vec<ReportRecord> {
+    let mut records = Vec::with_capacity(result.records.len() + 2);
+    records.push(ReportRecord::RunStart {
+        code: code_name.to_string(),
+        seed,
+        chunk_size: chunk_size as u64,
+        initial_depth: result.initial_schedule.depth().unwrap_or(0) as u64,
+        initial_schedule: write_schedule(&result.initial_schedule),
+    });
+    records.extend(result.records.iter().map(iteration_to_record));
+    records.push(ReportRecord::RunEnd {
+        iterations: result.records.len() as u64,
+        total_changes: result.total_changes_applied() as u64,
+        final_depth: result.final_depth() as u64,
+        final_schedule: write_schedule(&result.final_schedule),
+    });
+    records
+}
+
+/// Rebuilds an [`OptimizationResult`] from its report records.
+///
+/// # Errors
+///
+/// Returns a [`FormatError`] if the records are not a `run_start` /
+/// `iteration`... / `run_end` sequence or any embedded schedule fails to parse.
+pub fn report_to_result(records: &[ReportRecord]) -> Result<OptimizationResult, FormatError> {
+    let Some(ReportRecord::RunStart {
+        initial_schedule, ..
+    }) = records.first()
+    else {
+        return Err(FormatError::whole_input(
+            "run report must start with a run_start record",
+        ));
+    };
+    let Some(ReportRecord::RunEnd { final_schedule, .. }) = records.last() else {
+        return Err(FormatError::whole_input(
+            "run report must end with a run_end record",
+        ));
+    };
+    let iterations = records[1..records.len() - 1]
+        .iter()
+        .map(record_to_iteration)
+        .collect::<Result<Vec<IterationRecord>, FormatError>>()?;
+    Ok(OptimizationResult {
+        initial_schedule: parse_schedule(initial_schedule)?,
+        final_schedule: parse_schedule(final_schedule)?,
+        records: iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophunt::{PropHunt, PropHuntConfig};
+    use prophunt_circuit::schedule::ScheduleSpec;
+    use prophunt_qec::surface::rotated_surface_code_with_layout;
+
+    #[test]
+    fn ler_and_table_records_round_trip() {
+        let records = vec![
+            ReportRecord::Ler {
+                label: "poor".into(),
+                p: 3e-3,
+                idle: 0.0,
+                shots: 4000,
+                failures: 37,
+                seed: u64::MAX,
+                chunk_size: 64,
+            },
+            ReportRecord::Table {
+                name: "code_parameters".into(),
+                fields: vec![
+                    ("code".into(), Json::Str("surface_d3".into())),
+                    ("n".into(), Json::UInt(9)),
+                    ("d_est".into(), Json::UInt(3)),
+                ],
+            },
+        ];
+        let text = write_report(&records);
+        assert_eq!(text.lines().count(), 2);
+        let parsed = parse_report(&text).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn optimization_result_round_trips_through_the_report() {
+        let (code, layout) = rotated_surface_code_with_layout(3);
+        let poor = ScheduleSpec::surface_poor(&code, &layout);
+        let config = PropHuntConfig {
+            iterations: 2,
+            samples_per_iteration: 15,
+            ..PropHuntConfig::quick(3)
+        };
+        let seed = config.seed();
+        let chunk = config.runtime.chunk_size;
+        let prophunt = PropHunt::new(code.clone(), config);
+        let result = prophunt.optimize(poor);
+        let records = result_to_report(&result, code.name(), seed, chunk);
+        let text = write_report(&records);
+        let rebuilt = report_to_result(&parse_report(&text).unwrap()).unwrap();
+        assert_eq!(rebuilt, result);
+    }
+
+    #[test]
+    fn parse_errors_name_the_line() {
+        let err = parse_report("{\"type\":\"ler\"}\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("label"));
+        let good = ReportRecord::Table {
+            name: "t".into(),
+            fields: vec![],
+        }
+        .to_json_line();
+        let err = parse_report(&format!("{good}\nnot json\n")).unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse_report("{\"type\":\"mystery\"}\n").unwrap_err();
+        assert!(err.message.contains("unknown report record type"));
+    }
+
+    #[test]
+    fn table_writer_skips_reserved_field_keys() {
+        let record = ReportRecord::Table {
+            name: "t".into(),
+            fields: vec![
+                ("name".into(), Json::Str("shadow".into())),
+                ("type".into(), Json::Str("shadow".into())),
+                ("kept".into(), Json::UInt(1)),
+            ],
+        };
+        let line = record.to_json_line();
+        assert_eq!(line.matches("\"name\"").count(), 1, "{line}");
+        let parsed = ReportRecord::from_json_line(&line).unwrap();
+        assert_eq!(
+            parsed,
+            ReportRecord::Table {
+                name: "t".into(),
+                fields: vec![("kept".into(), Json::UInt(1))],
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_run_reports_are_rejected() {
+        assert!(report_to_result(&[]).is_err());
+        let only_iter = vec![ReportRecord::Table {
+            name: "x".into(),
+            fields: vec![],
+        }];
+        assert!(report_to_result(&only_iter).is_err());
+    }
+}

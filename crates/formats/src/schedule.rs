@@ -1,0 +1,279 @@
+//! The schedule text format — the paper's Figure 11 representation as a file.
+//!
+//! A schedule file records exactly the two ingredients of an abstract CNOT schedule:
+//!
+//! ```text
+//! prophunt-schedule v1
+//! x-stabilizers 4
+//! z-stabilizers 4
+//! order 0 : 0 1 3 4
+//! order 1 : 4 5 7 8
+//! ...
+//! first 1 : 0 4        # on data qubit 1, stabilizer 0 acts before stabilizer 4
+//! ```
+//!
+//! * `order s : q...` — the interaction order of stabilizer `s` (X stabilizers are
+//!   ids `0..num_x`, Z stabilizers `num_x..num_x+num_z`, matching
+//!   [`ScheduleSpec::stabilizer_id`]).
+//! * `first q : a b` — on shared data qubit `q`, stabilizer `a` interacts before `b`
+//!   (one line per ordered pair; the writer emits them in deterministic
+//!   `(qubit, min, max)` order).
+//!
+//! `#` comments and blank lines are ignored. Parsing rebuilds the schedule through
+//! [`ScheduleSpec::from_components`], so structural inconsistencies (out-of-range
+//! ids, a pair on a qubit neither stabilizer touches) are rejected; whether the
+//! schedule is *valid for a given code* (coverage, commutation, schedulability)
+//! remains a separate [`ScheduleSpec::validate_for_code`] call (which the CLI runs
+//! whenever a schedule file meets a code).
+
+use crate::error::{parse_usize, tokens, FormatError};
+use prophunt_circuit::schedule::ScheduleSpec;
+use std::fmt::Write as _;
+
+/// The header line every schedule file starts with.
+pub const SCHEDULE_HEADER: &str = "prophunt-schedule v1";
+
+/// Serializes a schedule to the `prophunt-schedule v1` text format.
+pub fn write_schedule(schedule: &ScheduleSpec) -> String {
+    let mut out = String::new();
+    out.push_str(SCHEDULE_HEADER);
+    out.push('\n');
+    let _ = writeln!(out, "x-stabilizers {}", schedule.num_x_stabilizers());
+    let _ = writeln!(out, "z-stabilizers {}", schedule.num_z_stabilizers());
+    for s in 0..schedule.num_stabilizers() {
+        let _ = write!(out, "order {s} :");
+        for &q in schedule.order(s) {
+            let _ = write!(out, " {q}");
+        }
+        out.push('\n');
+    }
+    for (qubit, a, b, first) in schedule.relative_entries() {
+        let second = if first == a { b } else { a };
+        let _ = writeln!(out, "first {qubit} : {first} {second}");
+    }
+    out
+}
+
+/// Parses the `prophunt-schedule v1` text format.
+///
+/// # Errors
+///
+/// Returns a located [`FormatError`] for header/key/token problems, and a
+/// whole-input error wrapping [`prophunt_circuit::CircuitError::InvalidSchedule`]
+/// when the components are structurally inconsistent.
+pub fn parse_schedule(input: &str) -> Result<ScheduleSpec, FormatError> {
+    let mut num_x: Option<usize> = None;
+    let mut num_z: Option<usize> = None;
+    // (line, stabilizer, qubits)
+    let mut orders: Vec<(usize, usize, Vec<usize>)> = Vec::new();
+    let mut firsts: Vec<(usize, usize, usize)> = Vec::new();
+    let mut saw_header = false;
+
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        };
+        let toks = tokens(line);
+        let Some(&(col, key)) = toks.first() else {
+            continue;
+        };
+        if !saw_header {
+            if line.trim() == SCHEDULE_HEADER {
+                saw_header = true;
+                continue;
+            }
+            return Err(FormatError::at_line(
+                line_no,
+                format!("expected header {SCHEDULE_HEADER:?}, got {:?}", line.trim()),
+            ));
+        }
+        match key {
+            "x-stabilizers" | "z-stabilizers" => {
+                let &(vcol, v) = toks
+                    .get(1)
+                    .ok_or_else(|| FormatError::at(line_no, col, format!("{key} needs a value")))?;
+                let value = parse_usize(v, line_no, vcol)?;
+                let slot = if key == "x-stabilizers" {
+                    &mut num_x
+                } else {
+                    &mut num_z
+                };
+                if slot.is_some() {
+                    return Err(FormatError::at(
+                        line_no,
+                        col,
+                        format!("duplicate {key} field"),
+                    ));
+                }
+                *slot = Some(value);
+            }
+            "order" => {
+                let &(scol, s) = toks
+                    .get(1)
+                    .ok_or_else(|| FormatError::at(line_no, col, "order needs a stabilizer id"))?;
+                let s = parse_usize(s, line_no, scol)?;
+                let sep = toks.get(2).copied();
+                if sep.map(|(_, t)| t) != Some(":") {
+                    return Err(FormatError::at(
+                        line_no,
+                        sep.map_or(col, |(c, _)| c),
+                        "order lines have the form: order <stabilizer> : <qubits...>",
+                    ));
+                }
+                let mut qubits = Vec::with_capacity(toks.len() - 3);
+                for &(qcol, q) in &toks[3..] {
+                    qubits.push(parse_usize(q, line_no, qcol)?);
+                }
+                orders.push((line_no, s, qubits));
+            }
+            "first" => {
+                let args: Vec<(usize, &str)> = toks[1..].to_vec();
+                if args.len() != 4 || args[1].1 != ":" {
+                    return Err(FormatError::at(
+                        line_no,
+                        col,
+                        "first lines have the form: first <qubit> : <first-stab> <second-stab>",
+                    ));
+                }
+                let qubit = parse_usize(args[0].1, line_no, args[0].0)?;
+                let a = parse_usize(args[2].1, line_no, args[2].0)?;
+                let b = parse_usize(args[3].1, line_no, args[3].0)?;
+                firsts.push((qubit, a, b));
+            }
+            other => {
+                return Err(FormatError::at(
+                    line_no,
+                    col,
+                    format!("unknown schedule key {other:?}"),
+                ))
+            }
+        }
+    }
+
+    if !saw_header {
+        return Err(FormatError::whole_input("empty schedule file"));
+    }
+    let num_x =
+        num_x.ok_or_else(|| FormatError::whole_input("schedule is missing x-stabilizers"))?;
+    let num_z =
+        num_z.ok_or_else(|| FormatError::whole_input("schedule is missing z-stabilizers"))?;
+    let num_stabs = num_x + num_z;
+
+    let mut order_table: Vec<Option<Vec<usize>>> = vec![None; num_stabs];
+    for (line_no, s, qubits) in orders {
+        if s >= num_stabs {
+            return Err(FormatError::at_line(
+                line_no,
+                format!("order names stabilizer {s} but the schedule has {num_stabs}"),
+            ));
+        }
+        if order_table[s].is_some() {
+            return Err(FormatError::at_line(
+                line_no,
+                format!("duplicate order line for stabilizer {s}"),
+            ));
+        }
+        order_table[s] = Some(qubits);
+    }
+    let mut order_vec = Vec::with_capacity(num_stabs);
+    for (s, slot) in order_table.into_iter().enumerate() {
+        order_vec.push(slot.ok_or_else(|| {
+            FormatError::whole_input(format!("schedule is missing the order of stabilizer {s}"))
+        })?);
+    }
+
+    ScheduleSpec::from_components(num_x, num_z, order_vec, firsts)
+        .map_err(|e| FormatError::whole_input(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophunt_circuit::schedule::ScheduleSpec;
+    use prophunt_qec::small::quantum_repetition_code;
+    use prophunt_qec::surface::rotated_surface_code_with_layout;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hand_designed_surface_schedule_round_trips() {
+        let (code, layout) = rotated_surface_code_with_layout(3);
+        let schedule = ScheduleSpec::surface_hand_designed(&code, &layout);
+        let text = write_schedule(&schedule);
+        let parsed = parse_schedule(&text).unwrap();
+        assert_eq!(parsed, schedule);
+        parsed.validate_for_code(&code).unwrap();
+        assert_eq!(write_schedule(&parsed), text);
+    }
+
+    #[test]
+    fn coloration_schedules_round_trip_for_several_codes() {
+        for code in [
+            quantum_repetition_code(5),
+            rotated_surface_code_with_layout(5).0,
+        ] {
+            let schedule = ScheduleSpec::coloration(&code);
+            let parsed = parse_schedule(&write_schedule(&schedule)).unwrap();
+            assert_eq!(parsed, schedule);
+        }
+    }
+
+    #[test]
+    fn random_schedules_round_trip() {
+        let (code, _) = rotated_surface_code_with_layout(3);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let schedule = ScheduleSpec::random(&code, &mut rng);
+            let parsed = parse_schedule(&write_schedule(&schedule)).unwrap();
+            assert_eq!(parsed, schedule);
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_located_and_typed() {
+        assert!(parse_schedule("").is_err());
+        let err = parse_schedule("bogus\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let text = "prophunt-schedule v1\nx-stabilizers 1\nz-stabilizers 0\norder 0 : 0 1\nfirst 9 : 0 0\n";
+        let err = parse_schedule(text).unwrap_err();
+        assert!(err.message.contains("ordered against itself"));
+        let text = "prophunt-schedule v1\nx-stabilizers 1\nz-stabilizers 0\norder 5 : 0\n";
+        let err = parse_schedule(text).unwrap_err();
+        assert_eq!(err.line, 4);
+        let text = "prophunt-schedule v1\nx-stabilizers 1\nz-stabilizers 0\n";
+        let err = parse_schedule(text).unwrap_err();
+        assert!(err.message.contains("missing the order"));
+        let text = "prophunt-schedule v1\nx-stabilizers 1\nz-stabilizers 0\norder 0 0 1\n";
+        assert!(parse_schedule(text).is_err());
+    }
+
+    #[test]
+    fn conflicting_first_lines_are_rejected() {
+        let (code, layout) = rotated_surface_code_with_layout(3);
+        let schedule = ScheduleSpec::surface_hand_designed(&code, &layout);
+        let mut text = write_schedule(&schedule);
+        // Re-state the first `first` line with the opposite orientation: the parser
+        // must refuse rather than let the later line silently win.
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("first"))
+            .unwrap()
+            .to_string();
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        text.push_str(&format!("first {} : {} {}\n", toks[1], toks[4], toks[3]));
+        let err = parse_schedule(&text).unwrap_err();
+        assert!(err.message.contains("twice"), "{err}");
+    }
+
+    #[test]
+    fn mismatched_code_is_rejected_by_validate_not_parse() {
+        let (d3, _) = rotated_surface_code_with_layout(3);
+        let (d5, _) = rotated_surface_code_with_layout(5);
+        let schedule = ScheduleSpec::coloration(&d3);
+        let parsed = parse_schedule(&write_schedule(&schedule)).unwrap();
+        assert!(parsed.validate_for_code(&d5).is_err());
+        parsed.validate_for_code(&d3).unwrap();
+    }
+}

@@ -1,0 +1,176 @@
+//! Property tests: `parse(write(x)) == x` for every text format in this crate.
+//!
+//! Uses the vendored offline proptest shim (deterministic cases, no shrinking); the
+//! strategies draw a `u64` seed and expand it with `StdRng` so arbitrary structured
+//! values stay reproducible.
+
+use prophunt_circuit::dem::{DetectorErrorModel, ErrorMechanism};
+use prophunt_circuit::schedule::ScheduleSpec;
+use prophunt_formats::report::ReportRecord;
+use prophunt_formats::{
+    parse_code_spec, parse_dem, parse_report, parse_schedule, write_code_spec, write_dem,
+    write_report, write_schedule, CodeSpec, Json,
+};
+use prophunt_qec::small::quantum_repetition_code;
+use prophunt_qec::surface::rotated_surface_code_with_layout;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_rows(rng: &mut StdRng, rows: usize, n: usize) -> Vec<Vec<u8>> {
+    (0..rows)
+        .map(|_| (0..n).map(|_| rng.gen_range(0u8..2)).collect())
+        .collect()
+}
+
+fn random_code_spec(seed: u64) -> CodeSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(1usize..24);
+    let name_len = rng.gen_range(1usize..12);
+    let charset: Vec<char> = "abcdefghijklmnopqrstuvwxyz0123456789_-".chars().collect();
+    let name: String = (0..name_len)
+        .map(|_| charset[rng.gen_range(0..charset.len())])
+        .collect();
+    let with_logicals = rng.gen_range(0u8..2) == 1;
+    let k = rng.gen_range(0usize..3);
+    let distance = if rng.gen_range(0u8..2) == 1 {
+        Some(rng.gen_range(1usize..10))
+    } else {
+        None
+    };
+    let hx_rows = rng.gen_range(0usize..6);
+    let hz_rows = rng.gen_range(0usize..6);
+    CodeSpec {
+        name,
+        n,
+        distance,
+        hx: random_rows(&mut rng, hx_rows, n),
+        hz: random_rows(&mut rng, hz_rows, n),
+        lx: if with_logicals {
+            random_rows(&mut rng, k, n)
+        } else {
+            Vec::new()
+        },
+        lz: if with_logicals {
+            random_rows(&mut rng, k, n)
+        } else {
+            Vec::new()
+        },
+    }
+}
+
+fn random_dem(seed: u64) -> DetectorErrorModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_detectors = rng.gen_range(1usize..24);
+    let num_observables = rng.gen_range(0usize..3);
+    let num_errors = rng.gen_range(0usize..40);
+    let errors = (0..num_errors)
+        .map(|_| {
+            let mut detectors: Vec<usize> = (0..num_detectors)
+                .filter(|_| rng.gen_range(0u8..4) == 0)
+                .collect();
+            if detectors.is_empty() {
+                detectors.push(rng.gen_range(0..num_detectors));
+            }
+            let observables: Vec<usize> = (0..num_observables)
+                .filter(|_| rng.gen_range(0u8..3) == 0)
+                .collect();
+            // Mix "round" probabilities with raw uniform draws so both short and
+            // long decimal expansions are exercised.
+            let probability = match rng.gen_range(0u8..3) {
+                0 => 1e-3,
+                1 => rng.gen_range(0.0..1.0),
+                _ => rng.gen_range(0.0..1.0) * 1e-7,
+            };
+            ErrorMechanism {
+                probability,
+                detectors,
+                observables,
+                sources: Vec::new(),
+            }
+        })
+        .collect();
+    DetectorErrorModel::from_parts(num_detectors, num_observables, errors).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn code_specs_round_trip(seed in any::<u64>()) {
+        let spec = random_code_spec(seed);
+        let text = write_code_spec(&spec);
+        let parsed = parse_code_spec(&text).unwrap();
+        prop_assert_eq!(&parsed, &spec);
+        // Idempotence: a second round trip is byte-identical.
+        prop_assert_eq!(write_code_spec(&parsed), text);
+    }
+
+    #[test]
+    fn dems_round_trip(seed in any::<u64>()) {
+        let dem = random_dem(seed);
+        let text = write_dem(&dem);
+        let parsed = parse_dem(&text).unwrap();
+        prop_assert!(parsed.same_distribution(&dem));
+        prop_assert_eq!(write_dem(&parsed), text);
+    }
+
+    #[test]
+    fn random_surface_schedules_round_trip(seed in any::<u64>()) {
+        let (code, _) = rotated_surface_code_with_layout(3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schedule = ScheduleSpec::random(&code, &mut rng);
+        let text = write_schedule(&schedule);
+        let parsed = parse_schedule(&text).unwrap();
+        prop_assert_eq!(&parsed, &schedule);
+        prop_assert_eq!(write_schedule(&parsed), text);
+    }
+
+    #[test]
+    fn repetition_schedules_round_trip(seed in any::<u64>(), n in 2usize..9) {
+        let code = quantum_repetition_code(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schedule = ScheduleSpec::random(&code, &mut rng);
+        let parsed = parse_schedule(&write_schedule(&schedule)).unwrap();
+        prop_assert_eq!(parsed, schedule);
+    }
+
+    #[test]
+    fn ler_records_round_trip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let record = ReportRecord::Ler {
+            label: format!("sweep-{}", rng.gen_range(0u64..1000)),
+            p: rng.gen_range(0.0..1.0),
+            idle: rng.gen_range(0.0..1.0) * 1e-4,
+            shots: rng.gen_range(0u64..u64::MAX),
+            failures: rng.gen_range(0u64..1_000_000),
+            seed: rng.gen_range(0u64..u64::MAX),
+            chunk_size: rng.gen_range(1u64..4096),
+        };
+        let text = write_report([&record]);
+        let parsed = parse_report(&text).unwrap();
+        prop_assert_eq!(parsed, vec![record]);
+    }
+
+    #[test]
+    fn table_records_round_trip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fields = (0..rng.gen_range(0usize..6))
+            .map(|i| {
+                let value = match rng.gen_range(0u8..4) {
+                    0 => Json::UInt(rng.gen_range(0u64..u64::MAX)),
+                    1 => Json::Float(rng.gen_range(0.0..1e9)),
+                    2 => Json::Str(format!("value \"{}\"\n", rng.gen_range(0u64..100))),
+                    _ => Json::Array(vec![Json::UInt(rng.gen_range(0u64..10)), Json::Null]),
+                };
+                (format!("field_{i}"), value)
+            })
+            .collect();
+        let record = ReportRecord::Table {
+            name: "proptest".into(),
+            fields,
+        };
+        let parsed = parse_report(&write_report([&record])).unwrap();
+        prop_assert_eq!(parsed, vec![record]);
+    }
+}

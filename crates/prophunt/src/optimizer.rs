@@ -239,11 +239,45 @@ impl PropHunt {
     ///
     /// # Panics
     ///
-    /// Panics if the initial schedule is not valid for the code.
+    /// Panics if the initial schedule is not valid for the code. Use
+    /// [`PropHunt::try_optimize`] when the schedule comes from outside the process
+    /// (e.g. a parsed schedule file).
     pub fn optimize(&self, initial: ScheduleSpec) -> OptimizationResult {
-        initial
-            .validate(&self.code)
-            .expect("initial schedule must be valid");
+        self.try_optimize(initial)
+            .expect("initial schedule must be valid")
+    }
+
+    /// Fallible variant of [`PropHunt::optimize`]: validates the initial schedule
+    /// against the code instead of panicking. This is the resume entry point used by
+    /// `prophunt optimize --resume`, where the starting schedule is a previously
+    /// exported schedule file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`prophunt_circuit::CircuitError`] raised by schedule validation.
+    pub fn try_optimize(
+        &self,
+        initial: ScheduleSpec,
+    ) -> Result<OptimizationResult, prophunt_circuit::CircuitError> {
+        self.try_optimize_with_observer(initial, |_| {})
+    }
+
+    /// Runs the optimization loop, invoking `observer` with each completed
+    /// [`IterationRecord`] *as the run progresses* — the hook behind the CLI's streamed
+    /// JSON-lines iteration reports. The observer sees exactly the records collected in
+    /// the returned [`OptimizationResult`], in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`prophunt_circuit::CircuitError`] raised by schedule validation.
+    pub fn try_optimize_with_observer(
+        &self,
+        initial: ScheduleSpec,
+        mut observer: impl FnMut(&IterationRecord),
+    ) -> Result<OptimizationResult, prophunt_circuit::CircuitError> {
+        // Full boundary check (including Tanner-graph coverage): the initial
+        // schedule may come from a file rather than a trusted constructor.
+        initial.validate_for_code(&self.code)?;
         let mut schedule = initial.clone();
         let mut records = Vec::new();
         for iteration in 0..self.config.iterations {
@@ -253,17 +287,18 @@ impl PropHunt {
                 MemoryBasis::X
             };
             let record = self.run_iteration(iteration, basis, &mut schedule);
+            observer(&record);
             let stop = record.subgraphs_found == 0 && iteration > 0;
             records.push(record);
             if stop {
                 break;
             }
         }
-        OptimizationResult {
+        Ok(OptimizationResult {
             initial_schedule: initial,
             final_schedule: schedule,
             records,
-        }
+        })
     }
 
     /// One optimization iteration: the explicit stage pipeline.

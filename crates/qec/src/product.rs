@@ -91,13 +91,31 @@ pub fn circulant(l: usize, exponents: &[usize]) -> BitMatrix {
 ///
 /// # Panics
 ///
-/// Panics if the resulting code has `k = 0` (choose different polynomials).
+/// Panics if the resulting code has `k = 0` (choose different polynomials). Use
+/// [`try_generalized_bicycle`] when the polynomials come from user input.
 pub fn generalized_bicycle(
     l: usize,
     a_exponents: &[usize],
     b_exponents: &[usize],
     name: &str,
 ) -> CssCode {
+    try_generalized_bicycle(l, a_exponents, b_exponents, name)
+        .expect("generalized bicycle polynomials must give k >= 1")
+}
+
+/// Fallible variant of [`generalized_bicycle`] for externally supplied polynomials
+/// (e.g. a `prophunt code --family generalized_bicycle:...` invocation).
+///
+/// # Errors
+///
+/// Returns [`crate::CssCodeError::NoLogicalQubits`] when the chosen polynomials encode
+/// zero logical qubits.
+pub fn try_generalized_bicycle(
+    l: usize,
+    a_exponents: &[usize],
+    b_exponents: &[usize],
+    name: &str,
+) -> Result<CssCode, crate::CssCodeError> {
     let a = circulant(l, a_exponents);
     let b = circulant(l, b_exponents);
     let hx = a.hstack(&b).expect("same row count");
@@ -105,7 +123,7 @@ pub fn generalized_bicycle(
         .transpose()
         .hstack(&a.transpose())
         .expect("same row count");
-    CssCode::new(name, hx, hz).expect("generalized bicycle codes are valid CSS codes")
+    CssCode::new(name, hx, hz)
 }
 
 /// A monomial `x^i y^j` of the bivariate group algebra `F_2[Z_l × Z_m]`.
@@ -140,7 +158,8 @@ pub fn bivariate_matrix(l: usize, m: usize, terms: &[BivariateTerm]) -> BitMatri
 ///
 /// # Panics
 ///
-/// Panics if the resulting code has `k = 0`.
+/// Panics if the resulting code has `k = 0`. Use [`try_bivariate_bicycle`] when the
+/// polynomials come from user input.
 pub fn bivariate_bicycle(
     l: usize,
     m: usize,
@@ -148,6 +167,23 @@ pub fn bivariate_bicycle(
     b_terms: &[BivariateTerm],
     name: &str,
 ) -> CssCode {
+    try_bivariate_bicycle(l, m, a_terms, b_terms, name)
+        .expect("bivariate bicycle polynomials must give k >= 1")
+}
+
+/// Fallible variant of [`bivariate_bicycle`] for externally supplied polynomials.
+///
+/// # Errors
+///
+/// Returns [`crate::CssCodeError::NoLogicalQubits`] when the chosen polynomials encode
+/// zero logical qubits.
+pub fn try_bivariate_bicycle(
+    l: usize,
+    m: usize,
+    a_terms: &[BivariateTerm],
+    b_terms: &[BivariateTerm],
+    name: &str,
+) -> Result<CssCode, crate::CssCodeError> {
     let a = bivariate_matrix(l, m, a_terms);
     let b = bivariate_matrix(l, m, b_terms);
     let hx = a.hstack(&b).expect("same row count");
@@ -155,7 +191,7 @@ pub fn bivariate_bicycle(
         .transpose()
         .hstack(&a.transpose())
         .expect("same row count");
-    CssCode::new(name, hx, hz).expect("bivariate bicycle codes are valid CSS codes")
+    CssCode::new(name, hx, hz)
 }
 
 #[cfg(test)]

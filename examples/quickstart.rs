@@ -1,11 +1,16 @@
-//! Quickstart: optimize the syndrome-measurement circuit of a d = 3 surface code.
+//! Quickstart: optimize the syndrome-measurement circuit of a d = 3 surface code,
+//! then export the optimized schedule and its detector error model as files.
 //!
-//! Run with `cargo run --release --example quickstart`.
+//! Run with `cargo run --release --example quickstart`. The exported files use the
+//! `prophunt-formats` interchange formats (see `FORMATS.md`) and can be fed back to
+//! the `prophunt` CLI, e.g. `prophunt ler --dem quickstart_optimized.dem` or
+//! `prophunt optimize --code surface:3 --resume quickstart_optimized.schedule`.
 
 use prophunt_suite::circuit::schedule::ScheduleSpec;
 use prophunt_suite::circuit::{DetectorErrorModel, MemoryBasis, MemoryExperiment, NoiseModel};
 use prophunt_suite::core::{PropHunt, PropHuntConfig};
 use prophunt_suite::decoders::{estimate_logical_error_rate, BpOsdDecoder};
+use prophunt_suite::formats::{parse_dem, parse_schedule, write_dem, write_schedule};
 use prophunt_suite::qec::surface::rotated_surface_code_with_layout;
 use prophunt_suite::runtime::{Runtime, RuntimeConfig};
 
@@ -64,4 +69,33 @@ fn main() {
     if let Some(d_eff) = prophunt.estimate_effective_distance(&result.final_schedule, 10) {
         println!("estimated effective distance of optimized circuit: {d_eff}");
     }
+
+    // Export the optimized circuit through the interchange formats: the schedule as
+    // a `prophunt-schedule v1` file and its Z-memory detector error model as a
+    // Stim-compatible `.dem` file, both written to the temp directory.
+    let out_dir = std::env::temp_dir();
+    let schedule_path = out_dir.join("quickstart_optimized.schedule");
+    let dem_path = out_dir.join("quickstart_optimized.dem");
+    let schedule_text = write_schedule(&result.final_schedule);
+    let exp = MemoryExperiment::build(&code, &result.final_schedule, 3, MemoryBasis::Z)
+        .expect("optimized schedule stays valid");
+    let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(p));
+    let dem_text = write_dem(&dem);
+    std::fs::write(&schedule_path, &schedule_text).expect("write schedule file");
+    std::fs::write(&dem_path, &dem_text).expect("write dem file");
+
+    // Both files parse back to exactly what was exported.
+    assert_eq!(
+        parse_schedule(&schedule_text).expect("schedule file parses"),
+        result.final_schedule
+    );
+    assert!(parse_dem(&dem_text)
+        .expect("dem file parses")
+        .same_distribution(&dem));
+    println!("exported schedule to {}", schedule_path.display());
+    println!(
+        "exported detector error model ({} mechanisms) to {}",
+        dem.num_errors(),
+        dem_path.display()
+    );
 }

@@ -14,9 +14,12 @@
 //! * [`zne`] — Hook-ZNE and DS-ZNE ([`prophunt_zne`]).
 //! * [`runtime`] — the deterministic bounded parallel execution layer shared by
 //!   every parallel stage ([`prophunt_runtime`]).
+//! * [`formats`] — on-disk interchange formats: Stim-compatible `.dem` files,
+//!   code specs, schedule files and JSON-lines run reports
+//!   ([`prophunt_formats`]); the `prophunt` CLI is built on these.
 //!
 //! See `README.md` for a quickstart, the crate map and the runtime's
-//! determinism contract.
+//! determinism contract, and `FORMATS.md` for the file-format grammars.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +27,7 @@
 pub use prophunt as core;
 pub use prophunt_circuit as circuit;
 pub use prophunt_decoders as decoders;
+pub use prophunt_formats as formats;
 pub use prophunt_gf2 as gf2;
 pub use prophunt_maxsat as maxsat;
 pub use prophunt_qec as qec;
