@@ -1,0 +1,274 @@
+//! The noise-model registry: a parsed, canonical description of every noise model
+//! the suite can simulate, constructible from a spec string.
+//!
+//! Grammar (`<p>`, `<idle>` and `<eta>` are decimal floats):
+//!
+//! ```text
+//! depolarizing:<p>             uniform circuit-level depolarizing (the paper's model)
+//! depolarizing:<p>:<idle>      ... with idle errors of strength <idle> per moment
+//! si1000:<p>                   superconducting-inspired profile (2q at p, 1q/idle at
+//!                              p/10, measurement flips at 2p)
+//! biased:<p>:<eta>             Z-biased depolarizing, eta = p_Z / (p_X + p_Y)
+//! biased:<p>:<eta>:<idle>      ... with idle errors
+//! ```
+//!
+//! [`NoiseSpec`]'s [`std::fmt::Display`] emits the canonical form of the same
+//! grammar, so specs round-trip through report records and CLI flags.
+
+use crate::error::ApiError;
+use prophunt_circuit::NoiseModel;
+use std::fmt;
+use std::str::FromStr;
+
+/// A parsed noise specification: the serializable identity of a [`NoiseModel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseSpec {
+    /// Uniform circuit-level depolarizing at rate `p`, with optional idle errors.
+    Depolarizing {
+        /// Physical error rate.
+        p: f64,
+        /// Idle error strength per qubit per moment (0 disables idle errors).
+        idle: f64,
+    },
+    /// The superconducting-inspired SI1000-style profile at base rate `p`.
+    Si1000 {
+        /// Base error rate (two-qubit gates depolarize at this rate).
+        p: f64,
+    },
+    /// Z-biased depolarizing at rate `p` with bias ratio `eta = p_Z / (p_X + p_Y)`.
+    Biased {
+        /// Physical error rate.
+        p: f64,
+        /// Bias ratio; `0.5` is unbiased.
+        eta: f64,
+        /// Idle error strength (0 disables idle errors).
+        idle: f64,
+    },
+}
+
+impl NoiseSpec {
+    /// Uniform depolarizing at rate `p` without idle errors (the paper's default).
+    pub fn uniform(p: f64) -> NoiseSpec {
+        NoiseSpec::Depolarizing { p, idle: 0.0 }
+    }
+
+    /// Returns the physical error rate parameter.
+    pub fn p(&self) -> f64 {
+        match *self {
+            NoiseSpec::Depolarizing { p, .. }
+            | NoiseSpec::Si1000 { p }
+            | NoiseSpec::Biased { p, .. } => p,
+        }
+    }
+
+    /// Returns the idle error strength (0 for families without an idle knob).
+    pub fn idle(&self) -> f64 {
+        match *self {
+            NoiseSpec::Depolarizing { idle, .. } | NoiseSpec::Biased { idle, .. } => idle,
+            NoiseSpec::Si1000 { p } => p / 10.0,
+        }
+    }
+
+    /// Constructs the concrete [`NoiseModel`].
+    pub fn build(&self) -> NoiseModel {
+        match *self {
+            NoiseSpec::Depolarizing { p, idle } => {
+                NoiseModel::uniform_depolarizing(p).with_idle(idle)
+            }
+            NoiseSpec::Si1000 { p } => NoiseModel::si1000(p),
+            NoiseSpec::Biased { p, eta, idle } => NoiseModel::biased(p, eta).with_idle(idle),
+        }
+    }
+
+    /// Validates the parameters (probabilities in `[0, 1]`, finite, `eta >= 0`).
+    fn validate(self, spec: &str) -> Result<NoiseSpec, ApiError> {
+        let probability = |name: &str, v: f64| -> Result<(), ApiError> {
+            if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+                return Err(ApiError::InvalidNoise(format!(
+                    "{name} must be in [0, 1], got {v} in {spec:?}"
+                )));
+            }
+            Ok(())
+        };
+        match self {
+            NoiseSpec::Depolarizing { p, idle } => {
+                probability("p", p)?;
+                probability("idle", idle)?;
+            }
+            NoiseSpec::Si1000 { p } => probability("p", p)?,
+            NoiseSpec::Biased { p, eta, idle } => {
+                probability("p", p)?;
+                probability("idle", idle)?;
+                if !eta.is_finite() || eta < 0.0 {
+                    return Err(ApiError::InvalidNoise(format!(
+                        "eta must be a finite ratio >= 0, got {eta} in {spec:?}"
+                    )));
+                }
+            }
+        }
+        Ok(self)
+    }
+
+    /// Parses a noise spec string (see the module docs for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::InvalidNoise`] for unknown families, wrong arity or
+    /// out-of-range parameters.
+    pub fn parse(spec: &str) -> Result<NoiseSpec, ApiError> {
+        let mut parts = spec.split(':');
+        let family = parts.next().unwrap_or_default();
+        let args: Vec<&str> = parts.collect();
+        let num = |text: &str| -> Result<f64, ApiError> {
+            text.parse::<f64>().map_err(|_| {
+                ApiError::InvalidNoise(format!("{text:?} is not a number in {spec:?}"))
+            })
+        };
+        let parsed = match (family, args.as_slice()) {
+            ("depolarizing", [p]) => NoiseSpec::Depolarizing {
+                p: num(p)?,
+                idle: 0.0,
+            },
+            ("depolarizing", [p, idle]) => NoiseSpec::Depolarizing {
+                p: num(p)?,
+                idle: num(idle)?,
+            },
+            ("si1000", [p]) => NoiseSpec::Si1000 { p: num(p)? },
+            ("biased", [p, eta]) => NoiseSpec::Biased {
+                p: num(p)?,
+                eta: num(eta)?,
+                idle: 0.0,
+            },
+            ("biased", [p, eta, idle]) => NoiseSpec::Biased {
+                p: num(p)?,
+                eta: num(eta)?,
+                idle: num(idle)?,
+            },
+            ("depolarizing" | "si1000" | "biased", _) => {
+                return Err(ApiError::InvalidNoise(format!(
+                    "wrong number of parameters in {spec:?} (expected \
+                     depolarizing:<p>[:<idle>], si1000:<p>, or biased:<p>:<eta>[:<idle>])"
+                )))
+            }
+            _ => {
+                return Err(ApiError::InvalidNoise(format!(
+                    "unknown noise family {family:?} (expected depolarizing, si1000 or biased)"
+                )))
+            }
+        };
+        parsed.validate(spec)
+    }
+}
+
+impl fmt::Display for NoiseSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            NoiseSpec::Depolarizing { p, idle } => {
+                if idle == 0.0 {
+                    write!(f, "depolarizing:{p}")
+                } else {
+                    write!(f, "depolarizing:{p}:{idle}")
+                }
+            }
+            NoiseSpec::Si1000 { p } => write!(f, "si1000:{p}"),
+            NoiseSpec::Biased { p, eta, idle } => {
+                if idle == 0.0 {
+                    write!(f, "biased:{p}:{eta}")
+                } else {
+                    write!(f, "biased:{p}:{eta}:{idle}")
+                }
+            }
+        }
+    }
+}
+
+impl FromStr for NoiseSpec {
+    type Err = ApiError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        NoiseSpec::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_parse_and_round_trip_through_display() {
+        let cases = [
+            "depolarizing:0.001",
+            "depolarizing:0.001:0.0001",
+            "si1000:0.002",
+            "biased:0.001:10",
+            "biased:0.001:10:0.0002",
+        ];
+        for case in cases {
+            let spec = NoiseSpec::parse(case).unwrap();
+            let reparsed = NoiseSpec::parse(&spec.to_string()).unwrap();
+            assert_eq!(spec, reparsed, "{case}");
+        }
+    }
+
+    #[test]
+    fn canonical_form_drops_a_zero_idle() {
+        assert_eq!(NoiseSpec::uniform(1e-3).to_string(), "depolarizing:0.001");
+        assert_eq!(
+            NoiseSpec::parse("depolarizing:0.001:0")
+                .unwrap()
+                .to_string(),
+            "depolarizing:0.001"
+        );
+    }
+
+    #[test]
+    fn built_models_match_the_noise_model_constructors() {
+        assert_eq!(
+            NoiseSpec::uniform(1e-3).build(),
+            NoiseModel::uniform_depolarizing(1e-3)
+        );
+        assert_eq!(
+            NoiseSpec::parse("si1000:0.002").unwrap().build(),
+            NoiseModel::si1000(2e-3)
+        );
+        assert_eq!(
+            NoiseSpec::parse("biased:0.001:10:0.0001").unwrap().build(),
+            NoiseModel::biased(1e-3, 10.0).with_idle(1e-4)
+        );
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_invalid_noise_errors() {
+        for bad in [
+            "",
+            "depolarizing",
+            "depolarizing:x",
+            "depolarizing:1.5",
+            "depolarizing:-0.1",
+            "si1000",
+            "si1000:0.1:0.1",
+            "biased:0.001",
+            "biased:0.001:-1",
+            "unknown:0.001",
+            "depolarizing:0.001:0.1:0.1",
+        ] {
+            assert!(
+                matches!(NoiseSpec::parse(bad), Err(ApiError::InvalidNoise(_))),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn accessors_expose_p_and_idle() {
+        assert_eq!(NoiseSpec::parse("biased:0.002:4:0.0001").unwrap().p(), 2e-3);
+        assert_eq!(
+            NoiseSpec::parse("depolarizing:0.001:0.0002")
+                .unwrap()
+                .idle(),
+            2e-4
+        );
+        // si1000 bakes its idle strength in at p/10.
+        assert_eq!(NoiseSpec::parse("si1000:0.01").unwrap().idle(), 1e-3);
+    }
+}

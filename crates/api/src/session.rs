@@ -1,0 +1,599 @@
+//! [`Session`]: the stateful execution context jobs run in.
+//!
+//! A session owns the deterministic parallel [`Runtime`] and memoizes the
+//! expensive intermediate artifacts of experiment evaluation — built
+//! [`MemoryExperiment`]s, [`DetectorErrorModel`]s and decoder instances — keyed
+//! by the exact `(code, schedule, rounds, basis, noise)` combination, so a sweep
+//! over decoders reuses the model, a sweep over noise reuses the experiment, and
+//! repeated jobs on the same grid point are free.
+
+use crate::decoder::DecoderRegistry;
+use crate::error::ApiError;
+use crate::job::{
+    BasisEstimate, Event, JobKind, LerJob, LerOutcome, OptimizeJob, OptimizeOutcome, StopReason,
+};
+use crate::spec::ExperimentSpec;
+use prophunt::{PropHunt, PropHuntConfig};
+use prophunt_circuit::{DetectorErrorModel, MemoryBasis, MemoryExperiment};
+use prophunt_decoders::{estimate_with_budget, Decoder, LogicalErrorEstimate};
+use prophunt_formats::write_schedule;
+use prophunt_runtime::{Runtime, RuntimeConfig};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Cache key identifying a built memory experiment.
+///
+/// The code is fingerprinted by name and dimensions; the schedule by its
+/// canonical `prophunt-schedule v1` text (exact, not name-based). Distinct codes
+/// sharing a name *and* dimensions would alias — give custom codes distinct
+/// names.
+type ExperimentKey = (String, String, usize, u8);
+
+/// Cache key identifying a detector error model: an experiment plus a canonical
+/// noise spec string.
+type DemKey = (ExperimentKey, String);
+
+/// Cache key identifying a decoder instance: a model plus the decoder name.
+type DecoderKey = (DemKey, String);
+
+fn basis_tag(basis: MemoryBasis) -> u8 {
+    match basis {
+        MemoryBasis::Z => 0,
+        MemoryBasis::X => 1,
+    }
+}
+
+/// Cache hit/miss counters of a session (observability for sweeps and tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Memory experiments built.
+    pub experiments_built: usize,
+    /// Memory-experiment cache hits.
+    pub experiment_hits: usize,
+    /// Detector error models built.
+    pub dems_built: usize,
+    /// Detector-error-model cache hits.
+    pub dem_hits: usize,
+    /// Decoder instances built.
+    pub decoders_built: usize,
+    /// Decoder cache hits.
+    pub decoder_hits: usize,
+    /// Jobs run to completion.
+    pub jobs_run: usize,
+}
+
+/// The stateful execution context of the experiment API. See the module docs.
+pub struct Session {
+    runtime: Runtime,
+    registry: DecoderRegistry,
+    experiments: HashMap<ExperimentKey, Arc<MemoryExperiment>>,
+    dems: HashMap<DemKey, Arc<DetectorErrorModel>>,
+    decoders: HashMap<DecoderKey, Arc<dyn Decoder>>,
+    stats: SessionStats,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("runtime", self.runtime.config())
+            .field("registry", &self.registry)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// Creates a session with the default decoder registry.
+    pub fn new(config: RuntimeConfig) -> Session {
+        Session::with_registry(config, DecoderRegistry::with_defaults())
+    }
+
+    /// Creates a session with a custom decoder registry.
+    pub fn with_registry(config: RuntimeConfig, registry: DecoderRegistry) -> Session {
+        Session {
+            runtime: Runtime::new(config),
+            registry,
+            experiments: HashMap::new(),
+            dems: HashMap::new(),
+            decoders: HashMap::new(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Returns the shared parallel runtime.
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    /// Returns the decoder registry.
+    pub fn registry(&self) -> &DecoderRegistry {
+        &self.registry
+    }
+
+    /// Registers (or replaces) a decoder constructor; see
+    /// [`DecoderRegistry::register`]. Replacing a name also evicts every decoder
+    /// instance cached under it, so later jobs use the new constructor.
+    pub fn register_decoder(
+        &mut self,
+        name: impl Into<String>,
+        builder: impl Fn(&DetectorErrorModel) -> Arc<dyn Decoder> + Send + Sync + 'static,
+    ) {
+        let name = name.into();
+        self.decoders.retain(|(_, cached), _| cached != &name);
+        self.registry.register(name, builder);
+    }
+
+    /// Returns the cache statistics.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    fn experiment_key(spec: &ExperimentSpec, basis: MemoryBasis) -> ExperimentKey {
+        (
+            format!(
+                "{}[{},{}]",
+                spec.code().name(),
+                spec.code().n(),
+                spec.code().k()
+            ),
+            write_schedule(spec.schedule()),
+            spec.rounds(),
+            basis_tag(basis),
+        )
+    }
+
+    /// Returns the (cached) memory experiment for one basis of `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::Circuit`] when the experiment cannot be built.
+    pub fn experiment(
+        &mut self,
+        spec: &ExperimentSpec,
+        basis: MemoryBasis,
+    ) -> Result<Arc<MemoryExperiment>, ApiError> {
+        let key = Self::experiment_key(spec, basis);
+        if let Some(experiment) = self.experiments.get(&key) {
+            self.stats.experiment_hits += 1;
+            return Ok(Arc::clone(experiment));
+        }
+        let experiment = Arc::new(MemoryExperiment::build(
+            spec.code(),
+            spec.schedule(),
+            spec.rounds(),
+            basis,
+        )?);
+        self.stats.experiments_built += 1;
+        self.experiments.insert(key, Arc::clone(&experiment));
+        Ok(experiment)
+    }
+
+    /// Returns the (cached) detector error model for one basis of `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::Circuit`] when the underlying experiment cannot be
+    /// built.
+    pub fn dem(
+        &mut self,
+        spec: &ExperimentSpec,
+        basis: MemoryBasis,
+    ) -> Result<Arc<DetectorErrorModel>, ApiError> {
+        let key = (Self::experiment_key(spec, basis), spec.noise().to_string());
+        if let Some(dem) = self.dems.get(&key) {
+            self.stats.dem_hits += 1;
+            return Ok(Arc::clone(dem));
+        }
+        let experiment = self.experiment(spec, basis)?;
+        let dem = Arc::new(DetectorErrorModel::from_experiment(
+            &experiment,
+            &spec.noise().build(),
+        ));
+        self.stats.dems_built += 1;
+        self.dems.insert(key, Arc::clone(&dem));
+        Ok(dem)
+    }
+
+    /// Returns the (cached) decoder instance for one basis of `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::UnknownDecoder`] when the spec's decoder name is not
+    /// registered, and [`ApiError::Circuit`] when the model cannot be built.
+    pub fn decoder(
+        &mut self,
+        spec: &ExperimentSpec,
+        basis: MemoryBasis,
+    ) -> Result<Arc<dyn Decoder>, ApiError> {
+        let dem_key = (Self::experiment_key(spec, basis), spec.noise().to_string());
+        let key = (dem_key, spec.decoder().to_string());
+        if let Some(decoder) = self.decoders.get(&key) {
+            self.stats.decoder_hits += 1;
+            return Ok(Arc::clone(decoder));
+        }
+        let dem = self.dem(spec, basis)?;
+        let decoder = self.registry.build(spec.decoder(), &dem)?;
+        self.stats.decoders_built += 1;
+        self.decoders.insert(key, Arc::clone(&decoder));
+        Ok(decoder)
+    }
+
+    /// Runs a [`LerJob`], emitting [`Event`]s through `observer`.
+    ///
+    /// The estimate is a pure function of the job and the session's
+    /// `(seed, chunk_size)`; thread count changes wall-clock time only, including
+    /// for adaptively stopped budgets (decisions are made at chunk granularity in
+    /// chunk order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::UnknownDecoder`] or [`ApiError::Circuit`]; no events
+    /// are emitted in that case beyond those already delivered.
+    pub fn run_ler(
+        &mut self,
+        job: &LerJob,
+        mut observer: impl FnMut(&Event),
+    ) -> Result<LerOutcome, ApiError> {
+        let start = Instant::now();
+        let seed = job.seed.unwrap_or(self.runtime.config().seed);
+        observer(&Event::JobStarted {
+            kind: JobKind::Ler,
+            label: job.label().to_string(),
+        });
+        let mut per_basis = Vec::new();
+        let mut combined = LogicalErrorEstimate::ZERO;
+        let mut stop = StopReason::ShotsExhausted;
+        for &basis in job.spec.basis().bases() {
+            let dem = self.dem(&job.spec, basis)?;
+            let decoder = self.decoder(&job.spec, basis)?;
+            let runtime = self.runtime.clone();
+            let (estimate, reason) = estimate_with_budget(
+                &dem,
+                decoder.as_ref(),
+                job.budget,
+                seed,
+                &runtime,
+                &mut |progress| {
+                    observer(&Event::ShotChunk {
+                        basis,
+                        chunk: progress.chunk,
+                        shots: progress.shots,
+                        failures: progress.failures,
+                    });
+                },
+            );
+            let reason = StopReason::from(reason);
+            if reason.stopped_early() && !stop.stopped_early() {
+                stop = reason;
+            }
+            per_basis.push(BasisEstimate {
+                basis,
+                estimate,
+                stop: reason,
+            });
+            combined = combined.combined(estimate);
+        }
+        observer(&Event::JobFinished { stop });
+        self.stats.jobs_run += 1;
+        Ok(LerOutcome {
+            per_basis,
+            combined,
+            stop,
+            seed,
+            chunk_size: self.runtime.chunk_size(),
+            decoder: job.spec.decoder().to_string(),
+            noise: Some(job.spec.noise()),
+            p: job.spec.noise().p(),
+            idle: job.spec.noise().idle(),
+            wall: start.elapsed(),
+        })
+    }
+
+    /// Runs a [`LerJob`] without observing progress events.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::run_ler`].
+    pub fn run_ler_quiet(&mut self, job: &LerJob) -> Result<LerOutcome, ApiError> {
+        self.run_ler(job, |_| {})
+    }
+
+    /// Runs an [`OptimizeJob`], emitting [`Event::Iteration`] as iterations
+    /// complete.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::Circuit`] when the starting schedule fails validation.
+    pub fn run_optimize(
+        &mut self,
+        job: &OptimizeJob,
+        mut observer: impl FnMut(&Event),
+    ) -> Result<OptimizeOutcome, ApiError> {
+        let start = Instant::now();
+        let seed = job.seed.unwrap_or(self.runtime.config().seed);
+        let mut config = PropHuntConfig::quick(job.spec.rounds());
+        config.iterations = job.iterations;
+        config.samples_per_iteration = job.samples_per_iteration;
+        config.maxsat_budget = job.maxsat_budget;
+        config.max_subgraph_steps = job.max_subgraph_steps;
+        config.max_subgraphs_per_iteration = job.max_subgraphs_per_iteration;
+        config.physical_error_rate = job.spec.noise().p();
+        config.noise = Some(job.spec.noise().build());
+        config.runtime = self.runtime.config().with_seed(seed);
+        observer(&Event::JobStarted {
+            kind: JobKind::Optimize,
+            label: job.label().to_string(),
+        });
+        let prophunt = PropHunt::new(job.spec.code().clone(), config);
+        let result =
+            prophunt.try_optimize_with_observer(job.spec.schedule().clone(), |record| {
+                observer(&Event::Iteration(record.clone()));
+            })?;
+        let iterations = result.records.len();
+        let converged = result
+            .records
+            .last()
+            .is_some_and(|record| record.subgraphs_found == 0);
+        let stop = if converged {
+            StopReason::Converged { iterations }
+        } else {
+            StopReason::IterationLimit { iterations }
+        };
+        observer(&Event::JobFinished { stop });
+        self.stats.jobs_run += 1;
+        Ok(OptimizeOutcome {
+            result,
+            stop,
+            seed,
+            wall: start.elapsed(),
+        })
+    }
+
+    /// Runs an [`OptimizeJob`] without observing progress events.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::run_optimize`].
+    pub fn run_optimize_quiet(&mut self, job: &OptimizeJob) -> Result<OptimizeOutcome, ApiError> {
+        self.run_optimize(job, |_| {})
+    }
+
+    /// Estimates a pre-built detector error model (e.g. parsed from a `.dem`
+    /// file) under `decoder_name` and `budget` — the Session entry point for
+    /// model-only workloads, bypassing the spec caches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::UnknownDecoder`] when the decoder is not registered.
+    pub fn run_ler_on_dem(
+        &mut self,
+        dem: &DetectorErrorModel,
+        decoder_name: &str,
+        budget: prophunt_decoders::ShotBudget,
+        seed: u64,
+        mut observer: impl FnMut(&Event),
+    ) -> Result<LerOutcome, ApiError> {
+        let start = Instant::now();
+        let decoder = self.registry.build(decoder_name, dem)?;
+        observer(&Event::JobStarted {
+            kind: JobKind::Ler,
+            label: "dem".to_string(),
+        });
+        let (estimate, reason) = estimate_with_budget(
+            dem,
+            decoder.as_ref(),
+            budget,
+            seed,
+            &self.runtime,
+            &mut |progress| {
+                observer(&Event::ShotChunk {
+                    basis: MemoryBasis::Z,
+                    chunk: progress.chunk,
+                    shots: progress.shots,
+                    failures: progress.failures,
+                });
+            },
+        );
+        let stop = StopReason::from(reason);
+        observer(&Event::JobFinished { stop });
+        self.stats.jobs_run += 1;
+        Ok(LerOutcome {
+            per_basis: vec![BasisEstimate {
+                basis: MemoryBasis::Z,
+                estimate,
+                stop,
+            }],
+            combined: estimate,
+            stop,
+            seed,
+            chunk_size: self.runtime.chunk_size(),
+            decoder: decoder_name.to_string(),
+            // A .dem file has its error distribution baked in; there is no noise
+            // spec to report (the record's noise field stays empty).
+            noise: None,
+            p: 0.0,
+            idle: 0.0,
+            wall: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{BasisSelection, ExperimentSpec};
+    use prophunt_decoders::ShotBudget;
+
+    fn d3_spec() -> ExperimentSpec {
+        ExperimentSpec::builder()
+            .code_family("surface:3")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn session() -> Session {
+        Session::new(RuntimeConfig::new(2, 64, 7))
+    }
+
+    #[test]
+    fn dems_and_decoders_are_cached_across_jobs() {
+        let mut session = session();
+        let spec = d3_spec();
+        let job = LerJob::new(spec.clone()).with_budget(ShotBudget::fixed(128));
+        let first = session.run_ler_quiet(&job).unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.dems_built, 1);
+        assert_eq!(stats.decoders_built, 1);
+        let second = session.run_ler_quiet(&job).unwrap();
+        assert_eq!(first.combined, second.combined, "cached rerun must agree");
+        let stats = session.stats();
+        assert_eq!(stats.dems_built, 1, "model must be reused");
+        assert_eq!(stats.decoders_built, 1, "decoder must be reused");
+        assert!(stats.dem_hits >= 1 && stats.decoder_hits >= 1);
+        // A different decoder on the same model reuses the DEM but builds a new
+        // decoder instance.
+        let union = LerJob::new(spec.with_decoder("unionfind")).with_budget(ShotBudget::fixed(128));
+        session.run_ler_quiet(&union).unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.dems_built, 1);
+        assert_eq!(stats.decoders_built, 2);
+        assert_eq!(stats.jobs_run, 3);
+    }
+
+    #[test]
+    fn noise_changes_rebuild_the_model_but_reuse_the_experiment() {
+        let mut session = session();
+        let spec = d3_spec();
+        session
+            .run_ler_quiet(&LerJob::new(spec.clone()).with_budget(ShotBudget::fixed(64)))
+            .unwrap();
+        let si = spec.with_noise(crate::noise::NoiseSpec::parse("si1000:0.001").unwrap());
+        session
+            .run_ler_quiet(&LerJob::new(si).with_budget(ShotBudget::fixed(64)))
+            .unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.experiments_built, 1, "experiment shared across noise");
+        assert_eq!(stats.dems_built, 2, "each noise spec gets its own model");
+    }
+
+    #[test]
+    fn replacing_a_decoder_evicts_its_cached_instances() {
+        use prophunt_gf2::BitVec;
+        struct AlwaysZero {
+            detectors: usize,
+            observables: usize,
+        }
+        impl prophunt_decoders::Decoder for AlwaysZero {
+            fn decode(&self, _detectors: &BitVec) -> BitVec {
+                BitVec::zeros(self.observables)
+            }
+            fn num_detectors(&self) -> usize {
+                self.detectors
+            }
+            fn num_observables(&self) -> usize {
+                self.observables
+            }
+        }
+        let mut session = session();
+        // Populate the cache under "bposd" with a high-p job that has failures.
+        let spec = d3_spec().with_noise(crate::noise::NoiseSpec::uniform(2e-2));
+        let job = LerJob::new(spec).with_budget(ShotBudget::fixed(256));
+        let before = session.run_ler_quiet(&job).unwrap();
+        assert!(before.combined.failures > 0);
+        // Replace "bposd" with a decoder that never predicts a flip: the cached
+        // instance must be evicted, so the rerun uses the new constructor.
+        session.register_decoder("bposd", |dem| {
+            std::sync::Arc::new(AlwaysZero {
+                detectors: dem.num_detectors(),
+                observables: dem.num_observables(),
+            })
+        });
+        let after = session.run_ler_quiet(&job).unwrap();
+        assert_ne!(
+            after.combined.failures, before.combined.failures,
+            "replaced decoder must actually be used"
+        );
+    }
+
+    #[test]
+    fn unknown_decoder_surfaces_as_a_typed_error() {
+        let mut session = session();
+        let job = LerJob::new(d3_spec().with_decoder("nope"));
+        let err = session.run_ler_quiet(&job).unwrap_err();
+        assert!(matches!(err, ApiError::UnknownDecoder { .. }), "{err}");
+    }
+
+    #[test]
+    fn ler_jobs_emit_started_chunks_finished_in_order() {
+        let mut session = session();
+        let job = LerJob::new(d3_spec())
+            .with_budget(ShotBudget::fixed(128))
+            .with_label("probe");
+        let mut events = Vec::new();
+        session.run_ler(&job, |e| events.push(e.clone())).unwrap();
+        assert!(
+            matches!(&events[0], Event::JobStarted { kind: JobKind::Ler, label } if label == "probe")
+        );
+        assert!(matches!(events.last(), Some(Event::JobFinished { .. })));
+        let chunks: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::ShotChunk { chunk, shots, .. } => Some((*chunk, *shots)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(chunks, vec![(0, 64), (1, 128)]);
+    }
+
+    #[test]
+    fn both_bases_combine_estimates() {
+        let mut session = session();
+        let spec = ExperimentSpec::builder()
+            .code_family("surface:3")
+            .unwrap()
+            .basis(BasisSelection::Both)
+            .build()
+            .unwrap();
+        let outcome = session
+            .run_ler_quiet(&LerJob::new(spec).with_budget(ShotBudget::fixed(100)))
+            .unwrap();
+        assert_eq!(outcome.per_basis.len(), 2);
+        assert_eq!(outcome.combined.shots, 200);
+        assert_eq!(
+            outcome.combined.failures,
+            outcome.per_basis.iter().map(|b| b.estimate.failures).sum()
+        );
+    }
+
+    #[test]
+    fn optimize_jobs_stream_iterations_and_reuse_the_session_runtime_seed() {
+        let mut session = session();
+        let spec = ExperimentSpec::builder()
+            .code_family("surface:3")
+            .unwrap()
+            .build()
+            .unwrap();
+        let job = OptimizeJob::new(spec).with_iterations(2).with_samples(15);
+        let mut iterations = 0usize;
+        let outcome = session
+            .run_optimize(&job, |e| {
+                if matches!(e, Event::Iteration(_)) {
+                    iterations += 1;
+                }
+            })
+            .unwrap();
+        assert_eq!(outcome.result.records.len(), iterations);
+        assert_eq!(outcome.seed, 7, "session runtime seed is the default");
+        assert!(matches!(
+            outcome.stop,
+            StopReason::Converged { .. } | StopReason::IterationLimit { .. }
+        ));
+        outcome
+            .result
+            .final_schedule
+            .validate(job.spec.code())
+            .unwrap();
+    }
+}

@@ -22,7 +22,7 @@ use prophunt::changes::{enumerate_candidates, verify_candidate};
 use prophunt::minweight::{min_weight_logical_error, MinWeightSolution};
 use prophunt::CandidateChange;
 use prophunt_circuit::schedule::ScheduleSpec;
-use prophunt_circuit::MemoryBasis;
+use prophunt_circuit::{MemoryBasis, NoiseModel};
 use prophunt_qec::surface::rotated_surface_code_with_layout;
 use prophunt_qec::CssCode;
 use prophunt_runtime::{Runtime, RuntimeConfig};
@@ -94,7 +94,7 @@ fn verify_thread_per_candidate(w: &Workload) -> usize {
                         &w.graph,
                         ROUNDS,
                         MemoryBasis::Z,
-                        P,
+                        &NoiseModel::uniform_depolarizing(P),
                     )
                 }));
             }
@@ -126,7 +126,7 @@ fn verify_pooled(w: &Workload, threads: usize) -> usize {
                 &w.graph,
                 ROUNDS,
                 MemoryBasis::Z,
-                P,
+                &NoiseModel::uniform_depolarizing(P),
             )
         })
         .into_iter()

@@ -5,7 +5,7 @@ use prophunt::ambiguity::{find_ambiguous_subgraph, DecodingGraph};
 use prophunt::changes::{enumerate_candidates, verify_candidate, CandidateChange};
 use prophunt::minweight::min_weight_logical_error;
 use prophunt_circuit::schedule::ScheduleSpec;
-use prophunt_circuit::MemoryBasis;
+use prophunt_circuit::{MemoryBasis, NoiseModel};
 use prophunt_qec::surface::rotated_surface_code_with_layout;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -42,7 +42,7 @@ fn main() {
                 &graph,
                 3,
                 MemoryBasis::Z,
-                1e-3,
+                &NoiseModel::uniform_depolarizing(1e-3),
             )
             .is_some()
             {

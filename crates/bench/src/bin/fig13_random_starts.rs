@@ -31,7 +31,9 @@ fn main() {
             config.iterations = 3;
             config.samples_per_iteration = 30;
             let prophunt = PropHunt::new(code.clone(), config);
-            let result = prophunt.optimize(baseline.clone());
+            let result = prophunt
+                .try_optimize(baseline.clone())
+                .expect("random coloration baseline is valid");
             let before =
                 combined_logical_error_rate(code, &baseline, rounds, p, shots, 3, &runtime).rate();
             let after = combined_logical_error_rate(

@@ -1,17 +1,18 @@
 //! Figure 15: sensitivity of the benchmark circuits to idle errors between gate layers,
 //! with the paper's hardware points (superconducting, neutral atom, atom movement).
+//!
+//! Each (code, idle) point is a `LerJob` through one shared `Session`; the memory
+//! experiments are built once per code and reused across every idle strength.
 
-use prophunt_bench::{
-    benchmark_suite, combined_logical_error_rate_with_idle, ler_record, runtime_config_from_env,
-    write_bench_report,
-};
+use prophunt_api::{NoiseSpec, ShotBudget};
+use prophunt_bench::{bench_session, benchmark_suite, run_ler_point, write_bench_report};
 use prophunt_circuit::schedule::ScheduleSpec;
 
 fn main() {
     let full = std::env::var("PROPHUNT_FULL").is_ok();
     let shots = if full { 10_000 } else { 800 };
     let gate_p = 1e-3;
-    let runtime = runtime_config_from_env();
+    let mut session = bench_session();
     // Idle error strength = t_gate / T_coherence. Hardware points from the paper's cited
     // numbers: superconducting (~30 ns / 100 us), neutral atoms (~300 ns / 10 s gates but
     // ~1 ms measurement), movement-based atoms (~500 us movement / 10 s).
@@ -35,31 +36,23 @@ fn main() {
         };
         let rounds = bench.rounds.min(3);
         for &(idle, label) in idle_points {
-            let estimate = combined_logical_error_rate_with_idle(
+            let outcome = run_ler_point(
+                &mut session,
                 &bench.code,
                 &schedule,
                 rounds,
-                gate_p,
-                idle,
-                shots,
+                NoiseSpec::Depolarizing { p: gate_p, idle },
+                ShotBudget::fixed(shots),
                 17,
-                &runtime,
             );
             println!(
                 "{:<14} {:>14.1e} {:>10} {:>14.5}",
                 bench.code.name(),
                 idle,
                 label,
-                estimate.rate()
+                outcome.combined.rate()
             );
-            records.push(ler_record(
-                format!("{}/{label}", bench.code.name()),
-                gate_p,
-                idle,
-                &estimate,
-                17,
-                &runtime,
-            ));
+            records.push(outcome.to_record(format!("{}/{label}", bench.code.name())));
         }
     }
     let path = write_bench_report("fig15_idle", &records).expect("write benchmark report");

@@ -5,19 +5,29 @@
 //! recorded results); the Criterion benches in `benches/` measure the performance-
 //! critical kernels (detector-error-model construction, ambiguity checking, subgraph
 //! MaxSAT solving, decoding throughput).
+//!
+//! Since the Session/Job redesign the harness is a thin layer over
+//! [`prophunt_api`]: each figure binary opens one [`Session`] (so memory
+//! experiments, detector error models and decoders are shared across its grid
+//! points) and runs [`prophunt_api::LerJob`]s / [`prophunt_api::OptimizeJob`]s,
+//! whose [`LerOutcome`]s carry the wall-clock and shots/sec throughput recorded
+//! in `BENCH_*.jsonl`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use prophunt_api::{
+    BasisSelection, ExperimentSpec, LerJob, LerOutcome, NoiseSpec, ScheduleSource, Session,
+    ShotBudget,
+};
 use prophunt_circuit::schedule::ScheduleSpec;
-use prophunt_circuit::{DetectorErrorModel, MemoryBasis, MemoryExperiment, NoiseModel};
-use prophunt_decoders::{estimate_logical_error_rate, BpOsdDecoder, LogicalErrorEstimate};
+use prophunt_decoders::LogicalErrorEstimate;
 use prophunt_formats::report::ReportRecord;
 use prophunt_formats::write_report;
 use prophunt_qec::product::{bivariate_bicycle, generalized_bicycle};
 use prophunt_qec::surface::rotated_surface_code_with_layout;
 use prophunt_qec::CssCode;
-use prophunt_runtime::{Runtime, RuntimeConfig, SeedStream};
+use prophunt_runtime::{RuntimeConfig, SeedStream};
 use std::path::PathBuf;
 
 /// Builds the shared [`RuntimeConfig`] used by every bench binary.
@@ -46,6 +56,11 @@ pub fn runtime_config_from_env() -> RuntimeConfig {
     config
 }
 
+/// Opens the one [`Session`] a bench binary shares across all of its jobs.
+pub fn bench_session() -> Session {
+    Session::new(runtime_config_from_env())
+}
+
 /// Derives the effective seed for one benchmark stage: the runtime's base
 /// seed (e.g. `PROPHUNT_SEED`) mixed with the stage's fixed `label`.
 ///
@@ -70,30 +85,6 @@ pub fn write_bench_report(name: &str, records: &[ReportRecord]) -> std::io::Resu
     let path = PathBuf::from(format!("BENCH_{name}.jsonl"));
     std::fs::write(&path, write_report(records))?;
     Ok(path)
-}
-
-/// Builds the `ler` report record of one sweep point. `stage` is the stage label
-/// the estimate was seeded with (the `seed` argument of
-/// [`combined_logical_error_rate`] / [`sweep_logical_error_rates`]); the record
-/// stores the *effective* seed `stage_seed(runtime, stage)` — the value that
-/// actually reproduces the failure count bit-for-bit at this chunk size.
-pub fn ler_record(
-    label: impl Into<String>,
-    p: f64,
-    idle: f64,
-    estimate: &LogicalErrorEstimate,
-    stage: u64,
-    runtime: &RuntimeConfig,
-) -> ReportRecord {
-    ReportRecord::ler(
-        label,
-        p,
-        idle,
-        estimate.shots as u64,
-        estimate.failures as u64,
-        stage_seed(runtime, stage),
-        runtime.chunk_size as u64,
-    )
 }
 
 /// A benchmark code together with its optional hand-designed schedule.
@@ -154,6 +145,39 @@ pub fn benchmark_suite(include_large: bool) -> Vec<BenchmarkCode> {
     out
 }
 
+/// Runs one combined (X + Z memory) sweep point as a [`LerJob`] through
+/// `session`, seeded with [`stage_seed`]`(session runtime, stage)` — the
+/// recorded outcome reproduces its failure count bit-for-bit at any thread
+/// count, and carries the wall-clock/throughput fields for `BENCH_*.jsonl`.
+///
+/// # Panics
+///
+/// Panics when the schedule is invalid for the code (benchmark inputs are
+/// trusted constructions).
+pub fn run_ler_point(
+    session: &mut Session,
+    code: &CssCode,
+    schedule: &ScheduleSpec,
+    rounds: usize,
+    noise: NoiseSpec,
+    budget: ShotBudget,
+    stage: u64,
+) -> LerOutcome {
+    let spec = ExperimentSpec::builder()
+        .code(code.clone())
+        .schedule(ScheduleSource::Explicit(schedule.clone()))
+        .noise(noise)
+        .rounds(rounds)
+        .basis(BasisSelection::Both)
+        .build()
+        .expect("benchmark schedule must be valid for its code");
+    let seed = stage_seed(session.runtime().config(), stage);
+    let job = LerJob::new(spec).with_seed(seed).with_budget(budget);
+    session
+        .run_ler_quiet(&job)
+        .expect("benchmark job must be runnable")
+}
+
 /// Estimates the combined (X + Z memory) logical error rate of a schedule.
 pub fn combined_logical_error_rate(
     code: &CssCode,
@@ -182,31 +206,26 @@ pub fn combined_logical_error_rate_with_idle(
 ) -> LogicalErrorEstimate {
     // `seed` acts as this call site's stage label; the runtime's base seed
     // (e.g. PROPHUNT_SEED) rotates the actual stream.
-    let seed = stage_seed(runtime, seed);
-    let runtime = Runtime::new(*runtime);
-    let mut total = LogicalErrorEstimate {
-        shots: 0,
-        failures: 0,
-    };
-    for basis in [MemoryBasis::Z, MemoryBasis::X] {
-        let exp = MemoryExperiment::build(code, schedule, rounds, basis).expect("valid schedule");
-        let noise = NoiseModel::uniform_depolarizing(p).with_idle(idle);
-        let dem = DetectorErrorModel::from_experiment(&exp, &noise);
-        let decoder = BpOsdDecoder::new(&dem);
-        total = total.combined(estimate_logical_error_rate(
-            &dem, &decoder, shots, seed, &runtime,
-        ));
-    }
-    total
+    let mut session = Session::new(*runtime);
+    run_ler_point(
+        &mut session,
+        code,
+        schedule,
+        rounds,
+        NoiseSpec::Depolarizing { p, idle },
+        ShotBudget::fixed(shots),
+        seed,
+    )
+    .combined
 }
 
 /// Sweeps the combined logical error rate of one schedule over several physical
-/// error rates, evaluating the sweep points as parallel tasks on `runtime` and
-/// returning `(p, estimate)` pairs in input order.
+/// error rates through one shared session, returning `(p, estimate)` pairs in
+/// input order.
 ///
-/// Each sweep point still seeds its Monte-Carlo chunks from `seed` alone, so a
-/// sweep returns the same estimates whether its points run in parallel here or
-/// one at a time.
+/// Each sweep point seeds its Monte-Carlo chunks from `seed` alone, so a sweep
+/// returns the same estimates as pointwise [`combined_logical_error_rate`]
+/// calls.
 pub fn sweep_logical_error_rates(
     code: &CssCode,
     schedule: &ScheduleSpec,
@@ -216,20 +235,24 @@ pub fn sweep_logical_error_rates(
     seed: u64,
     runtime: &RuntimeConfig,
 ) -> Vec<(f64, LogicalErrorEstimate)> {
-    // Parallelism splits across the nesting levels: the outer sweep fans out
-    // over points and each point's estimator gets an equal share of the thread
-    // budget, so total concurrency stays ~bounded by `runtime.threads` without
-    // idling workers when there are fewer points than threads. Estimates are
-    // unchanged because results depend only on (seed, chunk_size), never on
-    // where the threads sit.
-    let outer = Runtime::new(*runtime);
-    let inner = runtime.with_threads(runtime.threads.max(1).div_ceil(ps.len().max(1)));
-    outer.par_map(ps, |&p| {
-        (
-            p,
-            combined_logical_error_rate(code, schedule, rounds, p, shots, seed, &inner),
-        )
-    })
+    let mut session = Session::new(*runtime);
+    ps.iter()
+        .map(|&p| {
+            (
+                p,
+                run_ler_point(
+                    &mut session,
+                    code,
+                    schedule,
+                    rounds,
+                    NoiseSpec::uniform(p),
+                    ShotBudget::fixed(shots),
+                    seed,
+                )
+                .combined,
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -278,5 +301,43 @@ mod tests {
                 "sweep must match pointwise run"
             );
         }
+    }
+
+    #[test]
+    fn ler_points_share_experiments_across_noise_and_record_throughput() {
+        let suite = benchmark_suite(false);
+        let bench = &suite[0];
+        let schedule = ScheduleSpec::coloration(&bench.code);
+        let mut session = Session::new(RuntimeConfig::new(2, 64, 0));
+        let a = run_ler_point(
+            &mut session,
+            &bench.code,
+            &schedule,
+            2,
+            NoiseSpec::uniform(2e-3),
+            ShotBudget::fixed(128),
+            1,
+        );
+        run_ler_point(
+            &mut session,
+            &bench.code,
+            &schedule,
+            2,
+            NoiseSpec::uniform(8e-3),
+            ShotBudget::fixed(128),
+            1,
+        );
+        let stats = session.stats();
+        assert_eq!(
+            stats.experiments_built, 2,
+            "one experiment per basis, shared across the two noise points"
+        );
+        assert_eq!(stats.dems_built, 4, "one model per (basis, noise)");
+        // The recorded outcome carries the throughput fields for BENCH_*.jsonl.
+        let record = a.to_record("point");
+        let ReportRecord::Ler { wall_s, .. } = record else {
+            panic!("expected a ler record");
+        };
+        assert!(wall_s >= 0.0);
     }
 }

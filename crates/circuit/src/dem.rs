@@ -245,7 +245,7 @@ impl DetectorErrorModel {
     ///
     /// # Errors
     ///
-    /// Returns [`CircuitError::InvalidErrorModel`] if any mechanism names a detector
+    /// Returns [`crate::CircuitError::InvalidErrorModel`] if any mechanism names a detector
     /// `>= num_detectors` or observable `>= num_observables`, repeats an index, or has a
     /// probability outside `[0, 1]`.
     pub fn from_parts(

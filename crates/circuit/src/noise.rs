@@ -39,8 +39,21 @@ pub type SparsePauli = Vec<(usize, Pauli)>;
 
 /// Circuit-level noise parameters.
 ///
-/// All probabilities are per-operation. [`NoiseModel::uniform_depolarizing`] reproduces
-/// the paper's model with a single physical error rate `p`.
+/// All probabilities are per-operation. The model is a small *family*:
+///
+/// * [`NoiseModel::uniform_depolarizing`] — the paper's model with a single physical
+///   error rate `p` (every Pauli equally likely).
+/// * [`NoiseModel::si1000`] — a superconducting-inspired profile: full-strength
+///   two-qubit errors, weak (`p/10`) single-qubit and idle errors, strong (`2p`)
+///   measurement flips.
+/// * [`NoiseModel::biased`] — depolarizing with a Z-biased Pauli distribution,
+///   parameterized by the bias ratio `eta = p_Z / (p_X + p_Y)`.
+///
+/// The Pauli distribution is controlled by [`NoiseModel::pauli_weights`]: relative
+/// `[X, Y, Z]` weights. Uniform weights `[1, 1, 1]` reproduce the classic `p/3`
+/// (single-qubit) and `p/15` (two-qubit) probabilities bit-for-bit; biased weights
+/// reshape both the single-qubit Paulis and, via a product form, the fifteen
+/// two-qubit Paulis.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NoiseModel {
     /// Depolarizing probability after each single-qubit gate or reset.
@@ -51,7 +64,13 @@ pub struct NoiseModel {
     pub p_measure: f64,
     /// Depolarizing probability applied to each idle qubit in each moment.
     pub p_idle: f64,
+    /// Relative weights of the `[X, Y, Z]` error components. `[1, 1, 1]` is the
+    /// unbiased (uniform depolarizing) distribution.
+    pub pauli_weights: [f64; 3],
 }
+
+/// The unbiased Pauli weights.
+const UNIFORM_WEIGHTS: [f64; 3] = [1.0, 1.0, 1.0];
 
 impl NoiseModel {
     /// The paper's uniform circuit-level depolarizing model at physical error rate `p`.
@@ -61,6 +80,30 @@ impl NoiseModel {
             p_double: p,
             p_measure: p,
             p_idle: 0.0,
+            pauli_weights: UNIFORM_WEIGHTS,
+        }
+    }
+
+    /// A superconducting-inspired profile at base error rate `p` (the SI1000 family):
+    /// two-qubit gates depolarize at `p`, single-qubit operations and idling at
+    /// `p / 10`, and measurement outcomes flip at `2p` (clamped to `0.5`).
+    pub fn si1000(p: f64) -> Self {
+        NoiseModel {
+            p_single: p / 10.0,
+            p_double: p,
+            p_measure: (2.0 * p).min(0.5),
+            p_idle: p / 10.0,
+            pauli_weights: UNIFORM_WEIGHTS,
+        }
+    }
+
+    /// A Z-biased depolarizing model at error rate `p` with bias ratio
+    /// `eta = p_Z / (p_X + p_Y)`. `eta = 0.5` is the unbiased model; large `eta`
+    /// concentrates errors on the Z component (dephasing-dominated hardware).
+    pub fn biased(p: f64, eta: f64) -> Self {
+        NoiseModel {
+            pauli_weights: [1.0, 1.0, 2.0 * eta],
+            ..NoiseModel::uniform_depolarizing(p)
         }
     }
 
@@ -72,6 +115,12 @@ impl NoiseModel {
         self
     }
 
+    /// Overrides the relative `[X, Y, Z]` error-component weights.
+    pub fn with_pauli_weights(mut self, weights: [f64; 3]) -> Self {
+        self.pauli_weights = weights;
+        self
+    }
+
     /// A noiseless model (useful in tests).
     pub fn noiseless() -> Self {
         NoiseModel {
@@ -79,7 +128,33 @@ impl NoiseModel {
             p_double: 0.0,
             p_measure: 0.0,
             p_idle: 0.0,
+            pauli_weights: UNIFORM_WEIGHTS,
         }
+    }
+
+    /// Per-Pauli weight normalized so the unbiased model yields exactly `1.0` for
+    /// every component (which keeps the uniform `p/3` / `p/15` probabilities
+    /// bit-identical to the unweighted formulas).
+    fn normalized_weight(&self, pauli: Pauli) -> f64 {
+        let sum: f64 = self.pauli_weights.iter().sum();
+        let w = match pauli {
+            Pauli::X => self.pauli_weights[0],
+            Pauli::Y => self.pauli_weights[1],
+            Pauli::Z => self.pauli_weights[2],
+        };
+        3.0 * w / sum
+    }
+
+    /// Probability of the single-qubit error `pauli` after a single-qubit operation
+    /// at strength `p`: `p * w / (w_x + w_y + w_z)`.
+    fn single_pauli_probability(&self, p: f64, pauli: Pauli) -> f64 {
+        let sum: f64 = self.pauli_weights.iter().sum();
+        let w = match pauli {
+            Pauli::X => self.pauli_weights[0],
+            Pauli::Y => self.pauli_weights[1],
+            Pauli::Z => self.pauli_weights[2],
+        };
+        p * w / sum
     }
 
     /// Enumerates every elementary fault the model can inject into `circuit`.
@@ -94,10 +169,18 @@ impl NoiseModel {
                 match *op {
                     Op::Cnot(c, t) => {
                         if self.p_double > 0.0 {
-                            let p = self.p_double / 15.0;
                             for pc in [None, Some(Pauli::X), Some(Pauli::Y), Some(Pauli::Z)] {
                                 for pt in [None, Some(Pauli::X), Some(Pauli::Y), Some(Pauli::Z)] {
                                     if pc.is_none() && pt.is_none() {
+                                        continue;
+                                    }
+                                    // Product-form biased distribution over the 15
+                                    // non-identity two-qubit Paulis: identity weight 1,
+                                    // normalized per-component weights (uniform => every
+                                    // pair has weight 1 and probability p/15 exactly).
+                                    let weight = pc.map_or(1.0, |p| self.normalized_weight(p))
+                                        * pt.map_or(1.0, |p| self.normalized_weight(p));
+                                    if weight == 0.0 {
                                         continue;
                                     }
                                     let mut error = SparsePauli::new();
@@ -112,7 +195,7 @@ impl NoiseModel {
                                         op_index: oi,
                                         op: *op,
                                         error,
-                                        probability: p,
+                                        probability: self.p_double * weight / 15.0,
                                         pre_op: false,
                                     });
                                 }
@@ -122,12 +205,17 @@ impl NoiseModel {
                     Op::H(q) | Op::ResetZ(q) | Op::ResetX(q) => {
                         if self.p_single > 0.0 {
                             for pauli in Pauli::ALL {
+                                let probability =
+                                    self.single_pauli_probability(self.p_single, pauli);
+                                if probability == 0.0 {
+                                    continue;
+                                }
                                 faults.push(Fault {
                                     moment: mi,
                                     op_index: oi,
                                     op: *op,
                                     error: vec![(q, pauli)],
-                                    probability: self.p_single / 3.0,
+                                    probability,
                                     pre_op: false,
                                 });
                             }
@@ -162,12 +250,16 @@ impl NoiseModel {
             if self.p_idle > 0.0 {
                 for q in circuit.idle_qubits(mi) {
                     for pauli in Pauli::ALL {
+                        let probability = self.single_pauli_probability(self.p_idle, pauli);
+                        if probability == 0.0 {
+                            continue;
+                        }
                         faults.push(Fault {
                             moment: mi,
                             op_index: usize::MAX,
                             op: Op::H(q), // placeholder op descriptor for idle locations
                             error: vec![(q, pauli)],
-                            probability: self.p_idle / 3.0,
+                            probability,
                             pre_op: true,
                         });
                     }
@@ -250,6 +342,70 @@ mod tests {
                 assert!(!f.pre_op);
             }
         }
+    }
+
+    #[test]
+    fn biased_model_with_unbiased_eta_matches_uniform_depolarizing() {
+        let c = small_circuit();
+        let uniform = NoiseModel::uniform_depolarizing(1e-3).enumerate_faults(&c);
+        let biased = NoiseModel::biased(1e-3, 0.5).enumerate_faults(&c);
+        assert_eq!(uniform.len(), biased.len());
+        for (u, b) in uniform.iter().zip(&biased) {
+            assert_eq!(u.error, b.error);
+            assert_eq!(u.probability.to_bits(), b.probability.to_bits());
+        }
+    }
+
+    #[test]
+    fn biased_model_concentrates_probability_on_z() {
+        let c = small_circuit();
+        let faults = NoiseModel::biased(1e-3, 10.0).enumerate_faults(&c);
+        // Total per-op budgets are preserved: 3 single-qubit-style ops + 1 CNOT +
+        // 2 measurement flips, all at p.
+        let total: f64 = faults.iter().map(|f| f.probability).sum();
+        assert!((total - 6.0e-3).abs() < 1e-12, "total {total}");
+        // For a single-qubit op, Z must now carry eta/(eta+1) of the budget.
+        let reset_z: f64 = faults
+            .iter()
+            .filter(|f| matches!(f.op, Op::ResetZ(_)) && f.error == vec![(0, Pauli::Z)])
+            .map(|f| f.probability)
+            .sum();
+        assert!((reset_z - 1e-3 * 10.0 / 11.0).abs() < 1e-15, "{reset_z}");
+    }
+
+    #[test]
+    fn fully_biased_model_drops_zero_weight_faults() {
+        let c = small_circuit();
+        // eta = 0: no Z component anywhere; every remaining fault is X/Y only.
+        let faults = NoiseModel::biased(1e-3, 0.0).enumerate_faults(&c);
+        assert!(!faults.is_empty());
+        for f in &faults {
+            // Measurement flips are injected directly (X before MZ, Z before MX)
+            // and are not part of the depolarizing Pauli distribution.
+            if f.pre_op {
+                continue;
+            }
+            assert!(
+                f.error.iter().all(|&(_, p)| p != Pauli::Z),
+                "unexpected Z fault {f:?}"
+            );
+            assert!(f.probability > 0.0);
+        }
+    }
+
+    #[test]
+    fn si1000_profile_has_the_documented_strengths() {
+        let m = NoiseModel::si1000(1e-3);
+        assert_eq!(m.p_double, 1e-3);
+        assert_eq!(m.p_single, 1e-4);
+        assert_eq!(m.p_idle, 1e-4);
+        assert_eq!(m.p_measure, 2e-3);
+        // The measurement flip clamps at 0.5 for absurd base rates.
+        assert_eq!(NoiseModel::si1000(0.4).p_measure, 0.5);
+        let c = small_circuit();
+        let faults = m.enumerate_faults(&c);
+        // si1000 enables idle errors, so idle fault locations appear.
+        assert!(faults.iter().any(|f| f.op_index == usize::MAX));
     }
 
     #[test]

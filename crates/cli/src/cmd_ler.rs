@@ -1,62 +1,40 @@
-//! `prophunt ler` — Monte-Carlo logical-error-rate estimation from a `.dem` file or
-//! from a code + schedule, honoring the deterministic `(seed, chunk_size)` contract.
+//! `prophunt ler` — Monte-Carlo logical-error-rate estimation through the
+//! `prophunt-api` Session/Job surface, honoring the deterministic
+//! `(seed, chunk_size)` contract — including for adaptively stopped budgets.
 
 use crate::args::{CliError, Flags};
-use crate::cmd_dem::parse_basis;
-use crate::common::{load_code, load_schedule, probability_flag, read_file, runtime_from_flags};
-use prophunt_circuit::{DetectorErrorModel, MemoryBasis, MemoryExperiment, NoiseModel};
-use prophunt_decoders::{estimate_logical_error_rate, BpOsdDecoder, LogicalErrorEstimate};
+use crate::common::{
+    append_records, basis_selection_from_flags, budget_from_flags, decoder_from_flags, load_code,
+    load_schedule, noise_from_flags, read_file, runtime_from_flags,
+};
+use prophunt_api::{ExperimentSpec, LerJob, LerOutcome, ScheduleSource, Session, StopReason};
 use prophunt_formats::parse_dem;
 use prophunt_formats::report::ReportRecord;
-use prophunt_runtime::{Runtime, RuntimeConfig};
 
 pub const USAGE: &str = "\
 prophunt ler --dem <file> [options]
 prophunt ler --code <family-or-spec-file> [--schedule <s>] [options]
 
-  --dem         estimate from an exported .dem file
-  --code        estimate from a code (family string or spec file) ...
-  --schedule    ... with this schedule: coloration (default), hand, or a file
-  --basis       memory basis for --code: z (default), x, or both
-  --rounds      rounds for --code (default 3)
-  --p           physical error rate for --code (default 0.001)
-  --idle        idle error strength for --code (default 0)
-  --shots       Monte-Carlo shots (default 2000)
-  --seed        base RNG seed (default 0); with --chunk-size it fixes the
-                failure count bit-for-bit at any thread count
-  --threads     worker threads (default 4; wall-clock only)
-  --chunk-size  shots per deterministic chunk (default 64)
-  --label       label stored in the emitted record (default dem/schedule source)
-  -o, --out     append the JSON-lines record(s) to a file as well as stdout";
-
-fn estimate(
-    dem: &DetectorErrorModel,
-    shots: usize,
-    runtime: &RuntimeConfig,
-) -> LogicalErrorEstimate {
-    let decoder = BpOsdDecoder::new(dem);
-    estimate_logical_error_rate(dem, &decoder, shots, runtime.seed, &Runtime::new(*runtime))
-}
-
-fn ler_record(
-    label: &str,
-    p: f64,
-    idle: f64,
-    est: &LogicalErrorEstimate,
-    runtime: &RuntimeConfig,
-) -> ReportRecord {
-    // The CLI estimates directly with runtime.seed (no stage derivation), so the
-    // recorded pair is exactly what reproduces the count.
-    ReportRecord::ler(
-        label,
-        p,
-        idle,
-        est.shots as u64,
-        est.failures as u64,
-        runtime.seed,
-        runtime.chunk_size as u64,
-    )
-}
+  --dem           estimate from an exported .dem file
+  --code          estimate from a code (family string or spec file) ...
+  --schedule      ... with this schedule: coloration (default), hand, or a file
+  --basis         memory basis for --code: z (default), x, or both
+  --rounds        rounds for --code (default 3)
+  --p             physical error rate for --code (default 0.001)
+  --idle          idle error strength for --code (default 0)
+  --noise         full noise spec for --code (depolarizing:<p>[:<idle>],
+                  si1000:<p>, biased:<p>:<eta>[:<idle>]); conflicts with --p/--idle
+  --decoder       decoder name: bposd (default) or unionfind
+  --shots         Monte-Carlo shot cap (default 2000)
+  --max-failures  stop at the chunk where this many failures accumulate
+  --target-rse    stop at the chunk where the relative standard error drops
+                  to this value (mutually exclusive with --max-failures)
+  --seed          base RNG seed (default 0); with --chunk-size it fixes the
+                  failure count bit-for-bit at any thread count, early stop included
+  --threads       worker threads (default 4; wall-clock only)
+  --chunk-size    shots per deterministic chunk (default 64)
+  --label         label stored in the emitted record (default dem/schedule source)
+  -o, --out       append the JSON-lines record(s) to a file as well as stdout";
 
 pub fn run(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(
@@ -69,7 +47,11 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             "rounds",
             "p",
             "idle",
+            "noise",
+            "decoder",
             "shots",
+            "max-failures",
+            "target-rse",
             "seed",
             "threads",
             "chunk-size",
@@ -77,18 +59,17 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             "out",
         ],
     )?;
-    let shots = flags.num("shots", 2000usize)?;
-    if shots == 0 {
-        return Err(CliError::usage("--shots must be at least 1"));
-    }
     let runtime = runtime_from_flags(&flags)?;
+    let budget = budget_from_flags(&flags, 2000)?;
+    let decoder = decoder_from_flags(&flags);
+    let mut session = Session::new(runtime);
 
     let mut records = Vec::new();
     match (flags.get("dem"), flags.get("code")) {
         (Some(path), None) => {
             // These knobs shape the model construction, which a .dem file has
             // already baked in — accepting them silently would mislead.
-            for code_only in ["schedule", "basis", "rounds", "p", "idle"] {
+            for code_only in ["schedule", "basis", "rounds", "p", "idle", "noise"] {
                 if flags.get(code_only).is_some() {
                     return Err(CliError::usage(format!(
                         "--{code_only} only applies with --code; the .dem file fixes the model"
@@ -97,11 +78,12 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             }
             let dem = parse_dem(&read_file(path)?)
                 .map_err(|e| CliError::failure(format!("{path}: {e}")))?;
-            let est = estimate(&dem, shots, &runtime);
+            let outcome = session
+                .run_ler_on_dem(&dem, &decoder, budget, runtime.seed, |_| {})
+                .map_err(CliError::failure)?;
             let label = flags.get("label").unwrap_or(path);
-            // A .dem file does not carry the physical error rate it was built from;
-            // store 0 rather than a misleading guess.
-            records.push(ler_record(label, 0.0, 0.0, &est, &runtime));
+            records.push(outcome.to_record(label));
+            report_outcome(label, &outcome);
         }
         (None, Some(code_value)) => {
             let resolved = load_code(code_value)?;
@@ -110,39 +92,51 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             if rounds == 0 {
                 return Err(CliError::usage("--rounds must be at least 1"));
             }
-            let p = probability_flag(&flags, "p", 1e-3)?;
-            let idle = probability_flag(&flags, "idle", 0.0)?;
-            let bases: Vec<MemoryBasis> = match flags.get("basis") {
-                Some("both") => vec![MemoryBasis::Z, MemoryBasis::X],
-                _ => vec![parse_basis(&flags)?],
-            };
-            let noise = NoiseModel::uniform_depolarizing(p).with_idle(idle);
+            let basis = basis_selection_from_flags(&flags)?;
+            let noise = noise_from_flags(&flags)?;
+            let spec = ExperimentSpec::builder()
+                .resolved_code(resolved)
+                .schedule(ScheduleSource::Explicit(schedule))
+                .noise(noise)
+                .decoder(&decoder)
+                .rounds(rounds)
+                .basis(basis)
+                .build()
+                .map_err(CliError::failure)?;
             let default_label = flags.get("schedule").unwrap_or("coloration").to_string();
             let label = flags.get("label").unwrap_or(&default_label);
-            let mut combined = LogicalErrorEstimate {
-                shots: 0,
-                failures: 0,
-            };
-            for basis in &bases {
-                let experiment = MemoryExperiment::build(&resolved.code, &schedule, rounds, *basis)
-                    .map_err(|e| {
-                        CliError::failure(format!("cannot build the memory experiment: {e}"))
-                    })?;
-                let dem = DetectorErrorModel::from_experiment(&experiment, &noise);
-                let est = estimate(&dem, shots, &runtime);
-                let basis_label = format!("{label}/{basis:?}");
-                records.push(ler_record(&basis_label, p, idle, &est, &runtime));
-                combined = combined.combined(est);
+            let job = LerJob::new(spec).with_label(label).with_budget(budget);
+            let outcome = session.run_ler_quiet(&job).map_err(CliError::failure)?;
+            // One record per basis, plus an explicit combined record for
+            // multi-basis runs. Only the combined record carries the job's
+            // wall-clock/throughput; per-basis rows of a multi-basis run store 0
+            // (the whole-job timing would be wrong for either basis alone).
+            let multi = outcome.per_basis.len() > 1;
+            for basis in &outcome.per_basis {
+                let mut record = outcome.to_record(format!("{label}/{:?}", basis.basis));
+                if let ReportRecord::Ler {
+                    shots,
+                    failures,
+                    stop,
+                    wall_s,
+                    shots_per_sec,
+                    ..
+                } = &mut record
+                {
+                    *shots = basis.estimate.shots as u64;
+                    *failures = basis.estimate.failures as u64;
+                    *stop = basis.stop.as_str().to_string();
+                    if multi {
+                        *wall_s = 0.0;
+                        *shots_per_sec = 0.0;
+                    }
+                }
+                records.push(record);
             }
-            if bases.len() > 1 {
-                records.push(ler_record(
-                    &format!("{label}/combined"),
-                    p,
-                    idle,
-                    &combined,
-                    &runtime,
-                ));
+            if multi {
+                records.push(outcome.to_record(format!("{label}/combined")));
             }
+            report_outcome(label, &outcome);
         }
         _ => return Err(CliError::usage("ler needs exactly one of --dem or --code")),
     }
@@ -151,27 +145,25 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     for record in &records {
         text.push_str(&record.to_json_line());
         text.push('\n');
-        if let ReportRecord::Ler {
-            label,
-            shots,
-            failures,
-            ..
-        } = record
-        {
-            let rate = *failures as f64 / *shots as f64;
-            eprintln!("{label}: {failures}/{shots} failures (LER {rate:.5})");
-        }
     }
     print!("{text}");
     if let Some(path) = flags.get("out") {
-        use std::io::Write as _;
-        let mut file = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)
-            .map_err(|e| CliError::failure(format!("cannot open {path}: {e}")))?;
-        file.write_all(text.as_bytes())
-            .map_err(|e| CliError::failure(format!("cannot write {path}: {e}")))?;
+        append_records(path, &text)?;
     }
     Ok(())
+}
+
+/// Human-readable summary on stderr (stdout carries the JSON-lines records).
+fn report_outcome(label: &str, outcome: &LerOutcome) {
+    let est = outcome.combined;
+    let early = match outcome.stop {
+        StopReason::ShotsExhausted => String::new(),
+        stop => format!(", stopped early: {}", stop.as_str()),
+    };
+    eprintln!(
+        "{label}: {}/{} failures (LER {:.5}{early})",
+        est.failures,
+        est.shots,
+        est.rate()
+    );
 }

@@ -1,10 +1,11 @@
-//! `prophunt optimize` — run the PropHunt loop, streaming iteration records as
-//! JSON-lines and writing the final schedule as a file. `--resume` restarts from a
-//! previously written schedule file.
+//! `prophunt optimize` — run the PropHunt loop as an `OptimizeJob` through the
+//! `prophunt-api` Session, streaming iteration records as JSON-lines and writing
+//! the final schedule as a file. `--resume` restarts from a previously written
+//! schedule file.
 
 use crate::args::{CliError, Flags};
-use crate::common::{load_code, load_schedule, probability_flag, runtime_from_flags, write_file};
-use prophunt::{PropHunt, PropHuntConfig};
+use crate::common::{load_code, load_schedule, noise_from_flags, runtime_from_flags, write_file};
+use prophunt_api::{Event, ExperimentSpec, OptimizeJob, ScheduleSource, Session};
 use prophunt_formats::report::{iteration_to_record, ReportRecord};
 use prophunt_formats::write_schedule;
 use std::io::Write as _;
@@ -18,6 +19,8 @@ prophunt optimize --code <family-or-spec-file> [options]
                   (alias for --schedule <file>; the two are mutually exclusive)
   --rounds        syndrome-measurement rounds (default 3)
   --p             physical error rate (default 0.001)
+  --noise         full noise spec to optimize against (depolarizing:<p>[:<idle>],
+                  si1000:<p>, biased:<p>:<eta>[:<idle>]); conflicts with --p
   --iterations    optimization iterations (default 4)
   --samples       subgraph samples per iteration (default 40)
   --seed          base RNG seed (default 0)
@@ -36,6 +39,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             "resume",
             "rounds",
             "p",
+            "noise",
             "iterations",
             "samples",
             "seed",
@@ -57,12 +61,20 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         return Err(CliError::usage("--rounds must be at least 1"));
     }
     let runtime = runtime_from_flags(&flags)?;
+    let noise = noise_from_flags(&flags)?;
 
-    let mut config = PropHuntConfig::quick(rounds);
-    config.iterations = flags.num("iterations", config.iterations)?;
-    config.samples_per_iteration = flags.num("samples", config.samples_per_iteration)?;
-    config.physical_error_rate = probability_flag(&flags, "p", config.physical_error_rate)?;
-    config.runtime = runtime;
+    let code_name = resolved.code.name().to_string();
+    let code_display = resolved.code.to_string();
+    let spec = ExperimentSpec::builder()
+        .resolved_code(resolved)
+        .schedule(ScheduleSource::Explicit(initial.clone()))
+        .noise(noise)
+        .rounds(rounds)
+        .build()
+        .map_err(CliError::failure)?;
+    let job = OptimizeJob::new(spec)
+        .with_iterations(flags.num("iterations", 4usize)?)
+        .with_samples(flags.num("samples", 40usize)?);
 
     // The report sink: a file when --report is given, stdout otherwise. Records are
     // flushed line by line so a long run can be followed (or consumed) live.
@@ -80,7 +92,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     };
 
     emit(&ReportRecord::RunStart {
-        code: resolved.code.name().to_string(),
+        code: code_name,
         seed: runtime.seed,
         chunk_size: runtime.chunk_size as u64,
         initial_depth: initial
@@ -90,18 +102,23 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         initial_schedule: write_schedule(&initial),
     })?;
 
-    let prophunt = PropHunt::new(resolved.code.clone(), config);
+    let mut session = Session::new(runtime);
+    // The unified event stream replaces the bespoke observer closure: iteration
+    // events become `iteration` records as they complete.
     let mut stream_error: Option<CliError> = None;
-    let result = prophunt
-        .try_optimize_with_observer(initial, |record| {
-            if stream_error.is_none() {
-                stream_error = emit(&iteration_to_record(record)).err();
+    let outcome = session
+        .run_optimize(&job, |event| {
+            if let Event::Iteration(record) = event {
+                if stream_error.is_none() {
+                    stream_error = emit(&iteration_to_record(record)).err();
+                }
             }
         })
         .map_err(|e| CliError::failure(format!("optimization failed: {e}")))?;
     if let Some(err) = stream_error {
         return Err(err);
     }
+    let result = &outcome.result;
 
     emit(&ReportRecord::RunEnd {
         iterations: result.records.len() as u64,
@@ -113,9 +130,10 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let out_schedule = flags.get("out-schedule").unwrap_or("optimized.schedule");
     write_file(out_schedule, &write_schedule(&result.final_schedule))?;
     eprintln!(
-        "optimized {}: {} iterations, {} changes, final CNOT depth {}; schedule written to {}",
-        resolved.code,
+        "optimized {}: {} iterations ({}), {} changes, final CNOT depth {}; schedule written to {}",
+        code_display,
         result.records.len(),
+        outcome.stop.as_str(),
         result.total_changes_applied(),
         result.final_depth(),
         out_schedule

@@ -32,6 +32,18 @@ pub fn write_output(out: Option<&str>, content: &str) -> Result<(), CliError> {
     }
 }
 
+/// Appends already-serialized JSON-lines `text` to `path` (creating it first if
+/// needed).
+pub fn append_records(path: &str, text: &str) -> Result<(), CliError> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| CliError::failure(format!("cannot open {path}: {e}")))?;
+    file.write_all(text.as_bytes())
+        .map_err(|e| CliError::failure(format!("cannot write {path}: {e}")))
+}
+
 /// Resolves `--code`: a path to a `prophunt-code v1` spec file when one exists at
 /// that path, otherwise a code-family string like `surface:3`.
 pub fn load_code(value: &str) -> Result<ResolvedCode, CliError> {
@@ -95,4 +107,80 @@ pub fn probability_flag(flags: &Flags, name: &str, default: f64) -> Result<f64, 
         )));
     }
     Ok(p)
+}
+
+/// Resolves the noise model: `--noise <spec>` (which conflicts with `--p`/`--idle`)
+/// or the uniform depolarizing model from `--p`/`--idle`.
+pub fn noise_from_flags(flags: &Flags) -> Result<prophunt_api::NoiseSpec, CliError> {
+    match flags.get("noise") {
+        Some(spec) => {
+            if flags.get("p").is_some() || flags.get("idle").is_some() {
+                return Err(CliError::usage(
+                    "--noise carries its own rates; it conflicts with --p/--idle",
+                ));
+            }
+            prophunt_api::NoiseSpec::parse(spec).map_err(CliError::usage)
+        }
+        None => Ok(prophunt_api::NoiseSpec::Depolarizing {
+            p: probability_flag(flags, "p", 1e-3)?,
+            idle: probability_flag(flags, "idle", 0.0)?,
+        }),
+    }
+}
+
+/// Resolves the shot budget from `--shots` (the cap) plus at most one of
+/// `--max-failures` / `--target-rse`.
+pub fn budget_from_flags(
+    flags: &Flags,
+    default_shots: usize,
+) -> Result<prophunt_api::ShotBudget, CliError> {
+    use prophunt_api::ShotBudget;
+    let shots = flags.num("shots", default_shots)?;
+    if shots == 0 {
+        return Err(CliError::usage("--shots must be at least 1"));
+    }
+    match (flags.get("max-failures"), flags.get("target-rse")) {
+        (Some(_), Some(_)) => Err(CliError::usage(
+            "--max-failures and --target-rse are mutually exclusive",
+        )),
+        (Some(_), None) => {
+            let max_failures = flags.num("max-failures", 0usize)?;
+            if max_failures == 0 {
+                return Err(CliError::usage("--max-failures must be at least 1"));
+            }
+            Ok(ShotBudget::MaxFailures {
+                max_failures,
+                max_shots: shots,
+            })
+        }
+        (None, Some(_)) => {
+            let target = flags.num("target-rse", 0.0f64)?;
+            if !target.is_finite() || target <= 0.0 {
+                return Err(CliError::usage("--target-rse must be a positive number"));
+            }
+            Ok(ShotBudget::TargetRse {
+                target,
+                max_shots: shots,
+            })
+        }
+        (None, None) => Ok(ShotBudget::Fixed { shots }),
+    }
+}
+
+/// Returns the decoder registry name from `--decoder` (default `bposd`).
+pub fn decoder_from_flags(flags: &Flags) -> String {
+    flags.get("decoder").unwrap_or("bposd").to_string()
+}
+
+/// Parses `--basis` into a [`prophunt_api::BasisSelection`] (default Z).
+pub fn basis_selection_from_flags(flags: &Flags) -> Result<prophunt_api::BasisSelection, CliError> {
+    use prophunt_api::BasisSelection;
+    match flags.get("basis") {
+        None | Some("z") | Some("Z") => Ok(BasisSelection::Z),
+        Some("x") | Some("X") => Ok(BasisSelection::X),
+        Some("both") => Ok(BasisSelection::Both),
+        Some(other) => Err(CliError::usage(format!(
+            "--basis must be z, x or both, got {other:?}"
+        ))),
+    }
 }

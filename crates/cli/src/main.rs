@@ -8,7 +8,8 @@
 //!   iteration records and writing the final schedule file; `--resume` restarts
 //!   from an exported schedule.
 //! * `ler` — Monte-Carlo logical-error-rate estimation from a `.dem` file or a
-//!   code + schedule.
+//!   code + schedule, with pluggable decoders, noise specs and adaptive budgets.
+//! * `sweep` — a code × p × decoder grid evaluated through one shared Session.
 //! * `check` — re-parse any emitted file.
 //!
 //! Exit codes: 0 on success, 1 when an operation fails (unreadable file, invalid
@@ -23,6 +24,7 @@ mod cmd_code;
 mod cmd_dem;
 mod cmd_ler;
 mod cmd_optimize;
+mod cmd_sweep;
 mod common;
 
 use args::CliError;
@@ -38,6 +40,7 @@ commands:
   dem       build a detector error model and write it as a .dem file
   optimize  run the PropHunt loop; stream JSON-lines records, write the schedule
   ler       Monte-Carlo logical error rate from a .dem file or code + schedule
+  sweep     evaluate a code x p x decoder grid through one shared session
   check     re-parse emitted files (auto-detects the format)
 
 run `prophunt <command> --help` for per-command flags";
@@ -53,11 +56,13 @@ fn dispatch(command: &str, rest: &[String]) -> Result<(), CliError> {
         "dem" if wants_help => usage_of(cmd_dem::USAGE),
         "optimize" if wants_help => usage_of(cmd_optimize::USAGE),
         "ler" if wants_help => usage_of(cmd_ler::USAGE),
+        "sweep" if wants_help => usage_of(cmd_sweep::USAGE),
         "check" if wants_help => usage_of(cmd_check::USAGE),
         "code" => cmd_code::run(rest),
         "dem" => cmd_dem::run(rest),
         "optimize" => cmd_optimize::run(rest),
         "ler" => cmd_ler::run(rest),
+        "sweep" => cmd_sweep::run(rest),
         "check" => cmd_check::run(rest),
         "--help" | "-h" | "help" => usage_of(USAGE),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
@@ -70,6 +75,7 @@ fn usage_for(command: &str) -> &'static str {
         "dem" => cmd_dem::USAGE,
         "optimize" => cmd_optimize::USAGE,
         "ler" => cmd_ler::USAGE,
+        "sweep" => cmd_sweep::USAGE,
         "check" => cmd_check::USAGE,
         _ => USAGE,
     }

@@ -1,4 +1,12 @@
-//! Monte-Carlo logical-error-rate estimation.
+//! Monte-Carlo logical-error-rate estimation with deterministic adaptive shot budgets.
+//!
+//! Sampling is split into fixed-size *chunks* of `runtime.chunk_size()` shots; chunk
+//! `c` draws its shots from an independent RNG stream seeded with
+//! `SeedStream::new(seed).seed_for(c)`. The chunk boundaries and seeds depend only on
+//! `(seed, chunk_size)`, never on the worker-thread count, and adaptive stopping
+//! decisions ([`ShotBudget`]) are evaluated *in chunk order*, so a fixed
+//! `(seed, chunk_size)` gives bit-identical failure counts at any thread count —
+//! including runs that stop early.
 
 use crate::Decoder;
 use prophunt_circuit::DetectorErrorModel;
@@ -14,7 +22,16 @@ pub struct LogicalErrorEstimate {
 }
 
 impl LogicalErrorEstimate {
+    /// The empty estimate (0 shots, 0 failures).
+    pub const ZERO: LogicalErrorEstimate = LogicalErrorEstimate {
+        shots: 0,
+        failures: 0,
+    };
+
     /// Returns the estimated logical error rate (failures per shot).
+    ///
+    /// An estimate with 0 shots has rate `0.0` by convention (pinned by tests): it
+    /// reports "no failures observed", never `NaN`.
     pub fn rate(&self) -> f64 {
         if self.shots == 0 {
             return 0.0;
@@ -23,12 +40,30 @@ impl LogicalErrorEstimate {
     }
 
     /// Returns the binomial standard error of the estimate.
+    ///
+    /// Degenerate estimates are pinned to `0.0` rather than `NaN`: 0 shots, 0
+    /// failures (`p = 0`) and all-failures (`p = 1`) all return `0.0`. Use
+    /// [`Self::relative_standard_error`] when a stopping rule needs "no
+    /// information yet" to read as *infinite* uncertainty instead.
     pub fn standard_error(&self) -> f64 {
         if self.shots == 0 {
             return 0.0;
         }
         let p = self.rate();
         (p * (1.0 - p) / self.shots as f64).sqrt()
+    }
+
+    /// Returns the relative standard error `standard_error / rate` — the quantity
+    /// targeted by [`ShotBudget::TargetRse`].
+    ///
+    /// With 0 shots or 0 failures the rate estimate carries no relative-precision
+    /// information, so the RSE is `f64::INFINITY` (an adaptive run must keep
+    /// sampling, not stop at a spuriously "precise" zero).
+    pub fn relative_standard_error(&self) -> f64 {
+        if self.shots == 0 || self.failures == 0 {
+            return f64::INFINITY;
+        }
+        self.standard_error() / self.rate()
     }
 
     /// Combines two estimates (e.g. X- and Z-basis memory experiments) by summing shots
@@ -41,17 +76,169 @@ impl LogicalErrorEstimate {
     }
 }
 
-/// Estimates the logical error rate of `decoder` on shots sampled from `dem`.
+/// How many Monte-Carlo shots an estimation job may spend, and when it may stop
+/// early.
+///
+/// Budgets are evaluated at *chunk* granularity in chunk-index order, which keeps
+/// early-stopped runs deterministic: a [`ShotBudget::MaxFailures`] or
+/// [`ShotBudget::TargetRse`] run stops after exactly the chunk prefix of the
+/// corresponding [`ShotBudget::Fixed`] run (same `(seed, chunk_size)`) whose
+/// cumulative tally first satisfies the rule, at any thread count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShotBudget {
+    /// Sample exactly `shots` shots.
+    Fixed {
+        /// Number of shots to sample.
+        shots: usize,
+    },
+    /// Stop at the end of the first chunk whose cumulative failure count reaches
+    /// `max_failures`, sampling at most `max_shots` shots.
+    MaxFailures {
+        /// Failure count that ends the run.
+        max_failures: usize,
+        /// Hard cap on the number of shots.
+        max_shots: usize,
+    },
+    /// Stop at the end of the first chunk where the cumulative
+    /// [`LogicalErrorEstimate::relative_standard_error`] drops to `target` or
+    /// below, sampling at most `max_shots` shots.
+    TargetRse {
+        /// Relative standard error that ends the run.
+        target: f64,
+        /// Hard cap on the number of shots.
+        max_shots: usize,
+    },
+}
+
+impl ShotBudget {
+    /// A fixed budget of exactly `shots` shots.
+    pub fn fixed(shots: usize) -> ShotBudget {
+        ShotBudget::Fixed { shots }
+    }
+
+    /// Returns the maximum number of shots the budget may spend.
+    pub fn max_shots(&self) -> usize {
+        match *self {
+            ShotBudget::Fixed { shots } => shots,
+            ShotBudget::MaxFailures { max_shots, .. } => max_shots,
+            ShotBudget::TargetRse { max_shots, .. } => max_shots,
+        }
+    }
+
+    /// Returns the adaptive stop reason triggered by the cumulative estimate, if
+    /// any. [`ShotBudget::Fixed`] never stops early.
+    fn adaptive_stop(&self, cumulative: &LogicalErrorEstimate) -> Option<LerStopReason> {
+        match *self {
+            ShotBudget::Fixed { .. } => None,
+            ShotBudget::MaxFailures { max_failures, .. } => (max_failures > 0
+                && cumulative.failures >= max_failures)
+                .then_some(LerStopReason::MaxFailuresReached),
+            ShotBudget::TargetRse { target, .. } => (cumulative.failures > 0
+                && cumulative.relative_standard_error() <= target)
+                .then_some(LerStopReason::TargetRseReached),
+        }
+    }
+}
+
+/// Why an estimation run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LerStopReason {
+    /// The budget's (maximum) shot count was fully sampled.
+    ShotsExhausted,
+    /// A [`ShotBudget::MaxFailures`] rule was satisfied before the shot cap.
+    MaxFailuresReached,
+    /// A [`ShotBudget::TargetRse`] rule was satisfied before the shot cap.
+    TargetRseReached,
+}
+
+impl LerStopReason {
+    /// A stable machine-readable name (used in report records).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            LerStopReason::ShotsExhausted => "shots_exhausted",
+            LerStopReason::MaxFailuresReached => "max_failures",
+            LerStopReason::TargetRseReached => "target_rse",
+        }
+    }
+}
+
+/// Cumulative progress after one completed chunk, reported to the observer of
+/// [`estimate_with_budget`] in chunk-index order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkProgress {
+    /// Index of the chunk that just completed (0-based).
+    pub chunk: usize,
+    /// Total shots sampled through this chunk.
+    pub shots: usize,
+    /// Total failures observed through this chunk.
+    pub failures: usize,
+}
+
+/// Estimates the logical error rate of `decoder` on shots sampled from `dem`,
+/// spending at most `budget` and stopping early when the budget's adaptive rule is
+/// satisfied.
+///
+/// Chunks are evaluated in parallel waves, but the stopping rule is applied by
+/// scanning completed chunks *in chunk-index order*, so the returned estimate (and
+/// the observer's event stream) is a pure function of `(seed, chunk_size, budget)`
+/// — the thread count changes wall-clock time only. In particular, an
+/// early-stopped run returns exactly the cumulative tally of chunks `0..=k` of the
+/// equivalent [`ShotBudget::Fixed`] run, where `k` is the first chunk satisfying
+/// the rule.
+///
+/// `observer` is invoked once per counted chunk with the cumulative progress.
+pub fn estimate_with_budget(
+    dem: &DetectorErrorModel,
+    decoder: &dyn Decoder,
+    budget: ShotBudget,
+    seed: u64,
+    runtime: &Runtime,
+    observer: &mut dyn FnMut(ChunkProgress),
+) -> (LogicalErrorEstimate, LerStopReason) {
+    let max_shots = budget.max_shots();
+    if max_shots == 0 {
+        return (LogicalErrorEstimate::ZERO, LerStopReason::ShotsExhausted);
+    }
+    let chunk = runtime.chunk_size();
+    let total_chunks = max_shots.div_ceil(chunk);
+    let stream = SeedStream::new(seed);
+    let mut cumulative = LogicalErrorEstimate::ZERO;
+    let mut done = 0usize;
+    while done < total_chunks {
+        // One wave of chunks. The wave size is a wall-clock knob only: stopping is
+        // decided by an in-order scan below, so overshooting a wave never changes
+        // the result — surplus chunks are simply discarded.
+        let wave = (runtime.threads() * 2).clamp(1, total_chunks - done);
+        let results = runtime.run_tasks(wave, |i| {
+            let c = done + i;
+            let chunk_shots = chunk.min(max_shots - c * chunk);
+            run_shots(dem, decoder, chunk_shots, stream.seed_for(c as u64))
+        });
+        for (i, partial) in results.into_iter().enumerate() {
+            cumulative = cumulative.combined(partial);
+            observer(ChunkProgress {
+                chunk: done + i,
+                shots: cumulative.shots,
+                failures: cumulative.failures,
+            });
+            if let Some(reason) = budget.adaptive_stop(&cumulative) {
+                return (cumulative, reason);
+            }
+        }
+        done += wave;
+    }
+    (cumulative, LerStopReason::ShotsExhausted)
+}
+
+/// Estimates the logical error rate of `decoder` on `shots` shots sampled from
+/// `dem`.
 ///
 /// A shot counts as a failure when the predicted observable flips differ from the true
 /// flips in *any* logical observable (the paper's per-shot logical error, covering both
 /// X and Z logicals when both experiments' estimates are combined).
 ///
-/// Sampling is split into fixed-size *chunks* of `runtime.chunk_size()` shots; chunk
-/// `c` draws its shots from an independent RNG stream seeded with
-/// `SeedStream::new(seed).seed_for(c)`. The chunk boundaries and seeds depend only on
-/// `(seed, chunk_size)`, never on the worker-thread count, so a fixed seed gives
-/// bit-identical failure counts at any `runtime.threads()`.
+/// Equivalent to [`estimate_with_budget`] with [`ShotBudget::Fixed`]; see there for
+/// the chunking and determinism contract.
 pub fn estimate_logical_error_rate(
     dem: &DetectorErrorModel,
     decoder: &dyn Decoder,
@@ -59,23 +246,15 @@ pub fn estimate_logical_error_rate(
     seed: u64,
     runtime: &Runtime,
 ) -> LogicalErrorEstimate {
-    if shots == 0 {
-        return LogicalErrorEstimate {
-            shots: 0,
-            failures: 0,
-        };
-    }
-    let chunk = runtime.chunk_size();
-    let chunks = shots.div_ceil(chunk);
-    let stream = SeedStream::new(seed);
-    let failures = runtime
-        .par_seeded(chunks, &stream, |c, chunk_seed| {
-            let chunk_shots = chunk.min(shots - c * chunk);
-            run_shots(dem, decoder, chunk_shots, chunk_seed).failures
-        })
-        .into_iter()
-        .sum();
-    LogicalErrorEstimate { shots, failures }
+    estimate_with_budget(
+        dem,
+        decoder,
+        ShotBudget::fixed(shots),
+        seed,
+        runtime,
+        &mut |_| {},
+    )
+    .0
 }
 
 fn run_shots(
@@ -125,14 +304,52 @@ mod tests {
         });
         assert_eq!(c.shots, 300);
         assert_eq!(c.failures, 15);
-        assert_eq!(
-            LogicalErrorEstimate {
-                shots: 0,
-                failures: 0
-            }
-            .rate(),
-            0.0
-        );
+    }
+
+    #[test]
+    fn zero_shot_estimates_are_pinned_to_zero_not_nan() {
+        let empty = LogicalErrorEstimate::ZERO;
+        assert_eq!(empty.rate(), 0.0);
+        assert_eq!(empty.standard_error(), 0.0);
+        assert_eq!(empty.relative_standard_error(), f64::INFINITY);
+        // Combining with the empty estimate is the identity.
+        let e = LogicalErrorEstimate {
+            shots: 50,
+            failures: 3,
+        };
+        assert_eq!(empty.combined(e), e);
+        assert_eq!(e.combined(empty), e);
+        assert_eq!(empty.combined(empty), empty);
+    }
+
+    #[test]
+    fn zero_failure_estimates_have_zero_error_but_infinite_rse() {
+        let e = LogicalErrorEstimate {
+            shots: 1000,
+            failures: 0,
+        };
+        assert_eq!(e.rate(), 0.0);
+        assert_eq!(e.standard_error(), 0.0);
+        assert_eq!(e.relative_standard_error(), f64::INFINITY);
+        // All-failures is the other degenerate binomial endpoint: p = 1, se = 0.
+        let all = LogicalErrorEstimate {
+            shots: 40,
+            failures: 40,
+        };
+        assert_eq!(all.rate(), 1.0);
+        assert_eq!(all.standard_error(), 0.0);
+        assert_eq!(all.relative_standard_error(), 0.0);
+    }
+
+    #[test]
+    fn relative_standard_error_matches_definition_in_the_regular_case() {
+        let e = LogicalErrorEstimate {
+            shots: 400,
+            failures: 100,
+        };
+        let expected = e.standard_error() / e.rate();
+        assert!((e.relative_standard_error() - expected).abs() < 1e-15);
+        assert!(expected.is_finite() && expected > 0.0);
     }
 
     #[test]
@@ -181,5 +398,138 @@ mod tests {
             assert_eq!(estimate.failures, reference.failures, "threads = {threads}");
             assert_eq!(estimate.shots, reference.shots);
         }
+    }
+
+    #[test]
+    fn zero_budget_returns_the_empty_estimate() {
+        let dem = surface_dem(3, 8e-3, 2);
+        let decoder = BpOsdDecoder::new(&dem);
+        let runtime = Runtime::new(RuntimeConfig::new(2, 64, 0));
+        let (est, stop) = estimate_with_budget(
+            &dem,
+            &decoder,
+            ShotBudget::fixed(0),
+            1,
+            &runtime,
+            &mut |_| panic!("no chunks expected"),
+        );
+        assert_eq!(est, LogicalErrorEstimate::ZERO);
+        assert_eq!(stop, LerStopReason::ShotsExhausted);
+    }
+
+    #[test]
+    fn max_failures_budget_stops_at_the_chunk_prefix_of_the_fixed_run() {
+        let dem = surface_dem(3, 2e-2, 3);
+        let decoder = BpOsdDecoder::new(&dem);
+        let runtime = Runtime::new(RuntimeConfig::new(4, 32, 0));
+        // Reference: a fixed run, recording the cumulative tally after each chunk.
+        let mut prefix = Vec::new();
+        let (full, stop) = estimate_with_budget(
+            &dem,
+            &decoder,
+            ShotBudget::fixed(960),
+            5,
+            &runtime,
+            &mut |p| prefix.push(p),
+        );
+        assert_eq!(stop, LerStopReason::ShotsExhausted);
+        assert_eq!(prefix.len(), 30);
+        assert!(full.failures >= 8, "need failures, got {}", full.failures);
+        let max_failures = full.failures / 2;
+        let expected = prefix
+            .iter()
+            .find(|p| p.failures >= max_failures)
+            .expect("threshold below the total must be crossed");
+        let (adaptive, stop) = estimate_with_budget(
+            &dem,
+            &decoder,
+            ShotBudget::MaxFailures {
+                max_failures,
+                max_shots: 960,
+            },
+            5,
+            &runtime,
+            &mut |_| {},
+        );
+        assert_eq!(stop, LerStopReason::MaxFailuresReached);
+        assert_eq!(adaptive.shots, expected.shots);
+        assert_eq!(adaptive.failures, expected.failures);
+        assert!(adaptive.shots < full.shots, "must stop early");
+    }
+
+    #[test]
+    fn adaptive_budgets_fall_back_to_the_shot_cap() {
+        let dem = surface_dem(3, 1e-3, 2);
+        let decoder = BpOsdDecoder::new(&dem);
+        let runtime = Runtime::new(RuntimeConfig::new(2, 64, 0));
+        let (est, stop) = estimate_with_budget(
+            &dem,
+            &decoder,
+            ShotBudget::MaxFailures {
+                max_failures: usize::MAX,
+                max_shots: 128,
+            },
+            3,
+            &runtime,
+            &mut |_| {},
+        );
+        assert_eq!(stop, LerStopReason::ShotsExhausted);
+        assert_eq!(est.shots, 128);
+        // An unreachable RSE target also runs to the cap.
+        let (est, stop) = estimate_with_budget(
+            &dem,
+            &decoder,
+            ShotBudget::TargetRse {
+                target: 1e-9,
+                max_shots: 128,
+            },
+            3,
+            &runtime,
+            &mut |_| {},
+        );
+        assert_eq!(stop, LerStopReason::ShotsExhausted);
+        assert_eq!(est.shots, 128);
+    }
+
+    #[test]
+    fn target_rse_budget_stops_once_the_estimate_is_precise_enough() {
+        let dem = surface_dem(3, 2e-2, 3);
+        let decoder = BpOsdDecoder::new(&dem);
+        let runtime = Runtime::new(RuntimeConfig::new(4, 32, 0));
+        let budget = ShotBudget::TargetRse {
+            target: 0.5,
+            max_shots: 100_000,
+        };
+        let (est, stop) = estimate_with_budget(&dem, &decoder, budget, 9, &runtime, &mut |_| {});
+        assert_eq!(stop, LerStopReason::TargetRseReached);
+        assert!(est.relative_standard_error() <= 0.5);
+        assert!(est.shots < 100_000, "must stop well before the cap");
+        // The decision is taken at chunk granularity: stopping exactly at a chunk
+        // boundary means the previous chunk's tally was still above target.
+        assert_eq!(est.shots % 32, 0);
+    }
+
+    #[test]
+    fn budget_helpers_expose_caps_and_names() {
+        assert_eq!(ShotBudget::fixed(10).max_shots(), 10);
+        assert_eq!(
+            ShotBudget::MaxFailures {
+                max_failures: 1,
+                max_shots: 7
+            }
+            .max_shots(),
+            7
+        );
+        assert_eq!(
+            ShotBudget::TargetRse {
+                target: 0.1,
+                max_shots: 9
+            }
+            .max_shots(),
+            9
+        );
+        assert_eq!(LerStopReason::ShotsExhausted.as_str(), "shots_exhausted");
+        assert_eq!(LerStopReason::MaxFailuresReached.as_str(), "max_failures");
+        assert_eq!(LerStopReason::TargetRseReached.as_str(), "target_rse");
     }
 }

@@ -41,7 +41,10 @@ pub mod ler;
 pub mod unionfind;
 
 pub use bposd::BpOsdDecoder;
-pub use ler::{estimate_logical_error_rate, LogicalErrorEstimate};
+pub use ler::{
+    estimate_logical_error_rate, estimate_with_budget, ChunkProgress, LerStopReason,
+    LogicalErrorEstimate, ShotBudget,
+};
 pub use unionfind::UnionFindDecoder;
 
 use prophunt_gf2::BitVec;

@@ -70,6 +70,11 @@ pub enum ReportRecord {
         final_schedule: String,
     },
     /// One Monte-Carlo logical-error-rate estimate.
+    ///
+    /// Version note: the `decoder`, `noise`, `stop`, `wall_s` and `shots_per_sec`
+    /// fields were added in report v2. The writer always emits them; the parser
+    /// defaults them (`"bposd"`, `""`, `"shots_exhausted"`, `0`, `0`) when reading
+    /// v1 documents, which predate pluggable decoders and adaptive budgets.
     Ler {
         /// Free-form label (schedule name, hardware point, ...).
         label: String,
@@ -85,6 +90,17 @@ pub enum ReportRecord {
         seed: u64,
         /// Chunk size of the estimate (part of the determinism contract).
         chunk_size: u64,
+        /// Registry name of the decoder the estimate was decoded with.
+        decoder: String,
+        /// Canonical noise-spec string the model was built from (empty when the
+        /// model came from a pre-built `.dem` file).
+        noise: String,
+        /// Why the run stopped (`shots_exhausted`, `max_failures`, `target_rse`).
+        stop: String,
+        /// Wall-clock seconds the job took (0 when not measured).
+        wall_s: f64,
+        /// Decoding throughput in shots per second (0 when not measured).
+        shots_per_sec: f64,
     },
     /// A generic named data row (benchmark tables).
     Table {
@@ -116,11 +132,26 @@ fn get_str(obj: &Json, key: &str) -> Result<String, FormatError> {
         .ok_or_else(|| FormatError::whole_input(format!("record is missing string field {key:?}")))
 }
 
+fn opt_str(obj: &Json, key: &str, default: &str) -> String {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .unwrap_or(default)
+        .to_string()
+}
+
+fn opt_f64(obj: &Json, key: &str, default: f64) -> f64 {
+    obj.get(key).and_then(Json::as_f64).unwrap_or(default)
+}
+
 impl ReportRecord {
     /// Builds a [`ReportRecord::Ler`]. `seed` and `chunk_size` must be the pair the
     /// estimate was *actually computed with* — the record's whole point is that
     /// re-running with that pair reproduces `failures` bit-for-bit — so callers
     /// deriving per-stage seeds must record the derived seed, not the base one.
+    ///
+    /// The v2 fields are filled with their v1-compatible defaults (a `bposd` fixed
+    /// budget run, no timing); set them on the returned variant — or build the
+    /// variant directly — for jobs that know their decoder/noise/stop/timing.
     pub fn ler(
         label: impl Into<String>,
         p: f64,
@@ -138,6 +169,11 @@ impl ReportRecord {
             failures,
             seed,
             chunk_size,
+            decoder: "bposd".into(),
+            noise: String::new(),
+            stop: "shots_exhausted".into(),
+            wall_s: 0.0,
+            shots_per_sec: 0.0,
         }
     }
 
@@ -207,6 +243,11 @@ impl ReportRecord {
                 failures,
                 seed,
                 chunk_size,
+                decoder,
+                noise,
+                stop,
+                wall_s,
+                shots_per_sec,
             } => Json::Object(vec![
                 ("type".into(), Json::Str("ler".into())),
                 ("label".into(), Json::Str(label.clone())),
@@ -216,6 +257,11 @@ impl ReportRecord {
                 ("failures".into(), Json::UInt(*failures)),
                 ("seed".into(), Json::UInt(*seed)),
                 ("chunk_size".into(), Json::UInt(*chunk_size)),
+                ("decoder".into(), Json::Str(decoder.clone())),
+                ("noise".into(), Json::Str(noise.clone())),
+                ("stop".into(), Json::Str(stop.clone())),
+                ("wall_s".into(), Json::Float(*wall_s)),
+                ("shots_per_sec".into(), Json::Float(*shots_per_sec)),
             ]),
             ReportRecord::Table { name, fields } => {
                 let mut pairs = vec![
@@ -290,6 +336,12 @@ impl ReportRecord {
                 failures: get_u64(&obj, "failures")?,
                 seed: get_u64(&obj, "seed")?,
                 chunk_size: get_u64(&obj, "chunk_size")?,
+                // v2 fields: default when reading v1 documents.
+                decoder: opt_str(&obj, "decoder", "bposd"),
+                noise: opt_str(&obj, "noise", ""),
+                stop: opt_str(&obj, "stop", "shots_exhausted"),
+                wall_s: opt_f64(&obj, "wall_s", 0.0),
+                shots_per_sec: opt_f64(&obj, "shots_per_sec", 0.0),
             }),
             "table" => {
                 let Json::Object(pairs) = obj else {
@@ -485,6 +537,11 @@ mod tests {
                 failures: 37,
                 seed: u64::MAX,
                 chunk_size: 64,
+                decoder: "unionfind".into(),
+                noise: "si1000:0.003".into(),
+                stop: "max_failures".into(),
+                wall_s: 1.25,
+                shots_per_sec: 3200.0,
             },
             ReportRecord::Table {
                 name: "code_parameters".into(),
@@ -513,11 +570,49 @@ mod tests {
         let seed = config.seed();
         let chunk = config.runtime.chunk_size;
         let prophunt = PropHunt::new(code.clone(), config);
-        let result = prophunt.optimize(poor);
+        let result = prophunt.try_optimize(poor).unwrap();
         let records = result_to_report(&result, code.name(), seed, chunk);
         let text = write_report(&records);
         let rebuilt = report_to_result(&parse_report(&text).unwrap()).unwrap();
         assert_eq!(rebuilt, result);
+    }
+
+    #[test]
+    fn v1_ler_records_parse_with_defaulted_v2_fields() {
+        // A line exactly as PR 2's writer emitted it: no decoder/noise/stop/timing.
+        let line = "{\"type\":\"ler\",\"label\":\"x\",\"p\":0.003,\"idle\":0.0,\
+                    \"shots\":100,\"failures\":3,\"seed\":7,\"chunk_size\":64}";
+        let parsed = ReportRecord::from_json_line(line).unwrap();
+        let ReportRecord::Ler {
+            decoder,
+            noise,
+            stop,
+            wall_s,
+            shots_per_sec,
+            shots,
+            ..
+        } = parsed
+        else {
+            panic!("expected a ler record");
+        };
+        assert_eq!(shots, 100);
+        assert_eq!(decoder, "bposd");
+        assert_eq!(noise, "");
+        assert_eq!(stop, "shots_exhausted");
+        assert_eq!(wall_s, 0.0);
+        assert_eq!(shots_per_sec, 0.0);
+    }
+
+    #[test]
+    fn ler_constructor_fills_v1_compatible_defaults() {
+        let record = ReportRecord::ler("l", 1e-3, 0.0, 10, 1, 2, 64);
+        let reparsed = ReportRecord::from_json_line(&record.to_json_line()).unwrap();
+        assert_eq!(reparsed, record);
+        let ReportRecord::Ler { decoder, stop, .. } = record else {
+            panic!("expected a ler record");
+        };
+        assert_eq!(decoder, "bposd");
+        assert_eq!(stop, "shots_exhausted");
     }
 
     #[test]

@@ -146,6 +146,12 @@ proptest! {
             failures: rng.gen_range(0u64..1_000_000),
             seed: rng.gen_range(0u64..u64::MAX),
             chunk_size: rng.gen_range(1u64..4096),
+            decoder: ["bposd", "unionfind"][rng.gen_range(0usize..2)].to_string(),
+            noise: format!("depolarizing:{}", rng.gen_range(0.0..0.1)),
+            stop: ["shots_exhausted", "max_failures", "target_rse"][rng.gen_range(0usize..3)]
+                .to_string(),
+            wall_s: rng.gen_range(0.0..1e4),
+            shots_per_sec: rng.gen_range(0.0..1e7),
         };
         let text = write_report([&record]);
         let parsed = parse_report(&text).unwrap();

@@ -21,7 +21,9 @@ pub struct DecodingGraph {
 
 impl DecodingGraph {
     /// Builds the decoding graph of `code` under `schedule` for a memory experiment in
-    /// `basis` with `rounds` rounds and physical error rate `p`.
+    /// `basis` with `rounds` rounds and uniform depolarizing noise at physical error
+    /// rate `p` (shorthand for [`Self::build_with_noise`] with
+    /// [`NoiseModel::uniform_depolarizing`]).
     ///
     /// # Errors
     ///
@@ -33,9 +35,30 @@ impl DecodingGraph {
         basis: MemoryBasis,
         p: f64,
     ) -> Result<Self, prophunt_circuit::CircuitError> {
+        Self::build_with_noise(
+            code,
+            schedule,
+            rounds,
+            basis,
+            &NoiseModel::uniform_depolarizing(p),
+        )
+    }
+
+    /// Builds the decoding graph under an arbitrary [`NoiseModel`] — the entry point
+    /// for optimizing against non-uniform models (SI1000-style, biased).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`prophunt_circuit::CircuitError`] if the schedule is invalid.
+    pub fn build_with_noise(
+        code: &CssCode,
+        schedule: &prophunt_circuit::ScheduleSpec,
+        rounds: usize,
+        basis: MemoryBasis,
+        noise: &NoiseModel,
+    ) -> Result<Self, prophunt_circuit::CircuitError> {
         let experiment = MemoryExperiment::build(code, schedule, rounds, basis)?;
-        let dem =
-            DetectorErrorModel::from_experiment(&experiment, &NoiseModel::uniform_depolarizing(p));
+        let dem = DetectorErrorModel::from_experiment(&experiment, noise);
         Ok(Self::from_parts(experiment, dem))
     }
 

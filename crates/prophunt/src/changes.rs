@@ -3,7 +3,7 @@
 
 use crate::ambiguity::{is_ambiguous, AmbiguousSubgraph, DecodingGraph};
 use crate::minweight::MinWeightSolution;
-use prophunt_circuit::{MemoryBasis, Op, ScheduleSpec, StabilizerId};
+use prophunt_circuit::{MemoryBasis, NoiseModel, Op, ScheduleSpec, StabilizerId};
 use prophunt_qec::{CssCode, StabilizerKind};
 use rand::Rng;
 use std::collections::HashMap;
@@ -200,7 +200,7 @@ pub fn verify_candidate(
     original_graph: &DecodingGraph,
     rounds: usize,
     basis: MemoryBasis,
-    p: f64,
+    noise: &NoiseModel,
 ) -> Option<VerifiedChange> {
     let mut schedule = base_schedule.clone();
     candidate.apply(&mut schedule);
@@ -210,7 +210,7 @@ pub fn verify_candidate(
     }
     let depth = schedule.depth().ok()?;
     // Rebuild the circuit-level matrices under the changed schedule.
-    let new_graph = DecodingGraph::build(code, &schedule, rounds, basis, p).ok()?;
+    let new_graph = DecodingGraph::build_with_noise(code, &schedule, rounds, basis, noise).ok()?;
     // Ambiguity removal on the original syndrome bits.
     let (h_sub, l_sub, _) = new_graph.restricted_matrices(&subgraph.detectors);
     if is_ambiguous(&h_sub, &l_sub) {
@@ -386,7 +386,7 @@ mod tests {
             &graph,
             3,
             MemoryBasis::Z,
-            1e-3
+            &NoiseModel::uniform_depolarizing(1e-3)
         )
         .is_none());
     }
@@ -426,7 +426,7 @@ mod tests {
                     &graph,
                     3,
                     MemoryBasis::Z,
-                    1e-3,
+                    &NoiseModel::uniform_depolarizing(1e-3),
                 )
             }));
         }

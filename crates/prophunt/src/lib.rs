@@ -15,7 +15,7 @@
 //!    the gates behind that logical error ([`changes`]),
 //! 5. prunes candidates that break the circuit or fail to remove the ambiguity, and
 //!    applies the survivors (minimum-depth tie-break) — one iteration of
-//!    [`PropHunt::optimize`].
+//!    [`PropHunt::try_optimize`].
 //!
 //! The optimizer records every intermediate schedule, which both documents convergence
 //! (the paper's Figure 12) and supplies the noise-amplification stages used by Hook-ZNE.
@@ -30,8 +30,9 @@
 //! let (code, _) = rotated_surface_code_with_layout(3);
 //! let baseline = ScheduleSpec::coloration(&code);
 //! let config = PropHuntConfig::quick(3);
-//! let result = PropHunt::new(code, config).optimize(baseline);
+//! let result = PropHunt::new(code, config).try_optimize(baseline)?;
 //! println!("final depth: {}", result.final_depth());
+//! # Ok::<(), prophunt_circuit::CircuitError>(())
 //! ```
 
 #![forbid(unsafe_code)]

@@ -15,7 +15,7 @@ use crate::changes::{
 };
 use crate::minweight::{min_weight_logical_error, MinWeightSolution};
 use crate::CandidateChange;
-use prophunt_circuit::{MemoryBasis, ScheduleSpec};
+use prophunt_circuit::{MemoryBasis, NoiseModel, ScheduleSpec};
 use prophunt_qec::CssCode;
 use prophunt_runtime::{Runtime, RuntimeConfig};
 use rand::rngs::StdRng;
@@ -32,8 +32,13 @@ pub struct PropHuntConfig {
     pub samples_per_iteration: usize,
     /// Number of syndrome-measurement rounds in the analysed memory experiment.
     pub rounds: usize,
-    /// Physical error rate used to build the detector error model.
+    /// Physical error rate used to build the detector error model (under uniform
+    /// depolarizing noise, unless [`Self::noise`] overrides the whole model).
     pub physical_error_rate: f64,
+    /// Full noise-model override. `None` (the default) analyses the circuit under
+    /// [`NoiseModel::uniform_depolarizing`] at [`Self::physical_error_rate`]; `Some`
+    /// optimizes against that model instead (SI1000-style, biased, ...).
+    pub noise: Option<NoiseModel>,
     /// Wall-clock budget per MaxSAT solve (the paper uses 360 s).
     pub maxsat_budget: Duration,
     /// Maximum subgraph-expansion steps before a sample gives up.
@@ -64,6 +69,7 @@ impl PropHuntConfig {
             samples_per_iteration: 40,
             rounds,
             physical_error_rate: 1e-3,
+            noise: None,
             maxsat_budget: Duration::from_secs(20),
             max_subgraph_steps: 60,
             max_subgraphs_per_iteration: 6,
@@ -79,6 +85,7 @@ impl PropHuntConfig {
             samples_per_iteration: 500,
             rounds,
             physical_error_rate: 1e-3,
+            noise: None,
             maxsat_budget: Duration::from_secs(360),
             max_subgraph_steps: 120,
             max_subgraphs_per_iteration: 24,
@@ -96,6 +103,20 @@ impl PropHuntConfig {
     pub fn with_runtime(mut self, runtime: RuntimeConfig) -> Self {
         self.runtime = runtime;
         self
+    }
+
+    /// Overrides the full noise model the circuit is analysed under.
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = Some(noise);
+        self
+    }
+
+    /// Returns the noise model the decoding graphs are built with: the explicit
+    /// [`Self::noise`] override, or uniform depolarizing at
+    /// [`Self::physical_error_rate`].
+    pub fn noise_model(&self) -> NoiseModel {
+        self.noise
+            .unwrap_or_else(|| NoiseModel::uniform_depolarizing(self.physical_error_rate))
     }
 
     /// Returns the base random seed.
@@ -239,9 +260,12 @@ impl PropHunt {
     ///
     /// # Panics
     ///
-    /// Panics if the initial schedule is not valid for the code. Use
-    /// [`PropHunt::try_optimize`] when the schedule comes from outside the process
-    /// (e.g. a parsed schedule file).
+    /// Panics if the initial schedule is not valid for the code.
+    #[deprecated(
+        since = "0.1.0",
+        note = "panics on invalid schedules; use `try_optimize` (or the \
+                `prophunt-api` Session/OptimizeJob surface) instead"
+    )]
     pub fn optimize(&self, initial: ScheduleSpec) -> OptimizationResult {
         self.try_optimize(initial)
             .expect("initial schedule must be valid")
@@ -364,12 +388,12 @@ impl PropHunt {
             }
         }
         let graph = Arc::new(
-            DecodingGraph::build(
+            DecodingGraph::build_with_noise(
                 &self.code,
                 schedule,
                 self.config.rounds,
                 basis,
-                self.config.physical_error_rate,
+                &self.config.noise_model(),
             )
             .map_err(|e| format!("{e:?}"))?,
         );
@@ -475,6 +499,7 @@ impl PropHunt {
                     .map(move |candidate| (group, sub, solution, candidate))
             })
             .collect();
+        let noise = self.config.noise_model();
         let results = self
             .runtime
             .par_map(&work, |&(group, sub, solution, candidate)| {
@@ -487,7 +512,7 @@ impl PropHunt {
                     graph,
                     self.config.rounds,
                     basis,
-                    self.config.physical_error_rate,
+                    &noise,
                 )
                 .map(|verified| (group, verified))
             });
@@ -560,6 +585,18 @@ mod tests {
     }
 
     #[test]
+    fn noise_override_replaces_the_uniform_depolarizing_default() {
+        let config = PropHuntConfig::quick(3);
+        assert_eq!(
+            config.noise_model(),
+            NoiseModel::uniform_depolarizing(config.physical_error_rate)
+        );
+        let si = NoiseModel::si1000(2e-3);
+        let config = config.with_noise(si);
+        assert_eq!(config.noise_model(), si);
+    }
+
+    #[test]
     fn optimizing_the_poor_d3_schedule_restores_effective_distance() {
         let (code, layout) = rotated_surface_code_with_layout(3);
         let poor = ScheduleSpec::surface_poor(&code, &layout);
@@ -571,7 +608,7 @@ mod tests {
             before, 2,
             "poor schedule should expose weight-2 logical errors"
         );
-        let result = prophunt.optimize(poor);
+        let result = prophunt.try_optimize(poor).unwrap();
         assert!(
             result.total_changes_applied() >= 1,
             "optimizer should change the circuit"
@@ -596,7 +633,7 @@ mod tests {
             ..PropHuntConfig::quick(3)
         };
         let prophunt = PropHunt::new(code, config);
-        let result = prophunt.optimize(good.clone());
+        let result = prophunt.try_optimize(good.clone()).unwrap();
         result.final_schedule.validate(prophunt.code()).unwrap();
         // The hand-designed schedule already has d_eff = d; whatever the optimizer does,
         // it must not make the minimum observed logical weight smaller than 3.

@@ -1,31 +1,16 @@
 //! Optimizes the syndrome-measurement circuit of a small quantum-LDPC code (a
 //! generalized-bicycle code standing in for the paper's LP instances) and reports the
-//! logical error rate before and after.
+//! logical error rate before and after — comparing both built-in decoders through
+//! one cached `Session`.
 //!
 //! Run with `cargo run --release --example ldpc_optimization`.
 
+use prophunt_suite::api::{
+    BasisSelection, ExperimentSpec, LerJob, OptimizeJob, ScheduleSource, Session, ShotBudget,
+};
 use prophunt_suite::circuit::schedule::ScheduleSpec;
-use prophunt_suite::circuit::{DetectorErrorModel, MemoryBasis, MemoryExperiment, NoiseModel};
-use prophunt_suite::core::{PropHunt, PropHuntConfig};
-use prophunt_suite::decoders::{estimate_logical_error_rate, BpOsdDecoder};
 use prophunt_suite::qec::product::generalized_bicycle;
-use prophunt_suite::qec::CssCode;
-use prophunt_suite::runtime::{Runtime, RuntimeConfig};
-
-fn logical_error_rate(code: &CssCode, schedule: &ScheduleSpec, p: f64, shots: usize) -> f64 {
-    let mut failures = 0;
-    let mut total = 0;
-    for basis in [MemoryBasis::Z, MemoryBasis::X] {
-        let exp = MemoryExperiment::build(code, schedule, 2, basis).expect("valid schedule");
-        let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(p));
-        let decoder = BpOsdDecoder::new(&dem);
-        let runtime = Runtime::new(RuntimeConfig::new(4, 64, 0));
-        let estimate = estimate_logical_error_rate(&dem, &decoder, shots, 7, &runtime);
-        failures += estimate.failures;
-        total += estimate.shots;
-    }
-    failures as f64 / total as f64
-}
+use prophunt_suite::runtime::RuntimeConfig;
 
 fn main() {
     // A [[18, 2]] generalized-bicycle (lifted-product) code with weight-4 stabilizers.
@@ -35,26 +20,56 @@ fn main() {
         code.max_stabilizer_weight()
     );
 
-    let baseline = ScheduleSpec::coloration(&code);
+    let mut session = Session::new(RuntimeConfig::new(4, 64, 7));
     let p = 3e-3;
     let shots = 1_500;
-    let before = logical_error_rate(&code, &baseline, p, shots);
-    println!("coloration circuit LER at p = {p}: {before:.4}");
+    let spec = ExperimentSpec::builder()
+        .code(code.clone())
+        .schedule(ScheduleSource::Explicit(ScheduleSpec::coloration(&code)))
+        .noise_str(&format!("depolarizing:{p}"))
+        .expect("valid noise spec")
+        .rounds(2)
+        .basis(BasisSelection::Both)
+        .build()
+        .expect("valid experiment spec");
 
-    let mut config = PropHuntConfig::quick(2);
-    config.iterations = 3;
-    config.samples_per_iteration = 30;
-    let prophunt = PropHunt::new(code.clone(), config);
-    let result = prophunt.optimize(baseline);
-    println!(
-        "PropHunt applied {} changes; depth {} -> {}",
-        result.total_changes_applied(),
-        result.initial_schedule.depth().unwrap(),
-        result.final_depth()
+    let ler = |session: &mut Session, spec: &ExperimentSpec, label: &str| -> f64 {
+        let outcome = session
+            .run_ler_quiet(&LerJob::new(spec.clone()).with_budget(ShotBudget::fixed(shots)))
+            .expect("estimation job runs");
+        println!(
+            "{label} LER at p = {p}: {:.4} ({} decoder, {:.0} shots/s)",
+            outcome.combined.rate(),
+            spec.decoder(),
+            outcome.shots_per_sec()
+        );
+        outcome.combined.rate()
+    };
+    let before = ler(&mut session, &spec, "coloration circuit");
+    // The union-find decoder reuses the session's cached detector error models.
+    ler(
+        &mut session,
+        &spec.with_decoder("unionfind"),
+        "coloration circuit",
     );
 
-    let after = logical_error_rate(&code, &result.final_schedule, p, shots);
-    println!("optimized circuit LER at p = {p}: {after:.4}");
+    let job = OptimizeJob::new(spec.clone())
+        .with_iterations(3)
+        .with_samples(30);
+    let outcome = session.run_optimize_quiet(&job).expect("optimization runs");
+    let result = &outcome.result;
+    println!(
+        "PropHunt applied {} changes; depth {} -> {} ({})",
+        result.total_changes_applied(),
+        result.initial_schedule.depth().unwrap(),
+        result.final_depth(),
+        outcome.stop.as_str()
+    );
+
+    let optimized = spec
+        .with_schedule(result.final_schedule.clone())
+        .expect("optimized schedule stays valid");
+    let after = ler(&mut session, &optimized, "optimized circuit");
     if after < before {
         println!("improvement factor: {:.2}x", before / after.max(1e-6));
     } else {

@@ -1,74 +1,102 @@
-//! Quickstart: optimize the syndrome-measurement circuit of a d = 3 surface code,
-//! then export the optimized schedule and its detector error model as files.
+//! Quickstart on the unified experiment API: optimize the syndrome-measurement
+//! circuit of a d = 3 surface code as an `OptimizeJob`, compare schedules with
+//! `LerJob`s (one per schedule, all through one cached `Session`), then export the
+//! optimized schedule and its detector error model as files.
 //!
 //! Run with `cargo run --release --example quickstart`. The exported files use the
 //! `prophunt-formats` interchange formats (see `FORMATS.md`) and can be fed back to
 //! the `prophunt` CLI, e.g. `prophunt ler --dem quickstart_optimized.dem` or
 //! `prophunt optimize --code surface:3 --resume quickstart_optimized.schedule`.
 
+use prophunt_suite::api::{
+    BasisSelection, Event, ExperimentSpec, LerJob, OptimizeJob, ScheduleSource, Session, ShotBudget,
+};
 use prophunt_suite::circuit::schedule::ScheduleSpec;
-use prophunt_suite::circuit::{DetectorErrorModel, MemoryBasis, MemoryExperiment, NoiseModel};
-use prophunt_suite::core::{PropHunt, PropHuntConfig};
-use prophunt_suite::decoders::{estimate_logical_error_rate, BpOsdDecoder};
 use prophunt_suite::formats::{parse_dem, parse_schedule, write_dem, write_schedule};
 use prophunt_suite::qec::surface::rotated_surface_code_with_layout;
-use prophunt_suite::runtime::{Runtime, RuntimeConfig};
-
-fn logical_error_rate(
-    code: &prophunt_suite::qec::CssCode,
-    schedule: &ScheduleSpec,
-    p: f64,
-    shots: usize,
-) -> f64 {
-    let mut combined_failures = 0;
-    let mut combined_shots = 0;
-    for basis in [MemoryBasis::Z, MemoryBasis::X] {
-        let exp = MemoryExperiment::build(code, schedule, 3, basis).expect("valid schedule");
-        let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(p));
-        let decoder = BpOsdDecoder::new(&dem);
-        let runtime = Runtime::new(RuntimeConfig::new(4, 64, 0));
-        let estimate = estimate_logical_error_rate(&dem, &decoder, shots, 42, &runtime);
-        combined_failures += estimate.failures;
-        combined_shots += estimate.shots;
-    }
-    combined_failures as f64 / combined_shots as f64
-}
+use prophunt_suite::runtime::RuntimeConfig;
 
 fn main() {
     let (code, layout) = rotated_surface_code_with_layout(3);
     println!("code: {code}");
 
+    // One session for every job below: the runtime (threads/chunk/seed) is shared,
+    // and built experiments, detector error models and decoders are cached.
+    let mut session = Session::new(RuntimeConfig::new(4, 64, 42));
+
     // Start from a deliberately poor schedule (hook errors aligned with the logicals).
     let poor = ScheduleSpec::surface_poor(&code, &layout);
-    let hand = ScheduleSpec::surface_hand_designed(&code, &layout);
-
     let p = 3e-3;
-    let shots = 2_000;
-    println!(
-        "poor schedule         LER = {:.4}",
-        logical_error_rate(&code, &poor, p, shots)
-    );
-    println!(
-        "hand-designed schedule LER = {:.4}",
-        logical_error_rate(&code, &hand, p, shots)
-    );
+    let spec = ExperimentSpec::builder()
+        .code_with_layout(code.clone(), layout)
+        .schedule(ScheduleSource::Explicit(poor))
+        .noise_str(&format!("depolarizing:{p}"))
+        .expect("valid noise spec")
+        .decoder("bposd")
+        .basis(BasisSelection::Both)
+        .build()
+        .expect("valid experiment spec");
 
-    // Let PropHunt repair the poor schedule automatically.
-    let prophunt = PropHunt::new(code.clone(), PropHuntConfig::quick(3));
-    let result = prophunt.optimize(poor);
+    // Estimate the poor and hand-designed schedules. Instead of a fixed shot count,
+    // stop adaptively once 25 failures accumulate — the counts stay bit-identical
+    // at any thread count because stopping is decided at chunk granularity.
+    let budget = ShotBudget::MaxFailures {
+        max_failures: 25,
+        max_shots: 4_000,
+    };
+    let ler = |session: &mut Session, spec: &ExperimentSpec, label: &str| {
+        let outcome = session
+            .run_ler_quiet(
+                &LerJob::new(spec.clone())
+                    .with_budget(budget)
+                    .with_label(label),
+            )
+            .expect("estimation job runs");
+        println!(
+            "{label:<22} LER = {:.4}  ({} shots, {})",
+            outcome.combined.rate(),
+            outcome.combined.shots,
+            outcome.stop.as_str()
+        );
+        outcome
+    };
+    ler(&mut session, &spec, "poor schedule");
+    let hand = spec
+        .with_schedule(ScheduleSpec::surface_hand_designed(
+            spec.code(),
+            spec.layout().expect("surface layout"),
+        ))
+        .expect("hand schedule is valid");
+    ler(&mut session, &hand, "hand-designed schedule");
+
+    // Let PropHunt repair the poor schedule automatically, streaming iteration
+    // events from the unified observer channel.
+    let outcome = session
+        .run_optimize(&OptimizeJob::new(spec.clone()), |event| {
+            if let Event::Iteration(record) = event {
+                println!(
+                    "  iteration {:>2} [{:?}-basis]: {} subgraphs, {} changes, depth {}",
+                    record.iteration,
+                    record.basis,
+                    record.subgraphs_found,
+                    record.changes_applied,
+                    record.depth
+                );
+            }
+        })
+        .expect("optimization job runs");
+    let result = &outcome.result;
     println!(
-        "PropHunt applied {} changes over {} iterations (final CNOT depth {})",
+        "PropHunt applied {} changes over {} iterations ({}, final CNOT depth {})",
         result.total_changes_applied(),
         result.records.len(),
+        outcome.stop.as_str(),
         result.final_depth()
     );
-    println!(
-        "optimized schedule    LER = {:.4}",
-        logical_error_rate(&code, &result.final_schedule, p, shots)
-    );
-    if let Some(d_eff) = prophunt.estimate_effective_distance(&result.final_schedule, 10) {
-        println!("estimated effective distance of optimized circuit: {d_eff}");
-    }
+    let optimized = spec
+        .with_schedule(result.final_schedule.clone())
+        .expect("optimized schedule stays valid");
+    ler(&mut session, &optimized, "optimized schedule");
 
     // Export the optimized circuit through the interchange formats: the schedule as
     // a `prophunt-schedule v1` file and its Z-memory detector error model as a
@@ -77,9 +105,9 @@ fn main() {
     let schedule_path = out_dir.join("quickstart_optimized.schedule");
     let dem_path = out_dir.join("quickstart_optimized.dem");
     let schedule_text = write_schedule(&result.final_schedule);
-    let exp = MemoryExperiment::build(&code, &result.final_schedule, 3, MemoryBasis::Z)
-        .expect("optimized schedule stays valid");
-    let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(p));
+    let dem = session
+        .dem(&optimized, prophunt_suite::circuit::MemoryBasis::Z)
+        .expect("model builds");
     let dem_text = write_dem(&dem);
     std::fs::write(&schedule_path, &schedule_text).expect("write schedule file");
     std::fs::write(&dem_path, &dem_text).expect("write dem file");

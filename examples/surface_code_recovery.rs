@@ -18,7 +18,9 @@ fn main() {
         let d_eff_coloration = prophunt.estimate_effective_distance(&coloration, 15);
         let d_eff_hand = prophunt.estimate_effective_distance(&hand, 15);
 
-        let result = prophunt.optimize(coloration);
+        let result = prophunt
+            .try_optimize(coloration)
+            .expect("coloration schedule is valid");
         let d_eff_optimized = prophunt.estimate_effective_distance(&result.final_schedule, 15);
 
         println!("=== surface code d = {d} ===");

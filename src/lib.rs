@@ -17,6 +17,10 @@
 //! * [`formats`] — on-disk interchange formats: Stim-compatible `.dem` files,
 //!   code specs, schedule files and JSON-lines run reports
 //!   ([`prophunt_formats`]); the `prophunt` CLI is built on these.
+//! * [`api`] — the unified experiment surface: `ExperimentSpec` builder,
+//!   `Session` (cached models/decoders), typed `OptimizeJob`/`LerJob`s with a
+//!   unified event stream, pluggable decoder/noise registries and adaptive
+//!   shot budgets ([`prophunt_api`]). Prefer this entry point for new code.
 //!
 //! See `README.md` for a quickstart, the crate map and the runtime's
 //! determinism contract, and `FORMATS.md` for the file-format grammars.
@@ -25,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub use prophunt as core;
+pub use prophunt_api as api;
 pub use prophunt_circuit as circuit;
 pub use prophunt_decoders as decoders;
 pub use prophunt_formats as formats;

@@ -9,7 +9,10 @@
 use prophunt_suite::circuit::schedule::ScheduleSpec;
 use prophunt_suite::circuit::{DetectorErrorModel, MemoryBasis, MemoryExperiment, NoiseModel};
 use prophunt_suite::core::{OptimizationResult, PropHunt, PropHuntConfig};
-use prophunt_suite::decoders::{estimate_logical_error_rate, BpOsdDecoder};
+use prophunt_suite::decoders::{
+    estimate_logical_error_rate, estimate_with_budget, BpOsdDecoder, ChunkProgress, LerStopReason,
+    ShotBudget,
+};
 use prophunt_suite::qec::surface::rotated_surface_code_with_layout;
 use prophunt_suite::runtime::{Runtime, RuntimeConfig};
 
@@ -18,7 +21,9 @@ fn optimize_poor_d3(threads: usize) -> OptimizationResult {
     let poor = ScheduleSpec::surface_poor(&code, &layout);
     let mut config = PropHuntConfig::quick(3).with_seed(11);
     config.runtime.threads = threads;
-    PropHunt::new(code, config).optimize(poor)
+    PropHunt::new(code, config)
+        .try_optimize(poor)
+        .expect("poor schedule is valid")
 }
 
 #[test]
@@ -82,6 +87,86 @@ fn ler_failure_counts_are_identical_across_thread_counts() {
         let estimate = estimate(threads);
         assert_eq!(estimate.failures, reference.failures, "threads = {threads}");
         assert_eq!(estimate.shots, reference.shots);
+    }
+}
+
+/// Satellite of the Session/Job redesign: an adaptive (`MaxFailures` /
+/// `TargetRse`) run must stop at a *chunk boundary* and report exactly the
+/// cumulative tally of the corresponding chunk prefix of the `Fixed` run with
+/// the same `(seed, chunk_size)` — at every thread count.
+#[test]
+fn adaptive_budgets_equal_the_fixed_run_chunk_prefix_at_any_thread_count() {
+    let (code, layout) = rotated_surface_code_with_layout(3);
+    let schedule = ScheduleSpec::surface_hand_designed(&code, &layout);
+    let exp = MemoryExperiment::build(&code, &schedule, 3, MemoryBasis::Z).unwrap();
+    let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(2e-2));
+    let decoder = BpOsdDecoder::new(&dem);
+    let (seed, chunk_size, max_shots) = (42u64, 32usize, 1024usize);
+
+    // Reference: the fixed run's cumulative per-chunk tallies at 1 thread.
+    let mut prefix: Vec<ChunkProgress> = Vec::new();
+    let (full, _) = estimate_with_budget(
+        &dem,
+        &decoder,
+        ShotBudget::fixed(max_shots),
+        seed,
+        &Runtime::new(RuntimeConfig::new(1, chunk_size, 0)),
+        &mut |p| prefix.push(p),
+    );
+    assert_eq!(prefix.len(), max_shots / chunk_size);
+    assert!(full.failures >= 6, "need failures, got {}", full.failures);
+
+    let max_failures = full.failures / 2;
+    let expected_failures_prefix = prefix
+        .iter()
+        .find(|p| p.failures >= max_failures)
+        .copied()
+        .expect("threshold below the total must be crossed");
+    // Pick an RSE target crossed strictly inside the run: the RSE at ~3/4 of
+    // the chunks, nudged up so the crossing chunk is unambiguous.
+    let rse_at = |p: &ChunkProgress| {
+        let rate = p.failures as f64 / p.shots as f64;
+        ((1.0 - rate) / (rate * p.shots as f64)).sqrt()
+    };
+    let target = rse_at(&prefix[prefix.len() * 3 / 4]) * 1.001;
+    let expected_rse_prefix = prefix
+        .iter()
+        .find(|p| p.failures > 0 && rse_at(p) <= target)
+        .copied()
+        .expect("target must be crossed");
+
+    for threads in [1, 2, 8] {
+        let runtime = Runtime::new(RuntimeConfig::new(threads, chunk_size, 0));
+        let mut seen: Vec<ChunkProgress> = Vec::new();
+        let (estimate, stop) = estimate_with_budget(
+            &dem,
+            &decoder,
+            ShotBudget::MaxFailures {
+                max_failures,
+                max_shots,
+            },
+            seed,
+            &runtime,
+            &mut |p| seen.push(p),
+        );
+        assert_eq!(stop, LerStopReason::MaxFailuresReached, "threads {threads}");
+        assert_eq!(estimate.shots, expected_failures_prefix.shots);
+        assert_eq!(estimate.failures, expected_failures_prefix.failures);
+        assert!(estimate.shots < max_shots, "must stop early");
+        // The observer stream is the exact chunk prefix, in order.
+        assert_eq!(seen, prefix[..seen.len()], "threads {threads}");
+
+        let (estimate, stop) = estimate_with_budget(
+            &dem,
+            &decoder,
+            ShotBudget::TargetRse { target, max_shots },
+            seed,
+            &runtime,
+            &mut |_| {},
+        );
+        assert_eq!(stop, LerStopReason::TargetRseReached, "threads {threads}");
+        assert_eq!(estimate.shots, expected_rse_prefix.shots);
+        assert_eq!(estimate.failures, expected_rse_prefix.failures);
     }
 }
 

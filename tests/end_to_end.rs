@@ -55,7 +55,7 @@ fn prophunt_improves_a_poor_surface_schedule_end_to_end() {
     let (code, layout) = rotated_surface_code_with_layout(3);
     let poor = ScheduleSpec::surface_poor(&code, &layout);
     let prophunt = PropHunt::new(code.clone(), PropHuntConfig::quick(3).with_seed(3));
-    let result = prophunt.optimize(poor.clone());
+    let result = prophunt.try_optimize(poor.clone()).unwrap();
     assert!(result.total_changes_applied() >= 1);
 
     let before_deff = prophunt.estimate_effective_distance(&poor, 12).unwrap();

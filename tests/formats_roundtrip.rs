@@ -81,7 +81,7 @@ fn exported_schedule_resumes_to_the_same_final_depth() {
     let initial = ScheduleSpec::coloration(&code);
     let config = PropHuntConfig::quick(3).with_seed(11);
     let prophunt = PropHunt::new(code.clone(), config);
-    let first = prophunt.optimize(initial);
+    let first = prophunt.try_optimize(initial).unwrap();
 
     let schedule_file = write_schedule(&first.final_schedule);
     let resumed_from = parse_schedule(&schedule_file).unwrap();
@@ -128,7 +128,7 @@ fn dem_export_of_an_optimized_schedule_round_trips_with_identical_ler() {
     let (code, layout) = rotated_surface_code_with_layout(3);
     let poor = ScheduleSpec::surface_poor(&code, &layout);
     let prophunt = PropHunt::new(code.clone(), PropHuntConfig::quick(3).with_seed(7));
-    let result = prophunt.optimize(poor);
+    let result = prophunt.try_optimize(poor).unwrap();
     let exp = MemoryExperiment::build(&code, &result.final_schedule, 3, MemoryBasis::Z).unwrap();
     let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(3e-3));
 
