@@ -16,6 +16,8 @@ pub enum JobKind {
     Optimize,
     /// A [`LerJob`].
     Ler,
+    /// A [`crate::SearchJob`].
+    Search,
 }
 
 /// Why a job stopped.
@@ -37,6 +39,11 @@ pub enum StopReason {
     MaxFailuresReached,
     /// A [`ShotBudget::TargetRse`] rule stopped the run early.
     TargetRseReached,
+    /// A portfolio search ran its full round budget.
+    RoundLimit {
+        /// Rounds recorded.
+        rounds: usize,
+    },
 }
 
 impl StopReason {
@@ -48,6 +55,7 @@ impl StopReason {
             StopReason::ShotsExhausted => "shots_exhausted",
             StopReason::MaxFailuresReached => "max_failures",
             StopReason::TargetRseReached => "target_rse",
+            StopReason::RoundLimit { .. } => "round_limit",
         }
     }
 
@@ -98,6 +106,25 @@ pub enum Event {
         shots: usize,
         /// Cumulative failures in this basis.
         failures: usize,
+    },
+    /// A portfolio-search round completed; the fields describe the incumbent
+    /// after the round, with full per-strategy provenance.
+    Incumbent {
+        /// Round number (0-based).
+        round: usize,
+        /// Name of the strategy that produced the incumbent
+        /// ([`prophunt_search::StrategyKind::name`], or `"initial"` while the
+        /// starting schedule still leads).
+        strategy: String,
+        /// Portfolio instance slot that produced the incumbent.
+        instance: usize,
+        /// CNOT depth of the incumbent.
+        depth: usize,
+        /// Whether this round strictly improved the incumbent.
+        improved: bool,
+        /// The incumbent schedule itself (what `prophunt search` streams as
+        /// `incumbent` report records).
+        schedule: prophunt_circuit::ScheduleSpec,
     },
     /// The job finished.
     JobFinished {

@@ -11,9 +11,10 @@
 //! * [`Session`] — *where* it runs: owns the deterministic parallel
 //!   [`prophunt_runtime::Runtime`] and caches built memory experiments, detector
 //!   error models and decoder instances across jobs, so sweeps share work.
-//! * [`OptimizeJob`] / [`LerJob`] — *how* it runs: typed jobs emitting a unified
-//!   [`Event`] stream (iteration records, shot-chunk progress, stop reason)
-//!   through one observer channel.
+//! * [`OptimizeJob`] / [`LerJob`] / [`SearchJob`] — *how* it runs: typed jobs
+//!   emitting a unified [`Event`] stream (iteration records, shot-chunk
+//!   progress, per-round search incumbents with strategy provenance, stop
+//!   reason) through one observer channel.
 //! * [`ShotBudget`] — *how long* it runs: fixed shots, a failure target, or a
 //!   relative-standard-error target, all stopping at chunk granularity so
 //!   early-stopped failure counts stay bit-identical at any thread count.
@@ -56,6 +57,7 @@ pub mod decoder;
 pub mod error;
 pub mod job;
 pub mod noise;
+pub mod search;
 pub mod session;
 pub mod spec;
 
@@ -65,9 +67,11 @@ pub use job::{
     BasisEstimate, Event, JobKind, LerJob, LerOutcome, OptimizeJob, OptimizeOutcome, StopReason,
 };
 pub use noise::NoiseSpec;
+pub use search::{SearchJob, SearchOutcome};
 pub use session::{Session, SessionStats};
 pub use spec::{BasisSelection, ExperimentSpec, ExperimentSpecBuilder, ScheduleSource};
 
-// Re-export the budget type jobs are parameterized by, so downstream users need
-// only this crate.
+// Re-export the budget and strategy types jobs are parameterized by, so
+// downstream users need only this crate.
 pub use prophunt_decoders::ShotBudget;
+pub use prophunt_search::StrategyKind;

@@ -12,12 +12,14 @@ use crate::error::ApiError;
 use crate::job::{
     BasisEstimate, Event, JobKind, LerJob, LerOutcome, OptimizeJob, OptimizeOutcome, StopReason,
 };
+use crate::search::{SearchJob, SearchOutcome};
 use crate::spec::ExperimentSpec;
 use prophunt::{PropHunt, PropHuntConfig};
 use prophunt_circuit::{DetectorErrorModel, MemoryBasis, MemoryExperiment};
 use prophunt_decoders::{estimate_with_budget, Decoder, LogicalErrorEstimate};
 use prophunt_formats::write_schedule;
 use prophunt_runtime::{Runtime, RuntimeConfig};
+use prophunt_search::{Portfolio, PortfolioConfig, SearchParams};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -357,6 +359,83 @@ impl Session {
     /// Same as [`Session::run_optimize`].
     pub fn run_optimize_quiet(&mut self, job: &OptimizeJob) -> Result<OptimizeOutcome, ApiError> {
         self.run_optimize(job, |_| {})
+    }
+
+    /// Runs a [`SearchJob`], emitting one [`Event::Incumbent`] per portfolio
+    /// round (with per-strategy provenance) between the usual
+    /// [`Event::JobStarted`] / [`Event::JobFinished`] pair.
+    ///
+    /// The event sequence and the returned best schedule are pure functions of
+    /// the job and the session's `(seed, chunk_size)` — the portfolio inherits
+    /// the runtime determinism contract, so thread count changes wall-clock
+    /// time only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::Circuit`] when the spec's schedule fails validation
+    /// or the portfolio shape is degenerate (no strategies/instances/rounds).
+    pub fn run_search(
+        &mut self,
+        job: &SearchJob,
+        mut observer: impl FnMut(&Event),
+    ) -> Result<SearchOutcome, ApiError> {
+        let start = Instant::now();
+        let seed = job.seed.unwrap_or(self.runtime.config().seed);
+        observer(&Event::JobStarted {
+            kind: JobKind::Search,
+            label: job.label().to_string(),
+        });
+        let params = SearchParams {
+            proposals_per_round: job.proposals_per_round,
+            memory_rounds: job.spec.rounds(),
+            noise: job.spec.noise().build(),
+            samples_per_iteration: job.samples_per_iteration,
+            maxsat_budget: job.maxsat_budget,
+            ..SearchParams::default()
+        };
+        let config = PortfolioConfig {
+            strategies: job.strategies.clone(),
+            portfolio_size: job.portfolio_size,
+            rounds: job.rounds,
+            runtime: self.runtime.config().with_seed(seed),
+            params,
+        };
+        let result = Portfolio::new(config).run(
+            job.spec.code(),
+            job.spec.layout(),
+            job.spec.schedule(),
+            |record| {
+                observer(&Event::Incumbent {
+                    round: record.round,
+                    strategy: record.incumbent.strategy.to_string(),
+                    instance: record.incumbent.instance,
+                    depth: record.incumbent.depth,
+                    improved: record.improved,
+                    schedule: record.incumbent.schedule.clone(),
+                });
+            },
+        )?;
+        let stop = StopReason::RoundLimit {
+            rounds: result.rounds.len(),
+        };
+        observer(&Event::JobFinished { stop });
+        self.stats.jobs_run += 1;
+        Ok(SearchOutcome {
+            result,
+            stop,
+            seed,
+            chunk_size: self.runtime.chunk_size(),
+            wall: start.elapsed(),
+        })
+    }
+
+    /// Runs a [`SearchJob`] without observing progress events.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::run_search`].
+    pub fn run_search_quiet(&mut self, job: &SearchJob) -> Result<SearchOutcome, ApiError> {
+        self.run_search(job, |_| {})
     }
 
     /// Estimates a pre-built detector error model (e.g. parsed from a `.dem`

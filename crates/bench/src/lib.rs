@@ -17,8 +17,8 @@
 #![warn(missing_docs)]
 
 use prophunt_api::{
-    BasisSelection, ExperimentSpec, LerJob, LerOutcome, NoiseSpec, ScheduleSource, Session,
-    ShotBudget,
+    BasisSelection, ExperimentSpec, LerJob, LerOutcome, NoiseSpec, ScheduleSource, SearchJob,
+    Session, ShotBudget, StrategyKind,
 };
 use prophunt_circuit::schedule::ScheduleSpec;
 use prophunt_decoders::LogicalErrorEstimate;
@@ -91,6 +91,9 @@ pub fn write_bench_report(name: &str, records: &[ReportRecord]) -> std::io::Resu
 pub struct BenchmarkCode {
     /// The code.
     pub code: CssCode,
+    /// The surface layout, when the code has one (unlocks hand-designed
+    /// schedules and the search portfolio's permuted-ordering restarts).
+    pub layout: Option<prophunt_qec::surface::SurfaceLayout>,
     /// A hand-designed schedule, when one is known (surface codes).
     pub hand_designed: Option<ScheduleSpec>,
     /// Number of syndrome-measurement rounds used in simulations (the paper uses `d`).
@@ -112,6 +115,7 @@ pub fn benchmark_suite(include_large: bool) -> Vec<BenchmarkCode> {
         let hand = ScheduleSpec::surface_hand_designed(&code, &layout);
         out.push(BenchmarkCode {
             code,
+            layout: Some(layout),
             hand_designed: Some(hand),
             rounds: d.min(5),
         });
@@ -119,12 +123,14 @@ pub fn benchmark_suite(include_large: bool) -> Vec<BenchmarkCode> {
     // LP-class substitute: [[18, 2]] generalized bicycle code (weight-4 stabilizers).
     out.push(BenchmarkCode {
         code: generalized_bicycle(9, &[0, 1], &[0, 3], "gb_18_2"),
+        layout: None,
         hand_designed: None,
         rounds: 3,
     });
     // LP-class substitute with larger block: [[36, 2]] generalized bicycle code.
     out.push(BenchmarkCode {
         code: generalized_bicycle(18, &[0, 1], &[0, 5], "gb_36_2"),
+        layout: None,
         hand_designed: None,
         rounds: 3,
     });
@@ -138,6 +144,7 @@ pub fn benchmark_suite(include_large: bool) -> Vec<BenchmarkCode> {
                 &[(0, 3), (1, 0), (2, 0)],
                 "bb_72_12",
             ),
+            layout: None,
             hand_designed: None,
             rounds: 3,
         });
@@ -176,6 +183,126 @@ pub fn run_ler_point(
     session
         .run_ler_quiet(&job)
         .expect("benchmark job must be runnable")
+}
+
+/// One row of the portfolio-vs-single-strategy schedule-search comparison
+/// (`search_bench`, recorded in `BENCH_search.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchComparison {
+    /// Code name.
+    pub code: String,
+    /// CNOT depth of the shared coloration starting schedule.
+    pub initial_depth: usize,
+    /// Final depth of the single-strategy MaxSAT-descent run.
+    pub maxsat_depth: usize,
+    /// Wall-clock seconds of the MaxSAT-descent run.
+    pub maxsat_wall_s: f64,
+    /// Final depth of the full-portfolio run.
+    pub portfolio_depth: usize,
+    /// Wall-clock seconds of the portfolio run.
+    pub portfolio_wall_s: f64,
+    /// Strategy that produced the portfolio's best schedule.
+    pub portfolio_best_strategy: String,
+}
+
+impl SearchComparison {
+    /// Builds the `search_comparison` table record for `BENCH_search.json`.
+    pub fn to_record(&self) -> ReportRecord {
+        ReportRecord::Table {
+            name: "search_comparison".into(),
+            fields: vec![
+                (
+                    "code".into(),
+                    prophunt_formats::Json::Str(self.code.clone()),
+                ),
+                (
+                    "initial_depth".into(),
+                    prophunt_formats::Json::UInt(self.initial_depth as u64),
+                ),
+                (
+                    "maxsat_depth".into(),
+                    prophunt_formats::Json::UInt(self.maxsat_depth as u64),
+                ),
+                (
+                    "maxsat_wall_s".into(),
+                    prophunt_formats::Json::Float(self.maxsat_wall_s),
+                ),
+                (
+                    "portfolio_depth".into(),
+                    prophunt_formats::Json::UInt(self.portfolio_depth as u64),
+                ),
+                (
+                    "portfolio_wall_s".into(),
+                    prophunt_formats::Json::Float(self.portfolio_wall_s),
+                ),
+                (
+                    "portfolio_best_strategy".into(),
+                    prophunt_formats::Json::Str(self.portfolio_best_strategy.clone()),
+                ),
+            ],
+        }
+    }
+}
+
+/// Races the full strategy portfolio against single-strategy MaxSAT descent on
+/// `code`, both starting from the same coloration schedule with the same
+/// per-round budgets, seeded with [`stage_seed`]`(session runtime, stage)`.
+///
+/// The portfolio run *contains* a MaxSAT-descent arm, so with equal round
+/// budgets its final depth is expected at or below the single-strategy run's —
+/// the "answer quality scales with compute" claim `search_bench` records.
+///
+/// # Panics
+///
+/// Panics when the coloration schedule cannot be built or a job fails
+/// (benchmark inputs are trusted constructions).
+pub fn compare_search_strategies(
+    session: &mut Session,
+    bench: &BenchmarkCode,
+    memory_rounds: usize,
+    search_rounds: usize,
+    samples: usize,
+    stage: u64,
+) -> SearchComparison {
+    let builder = match &bench.layout {
+        Some(layout) => {
+            ExperimentSpec::builder().code_with_layout(bench.code.clone(), layout.clone())
+        }
+        None => ExperimentSpec::builder().code(bench.code.clone()),
+    };
+    let spec = builder
+        .rounds(memory_rounds)
+        .build()
+        .expect("coloration schedules are valid for their code");
+    let seed = stage_seed(session.runtime().config(), stage);
+    let base = SearchJob::new(spec)
+        .with_rounds(search_rounds)
+        .with_samples(samples)
+        .with_seed(seed);
+    let maxsat = session
+        .run_search_quiet(
+            &base
+                .clone()
+                .with_strategies(vec![StrategyKind::MaxSatDescent])
+                .with_portfolio_size(1),
+        )
+        .expect("benchmark search job must be runnable");
+    let portfolio = session
+        .run_search_quiet(
+            &base
+                .with_strategies(StrategyKind::ALL.to_vec())
+                .with_portfolio_size(StrategyKind::ALL.len()),
+        )
+        .expect("benchmark search job must be runnable");
+    SearchComparison {
+        code: bench.code.name().to_string(),
+        initial_depth: portfolio.result.initial_depth,
+        maxsat_depth: maxsat.result.best.depth,
+        maxsat_wall_s: maxsat.wall.as_secs_f64(),
+        portfolio_depth: portfolio.result.best.depth,
+        portfolio_wall_s: portfolio.wall.as_secs_f64(),
+        portfolio_best_strategy: portfolio.result.best.strategy.to_string(),
+    }
 }
 
 /// Estimates the combined (X + Z memory) logical error rate of a schedule.

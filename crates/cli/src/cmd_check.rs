@@ -68,3 +68,39 @@ fn check_one(content: &str) -> Result<String, String> {
         ))
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophunt_formats::ReportRecord;
+
+    fn incumbent_line(round: u64) -> String {
+        ReportRecord::Incumbent {
+            round,
+            strategy: "beam".into(),
+            instance: 1,
+            depth: 5,
+            improved: true,
+            schedule: "prophunt-schedule v1\n".into(),
+        }
+        .to_json_line()
+    }
+
+    #[test]
+    fn search_reports_validate_like_any_other_report() {
+        let text = format!("{}\n{}\n", incumbent_line(0), incumbent_line(1));
+        assert_eq!(check_one(&text).unwrap(), "report, 2 records");
+    }
+
+    #[test]
+    fn truncated_search_record_mid_stream_is_a_failure_naming_the_line() {
+        // A report cut off mid-write (e.g. a killed `prophunt search`): the
+        // trailing half-record must fail the check — which `run` maps to
+        // `CliError::Failure`, i.e. exit code 1, not a panic (2 stays reserved
+        // for usage errors).
+        let good = incumbent_line(0);
+        let truncated = &good[..good.len() / 2];
+        let err = check_one(&format!("{good}\n{truncated}\n")).unwrap_err();
+        assert!(err.contains("line 2"), "error must name the line: {err}");
+    }
+}

@@ -1,8 +1,8 @@
 //! `prophunt dem` — build a detector error model and write it as a `.dem` file.
 
 use crate::args::{CliError, Flags};
-use crate::common::{load_code, load_schedule, probability_flag, write_output};
-use prophunt_circuit::{DetectorErrorModel, MemoryBasis, MemoryExperiment, NoiseModel};
+use crate::common::{load_code, load_schedule, noise_from_flags, write_output};
+use prophunt_circuit::{DetectorErrorModel, MemoryBasis, MemoryExperiment};
 use prophunt_formats::write_dem;
 
 pub const USAGE: &str = "\
@@ -14,6 +14,8 @@ prophunt dem --code <family-or-spec-file> [options] [-o <file>]
   --basis     memory basis: z (default) or x
   --p         physical error rate (default 0.001)
   --idle      idle error strength (default 0)
+  --noise     full noise spec (depolarizing:<p>[:<idle>], si1000:<p>,
+              biased:<p>:<eta>[:<idle>]); conflicts with --p/--idle
   -o, --out   write the .dem to a file instead of stdout";
 
 pub fn parse_basis(flags: &Flags) -> Result<MemoryBasis, CliError> {
@@ -29,7 +31,9 @@ pub fn parse_basis(flags: &Flags) -> Result<MemoryBasis, CliError> {
 pub fn run(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(
         args,
-        &["code", "schedule", "rounds", "basis", "p", "idle", "out"],
+        &[
+            "code", "schedule", "rounds", "basis", "p", "idle", "noise", "out",
+        ],
     )?;
     let resolved = load_code(flags.require("code")?)?;
     let schedule = load_schedule(flags.get("schedule"), &resolved)?;
@@ -38,11 +42,9 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         return Err(CliError::usage("--rounds must be at least 1"));
     }
     let basis = parse_basis(&flags)?;
-    let p = probability_flag(&flags, "p", 1e-3)?;
-    let idle = probability_flag(&flags, "idle", 0.0)?;
+    let noise = noise_from_flags(&flags)?;
     let experiment = MemoryExperiment::build(&resolved.code, &schedule, rounds, basis)
         .map_err(|e| CliError::failure(format!("cannot build the memory experiment: {e}")))?;
-    let noise = NoiseModel::uniform_depolarizing(p).with_idle(idle);
-    let dem = DetectorErrorModel::from_experiment(&experiment, &noise);
+    let dem = DetectorErrorModel::from_experiment(&experiment, &noise.build());
     write_output(flags.get("out"), &write_dem(&dem))
 }

@@ -7,6 +7,9 @@
 //! * `optimize` — run the PropHunt optimization loop, streaming JSON-lines
 //!   iteration records and writing the final schedule file; `--resume` restarts
 //!   from an exported schedule.
+//! * `search` — strategy-portfolio schedule search (MaxSAT descent, annealing,
+//!   beam, hill climbing raced in deterministic synchronized rounds), streaming
+//!   JSON-lines incumbent records.
 //! * `ler` — Monte-Carlo logical-error-rate estimation from a `.dem` file or a
 //!   code + schedule, with pluggable decoders, noise specs and adaptive budgets.
 //! * `sweep` — a code × p × decoder grid evaluated through one shared Session.
@@ -24,6 +27,7 @@ mod cmd_code;
 mod cmd_dem;
 mod cmd_ler;
 mod cmd_optimize;
+mod cmd_search;
 mod cmd_sweep;
 mod common;
 
@@ -39,6 +43,7 @@ commands:
   code      emit a code spec from a family, or validate a spec file
   dem       build a detector error model and write it as a .dem file
   optimize  run the PropHunt loop; stream JSON-lines records, write the schedule
+  search    race a strategy portfolio over schedules; stream incumbent records
   ler       Monte-Carlo logical error rate from a .dem file or code + schedule
   sweep     evaluate a code x p x decoder grid through one shared session
   check     re-parse emitted files (auto-detects the format)
@@ -55,12 +60,14 @@ fn dispatch(command: &str, rest: &[String]) -> Result<(), CliError> {
         "code" if wants_help => usage_of(cmd_code::USAGE),
         "dem" if wants_help => usage_of(cmd_dem::USAGE),
         "optimize" if wants_help => usage_of(cmd_optimize::USAGE),
+        "search" if wants_help => usage_of(cmd_search::USAGE),
         "ler" if wants_help => usage_of(cmd_ler::USAGE),
         "sweep" if wants_help => usage_of(cmd_sweep::USAGE),
         "check" if wants_help => usage_of(cmd_check::USAGE),
         "code" => cmd_code::run(rest),
         "dem" => cmd_dem::run(rest),
         "optimize" => cmd_optimize::run(rest),
+        "search" => cmd_search::run(rest),
         "ler" => cmd_ler::run(rest),
         "sweep" => cmd_sweep::run(rest),
         "check" => cmd_check::run(rest),
@@ -74,6 +81,7 @@ fn usage_for(command: &str) -> &'static str {
         "code" => cmd_code::USAGE,
         "dem" => cmd_dem::USAGE,
         "optimize" => cmd_optimize::USAGE,
+        "search" => cmd_search::USAGE,
         "ler" => cmd_ler::USAGE,
         "sweep" => cmd_sweep::USAGE,
         "check" => cmd_check::USAGE,

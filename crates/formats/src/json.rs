@@ -60,6 +60,14 @@ impl Json {
         }
     }
 
+    /// Returns the value as `bool` (strict: `Bool` only).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
     /// Returns the value as a string slice.
     pub fn as_str(&self) -> Option<&str> {
         match self {

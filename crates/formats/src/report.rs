@@ -10,6 +10,10 @@
 //! * `ler` — one Monte-Carlo logical-error-rate estimate, always carrying the
 //!   `(seed, chunk_size)` pair that makes the failure count reproducible
 //!   bit-for-bit.
+//! * `search_start` / `incumbent` / `search_end` — a strategy-portfolio search
+//!   run (`prophunt search`): one `incumbent` record per synchronized round with
+//!   per-strategy provenance and the embedded incumbent schedule (report v2
+//!   extension; v1 parsers reject the unknown types, see `FORMATS.md`).
 //! * `table` — a generic named row used by the benchmark binaries for figure/table
 //!   data that is not an LER point.
 //!
@@ -102,6 +106,57 @@ pub enum ReportRecord {
         /// Decoding throughput in shots per second (0 when not measured).
         shots_per_sec: f64,
     },
+    /// Start of a strategy-portfolio search run (report v2 extension; see
+    /// `FORMATS.md`).
+    SearchStart {
+        /// Name of the searched code.
+        code: String,
+        /// Base RNG seed of the run.
+        seed: u64,
+        /// Deterministic chunk size of the run.
+        chunk_size: u64,
+        /// Strategy mix, in portfolio fill order.
+        strategies: Vec<String>,
+        /// Number of strategy instances raced in parallel.
+        portfolio: u64,
+        /// Number of synchronized rounds requested.
+        rounds: u64,
+        /// CNOT depth of the starting schedule.
+        initial_depth: u64,
+        /// The starting schedule, as a `prophunt-schedule v1` document.
+        initial_schedule: String,
+    },
+    /// One portfolio round's incumbent, with per-strategy provenance (report
+    /// v2 extension). The embedded schedule makes every record a resumable
+    /// account of the best circuit known at that round.
+    Incumbent {
+        /// Round number (0-based).
+        round: u64,
+        /// Strategy that produced the incumbent (`"initial"` while the
+        /// starting schedule still leads).
+        strategy: String,
+        /// Portfolio instance slot that produced the incumbent.
+        instance: u64,
+        /// CNOT depth of the incumbent.
+        depth: u64,
+        /// Whether this round strictly improved the incumbent.
+        improved: bool,
+        /// The incumbent schedule, as a `prophunt-schedule v1` document.
+        schedule: String,
+    },
+    /// End of a strategy-portfolio search run (report v2 extension).
+    SearchEnd {
+        /// Number of rounds recorded.
+        rounds: u64,
+        /// CNOT depth of the best schedule found.
+        best_depth: u64,
+        /// Strategy that produced the best schedule.
+        best_strategy: String,
+        /// Portfolio instance slot that produced it.
+        best_instance: u64,
+        /// The best schedule, as a `prophunt-schedule v1` document.
+        final_schedule: String,
+    },
     /// A generic named data row (benchmark tables).
     Table {
         /// Row kind (e.g. `"code_parameters"`).
@@ -123,6 +178,12 @@ fn get_f64(obj: &Json, key: &str) -> Result<f64, FormatError> {
     obj.get(key)
         .and_then(Json::as_f64)
         .ok_or_else(|| FormatError::whole_input(format!("record is missing numeric field {key:?}")))
+}
+
+fn get_bool(obj: &Json, key: &str) -> Result<bool, FormatError> {
+    obj.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| FormatError::whole_input(format!("record is missing boolean field {key:?}")))
 }
 
 fn get_str(obj: &Json, key: &str) -> Result<String, FormatError> {
@@ -263,6 +324,62 @@ impl ReportRecord {
                 ("wall_s".into(), Json::Float(*wall_s)),
                 ("shots_per_sec".into(), Json::Float(*shots_per_sec)),
             ]),
+            ReportRecord::SearchStart {
+                code,
+                seed,
+                chunk_size,
+                strategies,
+                portfolio,
+                rounds,
+                initial_depth,
+                initial_schedule,
+            } => Json::Object(vec![
+                ("type".into(), Json::Str("search_start".into())),
+                ("code".into(), Json::Str(code.clone())),
+                ("seed".into(), Json::UInt(*seed)),
+                ("chunk_size".into(), Json::UInt(*chunk_size)),
+                (
+                    "strategies".into(),
+                    Json::Array(strategies.iter().map(|s| Json::Str(s.clone())).collect()),
+                ),
+                ("portfolio".into(), Json::UInt(*portfolio)),
+                ("rounds".into(), Json::UInt(*rounds)),
+                ("initial_depth".into(), Json::UInt(*initial_depth)),
+                (
+                    "initial_schedule".into(),
+                    Json::Str(initial_schedule.clone()),
+                ),
+            ]),
+            ReportRecord::Incumbent {
+                round,
+                strategy,
+                instance,
+                depth,
+                improved,
+                schedule,
+            } => Json::Object(vec![
+                ("type".into(), Json::Str("incumbent".into())),
+                ("round".into(), Json::UInt(*round)),
+                ("strategy".into(), Json::Str(strategy.clone())),
+                ("instance".into(), Json::UInt(*instance)),
+                ("depth".into(), Json::UInt(*depth)),
+                ("improved".into(), Json::Bool(*improved)),
+                ("schedule".into(), Json::Str(schedule.clone())),
+            ]),
+            ReportRecord::SearchEnd {
+                rounds,
+                best_depth,
+                best_strategy,
+                best_instance,
+                final_schedule,
+            } => Json::Object(vec![
+                ("type".into(), Json::Str("search_end".into())),
+                ("rounds".into(), Json::UInt(*rounds)),
+                ("best_depth".into(), Json::UInt(*best_depth)),
+                ("best_strategy".into(), Json::Str(best_strategy.clone())),
+                ("best_instance".into(), Json::UInt(*best_instance)),
+                ("final_schedule".into(), Json::Str(final_schedule.clone())),
+            ]),
             ReportRecord::Table { name, fields } => {
                 let mut pairs = vec![
                     ("type".into(), Json::Str("table".into())),
@@ -342,6 +459,46 @@ impl ReportRecord {
                 stop: opt_str(&obj, "stop", "shots_exhausted"),
                 wall_s: opt_f64(&obj, "wall_s", 0.0),
                 shots_per_sec: opt_f64(&obj, "shots_per_sec", 0.0),
+            }),
+            "search_start" => {
+                let strategies = obj
+                    .get("strategies")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| {
+                        FormatError::whole_input("search_start record is missing strategies")
+                    })?
+                    .iter()
+                    .map(|s| {
+                        s.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| FormatError::whole_input("strategies must be strings"))
+                    })
+                    .collect::<Result<Vec<String>, FormatError>>()?;
+                Ok(ReportRecord::SearchStart {
+                    code: get_str(&obj, "code")?,
+                    seed: get_u64(&obj, "seed")?,
+                    chunk_size: get_u64(&obj, "chunk_size")?,
+                    strategies,
+                    portfolio: get_u64(&obj, "portfolio")?,
+                    rounds: get_u64(&obj, "rounds")?,
+                    initial_depth: get_u64(&obj, "initial_depth")?,
+                    initial_schedule: get_str(&obj, "initial_schedule")?,
+                })
+            }
+            "incumbent" => Ok(ReportRecord::Incumbent {
+                round: get_u64(&obj, "round")?,
+                strategy: get_str(&obj, "strategy")?,
+                instance: get_u64(&obj, "instance")?,
+                depth: get_u64(&obj, "depth")?,
+                improved: get_bool(&obj, "improved")?,
+                schedule: get_str(&obj, "schedule")?,
+            }),
+            "search_end" => Ok(ReportRecord::SearchEnd {
+                rounds: get_u64(&obj, "rounds")?,
+                best_depth: get_u64(&obj, "best_depth")?,
+                best_strategy: get_str(&obj, "best_strategy")?,
+                best_instance: get_u64(&obj, "best_instance")?,
+                final_schedule: get_str(&obj, "final_schedule")?,
             }),
             "table" => {
                 let Json::Object(pairs) = obj else {
@@ -651,6 +808,83 @@ mod tests {
                 fields: vec![("kept".into(), Json::UInt(1))],
             }
         );
+    }
+
+    #[test]
+    fn search_records_round_trip() {
+        let (code, layout) = rotated_surface_code_with_layout(3);
+        let schedule = write_schedule(&ScheduleSpec::surface_hand_designed(&code, &layout));
+        let records = vec![
+            ReportRecord::SearchStart {
+                code: "surface_d3".into(),
+                seed: 7,
+                chunk_size: 64,
+                strategies: vec!["maxsat".into(), "anneal".into()],
+                portfolio: 4,
+                rounds: 8,
+                initial_depth: 6,
+                initial_schedule: schedule.clone(),
+            },
+            ReportRecord::Incumbent {
+                round: 0,
+                strategy: "initial".into(),
+                instance: 0,
+                depth: 6,
+                improved: false,
+                schedule: schedule.clone(),
+            },
+            ReportRecord::Incumbent {
+                round: 1,
+                strategy: "hillclimb".into(),
+                instance: 3,
+                depth: 4,
+                improved: true,
+                schedule: schedule.clone(),
+            },
+            ReportRecord::SearchEnd {
+                rounds: 8,
+                best_depth: 4,
+                best_strategy: "hillclimb".into(),
+                best_instance: 3,
+                final_schedule: schedule.clone(),
+            },
+        ];
+        let text = write_report(&records);
+        let parsed = parse_report(&text).unwrap();
+        assert_eq!(parsed, records);
+        // The embedded schedule is a complete prophunt-schedule document.
+        let ReportRecord::Incumbent { schedule, .. } = &parsed[2] else {
+            panic!("expected an incumbent record");
+        };
+        parse_schedule(schedule).unwrap();
+    }
+
+    #[test]
+    fn truncated_incumbent_record_mid_stream_is_rejected_with_its_line() {
+        // A stream cut off mid-write: the last line is half a record. The
+        // parser must reject it (naming the line) instead of silently
+        // accepting the prefix — `prophunt check`'s exit-1 path.
+        let good = ReportRecord::Incumbent {
+            round: 0,
+            strategy: "beam".into(),
+            instance: 2,
+            depth: 5,
+            improved: true,
+            schedule: "prophunt-schedule v1\n".into(),
+        }
+        .to_json_line();
+        let truncated = &good[..good.len() / 2];
+        let err = parse_report(&format!("{good}\n{truncated}\n")).unwrap_err();
+        assert_eq!(err.line, 2);
+        // Structurally complete JSON missing a required field is also caught.
+        let err = parse_report("{\"type\":\"incumbent\",\"round\":1}\n").unwrap_err();
+        assert!(err.message.contains("strategy"), "{}", err.message);
+        let err = parse_report(
+            "{\"type\":\"incumbent\",\"round\":1,\"strategy\":\"beam\",\"instance\":0,\
+             \"depth\":4,\"improved\":1,\"schedule\":\"s\"}\n",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("improved"), "{}", err.message);
     }
 
     #[test]

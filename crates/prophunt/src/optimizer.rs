@@ -214,7 +214,7 @@ pub struct PropHunt {
     config: PropHuntConfig,
     runtime: Runtime,
     /// Per-basis cache of the most recent decoding graph, shared between
-    /// [`PropHunt::optimize`]'s iterations and
+    /// [`PropHunt::try_optimize`]'s iterations and
     /// [`PropHunt::estimate_effective_distance`] so the (expensive) detector
     /// error model of an unchanged schedule is built once per basis, not once
     /// per caller.
@@ -256,25 +256,9 @@ impl PropHunt {
     }
 
     /// Runs the iterative optimization loop starting from `initial` (typically a
-    /// coloration circuit).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the initial schedule is not valid for the code.
-    #[deprecated(
-        since = "0.1.0",
-        note = "panics on invalid schedules; use `try_optimize` (or the \
-                `prophunt-api` Session/OptimizeJob surface) instead"
-    )]
-    pub fn optimize(&self, initial: ScheduleSpec) -> OptimizationResult {
-        self.try_optimize(initial)
-            .expect("initial schedule must be valid")
-    }
-
-    /// Fallible variant of [`PropHunt::optimize`]: validates the initial schedule
-    /// against the code instead of panicking. This is the resume entry point used by
-    /// `prophunt optimize --resume`, where the starting schedule is a previously
-    /// exported schedule file.
+    /// coloration circuit), validating the initial schedule against the code. This
+    /// is also the resume entry point used by `prophunt optimize --resume`, where
+    /// the starting schedule is a previously exported schedule file.
     ///
     /// # Errors
     ///
@@ -310,7 +294,7 @@ impl PropHunt {
             } else {
                 MemoryBasis::X
             };
-            let record = self.run_iteration(iteration, basis, &mut schedule);
+            let record = self.step(iteration, basis, &mut schedule);
             observer(&record);
             let stop = record.subgraphs_found == 0 && iteration > 0;
             records.push(record);
@@ -325,8 +309,24 @@ impl PropHunt {
         })
     }
 
-    /// One optimization iteration: the explicit stage pipeline.
-    fn run_iteration(
+    /// Runs **one** optimization iteration — the explicit
+    /// `build_graph → sample → solve → enumerate → verify → apply` stage
+    /// pipeline — on `schedule` in the given memory basis, mutating it in place.
+    ///
+    /// This is the stepping entry point behind [`PropHunt::try_optimize`] (which
+    /// alternates bases and owns the stop rule) and the `prophunt-search`
+    /// MaxSAT-descent strategy (which interleaves single iterations with other
+    /// strategies between portfolio rounds). `iteration` selects the
+    /// deterministic RNG substreams, so distinct iteration numbers never alias
+    /// each other's sampling streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `schedule` is not valid for the code; callers stepping
+    /// externally supplied schedules must run
+    /// [`ScheduleSpec::validate_for_code`] first, exactly like
+    /// [`PropHunt::try_optimize`] does.
+    pub fn step(
         &self,
         iteration: usize,
         basis: MemoryBasis,
@@ -344,7 +344,7 @@ impl PropHunt {
         let solved = self.solve_stage(subgraphs);
         let solution_weights: Vec<usize> = solved.iter().map(|(_, s)| s.weight).collect();
         // A subgraph only counts as *found* once it has a minimum-weight
-        // solution: `optimize` stops on zero, and a sampled-but-unsolvable
+        // solution: `try_optimize` stops on zero, and a sampled-but-unsolvable
         // batch (every solve timing out) must stop the loop, not spin it.
         let subgraphs_found = solved.len();
 
@@ -526,7 +526,7 @@ impl PropHunt {
     /// Estimates the effective code distance of `schedule` by sampling ambiguous
     /// subgraphs in both memory bases and taking the minimum logical-error weight found.
     ///
-    /// Shares the per-basis decoding-graph cache with [`PropHunt::optimize`], so
+    /// Shares the per-basis decoding-graph cache with [`PropHunt::try_optimize`], so
     /// estimating the distance of a schedule the optimizer just analysed does not
     /// rebuild its detector error model.
     ///

@@ -1,0 +1,100 @@
+//! Simulated annealing over commutation-preserving schedule mutations.
+
+use crate::moves::MoveSet;
+use crate::strategy::{Incumbent, Proposal, SearchContext, Strategy};
+use prophunt_circuit::schedule::ScheduleSpec;
+use prophunt_qec::CssCode;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Simulated annealing over the shared move neighborhood (reorders, same-kind
+/// swaps, paired cross-kind swaps, stabilizer promotion — see the `moves`
+/// module).
+///
+/// Each round evaluates `proposals_per_round` seeded random moves from the
+/// current schedule; non-worsening moves are always taken, worsening moves
+/// with probability `exp(-Δdepth / T)`, and the temperature decays by the
+/// configured `cooling` factor per round — the classic schedule-free
+/// exploration arm of the portfolio, after Sato & Suzuki's observation that
+/// permuted-ordering restarts escape the minima greedy descent gets stuck in.
+///
+/// Incumbent policy: re-anneals *from* the incumbent when the incumbent is
+/// strictly shallower than the instance's own best — exploration continues,
+/// but never from a point the portfolio has already beaten.
+#[derive(Debug)]
+pub struct Annealing {
+    code: CssCode,
+    moves: MoveSet,
+    current: ScheduleSpec,
+    current_depth: usize,
+    best: Proposal,
+    temperature: f64,
+    cooling: f64,
+    proposals_per_round: usize,
+}
+
+impl Annealing {
+    /// Creates an instance annealing from the context's initial schedule.
+    pub fn new(ctx: &SearchContext) -> Annealing {
+        let depth = ctx
+            .initial
+            .depth()
+            .expect("search context schedules are validated");
+        Annealing {
+            code: ctx.code.clone(),
+            moves: MoveSet::new(&ctx.initial),
+            current: ctx.initial.clone(),
+            current_depth: depth,
+            best: Proposal {
+                schedule: ctx.initial.clone(),
+                depth,
+            },
+            temperature: ctx.params.initial_temperature,
+            cooling: ctx.params.cooling,
+            proposals_per_round: ctx.params.proposals_per_round,
+        }
+    }
+}
+
+impl Strategy for Annealing {
+    fn name(&self) -> &'static str {
+        "anneal"
+    }
+
+    fn propose(&mut self, _round: usize, seed: u64) -> Proposal {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..self.proposals_per_round {
+            let Some((next, depth)) = self.moves.propose(&self.code, &self.current, &mut rng)
+            else {
+                continue;
+            };
+            let accept = depth <= self.current_depth || {
+                let delta = (depth - self.current_depth) as f64;
+                rng.gen_range(0.0..1.0) < (-delta / self.temperature.max(1e-6)).exp()
+            };
+            if accept {
+                self.current = next;
+                self.current_depth = depth;
+                if depth < self.best.depth {
+                    self.best = Proposal {
+                        schedule: self.current.clone(),
+                        depth,
+                    };
+                }
+            }
+        }
+        self.temperature *= self.cooling;
+        self.best.clone()
+    }
+
+    fn observe(&mut self, incumbent: &Incumbent, accepted: bool) {
+        if !accepted && incumbent.depth < self.best.depth {
+            self.current = incumbent.schedule.clone();
+            self.current_depth = incumbent.depth;
+            self.best = Proposal {
+                schedule: incumbent.schedule.clone(),
+                depth: incumbent.depth,
+            };
+        }
+    }
+}

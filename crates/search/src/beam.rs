@@ -1,0 +1,98 @@
+//! Greedy beam search over schedule orderings.
+
+use crate::moves::MoveSet;
+use crate::strategy::{Incumbent, Proposal, SearchContext, Strategy};
+use prophunt_qec::CssCode;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Greedy beam search: a beam of the `beam_width` best ordering assignments
+/// found so far, each expanded with seeded random moves every round, with the
+/// shallowest `beam_width` survivors (parents included) carried forward.
+///
+/// Where annealing follows one trajectory and hill climbing restarts, the beam
+/// keeps several partially refined orderings alive at once, so a deep
+/// reordering that only pays off after several compounding moves is not
+/// discarded the moment an alternative looks one layer shallower.
+///
+/// Incumbent policy: injects the incumbent into the beam (displacing the
+/// deepest slot) when it is shallower than the current beam best, so the whole
+/// beam refines the portfolio's best known orderings.
+#[derive(Debug)]
+pub struct Beam {
+    code: CssCode,
+    moves: MoveSet,
+    /// Beam slots ordered shallow-to-deep, ties kept in insertion order.
+    beam: Vec<Proposal>,
+    width: usize,
+    proposals_per_round: usize,
+}
+
+impl Beam {
+    /// Creates an instance whose beam starts as the initial schedule alone.
+    pub fn new(ctx: &SearchContext) -> Beam {
+        let depth = ctx
+            .initial
+            .depth()
+            .expect("search context schedules are validated");
+        Beam {
+            code: ctx.code.clone(),
+            moves: MoveSet::new(&ctx.initial),
+            beam: vec![Proposal {
+                schedule: ctx.initial.clone(),
+                depth,
+            }],
+            width: ctx.params.beam_width.max(1),
+            proposals_per_round: ctx.params.proposals_per_round,
+        }
+    }
+
+    /// Inserts `candidate` keeping the beam sorted by depth (stable for ties)
+    /// and truncated to the width; duplicates of existing slots are dropped.
+    fn insert(&mut self, candidate: Proposal) {
+        if self.beam.iter().any(|p| p.schedule == candidate.schedule) {
+            return;
+        }
+        let at = self
+            .beam
+            .iter()
+            .position(|p| p.depth > candidate.depth)
+            .unwrap_or(self.beam.len());
+        self.beam.insert(at, candidate);
+        self.beam.truncate(self.width);
+    }
+}
+
+impl Strategy for Beam {
+    fn name(&self) -> &'static str {
+        "beam"
+    }
+
+    fn propose(&mut self, _round: usize, seed: u64) -> Proposal {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let parents = self.beam.clone();
+        let per_parent = (self.proposals_per_round / parents.len().max(1)).max(1);
+        for parent in &parents {
+            for _ in 0..per_parent {
+                if let Some((next, depth)) =
+                    self.moves.propose(&self.code, &parent.schedule, &mut rng)
+                {
+                    self.insert(Proposal {
+                        schedule: next,
+                        depth,
+                    });
+                }
+            }
+        }
+        self.beam[0].clone()
+    }
+
+    fn observe(&mut self, incumbent: &Incumbent, accepted: bool) {
+        if !accepted && incumbent.depth < self.beam[0].depth {
+            self.insert(Proposal {
+                schedule: incumbent.schedule.clone(),
+                depth: incumbent.depth,
+            });
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Commutation-aware mutation moves over [`ScheduleSpec`]s.
+//!
+//! The local-search strategies (annealing, beam, hill climbing) all explore
+//! the same neighborhood, built from the two primitive schedule changes the
+//! paper manipulates (Section 5.3) and the structure of the commutation
+//! condition:
+//!
+//! * **Reorder** — move one data qubit within a stabilizer's interaction
+//!   order. Touches only the per-stabilizer CNOT chain, never the relative
+//!   orders, so commutation is preserved by construction; only acyclicity can
+//!   fail.
+//! * **Same-kind swap** — flip the relative order of two stabilizers of the
+//!   *same* kind on a shared qubit. Commutation only constrains X/Z pairs, so
+//!   these flips are always commutation-safe.
+//! * **Paired cross-kind swap** — flip an X/Z pair's relative order on
+//!   exactly **two** of their shared qubits. A single flip changes the
+//!   "X first" count's parity and always breaks commutation; flipping two at
+//!   once preserves the parity, so the move stays inside the commuting
+//!   subspace (the same observation behind the optimizer's rescheduling
+//!   candidates).
+//! * **Stabilizer promotion** — a macro move: pick one stabilizer and flip
+//!   every cross-kind pair involving it (on *all* of the pair's shared
+//!   qubits) so the picked stabilizer acts first. Each full-pair flip maps
+//!   the "X first" count `k` to `shared − k`, preserving parity whenever the
+//!   pair shares an even number of qubits. Single swaps diffuse across the
+//!   huge equal-depth plateau of a coloration schedule (all X checks before
+//!   all Z checks) too slowly to ever restructure it; promotion interleaves
+//!   a whole stabilizer in one step, which is exactly the structure
+//!   hand-designed schedules use to reach minimal depth.
+//!
+//! Every move is validated (commutation + acyclic layout) before it is
+//! offered, so strategies only ever hold schedules that are valid for the
+//! code.
+
+use prophunt_circuit::schedule::{ScheduleSpec, StabilizerId};
+use prophunt_qec::CssCode;
+use rand::Rng;
+
+/// The immutable move universe of one search problem.
+///
+/// Mutations never change which stabilizers share which qubits, so the move
+/// universe is computed once from the starting schedule and shared by every
+/// schedule derived from it.
+#[derive(Debug, Clone)]
+pub(crate) struct MoveSet {
+    /// Stabilizers whose interaction order has at least two qubits.
+    reorderable: Vec<StabilizerId>,
+    /// `(qubit, a, b)` entries whose stabilizers are of the same kind.
+    same_kind: Vec<(usize, StabilizerId, StabilizerId)>,
+    /// X/Z stabilizer pairs with their (>= 2) shared qubits.
+    cross_pairs: Vec<(StabilizerId, StabilizerId, Vec<usize>)>,
+}
+
+impl MoveSet {
+    pub(crate) fn new(schedule: &ScheduleSpec) -> MoveSet {
+        let reorderable = (0..schedule.num_stabilizers())
+            .filter(|&s| schedule.order(s).len() >= 2)
+            .collect();
+        let mut same_kind = Vec::new();
+        let mut cross: Vec<(StabilizerId, StabilizerId, Vec<usize>)> = Vec::new();
+        // `relative_entries` iterates in deterministic (qubit, a, b) order, so
+        // the move universe — and therefore every seeded random draw over it —
+        // is a pure function of the schedule.
+        for (q, a, b, _) in schedule.relative_entries() {
+            if schedule.kind_of(a) == schedule.kind_of(b) {
+                same_kind.push((q, a, b));
+            } else {
+                match cross.iter_mut().find(|(x, z, _)| *x == a && *z == b) {
+                    Some((_, _, shared)) => shared.push(q),
+                    None => cross.push((a, b, vec![q])),
+                }
+            }
+        }
+        let cross_pairs = cross
+            .into_iter()
+            .filter(|(_, _, shared)| shared.len() >= 2)
+            .collect();
+        MoveSet {
+            reorderable,
+            same_kind,
+            cross_pairs,
+        }
+    }
+
+    /// Draws one random move, applies it to a clone of `schedule`, and returns
+    /// the mutated schedule with its depth — or `None` when the drawn move
+    /// produces an invalid (non-commuting or cyclic) schedule.
+    pub(crate) fn propose<R: Rng>(
+        &self,
+        code: &CssCode,
+        schedule: &ScheduleSpec,
+        rng: &mut R,
+    ) -> Option<(ScheduleSpec, usize)> {
+        let mut classes: Vec<u8> = Vec::with_capacity(4);
+        if !self.reorderable.is_empty() {
+            classes.push(0);
+        }
+        if !self.same_kind.is_empty() {
+            classes.push(1);
+        }
+        if !self.cross_pairs.is_empty() {
+            classes.push(2);
+            classes.push(3);
+        }
+        let class = *classes.get(rng.gen_range(0..classes.len().max(1)))?;
+        let mut next = schedule.clone();
+        match class {
+            0 => {
+                let s = self.reorderable[rng.gen_range(0..self.reorderable.len())];
+                let order = next.order(s).to_vec();
+                let from = rng.gen_range(0..order.len());
+                let mut to = rng.gen_range(0..order.len() - 1);
+                if to >= from {
+                    to += 1;
+                }
+                next.reorder_before(s, order[from], order[to]);
+            }
+            1 => {
+                let (q, a, b) = self.same_kind[rng.gen_range(0..self.same_kind.len())];
+                next.swap_relative_order(q, a, b);
+            }
+            2 => {
+                let (a, b, shared) = &self.cross_pairs[rng.gen_range(0..self.cross_pairs.len())];
+                let i = rng.gen_range(0..shared.len());
+                let mut j = rng.gen_range(0..shared.len() - 1);
+                if j >= i {
+                    j += 1;
+                }
+                next.swap_relative_order(shared[i], *a, *b);
+                next.swap_relative_order(shared[j], *a, *b);
+            }
+            _ => {
+                let s = rng.gen_range(0..schedule.num_stabilizers());
+                let mut flipped = false;
+                for (a, b, shared) in &self.cross_pairs {
+                    if *a != s && *b != s {
+                        continue;
+                    }
+                    if next.first_on_qubit(shared[0], *a, *b) == Some(s) {
+                        continue;
+                    }
+                    for &q in shared {
+                        next.swap_relative_order(q, *a, *b);
+                    }
+                    flipped = true;
+                }
+                if !flipped {
+                    return None;
+                }
+            }
+        }
+        if next.check_commutation(code).is_err() {
+            return None;
+        }
+        let depth = next.depth().ok()?;
+        Some((next, depth))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophunt_qec::surface::rotated_surface_code_with_layout;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn proposed_moves_are_always_valid_for_the_code() {
+        let (code, _) = rotated_surface_code_with_layout(3);
+        let schedule = ScheduleSpec::coloration(&code);
+        let moves = MoveSet::new(&schedule);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut accepted = 0;
+        let mut current = schedule;
+        for _ in 0..200 {
+            if let Some((next, depth)) = moves.propose(&code, &current, &mut rng) {
+                next.validate_for_code(&code).unwrap();
+                assert_eq!(next.depth().unwrap(), depth);
+                current = next;
+                accepted += 1;
+            }
+        }
+        assert!(accepted > 20, "move generator too restrictive: {accepted}");
+    }
+
+    #[test]
+    fn move_universe_covers_all_three_classes_on_the_surface_code() {
+        let (code, _) = rotated_surface_code_with_layout(3);
+        let schedule = ScheduleSpec::coloration(&code);
+        let moves = MoveSet::new(&schedule);
+        assert!(!moves.reorderable.is_empty());
+        assert!(
+            !moves.cross_pairs.is_empty(),
+            "surface plaquettes share 2 qubits with their X/Z neighbors"
+        );
+        for (_, _, shared) in &moves.cross_pairs {
+            assert!(shared.len() >= 2);
+        }
+    }
+}

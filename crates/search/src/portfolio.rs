@@ -1,0 +1,387 @@
+//! The [`Portfolio`] executor: N seeded strategy instances raced in
+//! synchronized rounds on the deterministic runtime.
+
+use crate::strategy::{Incumbent, SearchContext, SearchParams, StrategyKind};
+use crate::Strategy;
+use prophunt_circuit::schedule::ScheduleSpec;
+use prophunt_circuit::CircuitError;
+use prophunt_qec::surface::SurfaceLayout;
+use prophunt_qec::CssCode;
+use prophunt_runtime::{Runtime, RuntimeConfig};
+use std::sync::Mutex;
+
+/// Provenance label of the starting schedule while it is still the incumbent.
+pub const INITIAL_STRATEGY: &str = "initial";
+
+/// Seed-stream labels, disjoint from the optimizer's stage labels by crate.
+mod stream {
+    /// Per-instance base seeds (construction-time randomness, inner runtimes).
+    pub const INSTANCE: u64 = 101;
+    /// Per-round, per-instance proposal seeds.
+    pub const ROUND: u64 = 102;
+}
+
+/// Configuration of a portfolio run.
+#[derive(Debug, Clone)]
+pub struct PortfolioConfig {
+    /// The strategy mix. Instance slot `i` runs `strategies[i % len]`, so a
+    /// portfolio larger than the mix cycles through it.
+    pub strategies: Vec<StrategyKind>,
+    /// Number of strategy instances raced in parallel.
+    pub portfolio_size: usize,
+    /// Number of synchronized rounds.
+    pub rounds: usize,
+    /// The shared parallel runtime (threads / chunk size / base seed). The
+    /// result is a pure function of `(seed, chunk_size)`; `threads` is
+    /// wall-clock only.
+    pub runtime: RuntimeConfig,
+    /// Strategy tuning knobs.
+    pub params: SearchParams,
+}
+
+impl PortfolioConfig {
+    /// A small configuration suitable for tests and examples: the full
+    /// strategy mix, one instance each, few rounds.
+    pub fn quick() -> PortfolioConfig {
+        PortfolioConfig {
+            strategies: StrategyKind::ALL.to_vec(),
+            portfolio_size: StrategyKind::ALL.len(),
+            rounds: 4,
+            runtime: RuntimeConfig::new(4, 16, 0x5eed_0004),
+            params: SearchParams::default(),
+        }
+    }
+
+    /// Overrides the base seed.
+    pub fn with_seed(mut self, seed: u64) -> PortfolioConfig {
+        self.runtime.seed = seed;
+        self
+    }
+}
+
+/// One instance's proposal summary within a [`RoundRecord`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceProposal {
+    /// Portfolio instance slot.
+    pub instance: usize,
+    /// Strategy name of that slot.
+    pub strategy: &'static str,
+    /// Depth of the instance's round proposal.
+    pub depth: usize,
+}
+
+/// One synchronized round's bookkeeping: every instance's proposal depth plus
+/// the incumbent after the round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundRecord {
+    /// Round number (0-based).
+    pub round: usize,
+    /// Per-instance proposals, in instance order.
+    pub proposals: Vec<InstanceProposal>,
+    /// The portfolio incumbent after this round (monotonically improving).
+    pub incumbent: Incumbent,
+    /// Whether this round's best proposal improved on the previous incumbent.
+    pub improved: bool,
+}
+
+/// The result of a portfolio run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchResult {
+    /// CNOT depth of the starting schedule.
+    pub initial_depth: usize,
+    /// The final incumbent: best schedule, depth, and provenance.
+    pub best: Incumbent,
+    /// Per-round records, in order (what the observer saw).
+    pub rounds: Vec<RoundRecord>,
+}
+
+impl SearchResult {
+    /// Depth improvement over the starting schedule (0 when none was found).
+    pub fn depth_saved(&self) -> usize {
+        self.initial_depth.saturating_sub(self.best.depth)
+    }
+}
+
+/// Runs N seeded strategy instances in synchronized rounds with deterministic
+/// incumbent sharing. See the [crate docs](crate) for the protocol and the
+/// determinism contract.
+#[derive(Debug)]
+pub struct Portfolio {
+    config: PortfolioConfig,
+    runtime: Runtime,
+}
+
+impl Portfolio {
+    /// Creates a portfolio executor from `config`.
+    pub fn new(config: PortfolioConfig) -> Portfolio {
+        let runtime = Runtime::new(config.runtime);
+        Portfolio { config, runtime }
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> &PortfolioConfig {
+        &self.config
+    }
+
+    /// Runs the portfolio on `code`, starting every instance from `initial`,
+    /// invoking `observer` with each completed [`RoundRecord`] as the run
+    /// progresses. The observer sees exactly the records collected in the
+    /// returned [`SearchResult`], in order.
+    ///
+    /// `layout` (for codes that have one) unlocks structured
+    /// permuted-ordering restarts in the hill-climbing arm; pass `None` for
+    /// codes without a surface layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`CircuitError`] raised by validating `initial` against
+    /// `code`, or [`CircuitError::InvalidSchedule`] when the configuration has
+    /// no strategies, no instances or no rounds.
+    pub fn run(
+        &self,
+        code: &CssCode,
+        layout: Option<&SurfaceLayout>,
+        initial: &ScheduleSpec,
+        mut observer: impl FnMut(&RoundRecord),
+    ) -> Result<SearchResult, CircuitError> {
+        if self.config.strategies.is_empty()
+            || self.config.portfolio_size == 0
+            || self.config.rounds == 0
+        {
+            return Err(CircuitError::InvalidSchedule {
+                reason: "portfolio needs at least one strategy, one instance and one round"
+                    .to_string(),
+            });
+        }
+        initial.validate_for_code(code)?;
+        let initial_depth = initial.depth()?;
+
+        let ctx = SearchContext::new(
+            code.clone(),
+            layout.cloned(),
+            initial.clone(),
+            self.config.params.clone(),
+        );
+        let root = self.runtime.seed_stream();
+        let instance_seeds = root.substream(stream::INSTANCE);
+        // Stepping needs `&mut` per strategy from worker threads; one
+        // uncontended mutex per instance keeps that safe without per-round
+        // state shuffling (task i is the only locker of instance i).
+        let instances: Vec<Mutex<Box<dyn Strategy>>> = (0..self.config.portfolio_size)
+            .map(|i| {
+                let kind = self.config.strategies[i % self.config.strategies.len()];
+                Mutex::new(kind.build(&ctx, instance_seeds.seed_for(i as u64)))
+            })
+            .collect();
+        let names: Vec<&'static str> = (0..self.config.portfolio_size)
+            .map(|i| self.config.strategies[i % self.config.strategies.len()].name())
+            .collect();
+
+        let mut incumbent = Incumbent {
+            schedule: initial.clone(),
+            depth: initial_depth,
+            strategy: INITIAL_STRATEGY,
+            instance: 0,
+            round: 0,
+        };
+        let mut rounds = Vec::with_capacity(self.config.rounds);
+        for round in 0..self.config.rounds {
+            let round_seeds = root.substream(stream::ROUND).substream(round as u64);
+            // One runtime task per instance; results return in instance order
+            // whatever the completion order, so everything below is
+            // thread-count independent.
+            let proposals = self.runtime.run_tasks(instances.len(), |i| {
+                let mut strategy = instances[i].lock().expect("strategy mutex poisoned");
+                strategy.propose(round, round_seeds.seed_for(i as u64))
+            });
+
+            // Deterministic incumbent selection: minimum depth, ties broken by
+            // the lowest instance slot; improvement must be strict.
+            let (winner, best_proposal) = proposals
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, p)| (p.depth, *i))
+                .expect("portfolio has at least one instance");
+            let improved = best_proposal.depth < incumbent.depth;
+            if improved {
+                incumbent = Incumbent {
+                    schedule: best_proposal.schedule.clone(),
+                    depth: best_proposal.depth,
+                    strategy: names[winner],
+                    instance: winner,
+                    round,
+                };
+            }
+            for (i, instance) in instances.iter().enumerate() {
+                let mut strategy = instance.lock().expect("strategy mutex poisoned");
+                strategy.observe(&incumbent, improved && i == winner);
+            }
+
+            let record = RoundRecord {
+                round,
+                proposals: proposals
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| InstanceProposal {
+                        instance: i,
+                        strategy: names[i],
+                        depth: p.depth,
+                    })
+                    .collect(),
+                incumbent: incumbent.clone(),
+                improved,
+            };
+            observer(&record);
+            rounds.push(record);
+        }
+        Ok(SearchResult {
+            initial_depth,
+            best: incumbent,
+            rounds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophunt_qec::surface::rotated_surface_code_with_layout;
+
+    fn local_config() -> PortfolioConfig {
+        // Local-search arms only: fast enough for unit tests.
+        PortfolioConfig {
+            strategies: vec![
+                StrategyKind::Annealing,
+                StrategyKind::Beam,
+                StrategyKind::HillClimb,
+            ],
+            portfolio_size: 3,
+            rounds: 4,
+            runtime: RuntimeConfig::new(3, 16, 11),
+            params: SearchParams::default(),
+        }
+    }
+
+    #[test]
+    fn portfolio_improves_the_coloration_depth_of_the_d3_surface_code() {
+        let (code, _) = rotated_surface_code_with_layout(3);
+        let initial = ScheduleSpec::coloration(&code);
+        let initial_depth = initial.depth().unwrap();
+        let result = Portfolio::new(local_config())
+            .run(&code, None, &initial, |_| {})
+            .unwrap();
+        assert_eq!(result.initial_depth, initial_depth);
+        result.best.schedule.validate_for_code(&code).unwrap();
+        assert_eq!(result.best.schedule.depth().unwrap(), result.best.depth);
+        // The hand-designed depth-4 schedule exists, and the coloration
+        // baseline sits well above it: the local-search portfolio must close
+        // at least part of that gap.
+        assert!(
+            result.best.depth < initial_depth,
+            "portfolio should improve on coloration depth {initial_depth}"
+        );
+        assert_eq!(result.rounds.len(), 4);
+        // Provenance points at a real instance.
+        assert!(result.best.instance < 3);
+        assert_ne!(result.best.strategy, INITIAL_STRATEGY);
+    }
+
+    #[test]
+    fn incumbent_sequence_is_monotone_and_matches_the_observer() {
+        let (code, _) = rotated_surface_code_with_layout(3);
+        let initial = ScheduleSpec::coloration(&code);
+        let mut streamed = Vec::new();
+        let result = Portfolio::new(local_config())
+            .run(&code, None, &initial, |r| streamed.push(r.clone()))
+            .unwrap();
+        assert_eq!(streamed, result.rounds);
+        let mut last = result.initial_depth;
+        for record in &result.rounds {
+            assert!(record.incumbent.depth <= last, "incumbent must not regress");
+            assert_eq!(
+                record.improved,
+                record.incumbent.depth < last,
+                "improved flag must track strict improvement"
+            );
+            last = record.incumbent.depth;
+            assert_eq!(record.proposals.len(), 3);
+        }
+        assert_eq!(result.best, result.rounds.last().unwrap().incumbent);
+    }
+
+    #[test]
+    fn fixed_seed_and_chunk_size_give_bit_identical_results_at_any_thread_count() {
+        let (code, _) = rotated_surface_code_with_layout(3);
+        let initial = ScheduleSpec::coloration(&code);
+        let run = |threads: usize| {
+            let mut config = local_config();
+            config.runtime.threads = threads;
+            Portfolio::new(config)
+                .run(&code, None, &initial, |_| {})
+                .unwrap()
+        };
+        let reference = run(1);
+        for threads in [2, 8] {
+            let result = run(threads);
+            assert_eq!(
+                result.best.schedule, reference.best.schedule,
+                "best schedule diverged at threads = {threads}"
+            );
+            assert_eq!(result, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn degenerate_configurations_are_rejected() {
+        let (code, _) = rotated_surface_code_with_layout(3);
+        let initial = ScheduleSpec::coloration(&code);
+        for broken in [
+            PortfolioConfig {
+                strategies: vec![],
+                ..local_config()
+            },
+            PortfolioConfig {
+                portfolio_size: 0,
+                ..local_config()
+            },
+            PortfolioConfig {
+                rounds: 0,
+                ..local_config()
+            },
+        ] {
+            assert!(Portfolio::new(broken)
+                .run(&code, None, &initial, |_| {})
+                .is_err());
+        }
+        // A schedule for the wrong code is rejected by validation.
+        let (code5, _) = rotated_surface_code_with_layout(5);
+        assert!(Portfolio::new(local_config())
+            .run(&code5, None, &initial, |_| {})
+            .is_err());
+    }
+
+    #[test]
+    fn portfolio_cycles_the_strategy_mix_across_instances() {
+        let (code, _) = rotated_surface_code_with_layout(3);
+        let initial = ScheduleSpec::coloration(&code);
+        let config = PortfolioConfig {
+            strategies: vec![StrategyKind::HillClimb, StrategyKind::Annealing],
+            portfolio_size: 5,
+            rounds: 1,
+            runtime: RuntimeConfig::new(2, 16, 3),
+            params: SearchParams::default(),
+        };
+        let result = Portfolio::new(config)
+            .run(&code, None, &initial, |_| {})
+            .unwrap();
+        let names: Vec<&str> = result.rounds[0]
+            .proposals
+            .iter()
+            .map(|p| p.strategy)
+            .collect();
+        assert_eq!(
+            names,
+            vec!["hillclimb", "anneal", "hillclimb", "anneal", "hillclimb"]
+        );
+    }
+}

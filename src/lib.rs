@@ -14,6 +14,9 @@
 //! * [`zne`] — Hook-ZNE and DS-ZNE ([`prophunt_zne`]).
 //! * [`runtime`] — the deterministic bounded parallel execution layer shared by
 //!   every parallel stage ([`prophunt_runtime`]).
+//! * [`search`] — strategy-portfolio schedule search: the `Strategy` trait,
+//!   MaxSAT descent / annealing / beam / hill-climbing arms, and the
+//!   deterministic `Portfolio` executor ([`prophunt_search`]).
 //! * [`formats`] — on-disk interchange formats: Stim-compatible `.dem` files,
 //!   code specs, schedule files and JSON-lines run reports
 //!   ([`prophunt_formats`]); the `prophunt` CLI is built on these.
@@ -37,4 +40,5 @@ pub use prophunt_gf2 as gf2;
 pub use prophunt_maxsat as maxsat;
 pub use prophunt_qec as qec;
 pub use prophunt_runtime as runtime;
+pub use prophunt_search as search;
 pub use prophunt_zne as zne;

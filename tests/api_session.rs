@@ -180,3 +180,80 @@ fn optimize_jobs_match_the_legacy_prophunt_surface() {
     let outcome = session.run_optimize_quiet(&OptimizeJob::new(spec)).unwrap();
     assert_eq!(outcome.result, legacy);
 }
+
+#[test]
+fn search_jobs_emit_provenanced_incumbents_and_beat_single_strategy_maxsat() {
+    use prophunt_suite::api::{SearchJob, StrategyKind};
+    let spec = ExperimentSpec::builder()
+        .code_family("surface:3")
+        .unwrap()
+        .build()
+        .unwrap();
+    let mut session = Session::new(RuntimeConfig::new(2, 64, 11));
+    let base = SearchJob::new(spec)
+        .with_rounds(4)
+        .with_proposals(16)
+        .with_samples(10)
+        .with_label("hunt");
+
+    // Single-strategy baseline: the optimizer alone, same budgets.
+    let maxsat = session
+        .run_search_quiet(
+            &base
+                .clone()
+                .with_strategies(vec![StrategyKind::MaxSatDescent])
+                .with_portfolio_size(1),
+        )
+        .unwrap();
+
+    // The full portfolio, with the event stream observed.
+    let mut events = Vec::new();
+    let outcome = session
+        .run_search(&base.clone(), |e| events.push(e.clone()))
+        .unwrap();
+
+    // The portfolio's answer is never worse than its own MaxSAT arm alone.
+    assert!(
+        outcome.result.best.depth <= maxsat.result.best.depth,
+        "portfolio depth {} must be <= single-strategy depth {}",
+        outcome.result.best.depth,
+        maxsat.result.best.depth
+    );
+    outcome
+        .result
+        .best
+        .schedule
+        .validate(base.spec.code())
+        .unwrap();
+
+    // Event stream shape: JobStarted, one provenanced Incumbent per round,
+    // JobFinished with a round_limit stop.
+    assert!(
+        matches!(&events[0], Event::JobStarted { kind: JobKind::Search, label } if label == "hunt")
+    );
+    let incumbents: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Incumbent {
+                round,
+                strategy,
+                depth,
+                improved,
+                ..
+            } => Some((*round, strategy.clone(), *depth, *improved)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(incumbents.len(), 4, "one incumbent event per round");
+    assert_eq!(incumbents[0].0, 0);
+    assert!(
+        incumbents.iter().any(|(_, _, _, improved)| *improved),
+        "the coloration baseline must be improved on surface:3"
+    );
+    let Some(Event::JobFinished { stop }) = events.last() else {
+        panic!("expected JobFinished last");
+    };
+    assert_eq!(stop.as_str(), "round_limit");
+    assert!(matches!(stop, StopReason::RoundLimit { rounds: 4 }));
+    assert_eq!(session.stats().jobs_run, 2);
+}

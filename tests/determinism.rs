@@ -186,3 +186,51 @@ fn chunk_size_is_part_of_the_deterministic_contract() {
     assert_eq!(estimate(1, 32), estimate(8, 32));
     assert_eq!(estimate(1, 17), estimate(4, 17));
 }
+
+/// Tentpole of the `prophunt-search` subsystem: a portfolio run is a pure
+/// function of `(seed, chunk_size)` — the best schedule *and* the whole
+/// per-round incumbent event sequence are bit-identical at 1, 2 and 8 threads,
+/// with all four strategies (including the MaxSAT-descent arm) racing.
+#[test]
+fn search_portfolio_results_and_event_streams_are_bit_identical_across_thread_counts() {
+    use prophunt_suite::api::{Event, ExperimentSpec, SearchJob, Session};
+    let run = |threads: usize| {
+        let spec = ExperimentSpec::builder()
+            .code_family("surface:3")
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut session = Session::new(RuntimeConfig::new(threads, 64, 11));
+        let job = SearchJob::new(spec)
+            .with_rounds(4)
+            .with_proposals(16)
+            .with_samples(10);
+        let mut events: Vec<Event> = Vec::new();
+        let outcome = session
+            .run_search(&job, |event| events.push(event.clone()))
+            .unwrap();
+        (outcome, events)
+    };
+    let (reference, reference_events) = run(1);
+    assert!(
+        reference.result.best.depth < reference.result.initial_depth,
+        "reference run should do real work (got depth {} from {})",
+        reference.result.best.depth,
+        reference.result.initial_depth
+    );
+    for threads in [2, 8] {
+        let (outcome, events) = run(threads);
+        assert_eq!(
+            outcome.result.best.schedule, reference.result.best.schedule,
+            "best schedule diverged at threads = {threads}"
+        );
+        assert_eq!(
+            outcome.result, reference.result,
+            "round records diverged at threads = {threads}"
+        );
+        assert_eq!(
+            events, reference_events,
+            "incumbent event sequence diverged at threads = {threads}"
+        );
+    }
+}

@@ -14,6 +14,7 @@ use prophunt_suite::qec::surface::rotated_surface_code_with_layout;
 use prophunt_suite::runtime::{Runtime, RuntimeConfig};
 
 const GOLDEN_DEM: &str = include_str!("golden/surface_d3_hand_r3_p1e-3.dem");
+const GOLDEN_SI1000_DEM: &str = include_str!("golden/surface_d3_hand_r3_si1000_1e-3.dem");
 
 /// The exact model the golden fixture was exported from: d = 3 rotated surface
 /// code, hand-designed schedule, 3 rounds, Z memory, p = 1e-3.
@@ -24,6 +25,16 @@ fn golden_reference_dem() -> DetectorErrorModel {
     DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(1e-3))
 }
 
+/// The same experiment under the SI1000 noise family at p = 1e-3 — the second
+/// golden-pinned noise model (the family shipped with the Session/Job redesign
+/// but only the uniform model was golden-pinned until now).
+fn golden_si1000_reference_dem() -> DetectorErrorModel {
+    let (code, layout) = rotated_surface_code_with_layout(3);
+    let schedule = ScheduleSpec::surface_hand_designed(&code, &layout);
+    let exp = MemoryExperiment::build(&code, &schedule, 3, MemoryBasis::Z).unwrap();
+    DetectorErrorModel::from_experiment(&exp, &NoiseModel::si1000(1e-3))
+}
+
 #[test]
 fn golden_dem_fixture_matches_the_writer_byte_for_byte() {
     let dem = golden_reference_dem();
@@ -32,6 +43,30 @@ fn golden_dem_fixture_matches_the_writer_byte_for_byte() {
         GOLDEN_DEM,
         "the exported d=3 DEM changed; if intentional, regenerate tests/golden/ (see FORMATS.md)"
     );
+}
+
+#[test]
+fn golden_si1000_dem_fixture_matches_the_writer_byte_for_byte() {
+    let dem = golden_si1000_reference_dem();
+    assert_eq!(
+        write_dem(&dem),
+        GOLDEN_SI1000_DEM,
+        "the exported si1000 d=3 DEM changed; if intentional, regenerate tests/golden/ with \
+         `prophunt dem --code surface:3 --schedule hand --rounds 3 --noise si1000:0.001` \
+         (see FORMATS.md)"
+    );
+}
+
+#[test]
+fn golden_si1000_dem_parses_back_to_the_same_distribution() {
+    let parsed = parse_dem(GOLDEN_SI1000_DEM).unwrap();
+    let reference = golden_si1000_reference_dem();
+    assert!(parsed.same_distribution(&reference));
+    assert_eq!(parsed.num_detectors(), 24);
+    assert_eq!(parsed.num_observables(), 1);
+    // SI1000 is a genuinely different distribution from uniform depolarizing at
+    // the same p — the fixture must not silently alias the uniform one.
+    assert!(!parsed.same_distribution(&golden_reference_dem()));
 }
 
 #[test]
