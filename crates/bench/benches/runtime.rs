@@ -22,7 +22,7 @@ use prophunt::changes::{enumerate_candidates, verify_candidate};
 use prophunt::minweight::{min_weight_logical_error, MinWeightSolution};
 use prophunt::CandidateChange;
 use prophunt_circuit::schedule::ScheduleSpec;
-use prophunt_circuit::{MemoryBasis, NoiseModel};
+use prophunt_circuit::{MemoryBasis, NoiseModel, ScheduleEval};
 use prophunt_qec::surface::rotated_surface_code_with_layout;
 use prophunt_qec::CssCode;
 use prophunt_runtime::{Runtime, RuntimeConfig};
@@ -35,7 +35,7 @@ const P: f64 = 1e-3;
 
 struct Workload {
     code: CssCode,
-    schedule: ScheduleSpec,
+    eval: ScheduleEval,
     graph: DecodingGraph,
     tasks: Vec<(AmbiguousSubgraph, MinWeightSolution, Vec<CandidateChange>)>,
     candidates: usize,
@@ -69,9 +69,10 @@ fn build_workload() -> Workload {
         candidates >= 8,
         "workload too small: {candidates} candidates"
     );
+    let eval = ScheduleEval::new(schedule).expect("valid schedule");
     Workload {
         code,
-        schedule,
+        eval,
         graph,
         tasks,
         candidates,
@@ -87,7 +88,7 @@ fn verify_thread_per_candidate(w: &Workload) -> usize {
                 handles.push(scope.spawn(move || {
                     verify_candidate(
                         &w.code,
-                        &w.schedule,
+                        &w.eval,
                         candidate,
                         sub,
                         solution,
@@ -119,7 +120,7 @@ fn verify_pooled(w: &Workload, threads: usize) -> usize {
         .par_map(&work, |&(sub, solution, candidate)| {
             verify_candidate(
                 &w.code,
-                &w.schedule,
+                &w.eval,
                 candidate,
                 sub,
                 solution,

@@ -5,7 +5,7 @@ use prophunt::ambiguity::{find_ambiguous_subgraph, DecodingGraph};
 use prophunt::changes::{enumerate_candidates, verify_candidate, CandidateChange};
 use prophunt::minweight::min_weight_logical_error;
 use prophunt_circuit::schedule::ScheduleSpec;
-use prophunt_circuit::{MemoryBasis, NoiseModel};
+use prophunt_circuit::{MemoryBasis, NoiseModel, ScheduleEval};
 use prophunt_qec::surface::rotated_surface_code_with_layout;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -15,6 +15,7 @@ fn main() {
     let (code, layout) = rotated_surface_code_with_layout(3);
     let schedule = ScheduleSpec::surface_poor(&code, &layout);
     let graph = DecodingGraph::build(&code, &schedule, 3, MemoryBasis::Z, 1e-3).unwrap();
+    let eval = ScheduleEval::new(schedule.clone()).unwrap();
     let mut rng = StdRng::seed_from_u64(15);
     let mut totals = [0usize; 2]; // enumerated [reorder, reschedule]
     let mut verified = [0usize; 2];
@@ -35,7 +36,7 @@ fn main() {
             totals[idx] += 1;
             if verify_candidate(
                 &code,
-                &schedule,
+                &eval,
                 &candidate,
                 &sub,
                 &sol,

@@ -51,6 +51,7 @@ pub use builder::{MemoryBasis, MemoryExperiment};
 pub use dem::{DemSampler, DetectorErrorModel, ErrorMechanism, FaultSource};
 pub use noise::NoiseModel;
 pub use ops::{Circuit, Op};
+pub use schedule::eval::{EvalOp, Move, ScheduleEval};
 pub use schedule::{ScheduleSpec, StabilizerId};
 
 /// Errors produced while building circuits from schedules.

@@ -22,6 +22,13 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use std::collections::{BTreeMap, HashMap};
 
+pub mod eval;
+
+/// The CNOT nodes of a schedule with their ASAP layer indices (parallel
+/// vectors) — the internal currency of [`ScheduleSpec::cnot_layers`] and
+/// [`ScheduleSpec::depth`].
+type Layering = (Vec<(StabilizerId, usize)>, Vec<usize>);
+
 /// Flat stabilizer identifier: X stabilizers come first (`0..num_x`), then Z stabilizers
 /// (`num_x..num_x + num_z`).
 pub type StabilizerId = usize;
@@ -589,13 +596,12 @@ impl ScheduleSpec {
         Ok(())
     }
 
-    /// Lays the schedule out as parallel CNOT layers using ASAP (longest-path) layering
-    /// over the CNOT dependency DAG.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CircuitError::Unschedulable`] if the dependency graph has a cycle.
-    pub fn cnot_layers(&self) -> Result<Vec<Vec<(StabilizerId, usize)>>, CircuitError> {
+    /// Assigns every CNOT its ASAP (longest-path) layer without materializing the
+    /// per-layer node lists: returns the node list and a parallel layer index per node.
+    /// This is the count-only layering path shared by [`ScheduleSpec::cnot_layers`]
+    /// (which additionally groups nodes by layer) and [`ScheduleSpec::depth`] (which
+    /// only needs the maximum).
+    fn layering(&self) -> Result<Layering, CircuitError> {
         // Node ids: (stabilizer, position in its order).
         let mut node_of: HashMap<(StabilizerId, usize), usize> = HashMap::new();
         let mut nodes: Vec<(StabilizerId, usize)> = Vec::new();
@@ -644,6 +650,17 @@ impl ScheduleSpec {
         if processed != nodes.len() {
             return Err(CircuitError::Unschedulable);
         }
+        Ok((nodes, layer))
+    }
+
+    /// Lays the schedule out as parallel CNOT layers using ASAP (longest-path) layering
+    /// over the CNOT dependency DAG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::Unschedulable`] if the dependency graph has a cycle.
+    pub fn cnot_layers(&self) -> Result<Vec<Vec<(StabilizerId, usize)>>, CircuitError> {
+        let (nodes, layer) = self.layering()?;
         let depth = layer.iter().copied().max().map_or(0, |m| m + 1);
         let mut layers: Vec<Vec<(StabilizerId, usize)>> = vec![Vec::new(); depth];
         for (i, &(s, q)) in nodes.iter().enumerate() {
@@ -655,11 +672,16 @@ impl ScheduleSpec {
     /// Returns the CNOT depth of the schedule (number of CNOT layers), or an error if it
     /// cannot be laid out.
     ///
+    /// Uses the count-only layering path: unlike [`ScheduleSpec::cnot_layers`] it never
+    /// materializes the per-layer node lists — depth callers (the optimizer's candidate
+    /// tie-break, the search strategies' objective) only need the maximum layer index.
+    ///
     /// # Errors
     ///
     /// Returns [`CircuitError::Unschedulable`] if the dependency graph has a cycle.
     pub fn depth(&self) -> Result<usize, CircuitError> {
-        Ok(self.cnot_layers()?.len())
+        let (_, layer) = self.layering()?;
+        Ok(layer.iter().copied().max().map_or(0, |m| m + 1))
     }
 
     /// Runs the validity check of the optimizer's inner loop: commutation must be

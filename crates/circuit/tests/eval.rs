@@ -1,0 +1,217 @@
+//! Property tests of the incremental schedule-evaluation engine: after every
+//! step of a random move sequence, the incrementally maintained validity and
+//! depth must equal `check_commutation` + `cnot_layers` evaluated from
+//! scratch, and fingerprints must separate mutated schedules while matching
+//! on equal ones.
+//!
+//! Uses the vendored offline proptest shim (deterministic cases, no
+//! shrinking); the strategies draw a `u64` seed and expand it with `StdRng`
+//! so each random walk stays reproducible.
+
+use prophunt_circuit::schedule::eval::{EvalOp, Move, ScheduleEval};
+use prophunt_circuit::schedule::ScheduleSpec;
+use prophunt_circuit::CircuitError;
+use prophunt_qec::product::bivariate_bicycle;
+use prophunt_qec::surface::rotated_surface_code_with_layout;
+use prophunt_qec::CssCode;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws one random typed move against the current schedule, mirroring the
+/// move universe of `prophunt-search` without depending on that crate.
+fn random_move(schedule: &ScheduleSpec, rng: &mut StdRng) -> Option<Move> {
+    let mut same_kind = Vec::new();
+    let mut cross: Vec<(usize, usize, Vec<usize>)> = Vec::new();
+    for (q, a, b, _) in schedule.relative_entries() {
+        if schedule.kind_of(a) == schedule.kind_of(b) {
+            same_kind.push((q, a, b));
+        } else {
+            match cross.iter_mut().find(|(x, z, _)| *x == a && *z == b) {
+                Some((_, _, shared)) => shared.push(q),
+                None => cross.push((a, b, vec![q])),
+            }
+        }
+    }
+    let cross_pairs: Vec<_> = cross
+        .into_iter()
+        .filter(|(_, _, shared)| shared.len() >= 2)
+        .collect();
+    let reorderable: Vec<usize> = (0..schedule.num_stabilizers())
+        .filter(|&s| schedule.order(s).len() >= 2)
+        .collect();
+    match rng.gen_range(0..4) {
+        0 if !reorderable.is_empty() => {
+            let s = reorderable[rng.gen_range(0..reorderable.len())];
+            let order = schedule.order(s);
+            let from = rng.gen_range(0..order.len());
+            let mut to = rng.gen_range(0..order.len() - 1);
+            if to >= from {
+                to += 1;
+            }
+            Some(Move::Reorder {
+                stabilizer: s,
+                move_qubit: order[from],
+                anchor_qubit: order[to],
+            })
+        }
+        1 if !same_kind.is_empty() => {
+            let (q, a, b) = same_kind[rng.gen_range(0..same_kind.len())];
+            Some(Move::SameKindSwap { qubit: q, a, b })
+        }
+        2 if !cross_pairs.is_empty() => {
+            let (x, z, shared) = &cross_pairs[rng.gen_range(0..cross_pairs.len())];
+            let i = rng.gen_range(0..shared.len());
+            let mut j = rng.gen_range(0..shared.len() - 1);
+            if j >= i {
+                j += 1;
+            }
+            Some(Move::PairedCrossSwap {
+                x: *x,
+                z: *z,
+                qubit_a: shared[i],
+                qubit_b: shared[j],
+            })
+        }
+        3 if !cross_pairs.is_empty() => {
+            let (x, z, _) = cross_pairs[rng.gen_range(0..cross_pairs.len())];
+            Some(Move::Promote {
+                stabilizer: if rng.gen_range(0..2) == 0 { x } else { z },
+            })
+        }
+        _ => None,
+    }
+}
+
+/// From-scratch evaluation of the ops: clone, apply, full commutation check,
+/// full relayering — the reference the incremental engine must match.
+fn scratch_eval(spec: &ScheduleSpec, code: &CssCode, ops: &[EvalOp]) -> Option<usize> {
+    let mut scratch = spec.clone();
+    for op in ops {
+        op.apply(&mut scratch);
+    }
+    if scratch.check_commutation(code).is_err() {
+        return None;
+    }
+    match scratch.cnot_layers() {
+        Ok(layers) => Some(layers.len()),
+        Err(CircuitError::Unschedulable) => None,
+        Err(other) => panic!("unexpected layering error: {other:?}"),
+    }
+}
+
+/// Replays `steps` random moves through the incremental engine and the
+/// from-scratch path, comparing validity, depth, spec equality and
+/// fingerprints after **every** move (with occasional revert round-trips).
+fn walk_matches_scratch(code: &CssCode, initial: ScheduleSpec, seed: u64, steps: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut eval = ScheduleEval::new(initial.clone()).unwrap();
+    let mut current = initial;
+    for step in 0..steps {
+        let Some(mv) = random_move(&current, &mut rng) else {
+            continue;
+        };
+        let ops = eval.resolve(&mv);
+        let expected = scratch_eval(&current, code, &ops);
+        let got = eval.try_ops(&ops);
+        assert_eq!(
+            got, expected,
+            "incremental vs from-scratch disagree at step {step} on {mv:?}"
+        );
+        match got {
+            Some(depth) => {
+                // Exercise the revert path on a third of the accepted moves;
+                // the state must round-trip exactly.
+                if rng.gen_range(0..3) == 0 {
+                    eval.revert();
+                    assert_eq!(eval.spec(), &current, "revert must restore the spec");
+                    assert_eq!(eval.fingerprint(), current.fingerprint());
+                    assert_eq!(eval.depth(), current.depth().unwrap());
+                } else {
+                    eval.commit();
+                    let next = eval.spec().clone();
+                    // A move that actually changed the schedule must change
+                    // the fingerprint (a reorder can be an identity, e.g.
+                    // moving a qubit before its direct successor).
+                    if next != current {
+                        assert_ne!(
+                            next.fingerprint(),
+                            current.fingerprint(),
+                            "a mutating move must change the fingerprint"
+                        );
+                    } else {
+                        assert_eq!(next.fingerprint(), current.fingerprint());
+                    }
+                    current = next;
+                    assert_eq!(eval.depth(), depth);
+                    assert_eq!(current.depth().unwrap(), depth);
+                    current.check_commutation(code).unwrap();
+                }
+            }
+            None => {
+                // Rejection must leave the engine exactly where it was.
+                assert_eq!(eval.spec(), &current, "rejection must restore the spec");
+                assert_eq!(eval.depth(), current.depth().unwrap());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn surface_d3_walks_match_from_scratch(seed in any::<u64>()) {
+        let (code, _) = rotated_surface_code_with_layout(3);
+        let initial = ScheduleSpec::coloration(&code);
+        walk_matches_scratch(&code, initial, seed, 60);
+    }
+
+    #[test]
+    fn surface_d5_walks_match_from_scratch(seed in any::<u64>()) {
+        let (code, _) = rotated_surface_code_with_layout(5);
+        let initial = ScheduleSpec::coloration(&code);
+        walk_matches_scratch(&code, initial, seed, 40);
+    }
+
+    #[test]
+    fn fingerprints_of_equal_schedules_match(seed in any::<u64>()) {
+        let (code, _) = rotated_surface_code_with_layout(3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = ScheduleSpec::coloration_random(&code, &mut rng);
+        let b = a.clone();
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        // An independently drawn coloration differs with overwhelming
+        // probability — and so must its fingerprint whenever it does.
+        let c = ScheduleSpec::coloration_random(&code, &mut rng);
+        if c != a {
+            prop_assert_ne!(c.fingerprint(), a.fingerprint());
+        }
+    }
+}
+
+#[test]
+fn bivariate_bicycle_walk_matches_from_scratch() {
+    // One deterministic long walk on the largest benchmark code (weight-6
+    // checks, 72 data qubits): the proptest cases above cover the surface
+    // codes; this pins the engine on an LDPC Tanner graph where stabilizer
+    // pairs share up to three qubits.
+    let code = bivariate_bicycle(
+        6,
+        6,
+        &[(3, 0), (0, 1), (0, 2)],
+        &[(0, 3), (1, 0), (2, 0)],
+        "bb_72_12",
+    );
+    let initial = ScheduleSpec::coloration(&code);
+    walk_matches_scratch(&code, initial, 0xbb72, 60);
+}
+
+#[test]
+fn surface_hand_designed_walk_matches_from_scratch() {
+    // Walks starting from the depth-4 hand-designed schedule exercise the
+    // cone relayering around an already-optimal layering.
+    let (code, layout) = rotated_surface_code_with_layout(3);
+    let initial = ScheduleSpec::surface_hand_designed(&code, &layout);
+    walk_matches_scratch(&code, initial, 7, 80);
+}

@@ -4,10 +4,12 @@
 //! the best schedule as a file.
 
 use crate::args::{CliError, Flags};
-use crate::common::{load_code, load_schedule, noise_from_flags, runtime_from_flags, write_file};
+use crate::common::{
+    load_code, load_schedule, noise_from_flags, read_file, runtime_from_flags, write_file,
+};
 use prophunt_api::{Event, ExperimentSpec, ScheduleSource, SearchJob, Session, StrategyKind};
 use prophunt_formats::report::ReportRecord;
-use prophunt_formats::write_schedule;
+use prophunt_formats::{parse_report, parse_schedule, write_schedule};
 use std::io::Write as _;
 
 pub const USAGE: &str = "\
@@ -15,6 +17,9 @@ prophunt search --code <family-or-spec-file> [options]
 
   --code            code family (surface:3, ...) or path to a prophunt-code spec file
   --schedule        starting schedule: coloration (default), hand, or a schedule file
+  --resume          re-seed the portfolio from a previous search report: the run
+                    starts from the last `incumbent` record's embedded schedule
+                    (mutually exclusive with --schedule)
   --strategies      comma-separated strategy mix (default: all four)
                     maxsat     MaxSAT-guided greedy descent (the PropHunt optimizer)
                     anneal     simulated annealing over coloration swaps
@@ -45,6 +50,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         &[
             "code",
             "schedule",
+            "resume",
             "strategies",
             "portfolio-size",
             "rounds",
@@ -61,8 +67,39 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             "report",
         ],
     )?;
+    if flags.get("schedule").is_some() && flags.get("resume").is_some() {
+        return Err(CliError::usage(
+            "--schedule and --resume are mutually exclusive",
+        ));
+    }
     let resolved = load_code(flags.require("code")?)?;
-    let initial = load_schedule(flags.get("schedule"), &resolved)?;
+    let initial = match flags.get("resume") {
+        Some(path) => {
+            let records = parse_report(&read_file(path)?)
+                .map_err(|e| CliError::failure(format!("{path}: {e}")))?;
+            let last_incumbent = records
+                .iter()
+                .rev()
+                .find_map(|record| match record {
+                    ReportRecord::Incumbent { schedule, .. } => Some(schedule.clone()),
+                    _ => None,
+                })
+                .ok_or_else(|| {
+                    CliError::failure(format!(
+                        "{path}: no incumbent records to resume from (is this a search report?)"
+                    ))
+                })?;
+            let schedule = parse_schedule(&last_incumbent)
+                .map_err(|e| CliError::failure(format!("{path}: embedded schedule: {e}")))?;
+            schedule.validate_for_code(&resolved.code).map_err(|e| {
+                CliError::failure(format!(
+                    "{path}: resumed schedule is not valid for this code: {e}"
+                ))
+            })?;
+            schedule
+        }
+        None => load_schedule(flags.get("schedule"), &resolved)?,
+    };
     let memory_rounds = flags.num("memory-rounds", 3usize)?;
     if memory_rounds == 0 {
         return Err(CliError::usage("--memory-rounds must be at least 1"));

@@ -3,7 +3,9 @@
 
 use crate::ambiguity::{is_ambiguous, AmbiguousSubgraph, DecodingGraph};
 use crate::minweight::MinWeightSolution;
-use prophunt_circuit::{MemoryBasis, NoiseModel, Op, ScheduleSpec, StabilizerId};
+use prophunt_circuit::{
+    EvalOp, MemoryBasis, NoiseModel, Op, ScheduleEval, ScheduleSpec, StabilizerId,
+};
 use prophunt_qec::{CssCode, StabilizerKind};
 use rand::Rng;
 use std::collections::HashMap;
@@ -45,17 +47,33 @@ pub enum CandidateChange {
 impl CandidateChange {
     /// Applies the change to a schedule in place.
     pub fn apply(&self, schedule: &mut ScheduleSpec) {
+        for op in self.eval_ops() {
+            op.apply(schedule);
+        }
+    }
+
+    /// The change as primitive operations of the incremental evaluation
+    /// engine ([`ScheduleEval::try_ops`]) — the path through which candidates
+    /// are verified and applied without from-scratch revalidation.
+    pub fn eval_ops(&self) -> Vec<EvalOp> {
         match self {
             CandidateChange::Reorder {
                 stabilizer,
                 move_qubit,
                 anchor_qubit,
-            } => schedule.reorder_before(*stabilizer, *move_qubit, *anchor_qubit),
-            CandidateChange::Reschedule { swaps } => {
-                for swap in swaps {
-                    schedule.swap_relative_order(swap.qubit, swap.a, swap.b);
-                }
-            }
+            } => vec![EvalOp::Reorder {
+                stabilizer: *stabilizer,
+                move_qubit: *move_qubit,
+                anchor_qubit: *anchor_qubit,
+            }],
+            CandidateChange::Reschedule { swaps } => swaps
+                .iter()
+                .map(|swap| EvalOp::Swap {
+                    qubit: swap.qubit,
+                    a: swap.a,
+                    b: swap.b,
+                })
+                .collect(),
         }
     }
 }
@@ -190,10 +208,16 @@ pub fn enumerate_candidates<R: Rng>(
 /// preserved, CNOTs schedulable), the original ambiguous syndrome set is no longer
 /// ambiguous under the new circuit-level matrices, and the updated counterparts of the
 /// solution's faults no longer form an undetected logical error.
+///
+/// Validity and depth are evaluated incrementally: the candidate's primitive
+/// operations are applied to a clone of `base_eval` (whose parity counters and
+/// layered dependency DAG are kept up to date in O(pairs touched + cone))
+/// instead of re-running the full commutation scan and DAG rebuild per
+/// candidate.
 #[allow(clippy::too_many_arguments)]
 pub fn verify_candidate(
     code: &CssCode,
-    base_schedule: &ScheduleSpec,
+    base_eval: &ScheduleEval,
     candidate: &CandidateChange,
     subgraph: &AmbiguousSubgraph,
     solution: &MinWeightSolution,
@@ -202,13 +226,11 @@ pub fn verify_candidate(
     basis: MemoryBasis,
     noise: &NoiseModel,
 ) -> Option<VerifiedChange> {
-    let mut schedule = base_schedule.clone();
-    candidate.apply(&mut schedule);
-    // Circuit validity.
-    if schedule.validate(code).is_err() {
-        return None;
-    }
-    let depth = schedule.depth().ok()?;
+    let mut eval = base_eval.clone();
+    // Circuit validity (commutation parity + acyclic layout) and depth, in one
+    // incremental application.
+    let depth = eval.try_ops(&candidate.eval_ops())?;
+    let schedule = eval.into_spec();
     // Rebuild the circuit-level matrices under the changed schedule.
     let new_graph = DecodingGraph::build_with_noise(code, &schedule, rounds, basis, noise).ok()?;
     // Ambiguity removal on the original syndrome bits.
@@ -269,23 +291,27 @@ fn updated_faults_still_logical(
 /// applies them sequentially to `schedule`, skipping any change that would invalidate the
 /// circuit in combination with previously applied ones. Returns the number of changes
 /// applied.
+///
+/// Applications run through one incremental [`ScheduleEval`]: a change that is
+/// invalid in combination with previously applied ones is rejected (and rolled
+/// back) by the engine's parity counters and cone relayering instead of a
+/// from-scratch clone-and-validate per group.
 pub fn apply_verified_changes(
-    code: &CssCode,
     schedule: &mut ScheduleSpec,
     verified_per_subgraph: Vec<Vec<VerifiedChange>>,
 ) -> usize {
+    let mut eval = ScheduleEval::new(schedule.clone())
+        .expect("the working schedule stays valid across iterations");
     let mut applied = 0;
     for group in verified_per_subgraph {
         let Some(best) = group.into_iter().min_by_key(|v| v.depth) else {
             continue;
         };
-        let mut candidate_schedule = schedule.clone();
-        best.change.apply(&mut candidate_schedule);
-        if candidate_schedule.validate(code).is_ok() {
-            *schedule = candidate_schedule;
+        if eval.try_ops(&best.change.eval_ops()).is_some() {
             applied += 1;
         }
     }
+    *schedule = eval.into_spec();
     applied
 }
 
@@ -377,9 +403,10 @@ mod tests {
             .find_map(|_| find_ambiguous_subgraph(&graph, &mut rng, 60))
             .unwrap();
         let solution = min_weight_logical_error(&sub, Duration::from_secs(10)).unwrap();
+        let eval = ScheduleEval::new(schedule).unwrap();
         assert!(verify_candidate(
             &code,
-            &schedule,
+            &eval,
             &bad,
             &sub,
             &solution,
@@ -416,10 +443,11 @@ mod tests {
             }
             attempts += 1;
             let candidates = enumerate_candidates(&graph, &code, &schedule, &solution, &mut rng);
+            let eval = ScheduleEval::new(schedule.clone()).unwrap();
             verified_somewhere.extend(candidates.iter().filter_map(|c| {
                 verify_candidate(
                     &code,
-                    &schedule,
+                    &eval,
                     c,
                     &sub,
                     &solution,
@@ -436,7 +464,7 @@ mod tests {
         );
         // Applying the selected change keeps the schedule valid.
         let mut working = schedule.clone();
-        let applied = apply_verified_changes(&code, &mut working, vec![verified_somewhere]);
+        let applied = apply_verified_changes(&mut working, vec![verified_somewhere]);
         assert_eq!(applied, 1);
         working.validate(&code).unwrap();
     }

@@ -357,7 +357,7 @@ impl PropHunt {
         let verified_per_subgraph = self.verify_stage(&graph, schedule, basis, &tasks);
 
         // Stage 6: apply the minimum-depth verified change of each subgraph.
-        let changes_applied = apply_verified_changes(&self.code, schedule, verified_per_subgraph);
+        let changes_applied = apply_verified_changes(schedule, verified_per_subgraph);
         IterationRecord {
             iteration,
             basis,
@@ -478,6 +478,12 @@ impl PropHunt {
 
     /// Verifies every candidate change as a bounded parallel task and groups
     /// the survivors by originating subgraph, preserving candidate order.
+    ///
+    /// The base schedule's incremental evaluator — commutation parity
+    /// counters plus the layered CNOT dependency DAG — is built once per
+    /// stage and shared by every verification task, which clones it and
+    /// applies its candidate's primitive operations in O(pairs touched +
+    /// cone) instead of re-validating the mutated schedule from scratch.
     fn verify_stage(
         &self,
         graph: &DecodingGraph,
@@ -500,12 +506,14 @@ impl PropHunt {
             })
             .collect();
         let noise = self.config.noise_model();
+        let base_eval = prophunt_circuit::ScheduleEval::new(schedule.clone())
+            .expect("schedule stays valid across iterations");
         let results = self
             .runtime
             .par_map(&work, |&(group, sub, solution, candidate)| {
                 verify_candidate(
                     &self.code,
-                    schedule,
+                    &base_eval,
                     candidate,
                     sub,
                     solution,

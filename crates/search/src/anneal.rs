@@ -2,8 +2,7 @@
 
 use crate::moves::MoveSet;
 use crate::strategy::{Incumbent, Proposal, SearchContext, Strategy};
-use prophunt_circuit::schedule::ScheduleSpec;
-use prophunt_qec::CssCode;
+use prophunt_circuit::schedule::eval::ScheduleEval;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -11,9 +10,12 @@ use rand::{Rng, SeedableRng};
 /// swaps, paired cross-kind swaps, stabilizer promotion — see the `moves`
 /// module).
 ///
-/// Each round evaluates `proposals_per_round` seeded random moves from the
-/// current schedule; non-worsening moves are always taken, worsening moves
-/// with probability `exp(-Δdepth / T)`, and the temperature decays by the
+/// Each round evaluates `proposals_per_round` seeded random moves by mutating
+/// one [`ScheduleEval`] in place: an accepted move keeps the incrementally
+/// relayered state, a rejected one is undone with
+/// [`ScheduleEval::revert`] — no per-proposal schedule clone or from-scratch
+/// validation. Non-worsening moves are always taken, worsening moves with
+/// probability `exp(-Δdepth / T)`, and the temperature decays by the
 /// configured `cooling` factor per round — the classic schedule-free
 /// exploration arm of the portfolio, after Sato & Suzuki's observation that
 /// permuted-ordering restarts escape the minima greedy descent gets stuck in.
@@ -23,10 +25,8 @@ use rand::{Rng, SeedableRng};
 /// but never from a point the portfolio has already beaten.
 #[derive(Debug)]
 pub struct Annealing {
-    code: CssCode,
     moves: MoveSet,
-    current: ScheduleSpec,
-    current_depth: usize,
+    eval: ScheduleEval,
     best: Proposal,
     temperature: f64,
     cooling: f64,
@@ -36,15 +36,12 @@ pub struct Annealing {
 impl Annealing {
     /// Creates an instance annealing from the context's initial schedule.
     pub fn new(ctx: &SearchContext) -> Annealing {
-        let depth = ctx
-            .initial
-            .depth()
-            .expect("search context schedules are validated");
+        let eval =
+            ScheduleEval::new(ctx.initial.clone()).expect("search context schedules are validated");
+        let depth = eval.depth();
         Annealing {
-            code: ctx.code.clone(),
             moves: MoveSet::new(&ctx.initial),
-            current: ctx.initial.clone(),
-            current_depth: depth,
+            eval,
             best: Proposal {
                 schedule: ctx.initial.clone(),
                 depth,
@@ -63,24 +60,29 @@ impl Strategy for Annealing {
 
     fn propose(&mut self, _round: usize, seed: u64) -> Proposal {
         let mut rng = StdRng::seed_from_u64(seed);
+        let mut current_depth = self.eval.depth();
         for _ in 0..self.proposals_per_round {
-            let Some((next, depth)) = self.moves.propose(&self.code, &self.current, &mut rng)
-            else {
+            let Some(mv) = self.moves.draw(self.eval.spec(), &mut rng) else {
                 continue;
             };
-            let accept = depth <= self.current_depth || {
-                let delta = (depth - self.current_depth) as f64;
+            let Some(depth) = self.eval.try_apply(&mv) else {
+                continue;
+            };
+            let accept = depth <= current_depth || {
+                let delta = (depth - current_depth) as f64;
                 rng.gen_range(0.0..1.0) < (-delta / self.temperature.max(1e-6)).exp()
             };
             if accept {
-                self.current = next;
-                self.current_depth = depth;
+                self.eval.commit();
+                current_depth = depth;
                 if depth < self.best.depth {
                     self.best = Proposal {
-                        schedule: self.current.clone(),
+                        schedule: self.eval.spec().clone(),
                         depth,
                     };
                 }
+            } else {
+                self.eval.revert();
             }
         }
         self.temperature *= self.cooling;
@@ -89,8 +91,8 @@ impl Strategy for Annealing {
 
     fn observe(&mut self, incumbent: &Incumbent, accepted: bool) {
         if !accepted && incumbent.depth < self.best.depth {
-            self.current = incumbent.schedule.clone();
-            self.current_depth = incumbent.depth;
+            self.eval = ScheduleEval::new(incumbent.schedule.clone())
+                .expect("portfolio incumbents are valid schedules");
             self.best = Proposal {
                 schedule: incumbent.schedule.clone(),
                 depth: incumbent.depth,

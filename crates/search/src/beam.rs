@@ -2,7 +2,7 @@
 
 use crate::moves::MoveSet;
 use crate::strategy::{Incumbent, Proposal, SearchContext, Strategy};
-use prophunt_qec::CssCode;
+use prophunt_circuit::schedule::eval::ScheduleEval;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -15,15 +15,20 @@ use rand::SeedableRng;
 /// reordering that only pays off after several compounding moves is not
 /// discarded the moment an alternative looks one layer shallower.
 ///
+/// Expansion drives one [`ScheduleEval`] per parent: each candidate move is
+/// applied incrementally, the resulting schedule captured, and the eval
+/// reverted back to the parent — duplicates are dropped by canonical
+/// fingerprint instead of full schedule comparison.
+///
 /// Incumbent policy: injects the incumbent into the beam (displacing the
 /// deepest slot) when it is shallower than the current beam best, so the whole
 /// beam refines the portfolio's best known orderings.
 #[derive(Debug)]
 pub struct Beam {
-    code: CssCode,
     moves: MoveSet,
-    /// Beam slots ordered shallow-to-deep, ties kept in insertion order.
-    beam: Vec<Proposal>,
+    /// Beam slots ordered shallow-to-deep, ties kept in insertion order,
+    /// each with its schedule fingerprint for dedup.
+    beam: Vec<(Proposal, u64)>,
     width: usize,
     proposals_per_round: usize,
 }
@@ -35,30 +40,34 @@ impl Beam {
             .initial
             .depth()
             .expect("search context schedules are validated");
+        let fingerprint = ctx.initial.fingerprint();
         Beam {
-            code: ctx.code.clone(),
             moves: MoveSet::new(&ctx.initial),
-            beam: vec![Proposal {
-                schedule: ctx.initial.clone(),
-                depth,
-            }],
+            beam: vec![(
+                Proposal {
+                    schedule: ctx.initial.clone(),
+                    depth,
+                },
+                fingerprint,
+            )],
             width: ctx.params.beam_width.max(1),
             proposals_per_round: ctx.params.proposals_per_round,
         }
     }
 
     /// Inserts `candidate` keeping the beam sorted by depth (stable for ties)
-    /// and truncated to the width; duplicates of existing slots are dropped.
-    fn insert(&mut self, candidate: Proposal) {
-        if self.beam.iter().any(|p| p.schedule == candidate.schedule) {
+    /// and truncated to the width; duplicates of existing slots — detected by
+    /// canonical fingerprint — are dropped.
+    fn insert(&mut self, candidate: Proposal, fingerprint: u64) {
+        if self.beam.iter().any(|(_, fp)| *fp == fingerprint) {
             return;
         }
         let at = self
             .beam
             .iter()
-            .position(|p| p.depth > candidate.depth)
+            .position(|(p, _)| p.depth > candidate.depth)
             .unwrap_or(self.beam.len());
-        self.beam.insert(at, candidate);
+        self.beam.insert(at, (candidate, fingerprint));
         self.beam.truncate(self.width);
     }
 }
@@ -70,29 +79,40 @@ impl Strategy for Beam {
 
     fn propose(&mut self, _round: usize, seed: u64) -> Proposal {
         let mut rng = StdRng::seed_from_u64(seed);
-        let parents = self.beam.clone();
+        let parents: Vec<Proposal> = self.beam.iter().map(|(p, _)| p.clone()).collect();
         let per_parent = (self.proposals_per_round / parents.len().max(1)).max(1);
         for parent in &parents {
+            let mut eval = ScheduleEval::new(parent.schedule.clone())
+                .expect("beam slots hold valid schedules");
             for _ in 0..per_parent {
-                if let Some((next, depth)) =
-                    self.moves.propose(&self.code, &parent.schedule, &mut rng)
-                {
-                    self.insert(Proposal {
-                        schedule: next,
-                        depth,
-                    });
+                let Some(mv) = self.moves.draw(eval.spec(), &mut rng) else {
+                    continue;
+                };
+                if let Some(depth) = eval.try_apply(&mv) {
+                    let fingerprint = eval.fingerprint();
+                    self.insert(
+                        Proposal {
+                            schedule: eval.spec().clone(),
+                            depth,
+                        },
+                        fingerprint,
+                    );
+                    eval.revert();
                 }
             }
         }
-        self.beam[0].clone()
+        self.beam[0].0.clone()
     }
 
     fn observe(&mut self, incumbent: &Incumbent, accepted: bool) {
-        if !accepted && incumbent.depth < self.beam[0].depth {
-            self.insert(Proposal {
-                schedule: incumbent.schedule.clone(),
-                depth: incumbent.depth,
-            });
+        if !accepted && incumbent.depth < self.beam[0].0.depth {
+            self.insert(
+                Proposal {
+                    schedule: incumbent.schedule.clone(),
+                    depth: incumbent.depth,
+                },
+                incumbent.schedule.fingerprint(),
+            );
         }
     }
 }

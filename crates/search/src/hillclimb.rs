@@ -2,6 +2,7 @@
 
 use crate::moves::MoveSet;
 use crate::strategy::{Incumbent, Proposal, SearchContext, Strategy};
+use prophunt_circuit::schedule::eval::ScheduleEval;
 use prophunt_circuit::schedule::ScheduleSpec;
 use prophunt_qec::surface::{Corner, SurfaceLayout};
 use prophunt_qec::CssCode;
@@ -11,10 +12,12 @@ use rand::{Rng, SeedableRng};
 /// Hill climbing with deterministic restarts over permuted orderings.
 ///
 /// Each round greedily takes every seeded random move that does not increase
-/// depth (equal-depth moves walk plateaus). After `restart_stall` rounds
-/// without strict improvement the climber restarts from a fresh basin — the
-/// portfolio's diversity arm, sampling far-apart starting points instead of
-/// refining one (Sato & Suzuki's permuted-ordering restarts):
+/// depth (equal-depth moves walk plateaus), mutating one [`ScheduleEval`] in
+/// place and reverting worsening moves instead of cloning a schedule per
+/// proposal. After `restart_stall` rounds without strict improvement the
+/// climber restarts from a fresh basin — the portfolio's diversity arm,
+/// sampling far-apart starting points instead of refining one (Sato &
+/// Suzuki's permuted-ordering restarts):
 ///
 /// * codes with a surface layout restart from random members of the
 ///   precomputed **valid corner-order family**
@@ -36,8 +39,7 @@ pub struct HillClimb {
     /// The valid corner-order schedule family (empty for codes without a
     /// surface layout), shared with every other instance of the context.
     corner_restarts: std::sync::Arc<Vec<ScheduleSpec>>,
-    current: ScheduleSpec,
-    current_depth: usize,
+    eval: ScheduleEval,
     best: Proposal,
     stalled_rounds: usize,
     restart_stall: usize,
@@ -129,16 +131,14 @@ pub(crate) fn valid_corner_schedules(code: &CssCode, layout: &SurfaceLayout) -> 
 impl HillClimb {
     /// Creates an instance climbing from the context's initial schedule.
     pub fn new(ctx: &SearchContext) -> HillClimb {
-        let depth = ctx
-            .initial
-            .depth()
-            .expect("search context schedules are validated");
+        let eval =
+            ScheduleEval::new(ctx.initial.clone()).expect("search context schedules are validated");
+        let depth = eval.depth();
         HillClimb {
             code: ctx.code.clone(),
             moves: MoveSet::new(&ctx.initial),
             corner_restarts: ctx.corner_schedules(),
-            current: ctx.initial.clone(),
-            current_depth: depth,
+            eval,
             best: Proposal {
                 schedule: ctx.initial.clone(),
                 depth,
@@ -168,37 +168,39 @@ impl Strategy for HillClimb {
     fn propose(&mut self, _round: usize, seed: u64) -> Proposal {
         let mut rng = StdRng::seed_from_u64(seed);
         if self.stalled_rounds >= self.restart_stall {
-            self.current = self.restart_schedule(&mut rng);
-            self.current_depth = self
-                .current
-                .depth()
+            self.eval = ScheduleEval::new(self.restart_schedule(&mut rng))
                 .expect("restart schedules are validated or valid by construction");
-            if self.current_depth < self.best.depth {
+            if self.eval.depth() < self.best.depth {
                 self.best = Proposal {
-                    schedule: self.current.clone(),
-                    depth: self.current_depth,
+                    schedule: self.eval.spec().clone(),
+                    depth: self.eval.depth(),
                 };
             }
             self.stalled_rounds = 0;
         }
-        let depth_before = self.current_depth;
+        let depth_before = self.eval.depth();
+        let mut current_depth = depth_before;
         for _ in 0..self.proposals_per_round {
-            let Some((next, depth)) = self.moves.propose(&self.code, &self.current, &mut rng)
-            else {
+            let Some(mv) = self.moves.draw(self.eval.spec(), &mut rng) else {
                 continue;
             };
-            if depth <= self.current_depth {
-                self.current = next;
-                self.current_depth = depth;
+            let Some(depth) = self.eval.try_apply(&mv) else {
+                continue;
+            };
+            if depth <= current_depth {
+                self.eval.commit();
+                current_depth = depth;
                 if depth < self.best.depth {
                     self.best = Proposal {
-                        schedule: self.current.clone(),
+                        schedule: self.eval.spec().clone(),
                         depth,
                     };
                 }
+            } else {
+                self.eval.revert();
             }
         }
-        if self.current_depth < depth_before {
+        if current_depth < depth_before {
             self.stalled_rounds = 0;
         } else {
             self.stalled_rounds += 1;

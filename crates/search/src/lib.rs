@@ -18,7 +18,21 @@
 //!   climbing).
 //! * [`Portfolio`] — runs N seeded strategy instances on the shared
 //!   [`prophunt_runtime`] worker pool in synchronized rounds with
-//!   deterministic incumbent sharing.
+//!   deterministic incumbent sharing and canonical-fingerprint deduplication
+//!   of candidates (a schedule two instances converge on is verified once,
+//!   never re-evaluated).
+//!
+//! # The incremental hot path
+//!
+//! The local-search arms are driven entirely through
+//! [`prophunt_circuit::ScheduleEval`], the incremental evaluation engine:
+//! [`MoveSet::draw`] selects a typed move, `try_apply` validates it in
+//! O(pairs touched) (commutation parity counters) plus O(cone) (in-place
+//! relayering of the touched CNOTs' forward cone), and rejected proposals are
+//! undone with `revert` — no per-proposal schedule clone, no O(X·Z·shared)
+//! commutation rescan, no full dependency-DAG rebuild. The incremental
+//! results are exactly the from-scratch ones (property-pinned in
+//! `prophunt-circuit`), so the determinism contract below is unchanged.
 //!
 //! # Determinism contract
 //!
@@ -79,6 +93,7 @@ pub use anneal::Annealing;
 pub use beam::Beam;
 pub use hillclimb::HillClimb;
 pub use maxsat::MaxSatDescent;
+pub use moves::MoveSet;
 pub use portfolio::{
     InstanceProposal, Portfolio, PortfolioConfig, RoundRecord, SearchResult, INITIAL_STRATEGY,
 };

@@ -1,9 +1,10 @@
-//! Commutation-aware mutation moves over [`ScheduleSpec`]s.
+//! The commutation-aware move universe over [`ScheduleSpec`]s.
 //!
 //! The local-search strategies (annealing, beam, hill climbing) all explore
 //! the same neighborhood, built from the two primitive schedule changes the
 //! paper manipulates (Section 5.3) and the structure of the commutation
-//! condition:
+//! condition. Moves are the typed [`Move`] values of the incremental
+//! evaluation engine (`prophunt_circuit::schedule::eval`):
 //!
 //! * **Reorder** — move one data qubit within a stabilizer's interaction
 //!   order. Touches only the per-stabilizer CNOT chain, never the relative
@@ -20,20 +21,21 @@
 //!   candidates).
 //! * **Stabilizer promotion** — a macro move: pick one stabilizer and flip
 //!   every cross-kind pair involving it (on *all* of the pair's shared
-//!   qubits) so the picked stabilizer acts first. Each full-pair flip maps
-//!   the "X first" count `k` to `shared − k`, preserving parity whenever the
-//!   pair shares an even number of qubits. Single swaps diffuse across the
-//!   huge equal-depth plateau of a coloration schedule (all X checks before
-//!   all Z checks) too slowly to ever restructure it; promotion interleaves
-//!   a whole stabilizer in one step, which is exactly the structure
-//!   hand-designed schedules use to reach minimal depth.
+//!   qubits) so the picked stabilizer acts first — or acts last, when it
+//!   already leads everywhere (the toggle means a promotion draw never
+//!   dead-ends). Single swaps diffuse across the huge equal-depth plateau of
+//!   a coloration schedule (all X checks before all Z checks) too slowly to
+//!   ever restructure it; promotion interleaves a whole stabilizer in one
+//!   step, which is exactly the structure hand-designed schedules use to
+//!   reach minimal depth.
 //!
-//! Every move is validated (commutation + acyclic layout) before it is
-//! offered, so strategies only ever hold schedules that are valid for the
-//! code.
+//! [`MoveSet::draw`] only *selects* a move; strategies evaluate it with
+//! [`ScheduleEval::try_apply`], which validates (parity counters + cone
+//! relayering) in O(pairs touched + cone) and restores the previous state on
+//! rejection — no per-proposal schedule clone, no full commutation rescan.
 
+use prophunt_circuit::schedule::eval::Move;
 use prophunt_circuit::schedule::{ScheduleSpec, StabilizerId};
-use prophunt_qec::CssCode;
 use rand::Rng;
 
 /// The immutable move universe of one search problem.
@@ -42,17 +44,23 @@ use rand::Rng;
 /// universe is computed once from the starting schedule and shared by every
 /// schedule derived from it.
 #[derive(Debug, Clone)]
-pub(crate) struct MoveSet {
+pub struct MoveSet {
     /// Stabilizers whose interaction order has at least two qubits.
     reorderable: Vec<StabilizerId>,
     /// `(qubit, a, b)` entries whose stabilizers are of the same kind.
     same_kind: Vec<(usize, StabilizerId, StabilizerId)>,
     /// X/Z stabilizer pairs with their (>= 2) shared qubits.
     cross_pairs: Vec<(StabilizerId, StabilizerId, Vec<usize>)>,
+    /// Stabilizers involved in at least one cross pair — the only ones a
+    /// promotion draw can pick, precomputed so class-3 draws never dead-end
+    /// on a stabilizer with nothing to flip.
+    promotable: Vec<StabilizerId>,
 }
 
 impl MoveSet {
-    pub(crate) fn new(schedule: &ScheduleSpec) -> MoveSet {
+    /// Builds the move universe of `schedule` (and of every schedule derived
+    /// from it by these moves).
+    pub fn new(schedule: &ScheduleSpec) -> MoveSet {
         let reorderable = (0..schedule.num_stabilizers())
             .filter(|&s| schedule.order(s).len() >= 2)
             .collect();
@@ -71,26 +79,31 @@ impl MoveSet {
                 }
             }
         }
-        let cross_pairs = cross
+        let cross_pairs: Vec<(StabilizerId, StabilizerId, Vec<usize>)> = cross
             .into_iter()
             .filter(|(_, _, shared)| shared.len() >= 2)
             .collect();
+        let mut promotable: Vec<StabilizerId> =
+            cross_pairs.iter().flat_map(|&(x, z, _)| [x, z]).collect();
+        promotable.sort_unstable();
+        promotable.dedup();
         MoveSet {
             reorderable,
             same_kind,
             cross_pairs,
+            promotable,
         }
     }
 
-    /// Draws one random move, applies it to a clone of `schedule`, and returns
-    /// the mutated schedule with its depth — or `None` when the drawn move
-    /// produces an invalid (non-commuting or cyclic) schedule.
-    pub(crate) fn propose<R: Rng>(
-        &self,
-        code: &CssCode,
-        schedule: &ScheduleSpec,
-        rng: &mut R,
-    ) -> Option<(ScheduleSpec, usize)> {
+    /// Number of promotable stabilizers (those with at least one cross pair).
+    pub fn num_promotable(&self) -> usize {
+        self.promotable.len()
+    }
+
+    /// Draws one random typed move against the current `schedule` state, or
+    /// `None` when the universe is empty. The draw only selects; evaluation
+    /// (and validity checking) happens in `ScheduleEval::try_apply`.
+    pub fn draw<R: Rng>(&self, schedule: &ScheduleSpec, rng: &mut R) -> Option<Move> {
         let mut classes: Vec<u8> = Vec::with_capacity(4);
         if !self.reorderable.is_empty() {
             classes.push(0);
@@ -103,80 +116,69 @@ impl MoveSet {
             classes.push(3);
         }
         let class = *classes.get(rng.gen_range(0..classes.len().max(1)))?;
-        let mut next = schedule.clone();
-        match class {
+        Some(match class {
             0 => {
                 let s = self.reorderable[rng.gen_range(0..self.reorderable.len())];
-                let order = next.order(s).to_vec();
+                let order = schedule.order(s);
                 let from = rng.gen_range(0..order.len());
                 let mut to = rng.gen_range(0..order.len() - 1);
                 if to >= from {
                     to += 1;
                 }
-                next.reorder_before(s, order[from], order[to]);
+                Move::Reorder {
+                    stabilizer: s,
+                    move_qubit: order[from],
+                    anchor_qubit: order[to],
+                }
             }
             1 => {
                 let (q, a, b) = self.same_kind[rng.gen_range(0..self.same_kind.len())];
-                next.swap_relative_order(q, a, b);
+                Move::SameKindSwap { qubit: q, a, b }
             }
             2 => {
-                let (a, b, shared) = &self.cross_pairs[rng.gen_range(0..self.cross_pairs.len())];
+                let (x, z, shared) = &self.cross_pairs[rng.gen_range(0..self.cross_pairs.len())];
                 let i = rng.gen_range(0..shared.len());
                 let mut j = rng.gen_range(0..shared.len() - 1);
                 if j >= i {
                     j += 1;
                 }
-                next.swap_relative_order(shared[i], *a, *b);
-                next.swap_relative_order(shared[j], *a, *b);
-            }
-            _ => {
-                let s = rng.gen_range(0..schedule.num_stabilizers());
-                let mut flipped = false;
-                for (a, b, shared) in &self.cross_pairs {
-                    if *a != s && *b != s {
-                        continue;
-                    }
-                    if next.first_on_qubit(shared[0], *a, *b) == Some(s) {
-                        continue;
-                    }
-                    for &q in shared {
-                        next.swap_relative_order(q, *a, *b);
-                    }
-                    flipped = true;
-                }
-                if !flipped {
-                    return None;
+                Move::PairedCrossSwap {
+                    x: *x,
+                    z: *z,
+                    qubit_a: shared[i],
+                    qubit_b: shared[j],
                 }
             }
-        }
-        if next.check_commutation(code).is_err() {
-            return None;
-        }
-        let depth = next.depth().ok()?;
-        Some((next, depth))
+            _ => Move::Promote {
+                stabilizer: self.promotable[rng.gen_range(0..self.promotable.len())],
+            },
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prophunt_circuit::schedule::eval::ScheduleEval;
     use prophunt_qec::surface::rotated_surface_code_with_layout;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     #[test]
-    fn proposed_moves_are_always_valid_for_the_code() {
+    fn drawn_moves_keep_the_eval_valid_for_the_code() {
         let (code, _) = rotated_surface_code_with_layout(3);
         let schedule = ScheduleSpec::coloration(&code);
         let moves = MoveSet::new(&schedule);
+        let mut eval = ScheduleEval::new(schedule).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let mut accepted = 0;
-        let mut current = schedule;
         for _ in 0..200 {
-            if let Some((next, depth)) = moves.propose(&code, &current, &mut rng) {
-                next.validate_for_code(&code).unwrap();
-                assert_eq!(next.depth().unwrap(), depth);
-                current = next;
+            let Some(mv) = moves.draw(eval.spec(), &mut rng) else {
+                continue;
+            };
+            if let Some(depth) = eval.try_apply(&mv) {
+                eval.spec().validate_for_code(&code).unwrap();
+                assert_eq!(eval.spec().depth().unwrap(), depth);
                 accepted += 1;
             }
         }
@@ -184,7 +186,7 @@ mod tests {
     }
 
     #[test]
-    fn move_universe_covers_all_three_classes_on_the_surface_code() {
+    fn move_universe_covers_all_classes_on_the_surface_code() {
         let (code, _) = rotated_surface_code_with_layout(3);
         let schedule = ScheduleSpec::coloration(&code);
         let moves = MoveSet::new(&schedule);
@@ -195,6 +197,37 @@ mod tests {
         );
         for (_, _, shared) in &moves.cross_pairs {
             assert!(shared.len() >= 2);
+        }
+        // Every stabilizer of a cross pair is promotable, and only those.
+        assert_eq!(
+            moves.promotable.len(),
+            {
+                let mut stabs: Vec<_> = moves
+                    .cross_pairs
+                    .iter()
+                    .flat_map(|&(x, z, _)| [x, z])
+                    .collect();
+                stabs.sort_unstable();
+                stabs.dedup();
+                stabs.len()
+            },
+            "promotable set must be exactly the cross-pair stabilizers"
+        );
+    }
+
+    #[test]
+    fn promotion_draws_never_dead_end() {
+        let (code, _) = rotated_surface_code_with_layout(3);
+        let schedule = ScheduleSpec::coloration(&code);
+        let moves = MoveSet::new(&schedule);
+        let eval = ScheduleEval::new(schedule).unwrap();
+        // Every promotable stabilizer resolves to a non-empty op list, even
+        // in the coloration schedule where X checks already lead everywhere.
+        for &s in &moves.promotable {
+            assert!(
+                !eval.resolve(&Move::Promote { stabilizer: s }).is_empty(),
+                "promotion of stabilizer {s} resolved to a no-op"
+            );
         }
     }
 }

@@ -82,6 +82,10 @@ pub struct RoundRecord {
     pub incumbent: Incumbent,
     /// Whether this round's best proposal improved on the previous incumbent.
     pub improved: bool,
+    /// Number of this round's proposals whose canonical fingerprint
+    /// ([`ScheduleSpec::fingerprint`]) the portfolio had already seen — those
+    /// candidates are deduplicated and never re-verified.
+    pub duplicates: usize,
 }
 
 /// The result of a portfolio run.
@@ -184,6 +188,18 @@ impl Portfolio {
             instance: 0,
             round: 0,
         };
+        // Canonical-fingerprint dedup: `seen` tracks every distinct candidate
+        // the portfolio has been offered, `verified` the ones whose claimed
+        // depth and validity have been re-checked. A duplicate candidate —
+        // two instances converging on one schedule, or an instance
+        // re-proposing its unchanged best round after round — is counted but
+        // never re-verified. Both sets are updated in instance order at the
+        // (single-threaded) round boundary, so the dedup is deterministic.
+        let initial_fingerprint = initial.fingerprint();
+        let mut seen: std::collections::HashSet<u64> =
+            std::collections::HashSet::from([initial_fingerprint]);
+        let mut verified: std::collections::HashSet<u64> =
+            std::collections::HashSet::from([initial_fingerprint]);
         let mut rounds = Vec::with_capacity(self.config.rounds);
         for round in 0..self.config.rounds {
             let round_seeds = root.substream(stream::ROUND).substream(round as u64);
@@ -195,6 +211,16 @@ impl Portfolio {
                 strategy.propose(round, round_seeds.seed_for(i as u64))
             });
 
+            // Deterministic fingerprint dedup, in instance order.
+            let fingerprints: Vec<u64> =
+                proposals.iter().map(|p| p.schedule.fingerprint()).collect();
+            let mut duplicates = 0usize;
+            for &fp in &fingerprints {
+                if !seen.insert(fp) {
+                    duplicates += 1;
+                }
+            }
+
             // Deterministic incumbent selection: minimum depth, ties broken by
             // the lowest instance slot; improvement must be strict.
             let (winner, best_proposal) = proposals
@@ -204,6 +230,22 @@ impl Portfolio {
                 .expect("portfolio has at least one instance");
             let improved = best_proposal.depth < incumbent.depth;
             if improved {
+                // Re-verify a winning candidate once per distinct schedule:
+                // the portfolio does not take a strategy's depth claim on
+                // faith, but a fingerprint it has already verified is not
+                // re-evaluated.
+                if verified.insert(fingerprints[winner]) {
+                    best_proposal.schedule.validate_for_code(code)?;
+                    let actual = best_proposal.schedule.depth()?;
+                    if actual != best_proposal.depth {
+                        return Err(CircuitError::InvalidSchedule {
+                            reason: format!(
+                                "strategy {} proposed depth {} for a schedule of depth {actual}",
+                                names[winner], best_proposal.depth
+                            ),
+                        });
+                    }
+                }
                 incumbent = Incumbent {
                     schedule: best_proposal.schedule.clone(),
                     depth: best_proposal.depth,
@@ -230,6 +272,7 @@ impl Portfolio {
                     .collect(),
                 incumbent: incumbent.clone(),
                 improved,
+                duplicates,
             };
             observer(&record);
             rounds.push(record);

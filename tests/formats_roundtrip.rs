@@ -132,6 +132,90 @@ fn exported_schedule_resumes_to_the_same_final_depth() {
 }
 
 #[test]
+fn search_report_resumes_to_the_same_final_depth() {
+    // The `prophunt search --resume <report>` workflow: run a search that
+    // streams incumbent records, re-seed a second portfolio from the last
+    // incumbent's embedded schedule, and check the resumed run starts at — and
+    // never regresses from — the first run's final depth.
+    use prophunt_suite::api::{Event, ExperimentSpec, SearchJob, Session};
+    use prophunt_suite::formats::report::ReportRecord;
+
+    let spec = ExperimentSpec::builder()
+        .code_family("surface:3")
+        .unwrap()
+        .build()
+        .unwrap();
+    let code = spec.code().clone();
+    let job = SearchJob::new(spec.clone())
+        .with_rounds(3)
+        .with_proposals(16)
+        .with_samples(10);
+    let mut session = Session::new(RuntimeConfig::new(2, 64, 11));
+    // Stream incumbent records exactly like `prophunt search` writes them.
+    let mut records = Vec::new();
+    let first = session
+        .run_search(&job, |event| {
+            if let Event::Incumbent {
+                round,
+                strategy,
+                instance,
+                depth,
+                improved,
+                schedule,
+            } = event
+            {
+                records.push(ReportRecord::Incumbent {
+                    round: *round as u64,
+                    strategy: strategy.clone(),
+                    instance: *instance as u64,
+                    depth: *depth as u64,
+                    improved: *improved,
+                    schedule: write_schedule(schedule),
+                });
+            }
+        })
+        .unwrap();
+
+    // Round-trip the report through the on-disk format and pull the last
+    // incumbent, as the CLI's --resume does.
+    let parsed = parse_report(&write_report(&records)).unwrap();
+    let last = parsed
+        .iter()
+        .rev()
+        .find_map(|record| match record {
+            ReportRecord::Incumbent { schedule, .. } => Some(schedule.clone()),
+            _ => None,
+        })
+        .expect("search reports always carry one incumbent record per round");
+    let resumed_from = parse_schedule(&last).unwrap();
+    assert_eq!(resumed_from, first.result.best.schedule);
+    resumed_from.validate_for_code(&code).unwrap();
+
+    let resumed_job = SearchJob::new(
+        spec.with_schedule(resumed_from.clone())
+            .expect("resumed schedule is valid"),
+    )
+    .with_rounds(2)
+    .with_proposals(16)
+    .with_samples(10);
+    let resumed = session.run_search_quiet(&resumed_job).unwrap();
+    assert_eq!(
+        resumed.result.initial_depth, first.result.best.depth,
+        "the resumed portfolio must start from the first run's final depth"
+    );
+    assert!(
+        resumed.result.best.depth <= first.result.best.depth,
+        "resuming must never regress the incumbent depth"
+    );
+    resumed
+        .result
+        .best
+        .schedule
+        .validate_for_code(&code)
+        .unwrap();
+}
+
+#[test]
 fn optimization_reports_round_trip_through_json_lines() {
     let (code, layout) = rotated_surface_code_with_layout(3);
     let poor = ScheduleSpec::surface_poor(&code, &layout);
