@@ -5,7 +5,7 @@ use crate::noise::NoiseSpec;
 use crate::spec::ExperimentSpec;
 use prophunt::{IterationRecord, OptimizationResult};
 use prophunt_circuit::MemoryBasis;
-use prophunt_decoders::{LerStopReason, LogicalErrorEstimate, ShotBudget};
+use prophunt_decoders::{Engine, LerStopReason, LogicalErrorEstimate, ShotBudget};
 use prophunt_formats::ReportRecord;
 use std::time::Duration;
 
@@ -306,6 +306,9 @@ pub struct LerOutcome {
     pub p: f64,
     /// Idle error strength (from the noise spec).
     pub idle: f64,
+    /// The estimation engine the counts were computed with (part of the
+    /// reproduction key alongside `seed` and `chunk_size`).
+    pub engine: Engine,
     /// Wall-clock duration of the whole job.
     pub wall: Duration,
 }
@@ -334,6 +337,7 @@ impl LerOutcome {
             decoder: self.decoder.clone(),
             noise: self.noise.map(|n| n.to_string()).unwrap_or_default(),
             stop: self.stop.as_str().to_string(),
+            engine: self.engine.as_str().to_string(),
             wall_s: self.wall.as_secs_f64(),
             shots_per_sec: self.shots_per_sec(),
         }
@@ -395,6 +399,7 @@ mod tests {
             noise: Some(NoiseSpec::uniform(1e-3)),
             p: 1e-3,
             idle: 0.0,
+            engine: Engine::Frames,
             wall: Duration::from_millis(500),
         };
         assert!((outcome.shots_per_sec() - 2000.0).abs() < 1e-9);
@@ -403,6 +408,7 @@ mod tests {
             decoder,
             noise,
             stop,
+            engine,
             shots_per_sec,
             ..
         } = record
@@ -412,6 +418,7 @@ mod tests {
         assert_eq!(decoder, "unionfind");
         assert_eq!(noise, "depolarizing:0.001");
         assert_eq!(stop, "max_failures");
+        assert_eq!(engine, "frames");
         assert!(shots_per_sec > 0.0);
         // Zero wall-clock must not divide by zero.
         let zero = LerOutcome {

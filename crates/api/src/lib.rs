@@ -71,7 +71,7 @@ pub use search::{SearchJob, SearchOutcome};
 pub use session::{Session, SessionStats};
 pub use spec::{BasisSelection, ExperimentSpec, ExperimentSpecBuilder, ScheduleSource};
 
-// Re-export the budget and strategy types jobs are parameterized by, so
-// downstream users need only this crate.
-pub use prophunt_decoders::ShotBudget;
+// Re-export the budget, engine and strategy types jobs are parameterized by,
+// so downstream users need only this crate.
+pub use prophunt_decoders::{Engine, ShotBudget};
 pub use prophunt_search::StrategyKind;

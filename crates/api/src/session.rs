@@ -16,7 +16,7 @@ use crate::search::{SearchJob, SearchOutcome};
 use crate::spec::ExperimentSpec;
 use prophunt::{PropHunt, PropHuntConfig};
 use prophunt_circuit::{DetectorErrorModel, MemoryBasis, MemoryExperiment};
-use prophunt_decoders::{estimate_with_budget, Decoder, LogicalErrorEstimate};
+use prophunt_decoders::{estimate_with_budget_engine, Decoder, Engine, LogicalErrorEstimate};
 use prophunt_formats::write_schedule;
 use prophunt_runtime::{Runtime, RuntimeConfig};
 use prophunt_search::{Portfolio, PortfolioConfig, SearchParams};
@@ -224,9 +224,9 @@ impl Session {
     /// Runs a [`LerJob`], emitting [`Event`]s through `observer`.
     ///
     /// The estimate is a pure function of the job and the session's
-    /// `(seed, chunk_size)`; thread count changes wall-clock time only, including
-    /// for adaptively stopped budgets (decisions are made at chunk granularity in
-    /// chunk order).
+    /// `(seed, chunk_size)` plus the spec's [`Engine`]; thread count changes
+    /// wall-clock time only, including for adaptively stopped budgets (decisions
+    /// are made at chunk granularity in chunk order).
     ///
     /// # Errors
     ///
@@ -250,11 +250,12 @@ impl Session {
             let dem = self.dem(&job.spec, basis)?;
             let decoder = self.decoder(&job.spec, basis)?;
             let runtime = self.runtime.clone();
-            let (estimate, reason) = estimate_with_budget(
+            let (estimate, reason) = estimate_with_budget_engine(
                 &dem,
                 decoder.as_ref(),
                 job.budget,
                 seed,
+                job.spec.engine(),
                 &runtime,
                 &mut |progress| {
                     observer(&Event::ShotChunk {
@@ -288,6 +289,7 @@ impl Session {
             noise: Some(job.spec.noise()),
             p: job.spec.noise().p(),
             idle: job.spec.noise().idle(),
+            engine: job.spec.engine(),
             wall: start.elapsed(),
         })
     }
@@ -439,8 +441,8 @@ impl Session {
     }
 
     /// Estimates a pre-built detector error model (e.g. parsed from a `.dem`
-    /// file) under `decoder_name` and `budget` — the Session entry point for
-    /// model-only workloads, bypassing the spec caches.
+    /// file) under `decoder_name`, `budget` and `engine` — the Session entry
+    /// point for model-only workloads, bypassing the spec caches.
     ///
     /// # Errors
     ///
@@ -451,6 +453,7 @@ impl Session {
         decoder_name: &str,
         budget: prophunt_decoders::ShotBudget,
         seed: u64,
+        engine: Engine,
         mut observer: impl FnMut(&Event),
     ) -> Result<LerOutcome, ApiError> {
         let start = Instant::now();
@@ -459,11 +462,12 @@ impl Session {
             kind: JobKind::Ler,
             label: "dem".to_string(),
         });
-        let (estimate, reason) = estimate_with_budget(
+        let (estimate, reason) = estimate_with_budget_engine(
             dem,
             decoder.as_ref(),
             budget,
             seed,
+            engine,
             &self.runtime,
             &mut |progress| {
                 observer(&Event::ShotChunk {
@@ -493,6 +497,7 @@ impl Session {
             noise: None,
             p: 0.0,
             idle: 0.0,
+            engine,
             wall: start.elapsed(),
         })
     }
@@ -644,6 +649,17 @@ mod tests {
             outcome.combined.failures,
             outcome.per_basis.iter().map(|b| b.estimate.failures).sum()
         );
+    }
+
+    #[test]
+    fn frame_engine_jobs_run_and_record_their_engine() {
+        let mut session = session();
+        let spec = d3_spec().with_engine(Engine::Frames);
+        let outcome = session
+            .run_ler_quiet(&LerJob::new(spec).with_budget(ShotBudget::fixed(128)))
+            .unwrap();
+        assert_eq!(outcome.engine, Engine::Frames);
+        assert_eq!(outcome.combined.shots, 128);
     }
 
     #[test]

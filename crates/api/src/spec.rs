@@ -6,6 +6,7 @@ use crate::error::ApiError;
 use crate::noise::NoiseSpec;
 use prophunt_circuit::schedule::ScheduleSpec;
 use prophunt_circuit::MemoryBasis;
+use prophunt_decoders::Engine;
 use prophunt_formats::{resolve_family, ResolvedCode};
 use prophunt_qec::surface::SurfaceLayout;
 use prophunt_qec::CssCode;
@@ -73,6 +74,7 @@ pub struct ExperimentSpec {
     decoder: String,
     rounds: usize,
     basis: BasisSelection,
+    engine: Engine,
 }
 
 impl ExperimentSpec {
@@ -122,6 +124,11 @@ impl ExperimentSpec {
         self.basis
     }
 
+    /// Returns the estimation engine (default: [`Engine::Scalar`]).
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
     /// Returns a derived spec with a different schedule (revalidated against the
     /// code) — the cheap way to evaluate an optimized schedule under the same
     /// noise/decoder settings.
@@ -151,6 +158,13 @@ impl ExperimentSpec {
         spec.decoder = decoder.into();
         spec
     }
+
+    /// Returns a derived spec with a different estimation engine.
+    pub fn with_engine(&self, engine: Engine) -> ExperimentSpec {
+        let mut spec = self.clone();
+        spec.engine = engine;
+        spec
+    }
 }
 
 /// Builder for [`ExperimentSpec`]; see [`ExperimentSpec::builder`].
@@ -162,6 +176,7 @@ pub struct ExperimentSpecBuilder {
     decoder: String,
     rounds: usize,
     basis: BasisSelection,
+    engine: Engine,
 }
 
 impl Default for ExperimentSpecBuilder {
@@ -173,6 +188,7 @@ impl Default for ExperimentSpecBuilder {
             decoder: "bposd".to_string(),
             rounds: 3,
             basis: BasisSelection::Z,
+            engine: Engine::Scalar,
         }
     }
 }
@@ -249,6 +265,14 @@ impl ExperimentSpecBuilder {
         self
     }
 
+    /// Sets the estimation engine (default: [`Engine::Scalar`]). The frame
+    /// engine samples and decodes 64 shots per machine word; see
+    /// [`prophunt_decoders::Engine`] for the determinism contract.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// Resolves and validates the spec.
     ///
     /// # Errors
@@ -286,6 +310,7 @@ impl ExperimentSpecBuilder {
             decoder: self.decoder,
             rounds: self.rounds,
             basis: self.basis,
+            engine: self.engine,
         })
     }
 }
@@ -367,5 +392,25 @@ mod tests {
         let si = derived.with_noise(NoiseSpec::parse("si1000:0.002").unwrap());
         assert_eq!(si.noise().p(), 2e-3);
         assert_eq!(si.with_decoder("unionfind").decoder(), "unionfind");
+    }
+
+    #[test]
+    fn engine_defaults_to_scalar_and_derives_like_the_other_knobs() {
+        let spec = ExperimentSpec::builder()
+            .code_family("surface:3")
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(spec.engine(), Engine::Scalar);
+        let frames = spec.with_engine(Engine::Frames);
+        assert_eq!(frames.engine(), Engine::Frames);
+        assert_eq!(frames.decoder(), spec.decoder());
+        let built = ExperimentSpec::builder()
+            .code_family("surface:3")
+            .unwrap()
+            .engine(Engine::Frames)
+            .build()
+            .unwrap();
+        assert_eq!(built.engine(), Engine::Frames);
     }
 }

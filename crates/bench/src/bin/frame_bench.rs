@@ -1,0 +1,312 @@
+//! Scalar vs bit-parallel frame-engine LER throughput on the Table 1 code suite.
+//!
+//! This is the bench behind the frame engine's acceptance claim. For every
+//! benchmark code it runs the same fixed shot budget through
+//! [`estimate_with_budget_engine`] twice — once with [`Engine::Scalar`] (one
+//! sampled shot, one `decode` call at a time) and once with [`Engine::Frames`]
+//! (64 shots per word: `sample_frames` → `transpose_lane_words` →
+//! `decode_batch`) — at the Table 1 operating point (p = 1e-3) with the
+//! production decoder per family: union-find on the matchable surface codes,
+//! BP+OSD on the LDPC codes.
+//!
+//! What the frame engine can and cannot speed up: it eliminates per-shot
+//! sampling cost (geometric-skip word sampling), per-shot allocation, and
+//! per-shot scratch resets — so codes whose scalar path is dominated by those
+//! overheads (the union-find surface rows) gain 5-10x. It does *not* change
+//! the decode arithmetic itself, so codes dominated by per-shot BP sweeps and
+//! OSD elimination (`bb_72_12` above all) are Amdahl-capped near the
+//! allocation-reuse win of `decode_batch` (~1.7x). The headline gate is
+//! therefore the *surface (union-find) sub-aggregate* `>= 5x`; the full-suite
+//! aggregate is reported and gated at its honest level, dominated as it is by
+//! `bb_72_12`'s decode arithmetic.
+//!
+//! The two engines lay out the per-chunk RNG stream differently (shot-major vs
+//! mechanism-major), so their failure counts legitimately differ; the
+//! correctness gate is *same-frames decode parity*: on identical sampled error
+//! frames, the frame pipeline's per-shot predictions — and hence its failure
+//! count — must equal the scalar `decode` path's exactly. The bin asserts that
+//! for every code and aborts loudly otherwise (this is the CI smoke
+//! assertion). The committed `BENCH_frames.json` records the full-profile run;
+//! `PROPHUNT_SMOKE=1` trims the shot budget and skips the timing gates (the
+//! parity assertion always runs).
+
+use prophunt_bench::{benchmark_suite, runtime_config_from_env, stage_seed};
+use prophunt_circuit::schedule::ScheduleSpec;
+use prophunt_circuit::{DetectorErrorModel, MemoryBasis, MemoryExperiment, NoiseModel};
+use prophunt_decoders::{
+    estimate_with_budget_engine, BpOsdDecoder, Decoder, Engine, ShotBudget, UnionFindDecoder,
+};
+use prophunt_formats::report::ReportRecord;
+use prophunt_formats::{write_report, Json};
+use prophunt_gf2::transpose_lane_words;
+use prophunt_runtime::Runtime;
+use std::time::{Duration, Instant};
+
+struct EngineRun {
+    failures: usize,
+    wall: Duration,
+}
+
+struct FrameRow {
+    code: String,
+    p: f64,
+    shots: usize,
+    scalar: EngineRun,
+    frames: EngineRun,
+    parity_shots: usize,
+    parity_failures: usize,
+}
+
+impl FrameRow {
+    fn scalar_sps(&self) -> f64 {
+        self.shots as f64 / self.scalar.wall.as_secs_f64().max(1e-12)
+    }
+
+    fn frames_sps(&self) -> f64 {
+        self.shots as f64 / self.frames.wall.as_secs_f64().max(1e-12)
+    }
+
+    fn speedup(&self) -> f64 {
+        self.scalar.wall.as_secs_f64() / self.frames.wall.as_secs_f64().max(1e-12)
+    }
+
+    fn to_record(&self) -> ReportRecord {
+        ReportRecord::Table {
+            name: "frame_bench".into(),
+            fields: vec![
+                ("code".into(), Json::Str(self.code.clone())),
+                ("p".into(), Json::Float(self.p)),
+                ("shots".into(), Json::UInt(self.shots as u64)),
+                (
+                    "scalar_failures".into(),
+                    Json::UInt(self.scalar.failures as u64),
+                ),
+                (
+                    "frames_failures".into(),
+                    Json::UInt(self.frames.failures as u64),
+                ),
+                (
+                    "scalar_shots_per_sec".into(),
+                    Json::Float(self.scalar_sps()),
+                ),
+                (
+                    "frames_shots_per_sec".into(),
+                    Json::Float(self.frames_sps()),
+                ),
+                ("speedup".into(), Json::Float(self.speedup())),
+                ("parity_shots".into(), Json::UInt(self.parity_shots as u64)),
+                (
+                    "parity_failures".into(),
+                    Json::UInt(self.parity_failures as u64),
+                ),
+            ],
+        }
+    }
+}
+
+/// Same-frames decode parity: sample `shots` error frames once, then decode the
+/// identical syndromes through the scalar per-shot path and through the frame
+/// pipeline's `decode_batch`. Returns the (common) failure count; panics when
+/// any per-shot prediction — or the resulting failure count — differs.
+fn assert_same_frames_parity(
+    name: &str,
+    dem: &DetectorErrorModel,
+    decoder: &dyn Decoder,
+    shots: usize,
+    seed: u64,
+) -> usize {
+    let mut sampler = dem.sampler(seed);
+    let mut det_frames = vec![0u64; dem.num_detectors()];
+    let mut obs_frames = vec![0u64; dem.num_observables()];
+    let mut scalar_failures = 0usize;
+    let mut batch_failures = 0usize;
+    let mut remaining = shots;
+    while remaining > 0 {
+        let lanes = remaining.min(64);
+        sampler.sample_frames(lanes, &mut det_frames, &mut obs_frames);
+        let det_shots = transpose_lane_words(&det_frames, lanes);
+        let obs_shots = transpose_lane_words(&obs_frames, lanes);
+        let batch = decoder.decode_batch(&det_shots);
+        for (lane, (shot, observed)) in det_shots.iter().zip(&obs_shots).enumerate() {
+            let scalar = decoder.decode(shot);
+            assert_eq!(
+                scalar, batch[lane],
+                "{name}: scalar decode and decode_batch disagree on identical frames \
+                 (seed {seed}, lane {lane})"
+            );
+            if &scalar != observed {
+                scalar_failures += 1;
+            }
+            if &batch[lane] != observed {
+                batch_failures += 1;
+            }
+        }
+        remaining -= lanes;
+    }
+    assert_eq!(
+        scalar_failures, batch_failures,
+        "{name}: engines must report identical failure counts on identical frames"
+    );
+    scalar_failures
+}
+
+fn main() {
+    let smoke = std::env::var("PROPHUNT_SMOKE").is_ok();
+    let runtime = runtime_config_from_env();
+    let shots = if smoke { 256 } else { 4096 };
+    let parity_shots = if smoke { 128 } else { 256 };
+    println!("LER estimation throughput: bit-parallel frame engine vs scalar engine");
+    println!(
+        "  {shots} shots per code and engine, {} threads, chunk {}, seed {} \
+         (PROPHUNT_SMOKE=1 trims the budget)",
+        runtime.threads, runtime.chunk_size, runtime.seed
+    );
+    println!(
+        "{:<14} {:>7} {:>6} {:>12} {:>12} {:>9}  parity",
+        "code", "p", "shots", "scalar sh/s", "frames sh/s", "speedup"
+    );
+    let mut records = Vec::new();
+    // (scalar wall, frames wall, shots) per aggregation bucket.
+    let mut totals: [(Duration, Duration, usize); 3] = Default::default();
+    const SURFACE: usize = 0;
+    const LDPC: usize = 1;
+    const SUITE: usize = 2;
+    for (stage, bench) in benchmark_suite(true).into_iter().enumerate() {
+        // The Table 1 operating point (p = 1e-3), with the production decoder
+        // for each family: union-find on the matchable surface codes, BP+OSD
+        // on the LDPC codes. This is the workload `tab01_codes` actually runs,
+        // so the measured shots/sec is the real campaign hot path.
+        let p = 1e-3;
+        let schedule = bench
+            .hand_designed
+            .clone()
+            .unwrap_or_else(|| ScheduleSpec::coloration(&bench.code));
+        let exp = MemoryExperiment::build(&bench.code, &schedule, bench.rounds, MemoryBasis::Z)
+            .expect("benchmark schedule must be valid for its code");
+        let dem = DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(p));
+        let decoder: Box<dyn Decoder> = if bench.code.name().starts_with("surface") {
+            Box::new(UnionFindDecoder::new(&dem))
+        } else {
+            Box::new(BpOsdDecoder::new(&dem))
+        };
+        let decoder = &*decoder;
+        let seed = stage_seed(&runtime, 80 + stage as u64);
+
+        // Same-frames decode parity: the deterministic gate, always on.
+        let parity_failures = assert_same_frames_parity(
+            bench.code.name(),
+            &dem,
+            decoder,
+            parity_shots,
+            stage_seed(&runtime, 90 + stage as u64),
+        );
+
+        let run = |engine: Engine| {
+            let rt = Runtime::new(runtime);
+            let t = Instant::now();
+            let (estimate, _) = estimate_with_budget_engine(
+                &dem,
+                decoder,
+                ShotBudget::fixed(shots),
+                seed,
+                engine,
+                &rt,
+                &mut |_| {},
+            );
+            EngineRun {
+                failures: estimate.failures,
+                wall: t.elapsed(),
+            }
+        };
+        let scalar = run(Engine::Scalar);
+        let frames = run(Engine::Frames);
+        let row = FrameRow {
+            code: bench.code.name().to_string(),
+            p,
+            shots,
+            scalar,
+            frames,
+            parity_shots,
+            parity_failures,
+        };
+        println!(
+            "{:<14} {:>7} {:>6} {:>12.0} {:>12.0} {:>8.1}x  ok ({}/{} failures)",
+            row.code,
+            row.p,
+            row.shots,
+            row.scalar_sps(),
+            row.frames_sps(),
+            row.speedup(),
+            row.parity_failures,
+            row.parity_shots,
+        );
+        // Per-code timing gates only run at the full budget: the smoke
+        // profile's per-code windows are short enough that one scheduler
+        // stall on a loaded CI runner could flip the comparison with no code
+        // defect. (The same-frames parity assert above is the deterministic
+        // gate and always runs.)
+        if !smoke {
+            assert!(
+                row.speedup() >= 1.0,
+                "frame engine must not be slower than scalar on {}",
+                row.code
+            );
+        }
+        let family = if row.code.starts_with("surface") {
+            SURFACE
+        } else {
+            LDPC
+        };
+        for bucket in [family, SUITE] {
+            totals[bucket].0 += row.scalar.wall;
+            totals[bucket].1 += row.frames.wall;
+            totals[bucket].2 += row.shots;
+        }
+        records.push(row.to_record());
+    }
+    // The headline gate (surface >= 5x) plus honest floors for the buckets the
+    // frame engine cannot lift further: the LDPC rows — and through bb_72_12
+    // the whole-suite aggregate — are dominated by BP+OSD decode arithmetic
+    // that is bit-identical work in both engines.
+    let buckets = [
+        (SURFACE, "surface (uf)", 5.0),
+        (LDPC, "ldpc (bposd)", 1.4),
+        (SUITE, "suite", 1.4),
+    ];
+    for (bucket, label, floor) in buckets {
+        let (scalar, frames, shots) = totals[bucket];
+        let speedup = scalar.as_secs_f64() / frames.as_secs_f64().max(1e-12);
+        let scalar_sps = shots as f64 / scalar.as_secs_f64().max(1e-12);
+        let frames_sps = shots as f64 / frames.as_secs_f64().max(1e-12);
+        println!(
+            "{:<14} {:>7} {:>6} {:>12.0} {:>12.0} {:>8.1}x",
+            label, "", shots, scalar_sps, frames_sps, speedup
+        );
+        if !smoke {
+            assert!(
+                speedup >= floor,
+                "frame engine must deliver >= {floor}x aggregate shots/sec \
+                 over scalar on {label} (got {speedup:.2}x)"
+            );
+        }
+        records.push(ReportRecord::Table {
+            name: "frame_bench".into(),
+            fields: vec![
+                ("code".into(), Json::Str(label.into())),
+                ("shots".into(), Json::UInt(shots as u64)),
+                ("scalar_shots_per_sec".into(), Json::Float(scalar_sps)),
+                ("frames_shots_per_sec".into(), Json::Float(frames_sps)),
+                ("speedup".into(), Json::Float(speedup)),
+            ],
+        });
+    }
+    if smoke {
+        // Never clobber the committed full-profile baseline with trimmed
+        // smoke numbers.
+        println!("smoke mode: skipping BENCH_frames.json (baseline is the full profile)");
+    } else {
+        std::fs::write("BENCH_frames.json", write_report(&records))
+            .expect("cannot write BENCH_frames.json");
+        println!("wrote BENCH_frames.json ({} rows)", records.len());
+    }
+}

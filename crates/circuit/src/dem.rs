@@ -14,7 +14,7 @@ use crate::noise::{Fault, NoiseModel, SparsePauli};
 use crate::ops::Op;
 use prophunt_gf2::{BitMatrix, BitVec};
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use std::collections::HashMap;
 
 /// The circuit fault (or one of several merged faults) behind an [`ErrorMechanism`].
@@ -58,6 +58,10 @@ pub struct DetectorErrorModel {
     num_detectors: usize,
     num_observables: usize,
     errors: Vec<ErrorMechanism>,
+    /// Flattened mechanism tables shared by every [`DemSampler`] over this
+    /// model, built on first use: [`DetectorErrorModel::sampler`] is called
+    /// once per Monte-Carlo *chunk*, so it must not copy the mechanism list.
+    sampler_tables: std::sync::OnceLock<std::sync::Arc<SamplerTables>>,
 }
 
 impl DetectorErrorModel {
@@ -232,6 +236,7 @@ impl DetectorErrorModel {
             num_detectors: experiment.num_detectors(),
             num_observables: experiment.num_observables(),
             errors,
+            sampler_tables: std::sync::OnceLock::new(),
         }
     }
 
@@ -290,6 +295,7 @@ impl DetectorErrorModel {
             num_detectors,
             num_observables,
             errors,
+            sampler_tables: std::sync::OnceLock::new(),
         })
     }
 
@@ -376,15 +382,113 @@ impl DetectorErrorModel {
     }
 
     /// Creates a Monte-Carlo sampler over this model with the given seed.
+    ///
+    /// The first call flattens the mechanism list into shared `SamplerTables`;
+    /// every subsequent call is O(1) (an [`std::sync::Arc`] clone plus RNG
+    /// seeding). The estimation engines create one sampler per chunk, so this
+    /// must stay cheap.
     pub fn sampler(&self, seed: u64) -> DemSampler {
+        let tables = self
+            .sampler_tables
+            .get_or_init(|| std::sync::Arc::new(SamplerTables::build(&self.errors)));
         DemSampler {
-            probabilities: self.errors.iter().map(|e| e.probability).collect(),
-            detectors: self.errors.iter().map(|e| e.detectors.clone()).collect(),
-            observables: self.errors.iter().map(|e| e.observables.clone()).collect(),
+            tables: std::sync::Arc::clone(tables),
             num_detectors: self.num_detectors,
             num_observables: self.num_observables,
             rng: SmallRng::seed_from_u64(seed),
         }
+    }
+}
+
+/// The mechanism list of a [`DetectorErrorModel`] flattened into CSR-style
+/// arrays for sampling: per-mechanism probability plus the concatenated
+/// detector and observable signatures. Built once per model and shared by all
+/// its samplers.
+#[derive(Debug)]
+struct SamplerTables {
+    probabilities: Vec<f64>,
+    det_offsets: Vec<u32>,
+    det_indices: Vec<u32>,
+    obs_offsets: Vec<u32>,
+    obs_indices: Vec<u32>,
+    /// Mechanisms grouped by bit-identical probability, for the frame engine's
+    /// grouped sampling paths (frame XORs commute, so sampling mechanisms in
+    /// group order draws the same per-mechanism law as mechanism order).
+    groups: Vec<SampleGroup>,
+}
+
+/// A set of mechanisms sharing one probability, with the sampling strategy the
+/// frame engine uses for it.
+#[derive(Debug)]
+struct SampleGroup {
+    probability: f64,
+    /// `1 / ln(1 - p)` for the geometric-skip path, chosen for rare
+    /// mechanisms; `None` selects the per-mechanism Bernoulli-word path.
+    inv_ln_q: Option<f64>,
+    /// Mechanism indices, ascending.
+    mechs: Vec<u32>,
+}
+
+/// Below this probability the frame engine samples a group by geometric
+/// skipping over (mechanism, lane) trials — expected cost proportional to the
+/// number of *fired* events — instead of drawing a Bernoulli word per
+/// mechanism.
+const GEOMETRIC_SKIP_MAX_P: f64 = 0.02;
+
+impl SamplerTables {
+    fn build(errors: &[ErrorMechanism]) -> Self {
+        let mut tables = SamplerTables {
+            probabilities: Vec::with_capacity(errors.len()),
+            det_offsets: Vec::with_capacity(errors.len() + 1),
+            det_indices: Vec::new(),
+            obs_offsets: Vec::with_capacity(errors.len() + 1),
+            obs_indices: Vec::new(),
+            groups: Vec::new(),
+        };
+        tables.det_offsets.push(0);
+        tables.obs_offsets.push(0);
+        let mut group_of: HashMap<u64, usize> = HashMap::new();
+        for (i, err) in errors.iter().enumerate() {
+            let p = err.probability;
+            tables.probabilities.push(p);
+            for &d in &err.detectors {
+                tables
+                    .det_indices
+                    .push(u32::try_from(d).expect("detector index fits u32"));
+            }
+            for &o in &err.observables {
+                tables
+                    .obs_indices
+                    .push(u32::try_from(o).expect("observable index fits u32"));
+            }
+            tables.det_offsets.push(tables.det_indices.len() as u32);
+            tables.obs_offsets.push(tables.obs_indices.len() as u32);
+            if p <= 0.0 {
+                // Never fires; keep it out of the frame path entirely.
+                continue;
+            }
+            let gi = *group_of.entry(p.to_bits()).or_insert_with(|| {
+                let inv_ln_q = (p < GEOMETRIC_SKIP_MAX_P).then(|| (1.0 - p).ln().recip());
+                tables.groups.push(SampleGroup {
+                    probability: p,
+                    inv_ln_q,
+                    mechs: Vec::new(),
+                });
+                tables.groups.len() - 1
+            });
+            tables.groups[gi]
+                .mechs
+                .push(u32::try_from(i).expect("mechanism index fits u32"));
+        }
+        tables
+    }
+
+    fn detectors(&self, i: usize) -> &[u32] {
+        &self.det_indices[self.det_offsets[i] as usize..self.det_offsets[i + 1] as usize]
+    }
+
+    fn observables(&self, i: usize) -> &[u32] {
+        &self.obs_indices[self.obs_offsets[i] as usize..self.obs_offsets[i + 1] as usize]
     }
 }
 
@@ -395,9 +499,7 @@ impl DetectorErrorModel {
 /// which is equivalent to Pauli-frame simulation of the underlying circuit noise.
 #[derive(Debug, Clone)]
 pub struct DemSampler {
-    probabilities: Vec<f64>,
-    detectors: Vec<Vec<usize>>,
-    observables: Vec<Vec<usize>>,
+    tables: std::sync::Arc<SamplerTables>,
     num_detectors: usize,
     num_observables: usize,
     rng: SmallRng,
@@ -409,14 +511,15 @@ impl DemSampler {
         let mut dets = BitVec::zeros(self.num_detectors);
         let mut obs = BitVec::zeros(self.num_observables);
         let mut fired = Vec::new();
-        for (i, &p) in self.probabilities.iter().enumerate() {
+        let tables = &self.tables;
+        for (i, &p) in tables.probabilities.iter().enumerate() {
             if self.rng.gen_bool(p) {
                 fired.push(i);
-                for &d in &self.detectors[i] {
-                    dets.flip(d);
+                for &d in tables.detectors(i) {
+                    dets.flip(d as usize);
                 }
-                for &o in &self.observables[i] {
-                    obs.flip(o);
+                for &o in tables.observables(i) {
+                    obs.flip(o as usize);
                 }
             }
         }
@@ -429,6 +532,124 @@ impl DemSampler {
         (d, o)
     }
 
+    /// Samples one shot into caller-provided buffers, avoiding the per-shot
+    /// allocations of [`DemSampler::sample`].
+    ///
+    /// Draws exactly the same RNG stream as [`DemSampler::sample`] (one
+    /// [`Rng::gen_bool`] per mechanism, in mechanism order), so a sampler
+    /// advanced through either method produces identical shots. The buffers are
+    /// cleared before sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dets` / `obs` do not have exactly `num_detectors` /
+    /// `num_observables` bits.
+    pub fn sample_into(&mut self, dets: &mut BitVec, obs: &mut BitVec) {
+        assert_eq!(dets.len(), self.num_detectors, "detector buffer length");
+        assert_eq!(obs.len(), self.num_observables, "observable buffer length");
+        dets.clear();
+        obs.clear();
+        let tables = &self.tables;
+        for (i, &p) in tables.probabilities.iter().enumerate() {
+            if self.rng.gen_bool(p) {
+                for &d in tables.detectors(i) {
+                    dets.flip(d as usize);
+                }
+                for &o in tables.observables(i) {
+                    obs.flip(o as usize);
+                }
+            }
+        }
+    }
+
+    /// Samples up to 64 shots at once into detector-major *frame* buffers: bit
+    /// `lane` of `det_frames[d]` (resp. `obs_frames[o]`) is detector `d`
+    /// (observable `o`) of shot-lane `lane`.
+    ///
+    /// This is the bit-parallel sampling kernel of the frame engine.
+    /// Mechanisms are visited grouped by probability (frame XORs commute, so
+    /// the sampled law is unchanged by the reordering), and each group uses the
+    /// cheaper of two strategies:
+    ///
+    /// - *rare* groups (`p < GEOMETRIC_SKIP_MAX_P`) geometrically skip
+    ///   across the group's (mechanism, lane) trial sequence, so the expected
+    ///   cost is proportional to the number of events that actually *fire*
+    ///   rather than to the mechanism count;
+    /// - the remaining groups draw a fired-lane *word* per mechanism — one
+    ///   exact `Bernoulli(p)` bit per lane in expected `~log2(lanes)` RNG
+    ///   draws, by comparing each lane's implicit uniform variate against the
+    ///   binary expansion of `p`.
+    ///
+    /// Fired events XOR the mechanism's detector and observable signature into
+    /// the fired lanes. The RNG stream is therefore laid out group- and
+    /// mechanism-major, unlike the shot-major stream of [`DemSampler::sample`]
+    /// — each layout is deterministic per seed, but the two engines produce
+    /// different (equally valid) shot sequences.
+    ///
+    /// The frame buffers are cleared before sampling; lanes `>= lanes` stay
+    /// zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is 0 or greater than 64, or if the buffer lengths
+    /// differ from `num_detectors` / `num_observables`.
+    pub fn sample_frames(&mut self, lanes: usize, det_frames: &mut [u64], obs_frames: &mut [u64]) {
+        assert!((1..=64).contains(&lanes), "lanes must be in 1..=64");
+        assert_eq!(det_frames.len(), self.num_detectors, "detector frame rows");
+        assert_eq!(
+            obs_frames.len(),
+            self.num_observables,
+            "observable frame rows"
+        );
+        det_frames.fill(0);
+        obs_frames.fill(0);
+        let lane_mask = if lanes == 64 {
+            u64::MAX
+        } else {
+            (1u64 << lanes) - 1
+        };
+        let tables = &self.tables;
+        for group in &tables.groups {
+            if let Some(inv_ln_q) = group.inv_ln_q {
+                // Geometric skipping: trial index t runs mechanism-major over
+                // the group's (mechanism, lane) pairs; each skip length is the
+                // number of non-firing trials before the next firing one.
+                let total = group.mechs.len() as u64 * lanes as u64;
+                let mut t = 0u64;
+                loop {
+                    // 53 high bits -> uniform f64 in (0, 1].
+                    let u =
+                        1.0 - ((self.rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
+                    t = t.saturating_add((u.ln() * inv_ln_q) as u64);
+                    if t >= total {
+                        break;
+                    }
+                    let mech = group.mechs[t as usize / lanes] as usize;
+                    let fired = 1u64 << (t as usize % lanes);
+                    for &d in tables.detectors(mech) {
+                        det_frames[d as usize] ^= fired;
+                    }
+                    for &o in tables.observables(mech) {
+                        obs_frames[o as usize] ^= fired;
+                    }
+                    t += 1;
+                }
+            } else {
+                for &mech in &group.mechs {
+                    let fired = bernoulli_word(&mut self.rng, group.probability, lane_mask);
+                    if fired != 0 {
+                        for &d in tables.detectors(mech as usize) {
+                            det_frames[d as usize] ^= fired;
+                        }
+                        for &o in tables.observables(mech as usize) {
+                            obs_frames[o as usize] ^= fired;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Returns the number of detectors per shot.
     pub fn num_detectors(&self) -> usize {
         self.num_detectors
@@ -438,6 +659,43 @@ impl DemSampler {
     pub fn num_observables(&self) -> usize {
         self.num_observables
     }
+}
+
+/// Draws a word of independent exact `Bernoulli(p)` bits, one per set bit of
+/// `lane_mask` (clear lanes stay 0).
+///
+/// Each lane conceptually holds a uniform variate `U` built from the lane's
+/// bits of successive `u64` draws (most significant first) and fires iff
+/// `U < p`. Scanning the binary expansion of `p` one bit at a time decides
+/// every lane as soon as its `U` prefix differs from the prefix of `p`:
+/// each round halves the undecided set in expectation, so the expected number
+/// of draws is `~log2(lanes) + 2` regardless of `p`. Every `f64` in `[0, 1)`
+/// is dyadic, so lanes still undecided when the expansion is exhausted have
+/// `U >= p` and do not fire — the per-lane law is *exactly* `Bernoulli(p)`,
+/// not an approximation.
+fn bernoulli_word(rng: &mut SmallRng, p: f64, lane_mask: u64) -> u64 {
+    if p >= 1.0 {
+        return lane_mask;
+    }
+    let mut fired = 0u64;
+    let mut undecided = lane_mask;
+    // Remaining binary expansion of p: doubling and subtracting 1 are exact
+    // on f64, so the bits come out unrounded.
+    let mut rest = p;
+    while rest > 0.0 && undecided != 0 {
+        let draw = rng.next_u64();
+        rest *= 2.0;
+        if rest >= 1.0 {
+            // p-bit 1: lanes whose U-bit is 0 have U < p.
+            rest -= 1.0;
+            fired |= undecided & !draw;
+            undecided &= draw;
+        } else {
+            // p-bit 0: lanes whose U-bit is 1 have U > p.
+            undecided &= !draw;
+        }
+    }
+    fired
 }
 
 #[cfg(test)]
@@ -602,6 +860,126 @@ mod tests {
         let mut s = noiseless.sampler(1);
         let (d, o) = s.sample();
         assert!(d.is_zero() && o.is_zero());
+    }
+
+    #[test]
+    fn sample_into_matches_the_allocating_path_shot_for_shot() {
+        let (_, exp) = d3_experiment(3);
+        let dem =
+            DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(8e-3));
+        let mut a = dem.sampler(13);
+        let mut b = dem.sampler(13);
+        let mut dets = BitVec::zeros(dem.num_detectors());
+        let mut obs = BitVec::zeros(dem.num_observables());
+        for _ in 0..50 {
+            let (want_d, want_o) = a.sample();
+            b.sample_into(&mut dets, &mut obs);
+            assert_eq!(dets, want_d);
+            assert_eq!(obs, want_o);
+        }
+    }
+
+    #[test]
+    fn sample_frames_is_deterministic_and_respects_lane_count() {
+        let (_, exp) = d3_experiment(3);
+        let dem =
+            DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(2e-2));
+        let mut det_a = vec![0u64; dem.num_detectors()];
+        let mut obs_a = vec![0u64; dem.num_observables()];
+        let mut det_b = det_a.clone();
+        let mut obs_b = obs_a.clone();
+        dem.sampler(7).sample_frames(64, &mut det_a, &mut obs_a);
+        dem.sampler(7).sample_frames(64, &mut det_b, &mut obs_b);
+        assert_eq!(det_a, det_b);
+        assert_eq!(obs_a, obs_b);
+        assert!(det_a.iter().any(|&w| w != 0), "noise must flip something");
+        // A partial word leaves lanes >= `lanes` zero in every row.
+        let mut det_c = vec![0u64; dem.num_detectors()];
+        let mut obs_c = vec![0u64; dem.num_observables()];
+        dem.sampler(7).sample_frames(5, &mut det_c, &mut obs_c);
+        assert!(det_c.iter().chain(obs_c.iter()).all(|&w| w >> 5 == 0));
+    }
+
+    #[test]
+    fn sample_frames_of_a_certain_mechanism_flips_its_signature_in_every_lane() {
+        // A single mechanism with probability 1 must fire in every lane.
+        let dem = DetectorErrorModel::from_parts(
+            3,
+            2,
+            vec![ErrorMechanism {
+                probability: 1.0,
+                detectors: vec![0, 2],
+                observables: vec![1],
+                sources: Vec::new(),
+            }],
+        )
+        .unwrap();
+        let mut det = vec![0u64; 3];
+        let mut obs = vec![0u64; 2];
+        dem.sampler(0).sample_frames(64, &mut det, &mut obs);
+        assert_eq!(det, vec![u64::MAX, 0, u64::MAX]);
+        assert_eq!(obs, vec![0, u64::MAX]);
+        dem.sampler(0).sample_frames(3, &mut det, &mut obs);
+        assert_eq!(det, vec![0b111, 0, 0b111]);
+        assert_eq!(obs, vec![0, 0b111]);
+    }
+
+    #[test]
+    fn bernoulli_word_is_exact_at_the_endpoints_and_unbiased_in_between() {
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert_eq!(bernoulli_word(&mut rng, 0.0, u64::MAX), 0);
+        assert_eq!(bernoulli_word(&mut rng, 1.0, u64::MAX), u64::MAX);
+        assert_eq!(bernoulli_word(&mut rng, 1.0, 0b101), 0b101);
+        // Clear lanes of the mask never fire.
+        for _ in 0..100 {
+            assert_eq!(bernoulli_word(&mut rng, 0.7, 0b1111) & !0b1111, 0);
+        }
+        // Empirical rate over many words tracks p to a few standard errors.
+        for p in [0.001, 0.25, 0.5, 0.9] {
+            let words = 4000usize;
+            let ones: u32 = (0..words)
+                .map(|_| bernoulli_word(&mut rng, p, u64::MAX).count_ones())
+                .sum();
+            let n = (words * 64) as f64;
+            let rate = f64::from(ones) / n;
+            let sigma = (p * (1.0 - p) / n).sqrt();
+            assert!(
+                (rate - p).abs() < 6.0 * sigma.max(1e-5),
+                "p = {p}: empirical rate {rate} too far off"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_sampling_matches_scalar_sampling_statistics() {
+        // The two engines draw different streams (and the frame path mixes
+        // geometric skipping with Bernoulli words), but the per-shot law is the
+        // same — so the mean number of flipped detectors must agree.
+        let (_, exp) = d3_experiment(3);
+        let dem =
+            DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(2e-2));
+        let shots = 6400;
+        let mut sampler = dem.sampler(13);
+        let mut scalar_flips = 0usize;
+        for _ in 0..shots {
+            let (d, _) = sampler.sample();
+            scalar_flips += d.weight();
+        }
+        let mut sampler = dem.sampler(99);
+        let mut det = vec![0u64; dem.num_detectors()];
+        let mut obs = vec![0u64; dem.num_observables()];
+        let mut frame_flips = 0usize;
+        for _ in 0..shots / 64 {
+            sampler.sample_frames(64, &mut det, &mut obs);
+            frame_flips += det.iter().map(|w| w.count_ones() as usize).sum::<usize>();
+        }
+        let scalar_mean = scalar_flips as f64 / shots as f64;
+        let frame_mean = frame_flips as f64 / shots as f64;
+        assert!(
+            (scalar_mean - frame_mean).abs() < 0.1 * scalar_mean,
+            "scalar mean {scalar_mean} vs frame mean {frame_mean}"
+        );
     }
 
     #[test]

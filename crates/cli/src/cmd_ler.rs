@@ -4,8 +4,8 @@
 
 use crate::args::{CliError, Flags};
 use crate::common::{
-    append_records, basis_selection_from_flags, budget_from_flags, decoder_from_flags, load_code,
-    load_schedule, noise_from_flags, read_file, runtime_from_flags,
+    append_records, basis_selection_from_flags, budget_from_flags, decoder_from_flags,
+    engine_from_flags, load_code, load_schedule, noise_from_flags, read_file, runtime_from_flags,
 };
 use prophunt_api::{ExperimentSpec, LerJob, LerOutcome, ScheduleSource, Session, StopReason};
 use prophunt_formats::parse_dem;
@@ -25,6 +25,9 @@ prophunt ler --code <family-or-spec-file> [--schedule <s>] [options]
   --noise         full noise spec for --code (depolarizing:<p>[:<idle>],
                   si1000:<p>, biased:<p>:<eta>[:<idle>]); conflicts with --p/--idle
   --decoder       decoder name: bposd (default) or unionfind
+  --engine        estimation engine: scalar (default) or frames (bit-parallel,
+                  64 shots per word; each engine is deterministic per seed, but
+                  the two use different RNG stream layouts)
   --shots         Monte-Carlo shot cap (default 2000)
   --max-failures  stop at the chunk where this many failures accumulate
   --target-rse    stop at the chunk where the relative standard error drops
@@ -49,6 +52,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             "idle",
             "noise",
             "decoder",
+            "engine",
             "shots",
             "max-failures",
             "target-rse",
@@ -62,6 +66,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let runtime = runtime_from_flags(&flags)?;
     let budget = budget_from_flags(&flags, 2000)?;
     let decoder = decoder_from_flags(&flags);
+    let engine = engine_from_flags(&flags)?;
     let mut session = Session::new(runtime);
 
     let mut records = Vec::new();
@@ -79,7 +84,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             let dem = parse_dem(&read_file(path)?)
                 .map_err(|e| CliError::failure(format!("{path}: {e}")))?;
             let outcome = session
-                .run_ler_on_dem(&dem, &decoder, budget, runtime.seed, |_| {})
+                .run_ler_on_dem(&dem, &decoder, budget, runtime.seed, engine, |_| {})
                 .map_err(CliError::failure)?;
             let label = flags.get("label").unwrap_or(path);
             records.push(outcome.to_record(label));
@@ -99,6 +104,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
                 .schedule(ScheduleSource::Explicit(schedule))
                 .noise(noise)
                 .decoder(&decoder)
+                .engine(engine)
                 .rounds(rounds)
                 .basis(basis)
                 .build()

@@ -8,8 +8,8 @@
 
 use crate::args::{CliError, Flags};
 use crate::common::{
-    append_records, basis_selection_from_flags, budget_from_flags, load_code, load_schedule,
-    runtime_from_flags,
+    append_records, basis_selection_from_flags, budget_from_flags, engine_from_flags, load_code,
+    load_schedule, runtime_from_flags,
 };
 use prophunt_api::{ExperimentSpec, LerJob, NoiseSpec, ScheduleSource, Session};
 
@@ -24,6 +24,8 @@ prophunt sweep --codes <fam1,fam2,...> [options]
   --schedule      coloration (default) or hand (surface codes only)
   --basis         z (default), x, or both
   --rounds        syndrome-measurement rounds (default 3)
+  --engine        estimation engine for every grid point: scalar (default)
+                  or frames (bit-parallel, 64 shots per word)
   --shots         shot cap per grid point (default 2000)
   --max-failures  adaptive stop: failures per grid point
   --target-rse    adaptive stop: relative standard error per grid point
@@ -59,6 +61,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             "schedule",
             "basis",
             "rounds",
+            "engine",
             "shots",
             "max-failures",
             "target-rse",
@@ -105,6 +108,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         return Err(CliError::usage("--rounds must be at least 1"));
     }
     let budget = budget_from_flags(&flags, 2000)?;
+    let engine = engine_from_flags(&flags)?;
     let runtime = runtime_from_flags(&flags)?;
 
     // One session for the whole grid: experiments are shared across p's and
@@ -119,6 +123,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             .schedule(ScheduleSource::Explicit(schedule))
             .rounds(rounds)
             .basis(basis)
+            .engine(engine)
             .build()
             .map_err(CliError::failure)?;
         for &p in &ps {

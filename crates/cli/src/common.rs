@@ -172,6 +172,16 @@ pub fn decoder_from_flags(flags: &Flags) -> String {
     flags.get("decoder").unwrap_or("bposd").to_string()
 }
 
+/// Parses `--engine` into a [`prophunt_api::Engine`] (default scalar).
+pub fn engine_from_flags(flags: &Flags) -> Result<prophunt_api::Engine, CliError> {
+    match flags.get("engine") {
+        None => Ok(prophunt_api::Engine::Scalar),
+        Some(name) => prophunt_api::Engine::parse(name).ok_or_else(|| {
+            CliError::usage(format!("--engine must be scalar or frames, got {name:?}"))
+        }),
+    }
+}
+
 /// Parses `--basis` into a [`prophunt_api::BasisSelection`] (default Z).
 pub fn basis_selection_from_flags(flags: &Flags) -> Result<prophunt_api::BasisSelection, CliError> {
     use prophunt_api::BasisSelection;

@@ -144,12 +144,17 @@ impl BpOsdDecoder {
 
     fn syndrome_of(&self, errors: &BitVec) -> BitVec {
         let mut s = BitVec::zeros(self.num_detectors);
+        self.syndrome_of_into(errors, &mut s);
+        s
+    }
+
+    fn syndrome_of_into(&self, errors: &BitVec, out: &mut BitVec) {
+        out.clear();
         for e in errors.ones() {
             for &d in &self.error_detectors[e] {
-                s.flip(d);
+                out.flip(d);
             }
         }
-        s
     }
 
     /// OSD-0: order columns by BP reliability (most likely error first), Gaussian
@@ -260,12 +265,254 @@ impl BpOsdDecoder {
         }
         obs
     }
+
+    /// Batch variant of [`BpOsdDecoder::decode_to_errors`] over reusable
+    /// scratch; produces exactly the per-shot result (same candidate set, same
+    /// weight tie-breaking).
+    fn decode_to_errors_with_scratch(&self, detectors: &BitVec, s: &mut BpScratch) -> BitVec {
+        if detectors.is_zero() {
+            return BitVec::zeros(self.priors.len());
+        }
+        let mut candidates: Vec<BitVec> = Vec::with_capacity(2);
+        let signature: Vec<usize> = detectors.ones().collect();
+        if let Some(&single) = self.signature_lookup.get(&signature) {
+            candidates.push(BitVec::from_indices(self.priors.len(), &[single]));
+        }
+        let converged = self.belief_propagation_with_scratch(detectors, s);
+        if converged {
+            candidates.push(s.decision.clone());
+        } else {
+            let osd = self.osd_zero_with_scratch(detectors, s);
+            candidates.push(osd);
+        }
+        candidates
+            .into_iter()
+            .filter(|c| &self.syndrome_of(c) == detectors)
+            .min_by(|a, b| {
+                self.weight_of(a)
+                    .partial_cmp(&self.weight_of(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or_else(|| BitVec::zeros(self.priors.len()))
+    }
+
+    /// Min-sum BP over flattened scratch buffers: the same message updates as
+    /// [`BpOsdDecoder::belief_propagation`], applied in the same order (checks
+    /// in detector order, slots in each error's detector-list order), so the
+    /// floating-point operation sequence per shot — and hence the hard decision
+    /// and posterior LLRs left in the scratch — is identical to the per-shot
+    /// path. Returns whether BP converged.
+    fn belief_propagation_with_scratch(&self, syndrome: &BitVec, s: &mut BpScratch) -> bool {
+        let num_errors = self.priors.len();
+        let BpScratch {
+            slot_base,
+            var_to_check,
+            check_to_var,
+            check_adj,
+            llr,
+            decision,
+            syndrome_buf,
+            ..
+        } = s;
+        for e in 0..num_errors {
+            for k in slot_base[e]..slot_base[e + 1] {
+                var_to_check[k] = self.priors[e];
+            }
+        }
+        check_to_var.fill(0.0);
+        llr.fill(0.0);
+        decision.clear();
+        for _ in 0..self.max_iterations {
+            // Check update (min-sum with normalization).
+            for (d, adj) in check_adj.iter().enumerate() {
+                let target = if syndrome.get(d) { -1.0 } else { 1.0 };
+                let mut sign_product = target;
+                let mut min1 = f64::INFINITY;
+                let mut min2 = f64::INFINITY;
+                let mut min_idx = usize::MAX;
+                for (k, &(_, flat)) in adj.iter().enumerate() {
+                    let m = var_to_check[flat];
+                    if m < 0.0 {
+                        sign_product = -sign_product;
+                    }
+                    let mag = m.abs();
+                    if mag < min1 {
+                        min2 = min1;
+                        min1 = mag;
+                        min_idx = k;
+                    } else if mag < min2 {
+                        min2 = mag;
+                    }
+                }
+                for (k, &(_, flat)) in adj.iter().enumerate() {
+                    let m = var_to_check[flat];
+                    let sign = sign_product * if m < 0.0 { -1.0 } else { 1.0 };
+                    let mag = if k == min_idx { min2 } else { min1 };
+                    let mag = if mag.is_finite() { mag } else { 0.0 };
+                    check_to_var[flat] = self.scaling * sign * mag;
+                }
+            }
+            // Variable update and hard decision.
+            for e in 0..num_errors {
+                let slots = slot_base[e]..slot_base[e + 1];
+                let total: f64 = self.priors[e] + check_to_var[slots.clone()].iter().sum::<f64>();
+                llr[e] = total;
+                decision.set(e, total < 0.0);
+                for k in slots {
+                    var_to_check[k] = total - check_to_var[k];
+                }
+            }
+            self.syndrome_of_into(decision, syndrome_buf);
+            if *syndrome_buf == *syndrome {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// OSD-0 over reusable scratch: the same column ordering (stable sort on
+    /// the scratch LLRs), elimination order and pivot choices as
+    /// [`BpOsdDecoder::osd_zero`], with the detector-row matrix and rhs reused
+    /// across shots instead of reallocated.
+    fn osd_zero_with_scratch(&self, syndrome: &BitVec, s: &mut BpScratch) -> BitVec {
+        let num_errors = self.priors.len();
+        let BpScratch {
+            llr,
+            order,
+            rows,
+            pivot,
+            row_used,
+            rhs,
+            pivot_cols,
+            ..
+        } = s;
+        order.clear();
+        order.extend(0..num_errors);
+        order.sort_by(|&a, &b| {
+            llr[a]
+                .partial_cmp(&llr[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for row in rows.iter_mut() {
+            row.clear();
+        }
+        for (new_col, &e) in order.iter().enumerate() {
+            for &d in &self.error_detectors[e] {
+                rows[d].set(new_col, true);
+            }
+        }
+        rhs.clone_from(syndrome);
+        row_used.fill(false);
+        pivot_cols.clear();
+        for col in 0..num_errors {
+            if pivot_cols.len() == self.num_detectors {
+                break;
+            }
+            // Find an unused row with a one in this column.
+            let Some(pr) = (0..self.num_detectors).find(|&r| !row_used[r] && rows[r].get(col))
+            else {
+                continue;
+            };
+            row_used[pr] = true;
+            pivot_cols.push((col, pr));
+            pivot.clone_from(&rows[pr]);
+            let pivot_rhs = rhs.get(pr);
+            for r in 0..self.num_detectors {
+                if r != pr && rows[r].get(col) {
+                    rows[r].xor_assign_with(pivot);
+                    if pivot_rhs {
+                        rhs.flip(r);
+                    }
+                }
+            }
+        }
+        let mut solution = BitVec::zeros(num_errors);
+        for &(col, pr) in pivot_cols.iter() {
+            if rhs.get(pr) {
+                solution.set(order[col], true);
+            }
+        }
+        solution
+    }
+}
+
+/// Reusable per-batch working memory for [`BpOsdDecoder`]: the BP messages in
+/// one flattened array each (slot `k` of error `e` lives at `slot_base[e] + k`
+/// instead of its own heap vector), the per-detector check adjacency built once
+/// per batch instead of once per shot, and the OSD-0 elimination matrix.
+struct BpScratch {
+    /// `slot_base[e]..slot_base[e + 1]` spans error `e`'s message slots.
+    slot_base: Vec<usize>,
+    var_to_check: Vec<f64>,
+    check_to_var: Vec<f64>,
+    /// Per detector: `(error, flattened slot index)`, in the same order the
+    /// per-shot path builds its adjacency (errors ascending).
+    check_adj: Vec<Vec<(usize, usize)>>,
+    llr: Vec<f64>,
+    decision: BitVec,
+    syndrome_buf: BitVec,
+    order: Vec<usize>,
+    rows: Vec<BitVec>,
+    pivot: BitVec,
+    row_used: Vec<bool>,
+    rhs: BitVec,
+    pivot_cols: Vec<(usize, usize)>,
+}
+
+impl BpScratch {
+    fn new(decoder: &BpOsdDecoder) -> Self {
+        let num_errors = decoder.priors.len();
+        let mut slot_base = Vec::with_capacity(num_errors + 1);
+        let mut total = 0usize;
+        for dets in &decoder.error_detectors {
+            slot_base.push(total);
+            total += dets.len();
+        }
+        slot_base.push(total);
+        let mut check_adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); decoder.num_detectors];
+        for (e, dets) in decoder.error_detectors.iter().enumerate() {
+            for (slot, &d) in dets.iter().enumerate() {
+                check_adj[d].push((e, slot_base[e] + slot));
+            }
+        }
+        BpScratch {
+            slot_base,
+            var_to_check: vec![0.0; total],
+            check_to_var: vec![0.0; total],
+            check_adj,
+            llr: vec![0.0; num_errors],
+            decision: BitVec::zeros(num_errors),
+            syndrome_buf: BitVec::zeros(decoder.num_detectors),
+            order: Vec::with_capacity(num_errors),
+            rows: vec![BitVec::zeros(num_errors); decoder.num_detectors],
+            pivot: BitVec::zeros(num_errors),
+            row_used: vec![false; decoder.num_detectors],
+            rhs: BitVec::zeros(decoder.num_detectors),
+            pivot_cols: Vec::new(),
+        }
+    }
 }
 
 impl Decoder for BpOsdDecoder {
     fn decode(&self, detectors: &BitVec) -> BitVec {
         let errors = self.decode_to_errors(detectors);
         self.observables_of(&errors)
+    }
+
+    /// Batch path of the frame engine: flattened BP message buffers, the check
+    /// adjacency and the OSD elimination matrix are built once and reused
+    /// across every shot of the batch. Per-shot results are pinned equal to
+    /// [`Decoder::decode`] by the equality tests in this crate and the
+    /// `frame_engine` suite tests.
+    fn decode_batch(&self, shots: &[BitVec]) -> Vec<BitVec> {
+        let mut scratch = BpScratch::new(self);
+        shots
+            .iter()
+            .map(|shot| {
+                let errors = self.decode_to_errors_with_scratch(shot, &mut scratch);
+                self.observables_of(&errors)
+            })
+            .collect()
     }
 
     fn num_detectors(&self) -> usize {
@@ -353,6 +600,21 @@ mod tests {
                 dets,
                 "correction must explain the syndrome"
             );
+        }
+    }
+
+    #[test]
+    fn decode_batch_equals_per_shot_decode_including_osd_shots() {
+        // High enough noise that some shots fail BP convergence and fall
+        // through to OSD-0, exercising the reused elimination matrix.
+        let dem = surface_dem(3, 3e-2);
+        let decoder = BpOsdDecoder::new(&dem);
+        let mut sampler = dem.sampler(29);
+        let shots: Vec<BitVec> = (0..60).map(|_| sampler.sample().0).collect();
+        let batch = decoder.decode_batch(&shots);
+        assert_eq!(batch.len(), shots.len());
+        for (i, (shot, prediction)) in shots.iter().zip(&batch).enumerate() {
+            assert_eq!(&decoder.decode(shot), prediction, "shot {i}");
         }
     }
 

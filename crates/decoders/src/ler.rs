@@ -7,9 +7,21 @@
 //! decisions ([`ShotBudget`]) are evaluated *in chunk order*, so a fixed
 //! `(seed, chunk_size)` gives bit-identical failure counts at any thread count —
 //! including runs that stop early.
+//!
+//! Two per-chunk kernels implement the same contract behind the [`Engine`]
+//! selector: the scalar kernel samples and decodes one shot at a time, while the
+//! bit-parallel *frame* kernel packs 64 shots per machine word
+//! ([`DemSampler::sample_frames`](prophunt_circuit::DemSampler::sample_frames)),
+//! transposes the frames into per-shot syndromes and batch-decodes them through
+//! [`Decoder::decode_batch`]. Each engine is a pure function of
+//! `(seed, chunk_size)`, but the two lay out the chunk's RNG stream differently
+//! (shot-major vs mechanism-major), so their shot sequences — and hence failure
+//! counts — differ; what is identical across engines is the per-shot decode
+//! result on the same error frames.
 
 use crate::Decoder;
 use prophunt_circuit::DetectorErrorModel;
+use prophunt_gf2::{transpose_lane_words, BitVec};
 use prophunt_runtime::{Runtime, SeedStream};
 
 /// The result of a Monte-Carlo logical-error-rate estimate.
@@ -174,6 +186,58 @@ pub struct ChunkProgress {
     pub failures: usize,
 }
 
+/// Which per-chunk sampling/decoding kernel an estimation run uses.
+///
+/// Both engines satisfy the same determinism contract — results are a pure
+/// function of `(seed, chunk_size, engine)` at any thread count — and both spend
+/// exactly one RNG draw per error mechanism per shot. They lay that stream out
+/// differently (scalar: shot-major; frames: mechanism-major within each 64-shot
+/// block), so the two engines sample *different* shot sequences for the same
+/// seed and are not expected to report identical failure counts. On the same
+/// error frames their per-shot decode results are identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// Sample and decode one shot at a time.
+    #[default]
+    Scalar,
+    /// Bit-parallel kernel: sample 64 shots per machine word, transpose, and
+    /// batch-decode via [`Decoder::decode_batch`].
+    Frames,
+}
+
+impl Engine {
+    /// A stable machine-readable name (used in report records and CLI flags).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Engine::Scalar => "scalar",
+            Engine::Frames => "frames",
+        }
+    }
+
+    /// Parses the name produced by [`Engine::as_str`].
+    pub fn parse(name: &str) -> Option<Engine> {
+        match name {
+            "scalar" => Some(Engine::Scalar),
+            "frames" => Some(Engine::Frames),
+            _ => None,
+        }
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Engine, String> {
+        Engine::parse(s).ok_or_else(|| format!("unknown engine '{s}' (expected scalar|frames)"))
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Estimates the logical error rate of `decoder` on shots sampled from `dem`,
 /// spending at most `budget` and stopping early when the budget's adaptive rule is
 /// satisfied.
@@ -186,12 +250,41 @@ pub struct ChunkProgress {
 /// equivalent [`ShotBudget::Fixed`] run, where `k` is the first chunk satisfying
 /// the rule.
 ///
+/// Equivalent to [`estimate_with_budget_engine`] with [`Engine::Scalar`].
+///
 /// `observer` is invoked once per counted chunk with the cumulative progress.
 pub fn estimate_with_budget(
     dem: &DetectorErrorModel,
     decoder: &dyn Decoder,
     budget: ShotBudget,
     seed: u64,
+    runtime: &Runtime,
+    observer: &mut dyn FnMut(ChunkProgress),
+) -> (LogicalErrorEstimate, LerStopReason) {
+    estimate_with_budget_engine(
+        dem,
+        decoder,
+        budget,
+        seed,
+        Engine::Scalar,
+        runtime,
+        observer,
+    )
+}
+
+/// [`estimate_with_budget`] with an explicit [`Engine`] selecting the per-chunk
+/// kernel.
+///
+/// The chunk structure (boundaries, seeds, in-order adaptive scan) is identical
+/// for both engines; only the kernel that turns a `(chunk_shots, chunk_seed)`
+/// pair into a failure count differs. A fixed `(seed, chunk_size, engine)` is
+/// bit-identical at any thread count.
+pub fn estimate_with_budget_engine(
+    dem: &DetectorErrorModel,
+    decoder: &dyn Decoder,
+    budget: ShotBudget,
+    seed: u64,
+    engine: Engine,
     runtime: &Runtime,
     observer: &mut dyn FnMut(ChunkProgress),
 ) -> (LogicalErrorEstimate, LerStopReason) {
@@ -212,7 +305,11 @@ pub fn estimate_with_budget(
         let results = runtime.run_tasks(wave, |i| {
             let c = done + i;
             let chunk_shots = chunk.min(max_shots - c * chunk);
-            run_shots(dem, decoder, chunk_shots, stream.seed_for(c as u64))
+            let chunk_seed = stream.seed_for(c as u64);
+            match engine {
+                Engine::Scalar => run_shots(dem, decoder, chunk_shots, chunk_seed),
+                Engine::Frames => run_shots_frames(dem, decoder, chunk_shots, chunk_seed),
+            }
         });
         for (i, partial) in results.into_iter().enumerate() {
             cumulative = cumulative.combined(partial);
@@ -264,12 +361,41 @@ fn run_shots(
     seed: u64,
 ) -> LogicalErrorEstimate {
     let mut sampler = dem.sampler(seed);
+    let mut detectors = BitVec::zeros(dem.num_detectors());
+    let mut observables = BitVec::zeros(dem.num_observables());
     let mut failures = 0usize;
     for _ in 0..shots {
-        let (detectors, observables) = sampler.sample();
+        sampler.sample_into(&mut detectors, &mut observables);
         if decoder.decode(&detectors) != observables {
             failures += 1;
         }
+    }
+    LogicalErrorEstimate { shots, failures }
+}
+
+fn run_shots_frames(
+    dem: &DetectorErrorModel,
+    decoder: &dyn Decoder,
+    shots: usize,
+    seed: u64,
+) -> LogicalErrorEstimate {
+    let mut sampler = dem.sampler(seed);
+    let mut det_frames = vec![0u64; dem.num_detectors()];
+    let mut obs_frames = vec![0u64; dem.num_observables()];
+    let mut failures = 0usize;
+    let mut remaining = shots;
+    while remaining > 0 {
+        let lanes = remaining.min(64);
+        sampler.sample_frames(lanes, &mut det_frames, &mut obs_frames);
+        let det_shots = transpose_lane_words(&det_frames, lanes);
+        let obs_shots = transpose_lane_words(&obs_frames, lanes);
+        let predictions = decoder.decode_batch(&det_shots);
+        for (prediction, observed) in predictions.iter().zip(&obs_shots) {
+            if prediction != observed {
+                failures += 1;
+            }
+        }
+        remaining -= lanes;
     }
     LogicalErrorEstimate { shots, failures }
 }
@@ -507,6 +633,134 @@ mod tests {
         // The decision is taken at chunk granularity: stopping exactly at a chunk
         // boundary means the previous chunk's tally was still above target.
         assert_eq!(est.shots % 32, 0);
+    }
+
+    #[test]
+    fn engine_names_round_trip_and_default_is_scalar() {
+        assert_eq!(Engine::default(), Engine::Scalar);
+        for engine in [Engine::Scalar, Engine::Frames] {
+            assert_eq!(Engine::parse(engine.as_str()), Some(engine));
+            assert_eq!(engine.as_str().parse::<Engine>(), Ok(engine));
+            assert_eq!(engine.to_string(), engine.as_str());
+        }
+        assert_eq!(Engine::parse("vectorized"), None);
+        assert!("vectorized".parse::<Engine>().is_err());
+    }
+
+    #[test]
+    fn frame_engine_failure_counts_are_identical_across_thread_counts() {
+        let dem = surface_dem(3, 8e-3, 3);
+        let decoder = BpOsdDecoder::new(&dem);
+        let run = |threads| {
+            estimate_with_budget_engine(
+                &dem,
+                &decoder,
+                ShotBudget::fixed(500),
+                42,
+                Engine::Frames,
+                &Runtime::new(RuntimeConfig::new(threads, 64, 0)),
+                &mut |_| {},
+            )
+            .0
+        };
+        let reference = run(1);
+        assert_eq!(reference.shots, 500);
+        assert!(reference.failures > 0, "want a nonzero count to compare");
+        for threads in [2, 8] {
+            assert_eq!(run(threads), reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn frame_engine_handles_partial_lane_blocks_and_chunk_tails() {
+        // 150 shots at chunk 64 → chunks of 64, 64, 22; the last chunk exercises a
+        // partial (22-lane) frame block.
+        let dem = surface_dem(3, 2e-2, 3);
+        let decoder = BpOsdDecoder::new(&dem);
+        let runtime = Runtime::new(RuntimeConfig::new(2, 64, 0));
+        let (est, stop) = estimate_with_budget_engine(
+            &dem,
+            &decoder,
+            ShotBudget::fixed(150),
+            11,
+            Engine::Frames,
+            &runtime,
+            &mut |_| {},
+        );
+        assert_eq!(stop, LerStopReason::ShotsExhausted);
+        assert_eq!(est.shots, 150);
+        assert!(est.failures > 0, "p = 2% on d3 should fail sometimes");
+        assert!(est.rate() < 0.5, "rate {}", est.rate());
+    }
+
+    #[test]
+    fn both_engines_estimate_comparable_rates_on_the_same_model() {
+        // Different RNG stream layouts mean the counts differ, but both engines
+        // sample the same distribution: at p = 2% on d3 their rates must agree
+        // within generous Monte-Carlo error.
+        let dem = surface_dem(3, 2e-2, 3);
+        let decoder = BpOsdDecoder::new(&dem);
+        let runtime = Runtime::new(RuntimeConfig::new(4, 64, 0));
+        let run = |engine| {
+            estimate_with_budget_engine(
+                &dem,
+                &decoder,
+                ShotBudget::fixed(2000),
+                21,
+                engine,
+                &runtime,
+                &mut |_| {},
+            )
+            .0
+        };
+        let scalar = run(Engine::Scalar);
+        let frames = run(Engine::Frames);
+        assert_eq!(scalar.shots, frames.shots);
+        let tolerance = 5.0 * (scalar.standard_error() + frames.standard_error());
+        assert!(
+            (scalar.rate() - frames.rate()).abs() <= tolerance,
+            "scalar {} vs frames {} (tolerance {tolerance})",
+            scalar.rate(),
+            frames.rate(),
+        );
+    }
+
+    #[test]
+    fn frame_engine_adaptive_stop_matches_its_own_fixed_chunk_prefix() {
+        let dem = surface_dem(3, 2e-2, 3);
+        let decoder = BpOsdDecoder::new(&dem);
+        let runtime = Runtime::new(RuntimeConfig::new(4, 32, 0));
+        let mut prefix = Vec::new();
+        let (full, _) = estimate_with_budget_engine(
+            &dem,
+            &decoder,
+            ShotBudget::fixed(960),
+            5,
+            Engine::Frames,
+            &runtime,
+            &mut |p| prefix.push(p),
+        );
+        assert!(full.failures >= 8, "need failures, got {}", full.failures);
+        let max_failures = full.failures / 2;
+        let expected = prefix
+            .iter()
+            .find(|p| p.failures >= max_failures)
+            .expect("threshold below the total must be crossed");
+        let (adaptive, stop) = estimate_with_budget_engine(
+            &dem,
+            &decoder,
+            ShotBudget::MaxFailures {
+                max_failures,
+                max_shots: 960,
+            },
+            5,
+            Engine::Frames,
+            &runtime,
+            &mut |_| {},
+        );
+        assert_eq!(stop, LerStopReason::MaxFailuresReached);
+        assert_eq!(adaptive.shots, expected.shots);
+        assert_eq!(adaptive.failures, expected.failures);
     }
 
     #[test]

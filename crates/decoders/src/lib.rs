@@ -42,8 +42,8 @@ pub mod unionfind;
 
 pub use bposd::BpOsdDecoder;
 pub use ler::{
-    estimate_logical_error_rate, estimate_with_budget, ChunkProgress, LerStopReason,
-    LogicalErrorEstimate, ShotBudget,
+    estimate_logical_error_rate, estimate_with_budget, estimate_with_budget_engine, ChunkProgress,
+    Engine, LerStopReason, LogicalErrorEstimate, ShotBudget,
 };
 pub use unionfind::UnionFindDecoder;
 
@@ -57,6 +57,19 @@ use prophunt_gf2::BitVec;
 pub trait Decoder: Send + Sync {
     /// Predicts the observable flips for the given detector outcomes.
     fn decode(&self, detectors: &BitVec) -> BitVec;
+
+    /// Predicts the observable flips of a whole batch of shots, one prediction
+    /// per input syndrome, in order.
+    ///
+    /// The contract is strict equality with the per-shot path: for every `i`,
+    /// `decode_batch(shots)[i] == decode(&shots[i])`. The default
+    /// implementation simply loops [`Decoder::decode`]; decoders with
+    /// per-call scratch ([`BpOsdDecoder`], [`UnionFindDecoder`]) override it
+    /// to build the scratch once and reuse it across the batch, which is where
+    /// the frame engine's batch-decoding speedup comes from.
+    fn decode_batch(&self, shots: &[BitVec]) -> Vec<BitVec> {
+        shots.iter().map(|s| self.decode(s)).collect()
+    }
 
     /// Number of detectors the decoder expects per shot.
     fn num_detectors(&self) -> usize;

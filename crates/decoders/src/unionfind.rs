@@ -78,25 +78,50 @@ impl UnionFindDecoder {
 }
 
 /// Plain union-find over cluster roots with parity and boundary bookkeeping.
+///
+/// Between decodes the arrays sit in the *clean* (zero-syndrome) state:
+/// `parent[i] == i`, `parity` all false, `touches_boundary` true only for the
+/// boundary node. Every entry a decode mutates is journaled in `dirty`, so
+/// [`Clusters::restore_clean`] undoes a shot in time proportional to the work
+/// that shot actually did — not in the size of the graph.
 struct Clusters {
     parent: Vec<usize>,
     parity: Vec<bool>,
     touches_boundary: Vec<bool>,
+    /// Journal of (possibly) mutated node indices, duplicates allowed.
+    dirty: Vec<usize>,
 }
 
 impl Clusters {
-    fn new(num_nodes: usize, syndrome: &BitVec) -> Self {
+    fn new(num_nodes: usize) -> Self {
         Clusters {
             parent: (0..num_nodes).collect(),
-            parity: (0..num_nodes)
-                .map(|i| i < syndrome.len() && syndrome.get(i))
-                .collect(),
+            parity: vec![false; num_nodes],
             touches_boundary: (0..num_nodes).map(|i| i == num_nodes - 1).collect(),
+            dirty: Vec::new(),
+        }
+    }
+
+    /// Marks a defect in a clean state (the per-shot replacement for building
+    /// the parity array from the whole syndrome).
+    fn seed_defect(&mut self, d: usize) {
+        self.parity[d] = true;
+        self.dirty.push(d);
+    }
+
+    /// Returns every journaled entry to the clean zero-syndrome state.
+    fn restore_clean(&mut self) {
+        let last = self.parent.len() - 1;
+        while let Some(i) = self.dirty.pop() {
+            self.parent[i] = i;
+            self.parity[i] = false;
+            self.touches_boundary[i] = i == last;
         }
     }
 
     fn find(&mut self, mut x: usize) -> usize {
         while self.parent[x] != x {
+            self.dirty.push(x);
             self.parent[x] = self.parent[self.parent[x]];
             x = self.parent[x];
         }
@@ -109,6 +134,8 @@ impl Clusters {
         if ra == rb {
             return ra;
         }
+        self.dirty.push(ra);
+        self.dirty.push(rb);
         self.parent[rb] = ra;
         self.parity[ra] ^= self.parity[rb];
         self.touches_boundary[ra] |= self.touches_boundary[rb];
@@ -121,42 +148,123 @@ impl Clusters {
     }
 }
 
-impl Decoder for UnionFindDecoder {
-    fn decode(&self, detectors: &BitVec) -> BitVec {
+/// Reusable per-batch working memory for [`UnionFindDecoder`]: every vector the
+/// per-shot algorithm needs, allocated once and *sparsely* reset between shots.
+/// The full-size arrays hold a clean (zero-syndrome) state between decodes and
+/// every decode journals what it touched (`members`, `touched_edges`,
+/// `grown_edges`, `visited`, `Clusters::dirty`), so the per-shot reset cost is
+/// proportional to that shot's cluster region — not to the whole graph. The
+/// values the algorithm reads are exactly those a freshly allocated scratch
+/// would hold, so the scratch path is bit-identical to a fresh-allocation
+/// decode by construction (the whole algorithm is integer arithmetic).
+struct UfScratch {
+    clusters: Clusters,
+    growth: Vec<u8>,
+    /// Edges whose `growth` left 0 this shot (each listed once).
+    touched_edges: Vec<usize>,
+    in_cluster: Vec<bool>,
+    /// Detectors with `in_cluster` set this shot (each listed once).
+    members: Vec<usize>,
+    grown_edges: Vec<usize>,
+    grown_adj: Vec<Vec<(usize, usize)>>,
+    active_nodes: Vec<usize>,
+    newly_grown: Vec<usize>,
+    dist: Vec<usize>,
+    bfs_parent: Vec<Option<(usize, usize)>>,
+    /// Nodes reached by the current BFS (the set with `dist` written).
+    visited: Vec<usize>,
+    queue: std::collections::VecDeque<usize>,
+    unmatched: Vec<usize>,
+}
+
+impl UfScratch {
+    fn new(decoder: &UnionFindDecoder) -> Self {
+        let num_nodes = decoder.num_detectors + 1;
+        UfScratch {
+            clusters: Clusters::new(num_nodes),
+            growth: vec![0u8; decoder.edges.len()],
+            touched_edges: Vec::new(),
+            in_cluster: vec![false; decoder.num_detectors],
+            members: Vec::new(),
+            grown_edges: Vec::new(),
+            grown_adj: vec![Vec::new(); num_nodes],
+            active_nodes: Vec::new(),
+            newly_grown: Vec::new(),
+            dist: vec![usize::MAX; num_nodes],
+            bfs_parent: vec![None; num_nodes],
+            visited: Vec::new(),
+            queue: std::collections::VecDeque::new(),
+            unmatched: Vec::new(),
+        }
+    }
+
+    /// Returns every journaled entry to the clean state, in O(touched).
+    fn restore_clean(&mut self, decoder: &UnionFindDecoder) {
+        while let Some(ei) = self.touched_edges.pop() {
+            self.growth[ei] = 0;
+        }
+        while let Some(d) = self.members.pop() {
+            self.in_cluster[d] = false;
+        }
+        while let Some(ei) = self.grown_edges.pop() {
+            let e = &decoder.edges[ei];
+            self.grown_adj[e.a].clear();
+            self.grown_adj[e.b].clear();
+        }
+        self.clusters.restore_clean();
+    }
+}
+
+impl UnionFindDecoder {
+    /// The decode kernel, parameterized over reusable scratch: grow clusters,
+    /// then peel shortest grown-edge paths between matched defects. The scratch
+    /// is clean on entry and restored to clean before returning, so the work
+    /// (including all resets) is proportional to the defect region, not to the
+    /// graph.
+    fn decode_with_scratch(&self, detectors: &BitVec, s: &mut UfScratch) -> BitVec {
         let mut prediction = BitVec::zeros(self.num_observables);
         if detectors.is_zero() {
             return prediction;
         }
-        let num_nodes = self.num_detectors + 1;
-        let mut clusters = Clusters::new(num_nodes, detectors);
+        let clusters = &mut s.clusters;
+        for d in detectors.ones() {
+            clusters.seed_defect(d);
+            s.in_cluster[d] = true;
+            s.members.push(d);
+        }
         // Half-edge growth: each edge needs two growth increments before it joins its
         // endpoints. Grow every non-neutral cluster uniformly each stage.
-        let mut growth = vec![0u8; self.edges.len()];
-        let mut in_cluster: Vec<bool> = (0..self.num_detectors).map(|d| detectors.get(d)).collect();
-        let mut grown_edges: Vec<usize> = Vec::new();
         let max_stages = 2 * (self.num_detectors + 2);
         for _ in 0..max_stages {
-            // Collect defective (non-neutral) cluster roots.
-            let mut active_nodes: Vec<usize> = Vec::new();
-            for d in 0..self.num_detectors {
-                if in_cluster[d] && !clusters.is_neutral(d) {
-                    active_nodes.push(d);
+            // Collect defective (non-neutral) cluster nodes, in ascending
+            // detector order: sorting the member list reproduces exactly the
+            // order a 0..num_detectors scan filtered by `in_cluster` would
+            // visit, which downstream fixes the grown-edge order and hence the
+            // extracted correction.
+            s.members.sort_unstable();
+            s.active_nodes.clear();
+            for &d in &s.members {
+                if !clusters.is_neutral(d) {
+                    s.active_nodes.push(d);
                 }
             }
-            if active_nodes.is_empty() {
+            if s.active_nodes.is_empty() {
                 break;
             }
-            let mut newly_grown: Vec<usize> = Vec::new();
+            s.newly_grown.clear();
             let mut incremented = false;
-            for &d in &active_nodes {
+            for &d in &s.active_nodes {
                 for &ei in &self.incident[d] {
-                    if growth[ei] >= 2 {
+                    if s.growth[ei] >= 2 {
                         continue;
                     }
-                    growth[ei] += 1;
+                    if s.growth[ei] == 0 {
+                        s.touched_edges.push(ei);
+                    }
+                    s.growth[ei] += 1;
                     incremented = true;
-                    if growth[ei] >= 2 {
-                        newly_grown.push(ei);
+                    if s.growth[ei] >= 2 {
+                        s.newly_grown.push(ei);
                     }
                 }
             }
@@ -164,39 +272,48 @@ impl Decoder for UnionFindDecoder {
                 // No progress is possible (isolated defect with no growable edges).
                 break;
             }
-            for &ei in &newly_grown {
+            for &ei in &s.newly_grown {
                 let e = &self.edges[ei];
                 clusters.union(e.a, e.b);
-                in_cluster[e.a] = true;
-                if e.b != self.boundary {
-                    in_cluster[e.b] = true;
+                if !s.in_cluster[e.a] {
+                    s.in_cluster[e.a] = true;
+                    s.members.push(e.a);
                 }
-                grown_edges.push(ei);
+                if e.b != self.boundary && !s.in_cluster[e.b] {
+                    s.in_cluster[e.b] = true;
+                    s.members.push(e.b);
+                }
+                s.grown_edges.push(ei);
             }
         }
 
         // Correction extraction: within the grown subgraph, greedily pair up defects
         // (and, when closer, match a defect to the boundary) along shortest grown-edge
         // paths, XOR-ing the observable masks of the path edges into the prediction.
-        let mut grown_adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); num_nodes];
-        for &ei in &grown_edges {
+        for &ei in &s.grown_edges {
             let e = &self.edges[ei];
-            grown_adj[e.a].push((e.b, ei));
-            grown_adj[e.b].push((e.a, ei));
+            s.grown_adj[e.a].push((e.b, ei));
+            s.grown_adj[e.b].push((e.a, ei));
         }
-        let _ = in_cluster;
-        let mut unmatched: Vec<usize> = detectors.ones().collect();
+        s.unmatched.clear();
+        s.unmatched.extend(detectors.ones());
+        let unmatched = &mut s.unmatched;
         while let Some(&source) = unmatched.first() {
             // BFS from the current defect over grown edges, recording parent edges.
-            let mut dist = vec![usize::MAX; num_nodes];
-            let mut parent: Vec<Option<(usize, usize)>> = vec![None; num_nodes];
-            let mut queue = std::collections::VecDeque::from([source]);
+            let dist = &mut s.dist;
+            let parent = &mut s.bfs_parent;
+            let queue = &mut s.queue;
+            queue.clear();
+            queue.push_back(source);
             dist[source] = 0;
+            s.visited.clear();
+            s.visited.push(source);
             while let Some(node) = queue.pop_front() {
-                for &(next, ei) in &grown_adj[node] {
+                for &(next, ei) in &s.grown_adj[node] {
                     if dist[next] == usize::MAX {
                         dist[next] = dist[node] + 1;
                         parent[next] = Some((node, ei));
+                        s.visited.push(next);
                         queue.push_back(next);
                     }
                 }
@@ -218,6 +335,10 @@ impl Decoder for UnionFindDecoder {
                     // Isolated defect with no grown path anywhere (no incident edges in
                     // the model); nothing sensible to do but drop it.
                     unmatched.remove(0);
+                    for &v in &s.visited {
+                        dist[v] = usize::MAX;
+                        parent[v] = None;
+                    }
                     continue;
                 }
             };
@@ -231,8 +352,31 @@ impl Decoder for UnionFindDecoder {
                 node = prev;
             }
             unmatched.retain(|&d| d != source && d != target);
+            // Sparse reset of the BFS arrays: only reached nodes were written.
+            for &v in &s.visited {
+                dist[v] = usize::MAX;
+                parent[v] = None;
+            }
         }
+        s.restore_clean(self);
         prediction
+    }
+}
+
+impl Decoder for UnionFindDecoder {
+    fn decode(&self, detectors: &BitVec) -> BitVec {
+        self.decode_with_scratch(detectors, &mut UfScratch::new(self))
+    }
+
+    /// Batch path of the frame engine: one scratch allocation for the whole
+    /// batch instead of one per shot. Identical to per-shot [`Decoder::decode`]
+    /// because both run `UnionFindDecoder::decode_with_scratch`.
+    fn decode_batch(&self, shots: &[BitVec]) -> Vec<BitVec> {
+        let mut scratch = UfScratch::new(self);
+        shots
+            .iter()
+            .map(|shot| self.decode_with_scratch(shot, &mut scratch))
+            .collect()
     }
 
     fn num_detectors(&self) -> usize {
@@ -307,6 +451,19 @@ mod tests {
             failures <= 4,
             "too many union-find failures: {failures}/400"
         );
+    }
+
+    #[test]
+    fn decode_batch_equals_per_shot_decode_on_sampled_shots() {
+        let dem = repetition_dem(2e-2);
+        let decoder = UnionFindDecoder::new(&dem);
+        let mut sampler = dem.sampler(17);
+        let shots: Vec<BitVec> = (0..80).map(|_| sampler.sample().0).collect();
+        let batch = decoder.decode_batch(&shots);
+        assert_eq!(batch.len(), shots.len());
+        for (shot, prediction) in shots.iter().zip(&batch) {
+            assert_eq!(&decoder.decode(shot), prediction);
+        }
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Frame-engine/scalar decode parity on identical error frames.
+//!
+//! The two estimation engines lay out the per-chunk RNG stream differently, so
+//! they sample different shot sequences — but the *decode* stage must be
+//! bit-identical: the frame engine's `decode_batch` over transposed frames has
+//! to return exactly what the scalar path's per-shot `decode` returns on the
+//! same syndromes. These proptests pin that on a matchable surface code (d3 and
+//! d5) and on the non-matchable `bb_72_12` bivariate-bicycle code, for both the
+//! batch-overriding decoders.
+
+use prophunt_circuit::schedule::ScheduleSpec;
+use prophunt_circuit::{DetectorErrorModel, MemoryBasis, MemoryExperiment, NoiseModel};
+use prophunt_decoders::{BpOsdDecoder, Decoder, UnionFindDecoder};
+use prophunt_gf2::transpose_lane_words;
+use prophunt_qec::product::bivariate_bicycle;
+use prophunt_qec::surface::rotated_surface_code_with_layout;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn surface_dem(d: usize, p: f64) -> DetectorErrorModel {
+    let (code, layout) = rotated_surface_code_with_layout(d);
+    let schedule = ScheduleSpec::surface_hand_designed(&code, &layout);
+    let exp = MemoryExperiment::build(&code, &schedule, 3, MemoryBasis::Z).unwrap();
+    DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(p))
+}
+
+fn bb_72_12_dem(p: f64) -> DetectorErrorModel {
+    let code = bivariate_bicycle(
+        6,
+        6,
+        &[(3, 0), (0, 1), (0, 2)],
+        &[(0, 3), (1, 0), (2, 0)],
+        "bb_72_12",
+    );
+    let schedule = ScheduleSpec::coloration(&code);
+    let exp = MemoryExperiment::build(&code, &schedule, 3, MemoryBasis::Z).unwrap();
+    DetectorErrorModel::from_experiment(&exp, &NoiseModel::uniform_depolarizing(p))
+}
+
+/// The test fixtures, built once: `(name, model, decoder)` triples. Error
+/// rates are high enough that sampled frames regularly contain multi-error
+/// shots (exercising the BP non-convergence → OSD fallback path).
+type Fixture = (&'static str, DetectorErrorModel, Box<dyn Decoder>);
+
+fn fixtures() -> &'static Vec<Fixture> {
+    static FIXTURES: OnceLock<Vec<Fixture>> = OnceLock::new();
+    FIXTURES.get_or_init(|| {
+        let d3 = surface_dem(3, 2e-2);
+        let d3_uf = surface_dem(3, 2e-2);
+        let d5 = surface_dem(5, 8e-3);
+        let bb = bb_72_12_dem(3e-3);
+        vec![
+            (
+                "surface_d3/bposd",
+                d3.clone(),
+                Box::new(BpOsdDecoder::new(&d3)) as Box<dyn Decoder>,
+            ),
+            (
+                "surface_d3/unionfind",
+                d3_uf.clone(),
+                Box::new(UnionFindDecoder::new(&d3_uf)),
+            ),
+            (
+                "surface_d5/bposd",
+                d5.clone(),
+                Box::new(BpOsdDecoder::new(&d5)),
+            ),
+            (
+                "bb_72_12/bposd",
+                bb.clone(),
+                Box::new(BpOsdDecoder::new(&bb)),
+            ),
+        ]
+    })
+}
+
+proptest! {
+    // Each case decodes up to 64 shots twice across four fixtures; a few cases
+    // with random lane counts already cover partial and full words.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// For any seed and lane count, the frame pipeline's per-shot predictions
+    /// (`sample_frames` → `transpose_lane_words` → `decode_batch`) are exactly
+    /// the scalar `decode` of the same transposed syndromes.
+    #[test]
+    fn frame_pipeline_decodes_equal_the_scalar_path_per_shot(
+        seed in any::<u64>(),
+        lanes in 1usize..65,
+    ) {
+        for (name, dem, decoder) in fixtures() {
+            let mut sampler = dem.sampler(seed);
+            let mut det_frames = vec![0u64; dem.num_detectors()];
+            let mut obs_frames = vec![0u64; dem.num_observables()];
+            sampler.sample_frames(lanes, &mut det_frames, &mut obs_frames);
+            let det_shots = transpose_lane_words(&det_frames, lanes);
+            prop_assert_eq!(det_shots.len(), lanes);
+            let batch = decoder.decode_batch(&det_shots);
+            prop_assert_eq!(batch.len(), lanes);
+            for (lane, shot) in det_shots.iter().enumerate() {
+                let scalar = decoder.decode(shot);
+                prop_assert_eq!(
+                    &batch[lane], &scalar,
+                    "{} seed {} lane {}/{} diverged", name, seed, lane, lanes
+                );
+            }
+        }
+    }
+}

@@ -78,7 +78,10 @@ pub enum ReportRecord {
     /// Version note: the `decoder`, `noise`, `stop`, `wall_s` and `shots_per_sec`
     /// fields were added in report v2. The writer always emits them; the parser
     /// defaults them (`"bposd"`, `""`, `"shots_exhausted"`, `0`, `0`) when reading
-    /// v1 documents, which predate pluggable decoders and adaptive budgets.
+    /// v1 documents, which predate pluggable decoders and adaptive budgets. The
+    /// `engine` field was added the same way (additive, no version bump): the
+    /// writer always emits it, and the parser defaults it to `"scalar"` for v1/v2
+    /// records, which were all computed by the scalar kernel.
     Ler {
         /// Free-form label (schedule name, hardware point, ...).
         label: String,
@@ -101,6 +104,10 @@ pub enum ReportRecord {
         noise: String,
         /// Why the run stopped (`shots_exhausted`, `max_failures`, `target_rse`).
         stop: String,
+        /// Estimation engine the counts were computed with (`scalar` or
+        /// `frames`); part of the reproduction key, since the two engines lay
+        /// out the RNG stream differently.
+        engine: String,
         /// Wall-clock seconds the job took (0 when not measured).
         wall_s: f64,
         /// Decoding throughput in shots per second (0 when not measured).
@@ -233,6 +240,7 @@ impl ReportRecord {
             decoder: "bposd".into(),
             noise: String::new(),
             stop: "shots_exhausted".into(),
+            engine: "scalar".into(),
             wall_s: 0.0,
             shots_per_sec: 0.0,
         }
@@ -307,6 +315,7 @@ impl ReportRecord {
                 decoder,
                 noise,
                 stop,
+                engine,
                 wall_s,
                 shots_per_sec,
             } => Json::Object(vec![
@@ -321,6 +330,7 @@ impl ReportRecord {
                 ("decoder".into(), Json::Str(decoder.clone())),
                 ("noise".into(), Json::Str(noise.clone())),
                 ("stop".into(), Json::Str(stop.clone())),
+                ("engine".into(), Json::Str(engine.clone())),
                 ("wall_s".into(), Json::Float(*wall_s)),
                 ("shots_per_sec".into(), Json::Float(*shots_per_sec)),
             ]),
@@ -457,6 +467,8 @@ impl ReportRecord {
                 decoder: opt_str(&obj, "decoder", "bposd"),
                 noise: opt_str(&obj, "noise", ""),
                 stop: opt_str(&obj, "stop", "shots_exhausted"),
+                // Additive field: v1/v2 records were all scalar-kernel runs.
+                engine: opt_str(&obj, "engine", "scalar"),
                 wall_s: opt_f64(&obj, "wall_s", 0.0),
                 shots_per_sec: opt_f64(&obj, "shots_per_sec", 0.0),
             }),
@@ -697,6 +709,7 @@ mod tests {
                 decoder: "unionfind".into(),
                 noise: "si1000:0.003".into(),
                 stop: "max_failures".into(),
+                engine: "frames".into(),
                 wall_s: 1.25,
                 shots_per_sec: 3200.0,
             },
@@ -744,6 +757,7 @@ mod tests {
             decoder,
             noise,
             stop,
+            engine,
             wall_s,
             shots_per_sec,
             shots,
@@ -756,8 +770,27 @@ mod tests {
         assert_eq!(decoder, "bposd");
         assert_eq!(noise, "");
         assert_eq!(stop, "shots_exhausted");
+        assert_eq!(engine, "scalar");
         assert_eq!(wall_s, 0.0);
         assert_eq!(shots_per_sec, 0.0);
+    }
+
+    #[test]
+    fn v2_ler_records_without_engine_default_to_scalar() {
+        // A line exactly as the pre-engine v2 writer emitted it.
+        let line = "{\"type\":\"ler\",\"label\":\"x\",\"p\":0.003,\"idle\":0.0,\
+                    \"shots\":100,\"failures\":3,\"seed\":7,\"chunk_size\":64,\
+                    \"decoder\":\"unionfind\",\"noise\":\"depolarizing:0.003\",\
+                    \"stop\":\"max_failures\",\"wall_s\":0.5,\"shots_per_sec\":200.0}";
+        let parsed = ReportRecord::from_json_line(line).unwrap();
+        let ReportRecord::Ler {
+            decoder, engine, ..
+        } = parsed
+        else {
+            panic!("expected a ler record");
+        };
+        assert_eq!(decoder, "unionfind");
+        assert_eq!(engine, "scalar");
     }
 
     #[test]

@@ -150,6 +150,7 @@ proptest! {
             noise: format!("depolarizing:{}", rng.gen_range(0.0..0.1)),
             stop: ["shots_exhausted", "max_failures", "target_rse"][rng.gen_range(0usize..3)]
                 .to_string(),
+            engine: ["scalar", "frames"][rng.gen_range(0usize..2)].to_string(),
             wall_s: rng.gen_range(0.0..1e4),
             shots_per_sec: rng.gen_range(0.0..1e7),
         };

@@ -139,7 +139,34 @@ impl BitVec {
 
     /// Returns the Hamming weight (number of one bits).
     pub fn weight(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.count_ones()
+    }
+
+    /// Returns the number of one bits, counting whole words at a time.
+    ///
+    /// Four independent accumulators keep the per-word popcounts pipelined; this
+    /// is the fast path behind [`BitVec::weight`] and the frame kernels of the
+    /// bit-parallel decoder engine.
+    pub fn count_ones(&self) -> usize {
+        let mut acc = [0usize; 4];
+        let mut quads = self.words.chunks_exact(4);
+        for quad in &mut quads {
+            acc[0] += quad[0].count_ones() as usize;
+            acc[1] += quad[1].count_ones() as usize;
+            acc[2] += quad[2].count_ones() as usize;
+            acc[3] += quad[3].count_ones() as usize;
+        }
+        for (i, w) in quads.remainder().iter().enumerate() {
+            acc[i] += w.count_ones() as usize;
+        }
+        acc[0] + acc[1] + acc[2] + acc[3]
+    }
+
+    /// Returns the backing words, 64 bits per word in little-endian bit order.
+    ///
+    /// Bits at positions `>= self.len()` in the final word are always zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Returns `true` if every bit is zero.
@@ -177,6 +204,34 @@ impl BitVec {
         assert_eq!(self.len, other.len, "xor length mismatch");
         for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
             *a ^= b;
+        }
+    }
+
+    /// Adds (XORs) raw little-endian words into `self`, one full word at a time.
+    ///
+    /// This is the bulk-XOR kernel of the bit-parallel frame engine: `words[i]`
+    /// is XORed into bits `64 * i ..` of the vector. Bits of the final input
+    /// word at positions `>= self.len()` are ignored, preserving the invariant
+    /// that storage past the logical length stays zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` differs from the vector's word count
+    /// (`self.len().div_ceil(64)`).
+    pub fn xor_assign_from_slice(&mut self, words: &[u64]) {
+        assert_eq!(
+            self.words.len(),
+            words.len(),
+            "xor_assign_from_slice word count mismatch"
+        );
+        for (a, b) in self.words.iter_mut().zip(words.iter()) {
+            *a ^= b;
+        }
+        let tail = self.len % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
         }
     }
 
@@ -258,6 +313,55 @@ impl BitVec {
             }
         }
         out
+    }
+}
+
+/// Transposes detector-major frame words into per-lane [`BitVec`]s.
+///
+/// The bit-parallel frame engine stores one 64-lane word per row (detector or
+/// observable): bit `lane` of `rows[r]` is row `r` of shot-lane `lane`. This
+/// kernel flips that layout into `lanes` vectors of `rows.len()` bits each, so
+/// `out[lane].get(r) == (rows[r] >> lane) & 1`.
+///
+/// Rows are processed in 64×64 blocks with a word-level butterfly transpose
+/// (Hacker's Delight 7-3 adapted to LSB-first bit order), so the cost is
+/// `O(rows.len())` word operations rather than one bit test per cell.
+///
+/// # Panics
+///
+/// Panics if `lanes > 64`.
+pub fn transpose_lane_words(rows: &[u64], lanes: usize) -> Vec<BitVec> {
+    assert!(lanes <= WORD_BITS, "at most 64 lanes per word, got {lanes}");
+    let mut out: Vec<BitVec> = (0..lanes).map(|_| BitVec::zeros(rows.len())).collect();
+    let mut block = [0u64; WORD_BITS];
+    for (w, chunk) in rows.chunks(WORD_BITS).enumerate() {
+        block[..chunk.len()].copy_from_slice(chunk);
+        // Zero-padding keeps the tail bits of every output word zero, so the
+        // BitVec invariant (no set bits past the logical length) holds.
+        block[chunk.len()..].fill(0);
+        transpose_64x64(&mut block);
+        for (lane, v) in out.iter_mut().enumerate() {
+            v.words[w] = block[lane];
+        }
+    }
+    out
+}
+
+/// In-place 64×64 bit-matrix transpose with LSB-first bit order: after the
+/// call, bit `j` of `a[i]` is the old bit `i` of `a[j]`.
+fn transpose_64x64(a: &mut [u64; WORD_BITS]) {
+    let mut j = 32;
+    let mut m: u64 = 0x0000_0000_ffff_ffff;
+    while j != 0 {
+        let mut k = 0;
+        while k < WORD_BITS {
+            let t = ((a[k] >> j) ^ a[k + j]) & m;
+            a[k] ^= t << j;
+            a[k + j] ^= t;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
     }
 }
 
@@ -423,6 +527,45 @@ mod tests {
     }
 
     #[test]
+    fn words_accessor_masks_nothing_and_tail_stays_zero() {
+        let mut v = BitVec::zeros(70);
+        v.set(0, true);
+        v.set(69, true);
+        assert_eq!(v.words().len(), 2);
+        assert_eq!(v.words()[0], 1);
+        assert_eq!(v.words()[1], 1u64 << 5);
+        v.xor_assign_from_slice(&[0b10, u64::MAX]);
+        // Bits 70..128 of the input are ignored: the tail stays zero.
+        assert_eq!(v.words()[1] >> 6, 0);
+        assert_eq!(
+            v.ones().collect::<Vec<_>>(),
+            std::iter::once(0)
+                .chain(std::iter::once(1))
+                .chain(64..69)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn transpose_lane_words_matches_bit_extraction() {
+        // 100 rows, 7 lanes, deterministic pseudo-random content.
+        let rows: Vec<u64> = (0..100u64)
+            .map(|r| r.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17))
+            .collect();
+        let lanes = 7;
+        let out = transpose_lane_words(&rows, lanes);
+        assert_eq!(out.len(), lanes);
+        for (lane, v) in out.iter().enumerate() {
+            assert_eq!(v.len(), rows.len());
+            for (r, &word) in rows.iter().enumerate() {
+                assert_eq!(v.get(r), (word >> lane) & 1 == 1, "lane {lane} row {r}");
+            }
+        }
+        assert!(transpose_lane_words(&[], 64).iter().all(|v| v.is_empty()));
+        assert!(transpose_lane_words(&rows, 0).is_empty());
+    }
+
+    #[test]
     fn display_and_debug_are_nonempty() {
         let v = BitVec::from_indices(4, &[1]);
         assert_eq!(format!("{v}"), "0100");
@@ -454,6 +597,48 @@ mod tests {
                 .filter_map(|(i, &b)| b.then_some(i))
                 .collect();
             prop_assert_eq!(v.ones().collect::<Vec<_>>(), expected);
+        }
+
+        #[test]
+        fn prop_count_ones_matches_naive_bit_loop(bits in proptest::collection::vec(any::<bool>(), 0..300)) {
+            let v = BitVec::from_bools(&bits);
+            let naive = (0..v.len()).filter(|&i| v.get(i)).count();
+            prop_assert_eq!(v.count_ones(), naive);
+            prop_assert_eq!(v.weight(), naive);
+        }
+
+        #[test]
+        fn prop_xor_assign_from_slice_matches_naive_bit_loop(
+            bits in proptest::collection::vec(any::<bool>(), 1..300),
+            words in proptest::collection::vec(any::<u64>(), 5),
+        ) {
+            let mut v = BitVec::from_bools(&bits);
+            let nwords = bits.len().div_ceil(64);
+            let words = &words[..nwords];
+            let mut expected = BitVec::from_bools(&bits);
+            for i in 0..bits.len() {
+                if (words[i / 64] >> (i % 64)) & 1 == 1 {
+                    expected.flip(i);
+                }
+            }
+            v.xor_assign_from_slice(words);
+            prop_assert_eq!(&v, &expected);
+            prop_assert_eq!(v.count_ones(), expected.weight());
+        }
+
+        #[test]
+        fn prop_transpose_lane_words_matches_naive_bit_loop(
+            rows in proptest::collection::vec(any::<u64>(), 0..150),
+            lanes in 0usize..65,
+        ) {
+            let out = transpose_lane_words(&rows, lanes);
+            prop_assert_eq!(out.len(), lanes);
+            for (lane, v) in out.iter().enumerate() {
+                prop_assert_eq!(v.len(), rows.len());
+                for (r, &word) in rows.iter().enumerate() {
+                    prop_assert_eq!(v.get(r), (word >> lane) & 1 == 1);
+                }
+            }
         }
 
         #[test]

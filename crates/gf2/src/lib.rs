@@ -40,7 +40,7 @@
 mod bitvec;
 mod matrix;
 
-pub use bitvec::BitVec;
+pub use bitvec::{transpose_lane_words, BitVec};
 pub use matrix::{BitMatrix, RowEchelon};
 
 /// Errors produced by GF(2) linear-algebra operations.

@@ -187,6 +187,44 @@ fn chunk_size_is_part_of_the_deterministic_contract() {
     assert_eq!(estimate(1, 17), estimate(4, 17));
 }
 
+/// Satellite of the bit-parallel frame engine: a `--engine frames` run is a
+/// pure function of `(seed, chunk_size, engine)` — the whole outcome (per-basis
+/// counts, stop reason, engine tag) is bit-identical at 1, 2 and 8 threads.
+#[test]
+fn frame_engine_outcomes_are_bit_identical_across_thread_counts() {
+    use prophunt_suite::api::{Engine, ExperimentSpec, LerJob, Session, ShotBudget};
+    let run = |threads: usize| {
+        let spec = ExperimentSpec::builder()
+            .code_family("surface:3")
+            .unwrap()
+            .noise_str("depolarizing:0.008")
+            .unwrap()
+            .engine(Engine::Frames)
+            .build()
+            .unwrap();
+        let mut session = Session::new(RuntimeConfig::new(threads, 64, 42));
+        session
+            .run_ler_quiet(&LerJob::new(spec).with_budget(ShotBudget::fixed(600)))
+            .unwrap()
+    };
+    let reference = run(1);
+    assert_eq!(reference.engine, Engine::Frames);
+    assert_eq!(reference.combined.shots, 600);
+    assert!(
+        reference.combined.failures > 0,
+        "want nonzero failures to make the comparison meaningful"
+    );
+    for threads in [2, 8] {
+        let outcome = run(threads);
+        assert_eq!(
+            outcome.per_basis, reference.per_basis,
+            "threads = {threads}"
+        );
+        assert_eq!(outcome.combined, reference.combined, "threads = {threads}");
+        assert_eq!(outcome.stop, reference.stop, "threads = {threads}");
+    }
+}
+
 /// Tentpole of the `prophunt-search` subsystem: a portfolio run is a pure
 /// function of `(seed, chunk_size)` — the best schedule *and* the whole
 /// per-round incumbent event sequence are bit-identical at 1, 2 and 8 threads,
