@@ -23,6 +23,11 @@
 //!   constructible from spec strings (`depolarizing:0.001`, `si1000:0.002`,
 //!   `biased:0.001:10`).
 //!
+//! Every session also carries a [`prophunt_obs`] registry (re-exported as
+//! [`obs`]) shared with its runtime, the LER engines and search;
+//! [`Session::metrics`] snapshots cache hit/miss counters, deterministic
+//! shot/chunk counters and per-stage span histograms in one call.
+//!
 //! # Example
 //!
 //! ```
@@ -75,3 +80,7 @@ pub use spec::{BasisSelection, ExperimentSpec, ExperimentSpecBuilder, ScheduleSo
 // so downstream users need only this crate.
 pub use prophunt_decoders::{Engine, ShotBudget};
 pub use prophunt_search::StrategyKind;
+
+// Re-export the observability layer sessions record into.
+pub use prophunt_obs as obs;
+pub use prophunt_obs::{Obs, Snapshot};

@@ -6,6 +6,12 @@
 //! by the exact `(code, schedule, rounds, basis, noise)` combination, so a sweep
 //! over decoders reuses the model, a sweep over noise reuses the experiment, and
 //! repeated jobs on the same grid point are free.
+//!
+//! Every session carries an enabled `prophunt-obs` registry (shared with its
+//! runtime, the LER engines and search, so one [`Session::metrics`] snapshot
+//! covers all four layers). Cache accounting lives in the registry as
+//! `session.cache.<kind>.hit` / `.miss` counters plus `session.jobs`;
+//! [`SessionStats`] survives as a thin compatibility view over those counters.
 
 use crate::decoder::DecoderRegistry;
 use crate::error::ApiError;
@@ -18,11 +24,11 @@ use prophunt::{PropHunt, PropHuntConfig};
 use prophunt_circuit::{DetectorErrorModel, MemoryBasis, MemoryExperiment};
 use prophunt_decoders::{estimate_with_budget_engine, Decoder, Engine, LogicalErrorEstimate};
 use prophunt_formats::write_schedule;
+use prophunt_obs::{Obs, Snapshot};
 use prophunt_runtime::{Runtime, RuntimeConfig};
 use prophunt_search::{Portfolio, PortfolioConfig, SearchParams};
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Cache key identifying a built memory experiment.
 ///
@@ -47,6 +53,12 @@ fn basis_tag(basis: MemoryBasis) -> u8 {
 }
 
 /// Cache hit/miss counters of a session (observability for sweeps and tests).
+///
+/// Deprecated in favour of the session's `prophunt-obs` registry: the same
+/// numbers live there as `session.cache.<kind>.hit` / `.miss` and
+/// `session.jobs` counters, alongside everything the runtime, LER engines and
+/// search record. [`Session::stats`] now rebuilds this struct from a registry
+/// snapshot; prefer [`Session::metrics`] for new code.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SessionStats {
     /// Memory experiments built.
@@ -72,7 +84,7 @@ pub struct Session {
     experiments: HashMap<ExperimentKey, Arc<MemoryExperiment>>,
     dems: HashMap<DemKey, Arc<DetectorErrorModel>>,
     decoders: HashMap<DecoderKey, Arc<dyn Decoder>>,
-    stats: SessionStats,
+    obs: Obs,
 }
 
 impl std::fmt::Debug for Session {
@@ -80,7 +92,7 @@ impl std::fmt::Debug for Session {
         f.debug_struct("Session")
             .field("runtime", self.runtime.config())
             .field("registry", &self.registry)
-            .field("stats", &self.stats)
+            .field("stats", &self.stats())
             .finish_non_exhaustive()
     }
 }
@@ -93,13 +105,20 @@ impl Session {
 
     /// Creates a session with a custom decoder registry.
     pub fn with_registry(config: RuntimeConfig, registry: DecoderRegistry) -> Session {
+        Session::with_obs(config, registry, Obs::enabled())
+    }
+
+    /// Creates a session recording into a caller-supplied observability handle
+    /// (e.g. a registry shared with other sessions). A disabled handle turns the
+    /// session's metrics off wholesale; [`Session::stats`] then reads all zeros.
+    pub fn with_obs(config: RuntimeConfig, registry: DecoderRegistry, obs: Obs) -> Session {
         Session {
-            runtime: Runtime::new(config),
+            runtime: Runtime::with_obs(config, obs.clone()),
             registry,
             experiments: HashMap::new(),
             dems: HashMap::new(),
             decoders: HashMap::new(),
-            stats: SessionStats::default(),
+            obs,
         }
     }
 
@@ -126,9 +145,31 @@ impl Session {
         self.registry.register(name, builder);
     }
 
-    /// Returns the cache statistics.
+    /// Returns the observability handle shared by the session, its runtime, the
+    /// LER engines and search.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Returns a point-in-time snapshot of every instrument recorded so far
+    /// (empty when the session was built with a disabled [`Obs`]).
+    pub fn metrics(&self) -> Snapshot {
+        self.obs.snapshot().unwrap_or_default()
+    }
+
+    /// Returns the cache statistics, rebuilt from the metrics registry
+    /// (`session.cache.<kind>.hit` / `.miss` and `session.jobs` counters).
     pub fn stats(&self) -> SessionStats {
-        self.stats
+        let snap = self.metrics();
+        SessionStats {
+            experiments_built: snap.counter("session.cache.experiment.miss") as usize,
+            experiment_hits: snap.counter("session.cache.experiment.hit") as usize,
+            dems_built: snap.counter("session.cache.dem.miss") as usize,
+            dem_hits: snap.counter("session.cache.dem.hit") as usize,
+            decoders_built: snap.counter("session.cache.decoder.miss") as usize,
+            decoder_hits: snap.counter("session.cache.decoder.hit") as usize,
+            jobs_run: snap.counter("session.jobs") as usize,
+        }
     }
 
     fn experiment_key(spec: &ExperimentSpec, basis: MemoryBasis) -> ExperimentKey {
@@ -157,7 +198,7 @@ impl Session {
     ) -> Result<Arc<MemoryExperiment>, ApiError> {
         let key = Self::experiment_key(spec, basis);
         if let Some(experiment) = self.experiments.get(&key) {
-            self.stats.experiment_hits += 1;
+            self.obs.inc("session.cache.experiment.hit");
             return Ok(Arc::clone(experiment));
         }
         let experiment = Arc::new(MemoryExperiment::build(
@@ -166,7 +207,7 @@ impl Session {
             spec.rounds(),
             basis,
         )?);
-        self.stats.experiments_built += 1;
+        self.obs.inc("session.cache.experiment.miss");
         self.experiments.insert(key, Arc::clone(&experiment));
         Ok(experiment)
     }
@@ -184,7 +225,7 @@ impl Session {
     ) -> Result<Arc<DetectorErrorModel>, ApiError> {
         let key = (Self::experiment_key(spec, basis), spec.noise().to_string());
         if let Some(dem) = self.dems.get(&key) {
-            self.stats.dem_hits += 1;
+            self.obs.inc("session.cache.dem.hit");
             return Ok(Arc::clone(dem));
         }
         let experiment = self.experiment(spec, basis)?;
@@ -192,7 +233,7 @@ impl Session {
             &experiment,
             &spec.noise().build(),
         ));
-        self.stats.dems_built += 1;
+        self.obs.inc("session.cache.dem.miss");
         self.dems.insert(key, Arc::clone(&dem));
         Ok(dem)
     }
@@ -211,12 +252,12 @@ impl Session {
         let dem_key = (Self::experiment_key(spec, basis), spec.noise().to_string());
         let key = (dem_key, spec.decoder().to_string());
         if let Some(decoder) = self.decoders.get(&key) {
-            self.stats.decoder_hits += 1;
+            self.obs.inc("session.cache.decoder.hit");
             return Ok(Arc::clone(decoder));
         }
         let dem = self.dem(spec, basis)?;
         let decoder = self.registry.build(spec.decoder(), &dem)?;
-        self.stats.decoders_built += 1;
+        self.obs.inc("session.cache.decoder.miss");
         self.decoders.insert(key, Arc::clone(&decoder));
         Ok(decoder)
     }
@@ -237,7 +278,7 @@ impl Session {
         job: &LerJob,
         mut observer: impl FnMut(&Event),
     ) -> Result<LerOutcome, ApiError> {
-        let start = Instant::now();
+        let span = self.obs.span("job.ler.ns");
         let seed = job.seed.unwrap_or(self.runtime.config().seed);
         observer(&Event::JobStarted {
             kind: JobKind::Ler,
@@ -278,7 +319,7 @@ impl Session {
             combined = combined.combined(estimate);
         }
         observer(&Event::JobFinished { stop });
-        self.stats.jobs_run += 1;
+        self.obs.inc("session.jobs");
         Ok(LerOutcome {
             per_basis,
             combined,
@@ -290,7 +331,7 @@ impl Session {
             p: job.spec.noise().p(),
             idle: job.spec.noise().idle(),
             engine: job.spec.engine(),
-            wall: start.elapsed(),
+            wall: span.finish(),
         })
     }
 
@@ -314,7 +355,7 @@ impl Session {
         job: &OptimizeJob,
         mut observer: impl FnMut(&Event),
     ) -> Result<OptimizeOutcome, ApiError> {
-        let start = Instant::now();
+        let span = self.obs.span("job.optimize.ns");
         let seed = job.seed.unwrap_or(self.runtime.config().seed);
         let mut config = PropHuntConfig::quick(job.spec.rounds());
         config.iterations = job.iterations;
@@ -345,12 +386,12 @@ impl Session {
             StopReason::IterationLimit { iterations }
         };
         observer(&Event::JobFinished { stop });
-        self.stats.jobs_run += 1;
+        self.obs.inc("session.jobs");
         Ok(OptimizeOutcome {
             result,
             stop,
             seed,
-            wall: start.elapsed(),
+            wall: span.finish(),
         })
     }
 
@@ -381,7 +422,7 @@ impl Session {
         job: &SearchJob,
         mut observer: impl FnMut(&Event),
     ) -> Result<SearchOutcome, ApiError> {
-        let start = Instant::now();
+        let span = self.obs.span("job.search.ns");
         let seed = job.seed.unwrap_or(self.runtime.config().seed);
         observer(&Event::JobStarted {
             kind: JobKind::Search,
@@ -402,7 +443,7 @@ impl Session {
             runtime: self.runtime.config().with_seed(seed),
             params,
         };
-        let result = Portfolio::new(config).run(
+        let result = Portfolio::with_obs(config, self.obs.clone()).run(
             job.spec.code(),
             job.spec.layout(),
             job.spec.schedule(),
@@ -421,13 +462,13 @@ impl Session {
             rounds: result.rounds.len(),
         };
         observer(&Event::JobFinished { stop });
-        self.stats.jobs_run += 1;
+        self.obs.inc("session.jobs");
         Ok(SearchOutcome {
             result,
             stop,
             seed,
             chunk_size: self.runtime.chunk_size(),
-            wall: start.elapsed(),
+            wall: span.finish(),
         })
     }
 
@@ -456,7 +497,7 @@ impl Session {
         engine: Engine,
         mut observer: impl FnMut(&Event),
     ) -> Result<LerOutcome, ApiError> {
-        let start = Instant::now();
+        let span = self.obs.span("job.ler.ns");
         let decoder = self.registry.build(decoder_name, dem)?;
         observer(&Event::JobStarted {
             kind: JobKind::Ler,
@@ -480,7 +521,7 @@ impl Session {
         );
         let stop = StopReason::from(reason);
         observer(&Event::JobFinished { stop });
-        self.stats.jobs_run += 1;
+        self.obs.inc("session.jobs");
         Ok(LerOutcome {
             per_basis: vec![BasisEstimate {
                 basis: MemoryBasis::Z,
@@ -498,7 +539,7 @@ impl Session {
             p: 0.0,
             idle: 0.0,
             engine,
-            wall: start.elapsed(),
+            wall: span.finish(),
         })
     }
 }
@@ -660,6 +701,46 @@ mod tests {
             .unwrap();
         assert_eq!(outcome.engine, Engine::Frames);
         assert_eq!(outcome.combined.shots, 128);
+    }
+
+    #[test]
+    fn stats_are_backed_by_the_metrics_registry() {
+        let mut session = session();
+        let job = LerJob::new(d3_spec()).with_budget(ShotBudget::fixed(128));
+        session.run_ler_quiet(&job).unwrap();
+        session.run_ler_quiet(&job).unwrap();
+        let snap = session.metrics();
+        assert_eq!(snap.counter("session.cache.dem.miss"), 1);
+        // First run: dem() misses, then decoder()'s build path re-reads it (one
+        // hit). Second run: dem() hits, decoder() hits without touching dems.
+        assert_eq!(snap.counter("session.cache.dem.hit"), 2);
+        assert_eq!(snap.counter("session.cache.decoder.miss"), 1);
+        assert_eq!(snap.counter("session.cache.decoder.hit"), 1);
+        assert_eq!(snap.counter("session.jobs"), 2);
+        // The compat view reads the same counters back.
+        let stats = session.stats();
+        assert_eq!(stats.dems_built, 1);
+        assert_eq!(stats.dem_hits, 2);
+        assert_eq!(stats.jobs_run, 2);
+        // The shared registry also carries the runtime / LER-engine instruments.
+        assert!(snap.counter("ler.shots") >= 256);
+        assert!(snap.histogram("job.ler.ns").is_some_and(|h| h.count == 2));
+        assert!(snap.histogram("runtime.task.ns").is_some());
+    }
+
+    #[test]
+    fn a_disabled_obs_handle_turns_session_metrics_off() {
+        let mut session = Session::with_obs(
+            RuntimeConfig::new(2, 64, 7),
+            DecoderRegistry::with_defaults(),
+            Obs::disabled(),
+        );
+        let job = LerJob::new(d3_spec()).with_budget(ShotBudget::fixed(64));
+        let outcome = session.run_ler_quiet(&job).unwrap();
+        assert_eq!(outcome.combined.shots, 64);
+        assert!(outcome.wall.as_nanos() > 0, "wall clock still measured");
+        assert_eq!(session.stats(), SessionStats::default());
+        assert_eq!(session.metrics(), Snapshot::default());
     }
 
     #[test]

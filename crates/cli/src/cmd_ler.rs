@@ -5,7 +5,8 @@
 use crate::args::{CliError, Flags};
 use crate::common::{
     append_records, basis_selection_from_flags, budget_from_flags, decoder_from_flags,
-    engine_from_flags, load_code, load_schedule, noise_from_flags, read_file, runtime_from_flags,
+    engine_from_flags, load_code, load_schedule, meta_record, noise_from_flags, read_file,
+    runtime_from_flags, write_metrics_file,
 };
 use prophunt_api::{ExperimentSpec, LerJob, LerOutcome, ScheduleSource, Session, StopReason};
 use prophunt_formats::parse_dem;
@@ -37,7 +38,12 @@ prophunt ler --code <family-or-spec-file> [--schedule <s>] [options]
   --threads       worker threads (default 4; wall-clock only)
   --chunk-size    shots per deterministic chunk (default 64)
   --label         label stored in the emitted record (default dem/schedule source)
-  -o, --out       append the JSON-lines record(s) to a file as well as stdout";
+  --metrics       write a meta + metrics JSON-lines pair (session registry
+                  snapshot: counters, gauges, span histograms) to this file
+  -o, --out       append the JSON-lines record(s) to a file as well as stdout
+
+The stdout stream starts with a `meta` provenance record (crate version, seed,
+threads, chunk size, engine); parsers treat it as optional.";
 
 pub fn run(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(
@@ -60,6 +66,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             "threads",
             "chunk-size",
             "label",
+            "metrics",
             "out",
         ],
     )?;
@@ -69,7 +76,8 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let engine = engine_from_flags(&flags)?;
     let mut session = Session::new(runtime);
 
-    let mut records = Vec::new();
+    let meta = meta_record(&runtime, engine.as_str());
+    let mut records = vec![meta.clone()];
     match (flags.get("dem"), flags.get("code")) {
         (Some(path), None) => {
             // These knobs shape the model construction, which a .dem file has
@@ -155,6 +163,9 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     print!("{text}");
     if let Some(path) = flags.get("out") {
         append_records(path, &text)?;
+    }
+    if let Some(path) = flags.get("metrics") {
+        write_metrics_file(path, &meta, &session.metrics())?;
     }
     Ok(())
 }

@@ -4,7 +4,10 @@
 //! schedule file.
 
 use crate::args::{CliError, Flags};
-use crate::common::{load_code, load_schedule, noise_from_flags, runtime_from_flags, write_file};
+use crate::common::{
+    load_code, load_schedule, meta_record, noise_from_flags, runtime_from_flags, write_file,
+    write_metrics_file,
+};
 use prophunt_api::{Event, ExperimentSpec, OptimizeJob, ScheduleSource, Session};
 use prophunt_formats::report::{iteration_to_record, ReportRecord};
 use prophunt_formats::write_schedule;
@@ -28,7 +31,12 @@ prophunt optimize --code <family-or-spec-file> [options]
   --chunk-size    deterministic chunk size (default 64)
   --out-schedule  where to write the final schedule (default optimized.schedule)
   --report        write JSON-lines iteration records to this file
-                  (default: stream them to stdout)";
+                  (default: stream them to stdout)
+  --metrics       write a meta + metrics JSON-lines pair (session registry
+                  snapshot) to this file
+
+The report stream starts with a `meta` provenance record; parsers treat it as
+optional.";
 
 pub fn run(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(
@@ -47,6 +55,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             "chunk-size",
             "out-schedule",
             "report",
+            "metrics",
         ],
     )?;
     if flags.get("schedule").is_some() && flags.get("resume").is_some() {
@@ -91,6 +100,8 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             .map_err(|e| CliError::failure(format!("cannot write report record: {e}")))
     };
 
+    let meta = meta_record(&runtime, "");
+    emit(&meta)?;
     emit(&ReportRecord::RunStart {
         code: code_name,
         seed: runtime.seed,
@@ -129,6 +140,9 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
 
     let out_schedule = flags.get("out-schedule").unwrap_or("optimized.schedule");
     write_file(out_schedule, &write_schedule(&result.final_schedule))?;
+    if let Some(path) = flags.get("metrics") {
+        write_metrics_file(path, &meta, &session.metrics())?;
+    }
     eprintln!(
         "optimized {}: {} iterations ({}), {} changes, final CNOT depth {}; schedule written to {}",
         code_display,

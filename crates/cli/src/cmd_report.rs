@@ -1,0 +1,229 @@
+//! `prophunt report` — render a human-readable summary of a metrics stream
+//! written by `--metrics` (or any report file containing `metrics` records):
+//! counter totals, cache hit rates, and histogram quantiles. With a second
+//! file, also prints a diff of the deterministic counters and the histogram
+//! shapes against that baseline.
+
+use crate::args::CliError;
+use crate::common::read_file;
+use prophunt_formats::parse_report;
+use prophunt_formats::report::{MetricsHistogram, ReportRecord};
+
+pub const USAGE: &str = "\
+prophunt report <metrics.jsonl> [<baseline.jsonl>]
+
+Summarizes a JSON-lines metrics file (written by the --metrics flag of
+ler/optimize/search/sweep, or any report stream carrying a `metrics` record):
+
+  * the `meta` provenance line (crate version, seed, threads, chunk size, engine)
+  * counter totals — the deterministic subset, bit-identical at any thread count
+  * hit rates for every `<name>.hit` / `<name>.miss` counter pair
+  * gauges, and histogram count / p50 / p90 / p99 / mean (`.ns` names are
+    rendered as durations)
+
+With a second path the counters and histograms of <metrics.jsonl> are diffed
+against <baseline.jsonl>: counters should match exactly across thread counts at
+a fixed seed; timing histograms are expected to differ.";
+
+/// Everything `report` reads out of one metrics file.
+struct MetricsFile {
+    meta: Option<(String, u64, u64, u64, String)>,
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, u64)>,
+    histograms: Vec<MetricsHistogram>,
+}
+
+fn load(path: &str) -> Result<MetricsFile, CliError> {
+    let records =
+        parse_report(&read_file(path)?).map_err(|e| CliError::failure(format!("{path}: {e}")))?;
+    let meta = records.iter().find_map(|r| match r {
+        ReportRecord::Meta {
+            version,
+            seed,
+            threads,
+            chunk_size,
+            engine,
+        } => Some((
+            version.clone(),
+            *seed,
+            *threads,
+            *chunk_size,
+            engine.clone(),
+        )),
+        _ => None,
+    });
+    // The last metrics record wins: a stream that snapshots repeatedly ends
+    // with the most complete registry state.
+    let metrics = records
+        .iter()
+        .rev()
+        .find_map(|r| match r {
+            ReportRecord::Metrics {
+                counters,
+                gauges,
+                histograms,
+            } => Some((counters.clone(), gauges.clone(), histograms.clone())),
+            _ => None,
+        })
+        .ok_or_else(|| {
+            CliError::failure(format!(
+                "{path}: no metrics record found (was this written with --metrics?)"
+            ))
+        })?;
+    Ok(MetricsFile {
+        meta,
+        counters: metrics.0,
+        gauges: metrics.1,
+        histograms: metrics.2,
+    })
+}
+
+/// Formats a value that may be a duration: `.ns`-suffixed instruments render
+/// as human-readable times, everything else as a plain count.
+fn fmt_value(name: &str, v: f64) -> String {
+    if !name.ends_with(".ns") {
+        return format!("{v:.0}");
+    }
+    if v >= 1e9 {
+        format!("{:.2}s", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}ms", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2}us", v / 1e3)
+    } else {
+        format!("{v:.0}ns")
+    }
+}
+
+fn print_summary(path: &str, file: &MetricsFile) {
+    println!("{path}");
+    if let Some((version, seed, threads, chunk_size, engine)) = &file.meta {
+        let engine = if engine.is_empty() { "-" } else { engine };
+        println!(
+            "  meta: v{version} seed={seed} threads={threads} chunk_size={chunk_size} \
+             engine={engine}"
+        );
+    }
+    if !file.counters.is_empty() {
+        println!("  counters (deterministic at fixed seed/chunk-size):");
+        for (name, value) in &file.counters {
+            println!("    {name:<36} {value:>14}");
+        }
+        // Derived hit rates for every .hit/.miss sibling pair.
+        let lookup = |name: &str| {
+            file.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+        };
+        for (name, hits) in &file.counters {
+            let Some(prefix) = name.strip_suffix(".hit") else {
+                continue;
+            };
+            let misses = lookup(&format!("{prefix}.miss")).unwrap_or(0);
+            let total = hits + misses;
+            if total > 0 {
+                println!(
+                    "    {:<36} {:>13.1}%",
+                    format!("{prefix} hit rate"),
+                    100.0 * *hits as f64 / total as f64
+                );
+            }
+        }
+    }
+    if !file.gauges.is_empty() {
+        println!("  gauges:");
+        for (name, value) in &file.gauges {
+            println!("    {name:<36} {value:>14}");
+        }
+    }
+    if !file.histograms.is_empty() {
+        println!(
+            "  histograms: {:<24} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "", "count", "p50", "p90", "p99", "mean"
+        );
+        for h in &file.histograms {
+            println!(
+                "    {:<36} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                h.name,
+                h.count,
+                fmt_value(&h.name, h.quantile(0.5) as f64),
+                fmt_value(&h.name, h.quantile(0.9) as f64),
+                fmt_value(&h.name, h.quantile(0.99) as f64),
+                fmt_value(&h.name, h.mean()),
+            );
+        }
+    }
+}
+
+fn print_diff(current: &MetricsFile, baseline: &MetricsFile) {
+    println!("diff (current vs baseline):");
+    let mut names: Vec<&String> = current
+        .counters
+        .iter()
+        .chain(baseline.counters.iter())
+        .map(|(n, _)| n)
+        .collect();
+    names.sort();
+    names.dedup();
+    let value_in = |file: &MetricsFile, name: &str| {
+        file.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    };
+    let mut identical = 0usize;
+    for name in names {
+        let (a, b) = (value_in(current, name), value_in(baseline, name));
+        if a == b {
+            identical += 1;
+        } else {
+            println!(
+                "  counter {name:<28} {b:>12} -> {a:>12} ({:+})",
+                a as i128 - b as i128
+            );
+        }
+    }
+    println!("  {identical} counters identical");
+    for h in &current.histograms {
+        let Some(base) = baseline.histograms.iter().find(|b| b.name == h.name) else {
+            continue;
+        };
+        println!(
+            "  hist {:<31} count {} -> {}, mean {} -> {}",
+            h.name,
+            base.count,
+            h.count,
+            fmt_value(&h.name, base.mean()),
+            fmt_value(&h.name, h.mean()),
+        );
+    }
+}
+
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    // `report` takes positional paths, not `--flag value` pairs.
+    if let Some(flag) = args.iter().find(|a| a.starts_with('-')) {
+        return Err(CliError::usage(format!(
+            "report takes file paths, not flags (got {flag:?})"
+        )));
+    }
+    let (path, baseline_path) = match args {
+        [path] => (path, None),
+        [path, baseline] => (path, Some(baseline)),
+        _ => {
+            return Err(CliError::usage(
+                "report needs one metrics file (and optionally a baseline to diff against)",
+            ))
+        }
+    };
+    let current = load(path)?;
+    print_summary(path, &current);
+    if let Some(baseline_path) = baseline_path {
+        let baseline = load(baseline_path)?;
+        println!();
+        print_summary(baseline_path, &baseline);
+        println!();
+        print_diff(&current, &baseline);
+    }
+    Ok(())
+}

@@ -5,7 +5,8 @@
 
 use crate::args::{CliError, Flags};
 use crate::common::{
-    load_code, load_schedule, noise_from_flags, read_file, runtime_from_flags, write_file,
+    load_code, load_schedule, meta_record, noise_from_flags, read_file, runtime_from_flags,
+    write_file, write_metrics_file,
 };
 use prophunt_api::{Event, ExperimentSpec, ScheduleSource, SearchJob, Session, StrategyKind};
 use prophunt_formats::report::ReportRecord;
@@ -40,9 +41,13 @@ prophunt search --code <family-or-spec-file> [options]
   --out-schedule    where to write the best schedule (default searched.schedule)
   --report          write JSON-lines incumbent records to this file
                     (default: stream them to stdout)
+  --metrics         write a meta + metrics JSON-lines pair (session registry
+                    snapshot: search counters, span histograms) to this file
 
-The result is a pure function of (--seed, --chunk-size): the best schedule and
-the whole incumbent record sequence are bit-identical at any --threads.";
+The report stream starts with a `meta` provenance record; parsers treat it as
+optional. The result is a pure function of (--seed, --chunk-size): the best
+schedule and the whole incumbent record sequence are bit-identical at any
+--threads.";
 
 pub fn run(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(
@@ -65,6 +70,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             "chunk-size",
             "out-schedule",
             "report",
+            "metrics",
         ],
     )?;
     if flags.get("schedule").is_some() && flags.get("resume").is_some() {
@@ -145,6 +151,8 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             .map_err(|e| CliError::failure(format!("cannot write report record: {e}")))
     };
 
+    let meta = meta_record(&runtime, "");
+    emit(&meta)?;
     emit(&ReportRecord::SearchStart {
         code: code_name,
         seed: runtime.seed,
@@ -201,6 +209,9 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
 
     let out_schedule = flags.get("out-schedule").unwrap_or("searched.schedule");
     write_file(out_schedule, &write_schedule(&best.schedule))?;
+    if let Some(path) = flags.get("metrics") {
+        write_metrics_file(path, &meta, &session.metrics())?;
+    }
     eprintln!(
         "searched {}: {} rounds x {} instances ({}), CNOT depth {} -> {} (best from {}[{}] in \
          round {}); schedule written to {}",

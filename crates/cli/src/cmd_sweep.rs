@@ -9,7 +9,7 @@
 use crate::args::{CliError, Flags};
 use crate::common::{
     append_records, basis_selection_from_flags, budget_from_flags, engine_from_flags, load_code,
-    load_schedule, runtime_from_flags,
+    load_schedule, meta_record, runtime_from_flags, write_metrics_file,
 };
 use prophunt_api::{ExperimentSpec, LerJob, NoiseSpec, ScheduleSource, Session};
 
@@ -32,7 +32,12 @@ prophunt sweep --codes <fam1,fam2,...> [options]
   --seed          base RNG seed (default 0)
   --threads       worker threads (default 4; wall-clock only)
   --chunk-size    shots per deterministic chunk (default 64)
-  -o, --out       append the JSON-lines records to a file as well as stdout";
+  --metrics       write a meta + metrics JSON-lines pair (session registry
+                  snapshot for the whole grid) to this file
+  -o, --out       append the JSON-lines records to a file as well as stdout
+
+The stdout stream starts with a `meta` provenance record; parsers treat it as
+optional.";
 
 /// Builds the noise spec of one grid point from the `--noise-family` template,
 /// going through [`NoiseSpec::parse`] so grid rates get the same `[0, 1]`
@@ -68,6 +73,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             "seed",
             "threads",
             "chunk-size",
+            "metrics",
             "out",
         ],
     )?;
@@ -114,7 +120,12 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     // One session for the whole grid: experiments are shared across p's and
     // models across decoders.
     let mut session = Session::new(runtime);
+    let meta = meta_record(&runtime, engine.as_str());
     let mut text = String::new();
+    let meta_line = meta.to_json_line();
+    text.push_str(&meta_line);
+    text.push('\n');
+    println!("{meta_line}");
     for code_family in &codes {
         let resolved = load_code(code_family)?;
         let schedule = load_schedule(flags.get("schedule"), &resolved)?;
@@ -158,6 +169,9 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     );
     if let Some(path) = flags.get("out") {
         append_records(path, &text)?;
+    }
+    if let Some(path) = flags.get("metrics") {
+        write_metrics_file(path, &meta, &session.metrics())?;
     }
     Ok(())
 }

@@ -3,7 +3,9 @@
 
 use crate::args::{CliError, Flags};
 use prophunt_circuit::schedule::ScheduleSpec;
+use prophunt_formats::report::ReportRecord;
 use prophunt_formats::{parse_code_spec, parse_schedule, resolve_family, ResolvedCode};
+use prophunt_obs::Snapshot;
 use prophunt_runtime::RuntimeConfig;
 use std::io::Write as _;
 use std::path::Path;
@@ -42,6 +44,34 @@ pub fn append_records(path: &str, text: &str) -> Result<(), CliError> {
         .map_err(|e| CliError::failure(format!("cannot open {path}: {e}")))?;
     file.write_all(text.as_bytes())
         .map_err(|e| CliError::failure(format!("cannot write {path}: {e}")))
+}
+
+/// Builds the provenance `meta` record every report and metrics stream starts
+/// with. `engine` names the estimation engine where one applies (empty for
+/// optimize/search runs).
+pub fn meta_record(runtime: &RuntimeConfig, engine: &str) -> ReportRecord {
+    ReportRecord::meta(
+        env!("CARGO_PKG_VERSION"),
+        runtime.seed,
+        runtime.threads as u64,
+        runtime.chunk_size as u64,
+        engine,
+    )
+}
+
+/// Writes the `--metrics` file: a `meta` provenance line followed by one
+/// `metrics` record holding the session registry snapshot. The file is
+/// overwritten — it describes exactly one run.
+pub fn write_metrics_file(
+    path: &str,
+    meta: &ReportRecord,
+    snapshot: &Snapshot,
+) -> Result<(), CliError> {
+    let mut text = meta.to_json_line();
+    text.push('\n');
+    text.push_str(&ReportRecord::metrics_from_snapshot(snapshot).to_json_line());
+    text.push('\n');
+    write_file(path, &text)
 }
 
 /// Resolves `--code`: a path to a `prophunt-code v1` spec file when one exists at

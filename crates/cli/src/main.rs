@@ -14,6 +14,7 @@
 //!   code + schedule, with pluggable decoders, noise specs and adaptive budgets.
 //! * `sweep` — a code × p × decoder grid evaluated through one shared Session.
 //! * `check` — re-parse any emitted file.
+//! * `report` — summarize (or diff) the metrics files written by `--metrics`.
 //!
 //! Exit codes: 0 on success, 1 when an operation fails (unreadable file, invalid
 //! schedule, ...), 2 for usage errors. User input never panics the process: every
@@ -27,6 +28,7 @@ mod cmd_code;
 mod cmd_dem;
 mod cmd_ler;
 mod cmd_optimize;
+mod cmd_report;
 mod cmd_search;
 mod cmd_sweep;
 mod common;
@@ -47,6 +49,7 @@ commands:
   ler       Monte-Carlo logical error rate from a .dem file or code + schedule
   sweep     evaluate a code x p x decoder grid through one shared session
   check     re-parse emitted files (auto-detects the format)
+  report    summarize or diff metrics files written with --metrics
 
 run `prophunt <command> --help` for per-command flags";
 
@@ -64,6 +67,7 @@ fn dispatch(command: &str, rest: &[String]) -> Result<(), CliError> {
         "ler" if wants_help => usage_of(cmd_ler::USAGE),
         "sweep" if wants_help => usage_of(cmd_sweep::USAGE),
         "check" if wants_help => usage_of(cmd_check::USAGE),
+        "report" if wants_help => usage_of(cmd_report::USAGE),
         "code" => cmd_code::run(rest),
         "dem" => cmd_dem::run(rest),
         "optimize" => cmd_optimize::run(rest),
@@ -71,6 +75,7 @@ fn dispatch(command: &str, rest: &[String]) -> Result<(), CliError> {
         "ler" => cmd_ler::run(rest),
         "sweep" => cmd_sweep::run(rest),
         "check" => cmd_check::run(rest),
+        "report" => cmd_report::run(rest),
         "--help" | "-h" | "help" => usage_of(USAGE),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
@@ -85,6 +90,7 @@ fn usage_for(command: &str) -> &'static str {
         "ler" => cmd_ler::USAGE,
         "sweep" => cmd_sweep::USAGE,
         "check" => cmd_check::USAGE,
+        "report" => cmd_report::USAGE,
         _ => USAGE,
     }
 }

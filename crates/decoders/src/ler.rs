@@ -22,7 +22,9 @@
 use crate::Decoder;
 use prophunt_circuit::DetectorErrorModel;
 use prophunt_gf2::{transpose_lane_words, BitVec};
+use prophunt_obs::{duration_ns, Histogram, Obs};
 use prophunt_runtime::{Runtime, SeedStream};
+use std::time::Instant;
 
 /// The result of a Monte-Carlo logical-error-rate estimate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -297,6 +299,14 @@ pub fn estimate_with_budget_engine(
     let stream = SeedStream::new(seed);
     let mut cumulative = LogicalErrorEstimate::ZERO;
     let mut done = 0usize;
+    // LER counters are incremented only in the in-order adaptive scan below:
+    // a wave may execute surplus chunks past an early stop, but those are
+    // discarded, so the counted chunk prefix — and every counter — is a pure
+    // function of (seed, chunk_size, budget), never of the thread count.
+    let obs = runtime.obs();
+    let chunks_ctr = obs.counter("ler.chunks");
+    let shots_ctr = obs.counter("ler.shots");
+    let failures_ctr = obs.counter("ler.failures");
     while done < total_chunks {
         // One wave of chunks. The wave size is a wall-clock knob only: stopping is
         // decided by an in-order scan below, so overshooting a wave never changes
@@ -307,12 +317,21 @@ pub fn estimate_with_budget_engine(
             let chunk_shots = chunk.min(max_shots - c * chunk);
             let chunk_seed = stream.seed_for(c as u64);
             match engine {
-                Engine::Scalar => run_shots(dem, decoder, chunk_shots, chunk_seed),
-                Engine::Frames => run_shots_frames(dem, decoder, chunk_shots, chunk_seed),
+                Engine::Scalar => run_shots(dem, decoder, chunk_shots, chunk_seed, obs),
+                Engine::Frames => run_shots_frames(dem, decoder, chunk_shots, chunk_seed, obs),
             }
         });
         for (i, partial) in results.into_iter().enumerate() {
             cumulative = cumulative.combined(partial);
+            if let Some(c) = &chunks_ctr {
+                c.inc();
+            }
+            if let Some(c) = &shots_ctr {
+                c.add(partial.shots as u64);
+            }
+            if let Some(c) = &failures_ctr {
+                c.add(partial.failures as u64);
+            }
             observer(ChunkProgress {
                 chunk: done + i,
                 shots: cumulative.shots,
@@ -354,23 +373,80 @@ pub fn estimate_logical_error_rate(
     .0
 }
 
+/// Hoisted histogram handles for one scalar-kernel invocation. `None` when the
+/// runtime carries no registry, in which case the kernel takes the untimed
+/// loop and never reads the clock.
+struct ScalarTiming {
+    sample: Histogram,
+    decode: Histogram,
+}
+
+impl ScalarTiming {
+    fn from_obs(obs: &Obs) -> Option<ScalarTiming> {
+        Some(ScalarTiming {
+            sample: obs.histogram("ler.scalar.sample.ns")?,
+            decode: obs.histogram("ler.scalar.decode.ns")?,
+        })
+    }
+}
+
 fn run_shots(
     dem: &DetectorErrorModel,
     decoder: &dyn Decoder,
     shots: usize,
     seed: u64,
+    obs: &Obs,
 ) -> LogicalErrorEstimate {
     let mut sampler = dem.sampler(seed);
     let mut detectors = BitVec::zeros(dem.num_detectors());
     let mut observables = BitVec::zeros(dem.num_observables());
     let mut failures = 0usize;
-    for _ in 0..shots {
-        sampler.sample_into(&mut detectors, &mut observables);
-        if decoder.decode(&detectors) != observables {
-            failures += 1;
+    if let Some(timing) = ScalarTiming::from_obs(obs) {
+        // Per-shot stage times are accumulated into chunk-local totals and
+        // recorded once per chunk, so the enabled path adds two clock reads
+        // per shot and two histogram ops per chunk.
+        let mut sample_ns = 0u64;
+        let mut decode_ns = 0u64;
+        for _ in 0..shots {
+            let t0 = Instant::now();
+            sampler.sample_into(&mut detectors, &mut observables);
+            let t1 = Instant::now();
+            let failed = decoder.decode(&detectors) != observables;
+            decode_ns += duration_ns(t1.elapsed());
+            sample_ns += duration_ns(t1.duration_since(t0));
+            failures += usize::from(failed);
+        }
+        if shots > 0 {
+            timing.sample.record(sample_ns);
+            timing.decode.record(decode_ns);
+        }
+    } else {
+        for _ in 0..shots {
+            sampler.sample_into(&mut detectors, &mut observables);
+            if decoder.decode(&detectors) != observables {
+                failures += 1;
+            }
         }
     }
     LogicalErrorEstimate { shots, failures }
+}
+
+/// Hoisted histogram handles for one frame-kernel invocation; one record per
+/// 64-lane block per stage when enabled, nothing when disabled.
+struct FrameTiming {
+    sample: Histogram,
+    transpose: Histogram,
+    decode: Histogram,
+}
+
+impl FrameTiming {
+    fn from_obs(obs: &Obs) -> Option<FrameTiming> {
+        Some(FrameTiming {
+            sample: obs.histogram("ler.frames.sample.ns")?,
+            transpose: obs.histogram("ler.frames.transpose.ns")?,
+            decode: obs.histogram("ler.frames.decode.ns")?,
+        })
+    }
 }
 
 fn run_shots_frames(
@@ -378,21 +454,41 @@ fn run_shots_frames(
     decoder: &dyn Decoder,
     shots: usize,
     seed: u64,
+    obs: &Obs,
 ) -> LogicalErrorEstimate {
     let mut sampler = dem.sampler(seed);
     let mut det_frames = vec![0u64; dem.num_detectors()];
     let mut obs_frames = vec![0u64; dem.num_observables()];
     let mut failures = 0usize;
     let mut remaining = shots;
+    let timing = FrameTiming::from_obs(obs);
     while remaining > 0 {
         let lanes = remaining.min(64);
-        sampler.sample_frames(lanes, &mut det_frames, &mut obs_frames);
-        let det_shots = transpose_lane_words(&det_frames, lanes);
-        let obs_shots = transpose_lane_words(&obs_frames, lanes);
-        let predictions = decoder.decode_batch(&det_shots);
-        for (prediction, observed) in predictions.iter().zip(&obs_shots) {
-            if prediction != observed {
-                failures += 1;
+        if let Some(timing) = &timing {
+            let t0 = Instant::now();
+            sampler.sample_frames(lanes, &mut det_frames, &mut obs_frames);
+            let t1 = Instant::now();
+            let det_shots = transpose_lane_words(&det_frames, lanes);
+            let obs_shots = transpose_lane_words(&obs_frames, lanes);
+            let t2 = Instant::now();
+            let predictions = decoder.decode_batch(&det_shots);
+            timing.decode.record(duration_ns(t2.elapsed()));
+            timing.sample.record(duration_ns(t1.duration_since(t0)));
+            timing.transpose.record(duration_ns(t2.duration_since(t1)));
+            for (prediction, observed) in predictions.iter().zip(&obs_shots) {
+                if prediction != observed {
+                    failures += 1;
+                }
+            }
+        } else {
+            sampler.sample_frames(lanes, &mut det_frames, &mut obs_frames);
+            let det_shots = transpose_lane_words(&det_frames, lanes);
+            let obs_shots = transpose_lane_words(&obs_frames, lanes);
+            let predictions = decoder.decode_batch(&det_shots);
+            for (prediction, observed) in predictions.iter().zip(&obs_shots) {
+                if prediction != observed {
+                    failures += 1;
+                }
             }
         }
         remaining -= lanes;
@@ -785,5 +881,69 @@ mod tests {
         assert_eq!(LerStopReason::ShotsExhausted.as_str(), "shots_exhausted");
         assert_eq!(LerStopReason::MaxFailuresReached.as_str(), "max_failures");
         assert_eq!(LerStopReason::TargetRseReached.as_str(), "target_rse");
+    }
+
+    #[test]
+    fn ler_counters_are_thread_count_invariant_and_stage_timings_recorded() {
+        let dem = surface_dem(3, 0.02, 2);
+        let decoder = BpOsdDecoder::new(&dem);
+        // An early-stopping budget: waves overshoot the stop point at high
+        // thread counts, which is exactly the case the counter contract has
+        // to survive.
+        let budget = ShotBudget::MaxFailures {
+            max_failures: 4,
+            max_shots: 2048,
+        };
+        for engine in [Engine::Scalar, Engine::Frames] {
+            let mut reference = None;
+            for threads in [1, 2, 8] {
+                let obs = Obs::enabled();
+                let runtime = Runtime::with_obs(RuntimeConfig::new(threads, 16, 0), obs.clone());
+                let (estimate, _) = estimate_with_budget_engine(
+                    &dem,
+                    &decoder,
+                    budget,
+                    5,
+                    engine,
+                    &runtime,
+                    &mut |_| {},
+                );
+                let snap = obs.snapshot().unwrap();
+                assert_eq!(snap.counter("ler.shots"), estimate.shots as u64);
+                assert_eq!(snap.counter("ler.failures"), estimate.failures as u64);
+                assert!(snap.counter("ler.chunks") > 0);
+                let counters = snap.counters.clone();
+                match &reference {
+                    None => reference = Some(counters),
+                    Some(r) => assert_eq!(&counters, r, "{engine:?} at {threads} threads"),
+                }
+                let stages: &[&str] = match engine {
+                    Engine::Scalar => &["ler.scalar.sample.ns", "ler.scalar.decode.ns"],
+                    Engine::Frames => &[
+                        "ler.frames.sample.ns",
+                        "ler.frames.transpose.ns",
+                        "ler.frames.decode.ns",
+                    ],
+                };
+                for stage in stages {
+                    assert!(
+                        snap.histogram(stage).is_some_and(|h| h.count > 0),
+                        "{stage} empty"
+                    );
+                }
+            }
+        }
+        // A plain runtime records nothing and returns the same estimate.
+        let plain = Runtime::new(RuntimeConfig::new(2, 16, 0));
+        let (estimate, _) = estimate_with_budget_engine(
+            &dem,
+            &decoder,
+            budget,
+            5,
+            Engine::Scalar,
+            &plain,
+            &mut |_| {},
+        );
+        assert!(estimate.shots > 0);
     }
 }

@@ -56,6 +56,6 @@ pub use error::FormatError;
 pub use json::Json;
 pub use report::{
     iteration_to_record, parse_report, record_to_iteration, report_to_result, result_to_report,
-    write_report, ReportRecord,
+    write_report, MetricsHistogram, ReportRecord,
 };
 pub use schedule::{parse_schedule, write_schedule};

@@ -16,6 +16,15 @@
 //!   extension; v1 parsers reject the unknown types, see `FORMATS.md`).
 //! * `table` — a generic named row used by the benchmark binaries for figure/table
 //!   data that is not an LER point.
+//! * `meta` — a provenance header (crate version, seed, threads, chunk size,
+//!   engine) written at the head of report and metrics streams (report v3
+//!   extension). Every field is optional on parse, and readers that rebuild
+//!   results ([`report_to_result`]) skip it, so v1/v2 documents — and v3
+//!   documents read by tools that ignore provenance — keep working.
+//! * `metrics` — a snapshot of a `prophunt-obs` registry (report v3 extension):
+//!   deterministic counters in their own `"counters"` object, thread-dependent
+//!   gauges and log2-bucketed timing histograms in separate keys, so the
+//!   deterministic subset can be byte-compared across thread counts.
 //!
 //! Streaming writers emit records one line at a time (`prophunt optimize` writes an
 //! `iteration` line as each iteration completes); [`parse_report`] reads a whole
@@ -26,6 +35,7 @@ use crate::json::Json;
 use crate::schedule::{parse_schedule, write_schedule};
 use prophunt::{IterationRecord, OptimizationResult};
 use prophunt_circuit::MemoryBasis;
+use prophunt_obs::{HistogramSnapshot, Snapshot};
 
 /// One record of a JSON-lines run report.
 #[derive(Debug, Clone, PartialEq)]
@@ -173,6 +183,79 @@ pub enum ReportRecord {
         /// (emitting them would produce duplicate JSON keys the parser must strip).
         fields: Vec<(String, Json)>,
     },
+    /// Provenance header at the head of a report or metrics stream (report v3
+    /// extension). Every field is optional on parse — a bare `{"type":"meta"}`
+    /// line is valid — so older emitters and newer readers interoperate.
+    Meta {
+        /// Workspace crate version that produced the stream (empty if unknown).
+        version: String,
+        /// Base RNG seed of the run (0 if unknown).
+        seed: u64,
+        /// Worker-thread bound of the run (0 if unknown). Informational only:
+        /// no deterministic field may depend on it.
+        threads: u64,
+        /// Deterministic chunk size of the run (0 if unknown).
+        chunk_size: u64,
+        /// Estimation engine of the run (`"scalar"`/`"frames"`; empty for
+        /// commands without one, e.g. `search`).
+        engine: String,
+    },
+    /// A `prophunt-obs` registry snapshot (report v3 extension).
+    ///
+    /// The record keeps the determinism contract visible in its shape:
+    /// `counters` holds only quantities that are bit-identical at any thread
+    /// count for a fixed `(seed, chunk_size)`, while `gauges` and `histograms`
+    /// hold timings and occupancy. CI compares the serialized `"counters"`
+    /// object byte-for-byte across thread counts and ignores the rest.
+    Metrics {
+        /// Deterministic `(name, value)` counter pairs, name-sorted.
+        counters: Vec<(String, u64)>,
+        /// Thread-dependent `(name, value)` gauge pairs, name-sorted.
+        gauges: Vec<(String, u64)>,
+        /// Timing histograms, name-sorted.
+        histograms: Vec<MetricsHistogram>,
+    },
+}
+
+/// One exported log2-bucketed histogram inside a [`ReportRecord::Metrics`]
+/// record.
+///
+/// Bucket indices follow `prophunt-obs`: bucket 0 holds the value 0 and bucket
+/// `b >= 1` holds `[2^(b-1), 2^b - 1]`, so `(index, count)` pairs are enough to
+/// recover quantile estimates without shipping raw samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsHistogram {
+    /// Instrument name (e.g. `"ler.frames.decode.ns"`).
+    pub name: String,
+    /// Total number of recorded observations.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Non-empty buckets as `(bucket_index, count)`, ascending by index.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl MetricsHistogram {
+    fn to_snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            buckets: self.buckets.iter().map(|&(b, c)| (b as usize, c)).collect(),
+        }
+    }
+
+    /// Estimated `q`-quantile (bucket upper bound; see
+    /// [`HistogramSnapshot::quantile`]).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.to_snapshot().quantile(q)
+    }
+
+    /// Mean of the recorded values (exact — uses the running sum).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.to_snapshot().mean()
+    }
 }
 
 fn get_u64(obj: &Json, key: &str) -> Result<u64, FormatError> {
@@ -211,6 +294,58 @@ fn opt_f64(obj: &Json, key: &str, default: f64) -> f64 {
     obj.get(key).and_then(Json::as_f64).unwrap_or(default)
 }
 
+fn opt_u64(obj: &Json, key: &str, default: u64) -> u64 {
+    obj.get(key).and_then(Json::as_u64).unwrap_or(default)
+}
+
+/// Parses an optional `{"name": uint, ...}` object field into ordered pairs
+/// (missing field → empty).
+fn u64_pairs(obj: &Json, key: &str) -> Result<Vec<(String, u64)>, FormatError> {
+    let Some(val) = obj.get(key) else {
+        return Ok(Vec::new());
+    };
+    let Json::Object(pairs) = val else {
+        return Err(FormatError::whole_input(format!(
+            "metrics field {key:?} must be an object"
+        )));
+    };
+    pairs
+        .iter()
+        .map(|(k, v)| {
+            v.as_u64().map(|v| (k.clone(), v)).ok_or_else(|| {
+                FormatError::whole_input(format!(
+                    "metrics {key} value for {k:?} must be an unsigned integer"
+                ))
+            })
+        })
+        .collect()
+}
+
+fn parse_metrics_histogram(entry: &Json) -> Result<MetricsHistogram, FormatError> {
+    let buckets = entry
+        .get("buckets")
+        .and_then(Json::as_array)
+        .ok_or_else(|| FormatError::whole_input("metrics histogram is missing buckets"))?
+        .iter()
+        .map(|pair| {
+            let items = pair.as_array().unwrap_or_default();
+            match items {
+                [b, c] => b.as_u64().zip(c.as_u64()),
+                _ => None,
+            }
+            .ok_or_else(|| {
+                FormatError::whole_input("metrics histogram buckets must be [index, count] pairs")
+            })
+        })
+        .collect::<Result<Vec<(u64, u64)>, FormatError>>()?;
+    Ok(MetricsHistogram {
+        name: get_str(entry, "name")?,
+        count: get_u64(entry, "count")?,
+        sum: get_u64(entry, "sum")?,
+        buckets,
+    })
+}
+
 impl ReportRecord {
     /// Builds a [`ReportRecord::Ler`]. `seed` and `chunk_size` must be the pair the
     /// estimate was *actually computed with* — the record's whole point is that
@@ -243,6 +378,43 @@ impl ReportRecord {
             engine: "scalar".into(),
             wall_s: 0.0,
             shots_per_sec: 0.0,
+        }
+    }
+
+    /// Builds a [`ReportRecord::Meta`] provenance header.
+    pub fn meta(
+        version: impl Into<String>,
+        seed: u64,
+        threads: u64,
+        chunk_size: u64,
+        engine: impl Into<String>,
+    ) -> ReportRecord {
+        ReportRecord::Meta {
+            version: version.into(),
+            seed,
+            threads,
+            chunk_size,
+            engine: engine.into(),
+        }
+    }
+
+    /// Builds a [`ReportRecord::Metrics`] from a `prophunt-obs` registry
+    /// snapshot, preserving the snapshot's name-sorted order and its
+    /// counter/gauge/histogram class separation.
+    pub fn metrics_from_snapshot(snapshot: &Snapshot) -> ReportRecord {
+        ReportRecord::Metrics {
+            counters: snapshot.counters.clone(),
+            gauges: snapshot.gauges.clone(),
+            histograms: snapshot
+                .histograms
+                .iter()
+                .map(|(name, h)| MetricsHistogram {
+                    name: name.clone(),
+                    count: h.count,
+                    sum: h.sum,
+                    buckets: h.buckets.iter().map(|&(b, c)| (b as u64, c)).collect(),
+                })
+                .collect(),
         }
     }
 
@@ -403,6 +575,70 @@ impl ReportRecord {
                 );
                 Json::Object(pairs)
             }
+            ReportRecord::Meta {
+                version,
+                seed,
+                threads,
+                chunk_size,
+                engine,
+            } => Json::Object(vec![
+                ("type".into(), Json::Str("meta".into())),
+                ("version".into(), Json::Str(version.clone())),
+                ("seed".into(), Json::UInt(*seed)),
+                ("threads".into(), Json::UInt(*threads)),
+                ("chunk_size".into(), Json::UInt(*chunk_size)),
+                ("engine".into(), Json::Str(engine.clone())),
+            ]),
+            ReportRecord::Metrics {
+                counters,
+                gauges,
+                histograms,
+            } => {
+                let pairs_obj = |pairs: &[(String, u64)]| {
+                    Json::Object(
+                        pairs
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+                            .collect(),
+                    )
+                };
+                Json::Object(vec![
+                    ("type".into(), Json::Str("metrics".into())),
+                    // The deterministic subset is one self-contained JSON
+                    // object so tools can extract and byte-compare it.
+                    ("counters".into(), pairs_obj(counters)),
+                    ("gauges".into(), pairs_obj(gauges)),
+                    (
+                        "histograms".into(),
+                        Json::Array(
+                            histograms
+                                .iter()
+                                .map(|h| {
+                                    Json::Object(vec![
+                                        ("name".into(), Json::Str(h.name.clone())),
+                                        ("count".into(), Json::UInt(h.count)),
+                                        ("sum".into(), Json::UInt(h.sum)),
+                                        (
+                                            "buckets".into(),
+                                            Json::Array(
+                                                h.buckets
+                                                    .iter()
+                                                    .map(|&(b, c)| {
+                                                        Json::Array(vec![
+                                                            Json::UInt(b),
+                                                            Json::UInt(c),
+                                                        ])
+                                                    })
+                                                    .collect(),
+                                            ),
+                                        ),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            }
         };
         obj.to_json()
     }
@@ -529,6 +765,32 @@ impl ReportRecord {
                     .filter(|(k, _)| k != "type" && k != "name")
                     .collect();
                 Ok(ReportRecord::Table { name, fields })
+            }
+            // Provenance is best-effort by design: every field optional.
+            "meta" => Ok(ReportRecord::Meta {
+                version: opt_str(&obj, "version", ""),
+                seed: opt_u64(&obj, "seed", 0),
+                threads: opt_u64(&obj, "threads", 0),
+                chunk_size: opt_u64(&obj, "chunk_size", 0),
+                engine: opt_str(&obj, "engine", ""),
+            }),
+            "metrics" => {
+                let histograms = match obj.get("histograms") {
+                    None => Vec::new(),
+                    Some(val) => val
+                        .as_array()
+                        .ok_or_else(|| {
+                            FormatError::whole_input("metrics histograms must be an array")
+                        })?
+                        .iter()
+                        .map(parse_metrics_histogram)
+                        .collect::<Result<Vec<MetricsHistogram>, FormatError>>()?,
+                };
+                Ok(ReportRecord::Metrics {
+                    counters: u64_pairs(&obj, "counters")?,
+                    gauges: u64_pairs(&obj, "gauges")?,
+                    histograms,
+                })
             }
             other => Err(FormatError::whole_input(format!(
                 "unknown report record type {other:?}"
@@ -659,11 +921,19 @@ pub fn result_to_report(
 
 /// Rebuilds an [`OptimizationResult`] from its report records.
 ///
+/// `meta` and `metrics` records are skipped wherever they appear — streams
+/// carry a provenance header (and may have a metrics snapshot appended) that
+/// is not part of the optimization account.
+///
 /// # Errors
 ///
-/// Returns a [`FormatError`] if the records are not a `run_start` /
+/// Returns a [`FormatError`] if the remaining records are not a `run_start` /
 /// `iteration`... / `run_end` sequence or any embedded schedule fails to parse.
 pub fn report_to_result(records: &[ReportRecord]) -> Result<OptimizationResult, FormatError> {
+    let records: Vec<&ReportRecord> = records
+        .iter()
+        .filter(|r| !matches!(r, ReportRecord::Meta { .. } | ReportRecord::Metrics { .. }))
+        .collect();
     let Some(ReportRecord::RunStart {
         initial_schedule, ..
     }) = records.first()
@@ -679,6 +949,7 @@ pub fn report_to_result(records: &[ReportRecord]) -> Result<OptimizationResult, 
     };
     let iterations = records[1..records.len() - 1]
         .iter()
+        .copied()
         .map(record_to_iteration)
         .collect::<Result<Vec<IterationRecord>, FormatError>>()?;
     Ok(OptimizationResult {
@@ -928,5 +1199,119 @@ mod tests {
             fields: vec![],
         }];
         assert!(report_to_result(&only_iter).is_err());
+        // A stream that is nothing but provenance has no result to rebuild.
+        assert!(report_to_result(&[ReportRecord::meta("0.1.0", 1, 2, 64, "")]).is_err());
+    }
+
+    #[test]
+    fn meta_and_metrics_records_round_trip() {
+        let records = vec![
+            ReportRecord::meta("0.1.0", 7, 4, 64, "frames"),
+            ReportRecord::Metrics {
+                counters: vec![("ler.chunks".into(), 32), ("ler.shots".into(), 2048)],
+                gauges: vec![("runtime.workers.peak".into(), 4)],
+                histograms: vec![MetricsHistogram {
+                    name: "ler.frames.decode.ns".into(),
+                    count: 3,
+                    sum: 300,
+                    buckets: vec![(5, 2), (7, 1)],
+                }],
+            },
+        ];
+        let text = write_report(&records);
+        let parsed = parse_report(&text).unwrap();
+        assert_eq!(parsed, records);
+        // The deterministic subset is one self-contained JSON object.
+        assert!(text.contains("\"counters\":{\"ler.chunks\":32,\"ler.shots\":2048}"));
+    }
+
+    #[test]
+    fn metrics_from_snapshot_preserves_class_separation() {
+        let reg = prophunt_obs::Registry::new();
+        reg.counter("ler.shots").add(100);
+        reg.gauge("runtime.workers.peak").set(8);
+        reg.histogram("ler.frames.decode.ns").record(1000);
+        let record = ReportRecord::metrics_from_snapshot(&reg.snapshot());
+        let reparsed = ReportRecord::from_json_line(&record.to_json_line()).unwrap();
+        assert_eq!(reparsed, record);
+        let ReportRecord::Metrics {
+            counters,
+            gauges,
+            histograms,
+        } = reparsed
+        else {
+            panic!("expected a metrics record");
+        };
+        assert_eq!(counters, vec![("ler.shots".to_string(), 100)]);
+        assert_eq!(gauges, vec![("runtime.workers.peak".to_string(), 8)]);
+        assert_eq!(histograms.len(), 1);
+        assert_eq!(histograms[0].count, 1);
+        assert_eq!(histograms[0].sum, 1000);
+        assert_eq!(histograms[0].quantile(1.0), 1023);
+    }
+
+    #[test]
+    fn bare_meta_records_parse_with_all_fields_defaulted() {
+        let parsed = ReportRecord::from_json_line("{\"type\":\"meta\"}").unwrap();
+        assert_eq!(parsed, ReportRecord::meta("", 0, 0, 0, ""));
+        // Partial meta (a future emitter with fewer fields) also parses.
+        let parsed =
+            ReportRecord::from_json_line("{\"type\":\"meta\",\"seed\":9,\"engine\":\"scalar\"}")
+                .unwrap();
+        assert_eq!(parsed, ReportRecord::meta("", 9, 0, 0, "scalar"));
+    }
+
+    #[test]
+    fn truncated_metrics_record_mid_stream_is_rejected_with_its_line() {
+        // Mirrors the incumbent truncation regression: a metrics line cut off
+        // mid-write must fail parse_report with its line number.
+        let good = ReportRecord::Metrics {
+            counters: vec![("search.proposals".into(), 64)],
+            gauges: vec![],
+            histograms: vec![MetricsHistogram {
+                name: "search.round.ns".into(),
+                count: 4,
+                sum: 4000,
+                buckets: vec![(10, 4)],
+            }],
+        }
+        .to_json_line();
+        let truncated = &good[..good.len() / 2];
+        let err = parse_report(&format!("{good}\n{truncated}\n")).unwrap_err();
+        assert_eq!(err.line, 2);
+        // Structurally complete JSON with mistyped fields is also caught.
+        let err =
+            parse_report("{\"type\":\"metrics\",\"counters\":{\"a\":\"oops\"}}\n").unwrap_err();
+        assert!(err.message.contains("unsigned integer"), "{}", err.message);
+        let err = parse_report(
+            "{\"type\":\"metrics\",\"histograms\":[{\"name\":\"h\",\"count\":1,\"sum\":2,\
+             \"buckets\":[[1]]}]}\n",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("buckets"), "{}", err.message);
+    }
+
+    #[test]
+    fn report_to_result_skips_provenance_and_metrics_records() {
+        let (code, layout) = rotated_surface_code_with_layout(3);
+        let poor = ScheduleSpec::surface_poor(&code, &layout);
+        let config = PropHuntConfig {
+            iterations: 1,
+            samples_per_iteration: 10,
+            ..PropHuntConfig::quick(3)
+        };
+        let seed = config.seed();
+        let chunk = config.runtime.chunk_size;
+        let prophunt = PropHunt::new(code.clone(), config);
+        let result = prophunt.try_optimize(poor).unwrap();
+        let mut records = result_to_report(&result, code.name(), seed, chunk);
+        records.insert(0, ReportRecord::meta("0.1.0", seed, 4, chunk as u64, ""));
+        records.push(ReportRecord::Metrics {
+            counters: vec![("session.jobs".into(), 1)],
+            gauges: vec![],
+            histograms: vec![],
+        });
+        let rebuilt = report_to_result(&parse_report(&write_report(&records)).unwrap()).unwrap();
+        assert_eq!(rebuilt, result);
     }
 }

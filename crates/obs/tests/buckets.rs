@@ -1,0 +1,69 @@
+//! Bucket-boundary proptests for the log2 histogram layout.
+//!
+//! The export format and the report analyzer both reconstruct value ranges
+//! from bucket indices alone, so the `bucket_of`/`bucket_lower`/`bucket_upper`
+//! triple has to be exactly self-consistent: every value lands in a bucket
+//! whose `[lower, upper]` range contains it, the ranges tile `u64` without
+//! gaps or overlap, and quantile estimates never leave the recorded range.
+
+use prophunt_obs::{bucket_lower, bucket_of, bucket_upper, Registry, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every value is inside the `[lower, upper]` range of its own bucket.
+    #[test]
+    fn value_is_within_its_bucket_bounds(v in any::<u64>()) {
+        let b = bucket_of(v);
+        prop_assert!(b < HISTOGRAM_BUCKETS);
+        prop_assert!(bucket_lower(b) <= v, "lower({b}) > {v}");
+        prop_assert!(v <= bucket_upper(b), "{v} > upper({b})");
+    }
+
+    /// Bucket assignment is monotone: a larger value never lands in a
+    /// smaller bucket.
+    #[test]
+    fn bucket_assignment_is_monotone(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_of(lo) <= bucket_of(hi));
+    }
+
+    /// Boundary probes: the upper bound of each bucket maps back into that
+    /// bucket, and one past it maps into the next.
+    #[test]
+    fn bucket_edges_tile_without_gaps(bucket in 0usize..HISTOGRAM_BUCKETS) {
+        let upper = bucket_upper(bucket);
+        prop_assert_eq!(bucket_of(bucket_lower(bucket)), bucket);
+        prop_assert_eq!(bucket_of(upper), bucket);
+        if bucket + 1 < HISTOGRAM_BUCKETS {
+            prop_assert_eq!(bucket_of(upper + 1), bucket + 1);
+            prop_assert_eq!(bucket_lower(bucket + 1), upper + 1);
+        }
+    }
+
+    /// A recorded histogram's quantiles stay within the log2 envelope of the
+    /// recorded values: `quantile(0)` at least the min's bucket lower bound,
+    /// `quantile(1)` exactly the max's bucket upper bound.
+    #[test]
+    fn quantiles_stay_within_the_recorded_envelope(
+        values in collection::vec(any::<u64>(), 1..50),
+    ) {
+        let reg = Registry::new();
+        let h = reg.histogram("v");
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let hs = snap.histogram("v").unwrap();
+        prop_assert_eq!(hs.count, values.len() as u64);
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        prop_assert!(hs.quantile(0.0) >= bucket_lower(bucket_of(min)));
+        prop_assert!(hs.quantile(0.0) <= bucket_upper(bucket_of(min)));
+        prop_assert_eq!(hs.quantile(1.0), bucket_upper(bucket_of(max)));
+        for q in [0.5, 0.9, 0.99] {
+            let est = hs.quantile(q);
+            prop_assert!(est <= bucket_upper(bucket_of(max)));
+            prop_assert!(est >= bucket_lower(bucket_of(min)) || est == 0);
+        }
+    }
+}

@@ -45,7 +45,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use prophunt_obs::{duration_ns, Obs};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Configuration of the shared parallel runtime.
 ///
@@ -167,15 +169,45 @@ impl SeedStream {
 /// `config.threads` workers that pull task indices from an atomic counter
 /// (dynamic load balancing, fixed task set). Results are always returned in
 /// task order regardless of completion order.
+/// Pool-level instrumentation is optional: [`Runtime::new`] attaches no
+/// observability registry ([`RuntimeConfig`] stays `Copy`, and the seed
+/// streams never see the registry), while [`Runtime::with_obs`] records per
+/// call to [`Runtime::run_tasks`]:
+///
+/// - histogram `runtime.call.ns` — wall time of the whole call
+/// - histogram `runtime.call.tasks` — task count of the call
+/// - histogram `runtime.task.ns` — wall time of each task body
+/// - histogram `runtime.task.wait.ns` — delay from call start to task start
+///   (queue wait under the bounded pool)
+/// - gauge `runtime.workers.peak` — largest worker count of any call
+///
+/// All pool metrics are histograms or gauges, never counters: wave sizes and
+/// scheduling depend on the thread count, so they sit outside the
+/// deterministic-counter contract.
 #[derive(Debug, Clone)]
 pub struct Runtime {
     config: RuntimeConfig,
+    obs: Obs,
 }
 
 impl Runtime {
-    /// Creates a runtime from `config`.
+    /// Creates a runtime from `config` with observability disabled.
     pub fn new(config: RuntimeConfig) -> Self {
-        Runtime { config }
+        Runtime {
+            config,
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Creates a runtime from `config` recording pool metrics into `obs`.
+    pub fn with_obs(config: RuntimeConfig, obs: Obs) -> Self {
+        Runtime { config, obs }
+    }
+
+    /// Returns the runtime's observability handle (disabled unless the
+    /// runtime was built with [`Runtime::with_obs`]).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Returns the runtime's configuration.
@@ -206,11 +238,34 @@ impl Runtime {
         F: Fn(usize) -> U + Sync,
     {
         let workers = self.threads().min(tasks);
+        // Pool metrics are strictly out-of-band: handles are hoisted here so
+        // the disabled path costs one `None` check per task, and nothing below
+        // touches the seed streams.
+        let _call_span = self.obs.span("runtime.call.ns");
+        let call_start = Instant::now();
+        if let Some(h) = self.obs.histogram("runtime.call.tasks") {
+            h.record(tasks as u64);
+        }
+        self.obs.gauge_max("runtime.workers.peak", workers as u64);
+        let task_hist = self.obs.histogram("runtime.task.ns");
+        let wait_hist = self.obs.histogram("runtime.task.wait.ns");
+        let timed = |task: usize| -> U {
+            let Some(task_hist) = &task_hist else {
+                return f(task);
+            };
+            if let Some(wh) = &wait_hist {
+                wh.record(duration_ns(call_start.elapsed()));
+            }
+            let started = Instant::now();
+            let out = f(task);
+            task_hist.record(duration_ns(started.elapsed()));
+            out
+        };
         if workers <= 1 {
-            return (0..tasks).map(f).collect();
+            return (0..tasks).map(timed).collect();
         }
         let next = AtomicUsize::new(0);
-        let f = &f;
+        let timed = &timed;
         let next = &next;
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -222,7 +277,7 @@ impl Runtime {
                             if task >= tasks {
                                 break;
                             }
-                            local.push((task, f(task)));
+                            local.push((task, timed(task)));
                         }
                         local
                     })
@@ -380,6 +435,38 @@ mod tests {
         assert_ne!(
             SeedStream::new(1).seed_for(0),
             SeedStream::new(2).seed_for(0)
+        );
+    }
+
+    #[test]
+    fn with_obs_records_pool_histograms_and_new_records_nothing() {
+        let obs = Obs::enabled();
+        let runtime = Runtime::with_obs(RuntimeConfig::new(3, 4, 0), obs.clone());
+        let out = runtime.run_tasks(10, |i| i);
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+        let snap = obs.snapshot().unwrap();
+        assert_eq!(snap.histogram("runtime.call.ns").unwrap().count, 1);
+        assert_eq!(snap.histogram("runtime.call.tasks").unwrap().sum, 10);
+        assert_eq!(snap.histogram("runtime.task.ns").unwrap().count, 10);
+        assert_eq!(snap.histogram("runtime.task.wait.ns").unwrap().count, 10);
+        let peak = snap
+            .gauges
+            .iter()
+            .find(|(n, _)| n == "runtime.workers.peak");
+        assert!(matches!(peak, Some((_, v)) if *v == 3));
+        // Counters stay empty: pool metrics are all on the timing side.
+        assert!(snap.counters.is_empty());
+        // A plain runtime shares nothing with the registry.
+        let plain = Runtime::new(RuntimeConfig::new(3, 4, 0));
+        assert!(!plain.obs().is_enabled());
+        plain.run_tasks(4, |i| i);
+        assert_eq!(
+            obs.snapshot()
+                .unwrap()
+                .histogram("runtime.call.ns")
+                .unwrap()
+                .count,
+            1
         );
     }
 

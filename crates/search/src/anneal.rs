@@ -3,6 +3,7 @@
 use crate::moves::MoveSet;
 use crate::strategy::{Incumbent, Proposal, SearchContext, Strategy};
 use prophunt_circuit::schedule::eval::ScheduleEval;
+use prophunt_obs::Counter;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -31,6 +32,10 @@ pub struct Annealing {
     temperature: f64,
     cooling: f64,
     proposals_per_round: usize,
+    /// Hoisted `search.anneal.accepts` / `.reverts` counter handles (None when
+    /// the context's observability is disabled).
+    accepts: Option<Counter>,
+    reverts: Option<Counter>,
 }
 
 impl Annealing {
@@ -49,6 +54,8 @@ impl Annealing {
             temperature: ctx.params.initial_temperature,
             cooling: ctx.params.cooling,
             proposals_per_round: ctx.params.proposals_per_round,
+            accepts: ctx.obs.counter("search.anneal.accepts"),
+            reverts: ctx.obs.counter("search.anneal.reverts"),
         }
     }
 }
@@ -74,6 +81,9 @@ impl Strategy for Annealing {
             };
             if accept {
                 self.eval.commit();
+                if let Some(c) = &self.accepts {
+                    c.inc();
+                }
                 current_depth = depth;
                 if depth < self.best.depth {
                     self.best = Proposal {
@@ -83,6 +93,9 @@ impl Strategy for Annealing {
                 }
             } else {
                 self.eval.revert();
+                if let Some(c) = &self.reverts {
+                    c.inc();
+                }
             }
         }
         self.temperature *= self.cooling;

@@ -3,6 +3,7 @@
 use crate::moves::MoveSet;
 use crate::strategy::{Incumbent, Proposal, SearchContext, Strategy};
 use prophunt_circuit::schedule::eval::ScheduleEval;
+use prophunt_obs::Counter;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -31,6 +32,9 @@ pub struct Beam {
     beam: Vec<(Proposal, u64)>,
     width: usize,
     proposals_per_round: usize,
+    /// Hoisted `search.beam.expansions` counter handle (None when the
+    /// context's observability is disabled).
+    expansions: Option<Counter>,
 }
 
 impl Beam {
@@ -52,6 +56,7 @@ impl Beam {
             )],
             width: ctx.params.beam_width.max(1),
             proposals_per_round: ctx.params.proposals_per_round,
+            expansions: ctx.obs.counter("search.beam.expansions"),
         }
     }
 
@@ -89,6 +94,9 @@ impl Strategy for Beam {
                     continue;
                 };
                 if let Some(depth) = eval.try_apply(&mv) {
+                    if let Some(c) = &self.expansions {
+                        c.inc();
+                    }
                     let fingerprint = eval.fingerprint();
                     self.insert(
                         Proposal {

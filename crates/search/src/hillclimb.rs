@@ -4,6 +4,7 @@ use crate::moves::MoveSet;
 use crate::strategy::{Incumbent, Proposal, SearchContext, Strategy};
 use prophunt_circuit::schedule::eval::ScheduleEval;
 use prophunt_circuit::schedule::ScheduleSpec;
+use prophunt_obs::Counter;
 use prophunt_qec::surface::{Corner, SurfaceLayout};
 use prophunt_qec::CssCode;
 use rand::rngs::StdRng;
@@ -44,6 +45,11 @@ pub struct HillClimb {
     stalled_rounds: usize,
     restart_stall: usize,
     proposals_per_round: usize,
+    /// Hoisted `search.hillclimb.*` counter handles (None when the context's
+    /// observability is disabled).
+    accepts: Option<Counter>,
+    reverts: Option<Counter>,
+    restarts: Option<Counter>,
 }
 
 /// All 24 permutations of the four plaquette corners.
@@ -146,6 +152,9 @@ impl HillClimb {
             stalled_rounds: 0,
             restart_stall: ctx.params.restart_stall.max(1),
             proposals_per_round: ctx.params.proposals_per_round,
+            accepts: ctx.obs.counter("search.hillclimb.accepts"),
+            reverts: ctx.obs.counter("search.hillclimb.reverts"),
+            restarts: ctx.obs.counter("search.hillclimb.restarts"),
         }
     }
 
@@ -170,6 +179,9 @@ impl Strategy for HillClimb {
         if self.stalled_rounds >= self.restart_stall {
             self.eval = ScheduleEval::new(self.restart_schedule(&mut rng))
                 .expect("restart schedules are validated or valid by construction");
+            if let Some(c) = &self.restarts {
+                c.inc();
+            }
             if self.eval.depth() < self.best.depth {
                 self.best = Proposal {
                     schedule: self.eval.spec().clone(),
@@ -189,6 +201,9 @@ impl Strategy for HillClimb {
             };
             if depth <= current_depth {
                 self.eval.commit();
+                if let Some(c) = &self.accepts {
+                    c.inc();
+                }
                 current_depth = depth;
                 if depth < self.best.depth {
                     self.best = Proposal {
@@ -198,6 +213,9 @@ impl Strategy for HillClimb {
                 }
             } else {
                 self.eval.revert();
+                if let Some(c) = &self.reverts {
+                    c.inc();
+                }
             }
         }
         if current_depth < depth_before {

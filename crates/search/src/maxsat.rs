@@ -3,6 +3,7 @@
 use crate::strategy::{Incumbent, Proposal, SearchContext, Strategy};
 use prophunt::{PropHunt, PropHuntConfig};
 use prophunt_circuit::MemoryBasis;
+use prophunt_obs::Counter;
 use prophunt_runtime::RuntimeConfig;
 
 /// The paper's optimizer as a portfolio arm: each round runs **one**
@@ -25,6 +26,9 @@ pub struct MaxSatDescent {
     prophunt: PropHunt,
     schedule: prophunt_circuit::schedule::ScheduleSpec,
     depth: usize,
+    /// Hoisted `search.maxsat.iterations` counter handle (None when the
+    /// context's observability is disabled).
+    iterations: Option<Counter>,
 }
 
 impl MaxSatDescent {
@@ -54,6 +58,7 @@ impl MaxSatDescent {
             prophunt: PropHunt::new(ctx.code.clone(), config),
             schedule: ctx.initial.clone(),
             depth,
+            iterations: ctx.obs.counter("search.maxsat.iterations"),
         }
     }
 }
@@ -73,6 +78,9 @@ impl Strategy for MaxSatDescent {
         } else {
             MemoryBasis::X
         };
+        if let Some(c) = &self.iterations {
+            c.inc();
+        }
         let record = self.prophunt.step(round, basis, &mut self.schedule);
         self.depth = record.depth;
         Proposal {

@@ -5,6 +5,7 @@ use crate::strategy::{Incumbent, SearchContext, SearchParams, StrategyKind};
 use crate::Strategy;
 use prophunt_circuit::schedule::ScheduleSpec;
 use prophunt_circuit::CircuitError;
+use prophunt_obs::{Counter, Obs};
 use prophunt_qec::surface::SurfaceLayout;
 use prophunt_qec::CssCode;
 use prophunt_runtime::{Runtime, RuntimeConfig};
@@ -116,9 +117,19 @@ pub struct Portfolio {
 }
 
 impl Portfolio {
-    /// Creates a portfolio executor from `config`.
+    /// Creates a portfolio executor from `config` (observability disabled).
     pub fn new(config: PortfolioConfig) -> Portfolio {
-        let runtime = Runtime::new(config.runtime);
+        Portfolio::with_obs(config, Obs::disabled())
+    }
+
+    /// Creates a portfolio executor recording into `obs`: round/proposal/dedup
+    /// counters, per-arm `search.<arm>.*` counters from the strategies, the
+    /// `search.round.ns` span histogram, and the shared runtime's pool metrics.
+    /// All search counters are updated either at the single-threaded round
+    /// boundary or by deterministic strategy steps, so they stay bit-identical
+    /// at any thread count.
+    pub fn with_obs(config: PortfolioConfig, obs: Obs) -> Portfolio {
+        let runtime = Runtime::with_obs(config.runtime, obs);
         Portfolio { config, runtime }
     }
 
@@ -160,12 +171,14 @@ impl Portfolio {
         initial.validate_for_code(code)?;
         let initial_depth = initial.depth()?;
 
+        let obs = self.runtime.obs();
         let ctx = SearchContext::new(
             code.clone(),
             layout.cloned(),
             initial.clone(),
             self.config.params.clone(),
-        );
+        )
+        .with_obs(obs.clone());
         let root = self.runtime.seed_stream();
         let instance_seeds = root.substream(stream::INSTANCE);
         // Stepping needs `&mut` per strategy from worker threads; one
@@ -179,6 +192,21 @@ impl Portfolio {
             .collect();
         let names: Vec<&'static str> = (0..self.config.portfolio_size)
             .map(|i| self.config.strategies[i % self.config.strategies.len()].name())
+            .collect();
+        // Hoisted counter handles, all updated at the single-threaded round
+        // boundary in instance order (never from workers), so every count is a
+        // function of the round records alone — thread-count invariant.
+        let rounds_ctr = obs.counter("search.rounds");
+        let proposals_ctr = obs.counter("search.proposals");
+        let dedup_ctr = obs.counter("search.dedup.hits");
+        let improvements_ctr = obs.counter("search.improvements");
+        let arm_proposals: Vec<Option<Counter>> = names
+            .iter()
+            .map(|name| obs.counter(&format!("search.{name}.proposals")))
+            .collect();
+        let arm_wins: Vec<Option<Counter>> = names
+            .iter()
+            .map(|name| obs.counter(&format!("search.{name}.wins")))
             .collect();
 
         let mut incumbent = Incumbent {
@@ -202,6 +230,7 @@ impl Portfolio {
             std::collections::HashSet::from([initial_fingerprint]);
         let mut rounds = Vec::with_capacity(self.config.rounds);
         for round in 0..self.config.rounds {
+            let _round_span = obs.span("search.round.ns");
             let round_seeds = root.substream(stream::ROUND).substream(round as u64);
             // One runtime task per instance; results return in instance order
             // whatever the completion order, so everything below is
@@ -220,6 +249,18 @@ impl Portfolio {
                     duplicates += 1;
                 }
             }
+            if let Some(c) = &rounds_ctr {
+                c.inc();
+            }
+            if let Some(c) = &proposals_ctr {
+                c.add(proposals.len() as u64);
+            }
+            if let Some(c) = &dedup_ctr {
+                c.add(duplicates as u64);
+            }
+            for c in arm_proposals.iter().flatten() {
+                c.inc();
+            }
 
             // Deterministic incumbent selection: minimum depth, ties broken by
             // the lowest instance slot; improvement must be strict.
@@ -230,6 +271,12 @@ impl Portfolio {
                 .expect("portfolio has at least one instance");
             let improved = best_proposal.depth < incumbent.depth;
             if improved {
+                if let Some(c) = &improvements_ctr {
+                    c.inc();
+                }
+                if let Some(c) = &arm_wins[winner] {
+                    c.inc();
+                }
                 // Re-verify a winning candidate once per distinct schedule:
                 // the portfolio does not take a strategy's depth claim on
                 // faith, but a fingerprint it has already verified is not
@@ -371,6 +418,47 @@ mod tests {
                 "best schedule diverged at threads = {threads}"
             );
             assert_eq!(result, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn search_counters_are_recorded_and_thread_count_invariant() {
+        let (code, _) = rotated_surface_code_with_layout(3);
+        let initial = ScheduleSpec::coloration(&code);
+        let run = |threads: usize| {
+            let mut config = local_config();
+            config.runtime.threads = threads;
+            let obs = Obs::enabled();
+            Portfolio::with_obs(config, obs.clone())
+                .run(&code, None, &initial, |_| {})
+                .unwrap();
+            obs.snapshot().unwrap()
+        };
+        let reference = run(1);
+        assert_eq!(reference.counter("search.rounds"), 4);
+        assert_eq!(reference.counter("search.proposals"), 12);
+        assert_eq!(
+            reference.counter("search.anneal.proposals")
+                + reference.counter("search.beam.proposals")
+                + reference.counter("search.hillclimb.proposals"),
+            12
+        );
+        assert!(
+            reference.counter("search.improvements") >= 1,
+            "coloration start must improve at least once"
+        );
+        assert!(
+            reference.counter("search.anneal.accepts") + reference.counter("search.anneal.reverts")
+                > 0,
+            "annealing arm must have stepped"
+        );
+        assert!(reference.counter("search.beam.expansions") > 0);
+        assert!(reference
+            .histogram("search.round.ns")
+            .is_some_and(|h| h.count == 4));
+        for threads in [2, 8] {
+            let snap = run(threads);
+            assert_eq!(snap.counters, reference.counters, "threads = {threads}");
         }
     }
 

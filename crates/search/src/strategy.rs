@@ -4,6 +4,7 @@
 use crate::{Annealing, Beam, HillClimb, MaxSatDescent};
 use prophunt_circuit::schedule::ScheduleSpec;
 use prophunt_circuit::NoiseModel;
+use prophunt_obs::Obs;
 use prophunt_qec::CssCode;
 use std::fmt;
 use std::str::FromStr;
@@ -124,6 +125,11 @@ pub struct SearchContext {
     pub initial: ScheduleSpec,
     /// Shared tuning knobs.
     pub params: SearchParams,
+    /// Observability handle strategies hoist counter handles from at
+    /// construction (`search.<arm>.*` names). Disabled by default; counts are
+    /// functions of `(construction, round, seed)` only, so they stay on the
+    /// deterministic side of the contract at any thread count.
+    pub obs: Obs,
     /// Lazily computed corner-order restart family, shared across every
     /// instance built from this context (and its clones).
     corner_cache: std::sync::Arc<std::sync::OnceLock<std::sync::Arc<Vec<ScheduleSpec>>>>,
@@ -142,8 +148,16 @@ impl SearchContext {
             layout,
             initial,
             params,
+            obs: Obs::disabled(),
             corner_cache: std::sync::Arc::new(std::sync::OnceLock::new()),
         }
+    }
+
+    /// Attaches an observability handle (builder-style).
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> SearchContext {
+        self.obs = obs;
+        self
     }
 
     /// The valid corner-order schedule family of the layout (empty when the

@@ -12,6 +12,11 @@
 //!   ([`prophunt_decoders`]).
 //! * [`core`] — the PropHunt optimizer itself ([`prophunt`]).
 //! * [`zne`] — Hook-ZNE and DS-ZNE ([`prophunt_zne`]).
+//! * [`obs`] — zero-dependency observability: counters, gauges, log2-bucketed
+//!   histograms and RAII span timers behind an optional `Obs` handle, threaded
+//!   through the runtime, Session, LER engines and search out-of-band of the
+//!   deterministic seed streams ([`prophunt_obs`]); exported as `metrics`
+//!   JSON-lines records and summarized by `prophunt report`.
 //! * [`runtime`] — the deterministic bounded parallel execution layer shared by
 //!   every parallel stage ([`prophunt_runtime`]).
 //! * [`search`] — strategy-portfolio schedule search: the `Strategy` trait,
@@ -38,6 +43,7 @@ pub use prophunt_decoders as decoders;
 pub use prophunt_formats as formats;
 pub use prophunt_gf2 as gf2;
 pub use prophunt_maxsat as maxsat;
+pub use prophunt_obs as obs;
 pub use prophunt_qec as qec;
 pub use prophunt_runtime as runtime;
 pub use prophunt_search as search;
