@@ -244,7 +244,8 @@ impl OptimizeJob {
         self
     }
 
-    /// Sets the MaxSAT wall-clock budget.
+    /// Sets the MaxSAT budget (enforced as a deterministic conflict budget;
+    /// see `prophunt_maxsat::MaxSatSolver::solve`).
     pub fn with_maxsat_budget(mut self, budget: Duration) -> OptimizeJob {
         self.maxsat_budget = budget;
         self

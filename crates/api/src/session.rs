@@ -141,6 +141,8 @@ impl Session {
         builder: impl Fn(&DetectorErrorModel) -> Arc<dyn Decoder> + Send + Sync + 'static,
     ) {
         let name = name.into();
+        // lint: allow(no-hash-iter) — order-insensitive: retain applies an
+        // independent per-entry predicate; no output depends on visit order.
         self.decoders.retain(|(_, cached), _| cached != &name);
         self.registry.register(name, builder);
     }

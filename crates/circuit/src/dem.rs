@@ -15,7 +15,7 @@ use crate::ops::Op;
 use prophunt_gf2::{BitMatrix, BitVec};
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// The circuit fault (or one of several merged faults) behind an [`ErrorMechanism`].
 #[derive(Debug, Clone, PartialEq)]
@@ -182,9 +182,11 @@ impl DetectorErrorModel {
             }
             touched.clear();
 
-            // Convert measurement flips into detector / observable flips.
-            let mut det_parity: HashMap<usize, bool> = HashMap::new();
-            let mut obs_parity: HashMap<usize, bool> = HashMap::new();
+            // Convert measurement flips into detector / observable flips. BTreeMaps
+            // keep the parity sets sorted by index, so the collected vectors come
+            // out in canonical order directly.
+            let mut det_parity: BTreeMap<usize, bool> = BTreeMap::new();
+            let mut obs_parity: BTreeMap<usize, bool> = BTreeMap::new();
             for &m in &flipped_meas {
                 for &d in &meas_to_detectors[m] {
                     *det_parity.entry(d).or_insert(false) ^= true;
@@ -193,16 +195,14 @@ impl DetectorErrorModel {
                     *obs_parity.entry(o).or_insert(false) ^= true;
                 }
             }
-            let mut detectors: Vec<usize> = det_parity
+            let detectors: Vec<usize> = det_parity
                 .into_iter()
                 .filter_map(|(d, on)| on.then_some(d))
                 .collect();
-            let mut observables: Vec<usize> = obs_parity
+            let observables: Vec<usize> = obs_parity
                 .into_iter()
                 .filter_map(|(o, on)| on.then_some(o))
                 .collect();
-            detectors.sort_unstable();
-            observables.sort_unstable();
             if detectors.is_empty() && observables.is_empty() {
                 continue;
             }
@@ -733,6 +733,26 @@ mod tests {
             assert!(err.probability > 0.0 && err.probability < 0.1);
             assert!(!err.sources.is_empty());
             assert!(err.detectors.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn mechanism_index_sets_are_sorted_and_extraction_is_reproducible() {
+        // Regression pin for the det_parity/obs_parity HashMap -> BTreeMap
+        // conversion: the per-mechanism index sets must come out of the parity
+        // maps already in canonical ascending order (no post-sort pass exists any
+        // more), and two independent extractions must agree mechanism-for-mechanism.
+        let (_, exp) = d3_experiment(3);
+        let noise = NoiseModel::uniform_depolarizing(1e-3);
+        let dem_a = DetectorErrorModel::from_experiment(&exp, &noise);
+        let dem_b = DetectorErrorModel::from_experiment(&exp, &noise);
+        assert_eq!(dem_a.num_errors(), dem_b.num_errors());
+        for (a, b) in dem_a.errors().iter().zip(dem_b.errors()) {
+            assert!(a.detectors.windows(2).all(|w| w[0] < w[1]));
+            assert!(a.observables.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(a.detectors, b.detectors);
+            assert_eq!(a.observables, b.observables);
+            assert_eq!(a.probability, b.probability);
         }
     }
 

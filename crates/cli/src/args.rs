@@ -107,10 +107,15 @@ mod tests {
             &strings(&["--code", "surface:3", "-o", "x.dem"]),
             &["code", "out"],
         )
-        .unwrap();
+        .expect("--code/-o pairs are well-formed and accepted");
         assert_eq!(flags.get("code"), Some("surface:3"));
         assert_eq!(flags.get("out"), Some("x.dem"));
-        assert_eq!(flags.num("shots", 500u64).unwrap(), 500);
+        assert_eq!(
+            flags
+                .num("shots", 500u64)
+                .expect("absent flag falls back to default"),
+            500
+        );
     }
 
     #[test]
@@ -131,7 +136,8 @@ mod tests {
             Flags::parse(&strings(&["--code", "a", "--code", "b"]), &["code"]),
             Err(CliError::Usage(_))
         ));
-        let flags = Flags::parse(&strings(&["--shots", "abc"]), &["shots"]).unwrap();
+        let flags = Flags::parse(&strings(&["--shots", "abc"]), &["shots"])
+            .expect("parse accepts any value text; only num() rejects it");
         assert!(matches!(flags.num("shots", 1u64), Err(CliError::Usage(_))));
         assert!(matches!(flags.require("seed"), Err(CliError::Usage(_))));
     }

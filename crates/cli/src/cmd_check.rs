@@ -89,7 +89,10 @@ mod tests {
     #[test]
     fn search_reports_validate_like_any_other_report() {
         let text = format!("{}\n{}\n", incumbent_line(0), incumbent_line(1));
-        assert_eq!(check_one(&text).unwrap(), "report, 2 records");
+        assert_eq!(
+            check_one(&text).expect("two well-formed incumbent records validate"),
+            "report, 2 records"
+        );
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! `prophunt lint` — the workspace determinism & discipline static analysis.
+//!
+//! Runs the `prophunt-lint` rule engine (rules `D1`–`D7`, see that crate's
+//! docs) over every workspace crate and manifest. Human output renders one
+//! `file:line:col · RULE-ID · message` diagnostic per line; `--format json`
+//! emits report-v3 JSON-lines `lint` records instead, so the stream validates
+//! under `prophunt check` like every other artifact.
+//!
+//! The exit code is the CI contract: 0 when every finding is covered by a
+//! justified suppression comment, 1 when any unsuppressed finding remains.
+
+use crate::args::{CliError, Flags};
+use prophunt_formats::ReportRecord;
+use prophunt_lint::lint_workspace;
+use std::path::Path;
+
+pub const USAGE: &str = "\
+prophunt lint [--root DIR] [--format human|json] [--suppressed true]
+
+  Statically checks every workspace crate against the determinism &
+  discipline rules D1-D7 (wall-clock use, hash-order iteration, thread
+  spawns, ambient RNG, unsafe code, user-input panics, unvendored deps).
+
+  --root        workspace root to scan (default: current directory)
+  --format      human (default) or json (report-v3 `lint` records)
+  --suppressed  true to also show findings covered by justified
+                suppressions in human output (default false)
+
+  Exits 0 when no unsuppressed finding remains, 1 otherwise, 2 on usage
+  errors. A finding is suppressed by an inline comment of the form
+  `// lint: allow(<rule>) — <written justification>` on or directly above
+  the offending line.";
+
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["root", "format", "suppressed"])?;
+    let root = flags.get("root").unwrap_or(".").to_string();
+    let format = flags.get("format").unwrap_or("human").to_string();
+    let show_suppressed: bool = flags.num("suppressed", false)?;
+    if format != "human" && format != "json" {
+        return Err(CliError::usage(format!(
+            "--format must be human or json, got {format:?}"
+        )));
+    }
+
+    let report = lint_workspace(Path::new(&root))
+        .map_err(|e| CliError::failure(format!("cannot scan workspace at {root:?}: {e}")))?;
+
+    let mut unsuppressed = 0usize;
+    for finding in &report.findings {
+        let suppressed = finding.suppressed_by.is_some();
+        if suppressed && !show_suppressed && format == "human" {
+            continue;
+        }
+        if !suppressed {
+            unsuppressed += 1;
+        }
+        if format == "json" {
+            let record = ReportRecord::Lint {
+                file: finding.file.clone(),
+                line: finding.line as u64,
+                col: finding.col as u64,
+                rule: finding.rule.id(),
+                message: finding.message.clone(),
+                suppressed_by: finding.suppressed_by.clone().unwrap_or_default(),
+            };
+            println!("{}", record.to_json_line());
+        } else {
+            println!("{}", finding.render());
+        }
+    }
+    if format == "human" {
+        println!(
+            "{} files, {} manifests: {} unsuppressed finding(s), {} suppressed",
+            report.files_scanned,
+            report.manifests_checked,
+            unsuppressed,
+            report.suppressed_count()
+        );
+    }
+    if unsuppressed > 0 {
+        return Err(CliError::failure(format!(
+            "{unsuppressed} unsuppressed lint finding(s)"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_unknown_format() {
+        let args: Vec<String> = vec!["--format".into(), "xml".into()];
+        assert!(matches!(run(&args), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn rejects_missing_root() {
+        let args: Vec<String> = vec!["--root".into(), "/nonexistent/prophunt".into()];
+        assert!(matches!(run(&args), Err(CliError::Failure(_))));
+    }
+}

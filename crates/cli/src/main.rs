@@ -15,6 +15,8 @@
 //! * `sweep` — a code × p × decoder grid evaluated through one shared Session.
 //! * `check` — re-parse any emitted file.
 //! * `report` — summarize (or diff) the metrics files written by `--metrics`.
+//! * `lint` — run the `prophunt-lint` determinism & discipline rules (D1–D7)
+//!   over the workspace sources and manifests.
 //!
 //! Exit codes: 0 on success, 1 when an operation fails (unreadable file, invalid
 //! schedule, ...), 2 for usage errors. User input never panics the process: every
@@ -27,6 +29,7 @@ mod cmd_check;
 mod cmd_code;
 mod cmd_dem;
 mod cmd_ler;
+mod cmd_lint;
 mod cmd_optimize;
 mod cmd_report;
 mod cmd_search;
@@ -50,6 +53,7 @@ commands:
   sweep     evaluate a code x p x decoder grid through one shared session
   check     re-parse emitted files (auto-detects the format)
   report    summarize or diff metrics files written with --metrics
+  lint      statically check workspace crates against rules D1-D7
 
 run `prophunt <command> --help` for per-command flags";
 
@@ -68,6 +72,7 @@ fn dispatch(command: &str, rest: &[String]) -> Result<(), CliError> {
         "sweep" if wants_help => usage_of(cmd_sweep::USAGE),
         "check" if wants_help => usage_of(cmd_check::USAGE),
         "report" if wants_help => usage_of(cmd_report::USAGE),
+        "lint" if wants_help => usage_of(cmd_lint::USAGE),
         "code" => cmd_code::run(rest),
         "dem" => cmd_dem::run(rest),
         "optimize" => cmd_optimize::run(rest),
@@ -76,6 +81,7 @@ fn dispatch(command: &str, rest: &[String]) -> Result<(), CliError> {
         "sweep" => cmd_sweep::run(rest),
         "check" => cmd_check::run(rest),
         "report" => cmd_report::run(rest),
+        "lint" => cmd_lint::run(rest),
         "--help" | "-h" | "help" => usage_of(USAGE),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
@@ -91,6 +97,7 @@ fn usage_for(command: &str) -> &'static str {
         "sweep" => cmd_sweep::USAGE,
         "check" => cmd_check::USAGE,
         "report" => cmd_report::USAGE,
+        "lint" => cmd_lint::USAGE,
         _ => USAGE,
     }
 }

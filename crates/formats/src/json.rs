@@ -217,7 +217,7 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn expect(&mut self, c: char) -> Result<(), FormatError> {
+    fn expect_char(&mut self, c: char) -> Result<(), FormatError> {
         self.skip_whitespace();
         match self.peek() {
             Some(got) if got == c => {
@@ -286,7 +286,7 @@ impl<'a> Lexer<'a> {
     }
 
     fn parse_string(&mut self) -> Result<String, FormatError> {
-        self.expect('"')?;
+        self.expect_char('"')?;
         let mut out = String::new();
         loop {
             match self.bump() {
@@ -327,7 +327,7 @@ impl<'a> Lexer<'a> {
     }
 
     fn parse_array(&mut self) -> Result<Json, FormatError> {
-        self.expect('[')?;
+        self.expect_char('[')?;
         let mut items = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(']') {
@@ -351,7 +351,7 @@ impl<'a> Lexer<'a> {
     }
 
     fn parse_object(&mut self) -> Result<Json, FormatError> {
-        self.expect('{')?;
+        self.expect_char('{')?;
         let mut pairs = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some('}') {
@@ -361,7 +361,7 @@ impl<'a> Lexer<'a> {
         loop {
             self.skip_whitespace();
             let key = self.parse_string()?;
-            self.expect(':')?;
+            self.expect_char(':')?;
             let value = self.parse_value()?;
             pairs.push((key, value));
             self.skip_whitespace();

@@ -1,0 +1,484 @@
+//! A token-level Rust lexer for the lint rules.
+//!
+//! The lexer is deliberately shallow — it does not parse Rust, it only splits
+//! a source file into identifiers, punctuation, literals and comments with
+//! accurate line/column positions. What it *must* get right, because every
+//! rule depends on it, is the boundary of comments and string literals:
+//! a `"Instant::now"` inside a string or a `// thread_rng` inside a comment
+//! must never reach the rule engine as code tokens. Handled forms:
+//!
+//! * line comments (`//`, `///`, `//!`) and nested block comments,
+//! * string literals with escapes, byte strings, raw strings / raw byte
+//!   strings with arbitrary `#` fences (`r#"…"#`, `br##"…"##`),
+//! * char literals vs. lifetimes (`'x'` / `'\n'` vs. `'static`),
+//! * raw identifiers (`r#type`) vs. raw strings (`r#"…"#`),
+//! * numbers whose `.` belongs to the literal (`1.5`) vs. a method call on a
+//!   literal (`1.max(2)`).
+
+/// What kind of token a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (including raw identifiers, without `r#`).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `#`, `!`, `{`, ...).
+    /// Multi-character operators arrive as consecutive tokens; rules match
+    /// `::` as two adjacent `:` tokens.
+    Punct,
+    /// Any literal: string, raw string, byte string, char or number.
+    /// The text of string-like literals is the raw source slice, never
+    /// re-scanned for identifiers.
+    Literal,
+    /// A lifetime (`'a`), kept distinct so it is never confused with a char.
+    Lifetime,
+}
+
+/// One code token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Source text. For [`TokenKind::Punct`] this is a single character.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+    /// 1-based column of the token's first character.
+    pub col: usize,
+}
+
+/// One comment with its 1-based source position (suppression comments are
+/// parsed out of these; comments never reach the rule matchers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` delimiters, trimmed.
+    pub text: String,
+    /// 1-based line of the comment's first character.
+    pub line: usize,
+    /// 1-based line of the comment's last character (equal to `line` for
+    /// line comments; block comments may span several).
+    pub end_line: usize,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order, comments stripped.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<u8> {
+        self.src.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xc0 != 0x80 {
+            // Count UTF-8 scalar starts only, so columns match editors.
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into code tokens and comments.
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let mut c = Cursor::new(src);
+    while let Some(b) = c.peek() {
+        let (line, col, start) = (c.line, c.col, c.pos);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek_at(1) == Some(b'/') => {
+                while let Some(b) = c.peek() {
+                    if b == b'\n' {
+                        break;
+                    }
+                    c.bump();
+                }
+                let text = src[start..c.pos].trim_start_matches('/').trim();
+                out.comments.push(Comment {
+                    text: text.to_string(),
+                    line,
+                    end_line: line,
+                });
+            }
+            b'/' if c.peek_at(1) == Some(b'*') => {
+                c.bump();
+                c.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (c.peek(), c.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(_), _) => {
+                            c.bump();
+                        }
+                        (None, _) => break, // unterminated; tolerate
+                    }
+                }
+                let inner = src[start..c.pos]
+                    .trim_start_matches("/*")
+                    .trim_end_matches("*/")
+                    .trim();
+                out.comments.push(Comment {
+                    text: inner.to_string(),
+                    line,
+                    end_line: c.line,
+                });
+            }
+            b'"' => {
+                lex_string(&mut c);
+                push_literal(&mut out, src, start, &c, line, col);
+            }
+            b'r' | b'b' => {
+                // Raw strings (r", r#", br"), byte strings (b"), byte chars
+                // (b'x') and raw identifiers (r#ident) all start with r/b.
+                if let Some(hashes) = raw_string_intro(&c) {
+                    lex_raw_string(&mut c, hashes);
+                    push_literal(&mut out, src, start, &c, line, col);
+                } else if b == b'b' && c.peek_at(1) == Some(b'"') {
+                    c.bump();
+                    lex_string(&mut c);
+                    push_literal(&mut out, src, start, &c, line, col);
+                } else if b == b'b' && c.peek_at(1) == Some(b'\'') {
+                    c.bump();
+                    lex_char(&mut c);
+                    push_literal(&mut out, src, start, &c, line, col);
+                } else if b == b'r'
+                    && c.peek_at(1) == Some(b'#')
+                    && c.peek_at(2).is_some_and(is_ident_start)
+                {
+                    // Raw identifier: skip `r#`, lex the identifier.
+                    c.bump();
+                    c.bump();
+                    let id_start = c.pos;
+                    while c.peek().is_some_and(is_ident_continue) {
+                        c.bump();
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Ident,
+                        text: src[id_start..c.pos].to_string(),
+                        line,
+                        col,
+                    });
+                } else {
+                    lex_ident(&mut out, src, &mut c, line, col);
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime.
+                if is_char_literal(&c) {
+                    lex_char(&mut c);
+                    push_literal(&mut out, src, start, &c, line, col);
+                } else {
+                    c.bump(); // the quote
+                    while c.peek().is_some_and(is_ident_continue) {
+                        c.bump();
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: src[start..c.pos].to_string(),
+                        line,
+                        col,
+                    });
+                }
+            }
+            b'0'..=b'9' => {
+                lex_number(&mut c);
+                push_literal(&mut out, src, start, &c, line, col);
+            }
+            _ if is_ident_start(b) => lex_ident(&mut out, src, &mut c, line, col),
+            _ => {
+                c.bump();
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: src[start..c.pos].to_string(),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn push_literal(out: &mut Lexed, src: &str, start: usize, c: &Cursor, line: usize, col: usize) {
+    out.tokens.push(Token {
+        kind: TokenKind::Literal,
+        text: src[start..c.pos].to_string(),
+        line,
+        col,
+    });
+}
+
+fn lex_ident(out: &mut Lexed, src: &str, c: &mut Cursor, line: usize, col: usize) {
+    let start = c.pos;
+    while c.peek().is_some_and(is_ident_continue) {
+        c.bump();
+    }
+    out.tokens.push(Token {
+        kind: TokenKind::Ident,
+        text: src[start..c.pos].to_string(),
+        line,
+        col,
+    });
+}
+
+/// If the cursor sits on `r"`, `r#...#"`, `br"` or `br#...#"`, returns the
+/// number of `#` fence characters.
+fn raw_string_intro(c: &Cursor) -> Option<usize> {
+    let mut offset = match (c.peek(), c.peek_at(1)) {
+        (Some(b'r'), _) => 1,
+        (Some(b'b'), Some(b'r')) => 2,
+        _ => return None,
+    };
+    let mut hashes = 0usize;
+    while c.peek_at(offset) == Some(b'#') {
+        hashes += 1;
+        offset += 1;
+    }
+    (c.peek_at(offset) == Some(b'"')).then_some(hashes)
+}
+
+/// Consumes `r#*"…"#*` (cursor on the `r`/`b`).
+fn lex_raw_string(c: &mut Cursor, hashes: usize) {
+    loop {
+        match c.peek() {
+            Some(b'"') => break,
+            Some(_) => {
+                c.bump();
+            }
+            None => return, // unterminated; tolerate
+        }
+    }
+    c.bump(); // opening quote
+    loop {
+        match c.bump() {
+            None => return, // unterminated; tolerate
+            Some(b'"') => {
+                let mut matched = 0usize;
+                while matched < hashes && c.peek() == Some(b'#') {
+                    c.bump();
+                    matched += 1;
+                }
+                if matched == hashes {
+                    return;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// Consumes a `"…"` string body (cursor on the opening quote).
+fn lex_string(c: &mut Cursor) {
+    c.bump(); // opening quote
+    loop {
+        match c.bump() {
+            None | Some(b'"') => return,
+            Some(b'\\') => {
+                c.bump();
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// Consumes a `'…'` char body (cursor on the opening quote).
+fn lex_char(c: &mut Cursor) {
+    c.bump(); // opening quote
+    loop {
+        match c.bump() {
+            None | Some(b'\'') => return,
+            Some(b'\\') => {
+                c.bump();
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// Decides whether a `'` starts a char literal (vs. a lifetime).
+fn is_char_literal(c: &Cursor) -> bool {
+    match c.peek_at(1) {
+        Some(b'\\') => true, // '\n', '\'', '\u{…}'
+        Some(_) => match c.peek_at(2) {
+            Some(b'\'') => true, // 'x'
+            _ => {
+                // Multi-byte UTF-8 scalar char literal: scan a few bytes for
+                // the closing quote before an identifier boundary would end a
+                // lifetime anyway.
+                (2..6).any(|k| c.peek_at(k) == Some(b'\'') && c.peek_at(1) != Some(b'\''))
+                    && c.peek_at(1).is_some_and(|b| b >= 0x80)
+            }
+        },
+        None => false,
+    }
+}
+
+/// Consumes a numeric literal. A `.` continues the number only when followed
+/// by a digit (so `1.max(2)` lexes as `1`, `.`, `max`).
+fn lex_number(c: &mut Cursor) {
+    while c
+        .peek()
+        .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+    {
+        c.bump();
+    }
+    if c.peek() == Some(b'.') && c.peek_at(1).is_some_and(|b| b.is_ascii_digit()) {
+        c.bump();
+        while c
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            c.bump();
+        }
+    }
+    // Exponent sign: `1e-3` consumed the `e` above; take the sign + digits.
+    if c.peek() == Some(b'-') || c.peek() == Some(b'+') {
+        let prev = c.src.get(c.pos - 1).copied();
+        if prev == Some(b'e') || prev == Some(b'E') {
+            c.bump();
+            while c
+                .peek()
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                c.bump();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            let a = "Instant::now() inside a string";
+            // Instant::now() inside a comment
+            /* thread_rng in /* a nested */ block */
+            let b = r#"raw "quoted" Instant::now"#;
+            let c = b"byte thread_rng";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "Instant" || i == "thread_rng"));
+        assert_eq!(
+            ids,
+            vec!["let", "a", "let", "b", "let", "c"]
+                .into_iter()
+                .map(String::from)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn comments_are_captured_with_positions() {
+        let src = "let x = 1; // lint: allow(no-wall-clock) — timing only\nlet y = 2;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(lexed.comments[0].text.starts_with("lint: allow"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let d = '\\n'; let q = '\"'; }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let lits: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lits, vec!["'x'", "'\\n'", "'\"'"]);
+        // The '"' char literal must not open a string that swallows the rest.
+        assert_eq!(lexed.tokens.last().map(|t| t.text.as_str()), Some("}"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let ids = idents("let r#type = 1; let x = r#\"str\"#;");
+        assert!(ids.contains(&"type".to_string()));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_calls() {
+        let lexed = lex("let x = 1.max(2); let y = 1.5e-3;");
+        let texts: Vec<_> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"max"));
+        assert!(texts.contains(&"1.5e-3"));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let lexed = lex("ab cd\n  ef\n");
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .map(|t| (t.text.as_str(), t.line, t.col))
+                .collect::<Vec<_>>(),
+            vec![("ab", 1, 1), ("cd", 1, 4), ("ef", 2, 3)]
+        );
+    }
+}

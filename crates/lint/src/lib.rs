@@ -1,0 +1,44 @@
+//! `prophunt-lint` — repo-specific determinism & discipline static analysis.
+//!
+//! Every subsystem in this workspace leans on one contract: a fixed
+//! `(seed, chunk_size)` is bit-identical at any thread count, on any
+//! machine. That contract — plus a handful of engineering disciplines the
+//! repository keeps by convention (no panics on user input, no unvendored
+//! dependencies, `#![forbid(unsafe_code)]` everywhere) — is what this crate
+//! checks statically, at CI time, instead of in a flaky cross-machine
+//! reproduction.
+//!
+//! The analysis is a hand-rolled token-level pass (zero external
+//! dependencies, like the rest of the workspace): a comment- and
+//! string-aware Rust [`lexer`], a [`rules`] engine with seven rules
+//! (`D1`–`D7`), and a [`workspace`] walker that scans every member crate's
+//! sources and manifests. Diagnostics render as
+//! `file:line:col · RULE-ID · message` and can be silenced — with a written
+//! justification — by an inline suppression comment:
+//!
+//! ```text
+//! // lint: allow(no-wall-clock) — timing-only: feeds wall_s, never the counts
+//! ```
+//!
+//! | Rule | Name | Scope | Invariant |
+//! |------|------|-------|-----------|
+//! | D1 | `no-wall-clock` | deterministic crates | no `Instant::now` / `SystemTime` |
+//! | D2 | `no-hash-iter` | deterministic crates + api/runtime | no unordered `HashMap`/`HashSet` iteration |
+//! | D3 | `no-thread-spawn` | all but runtime | threads only via `prophunt-runtime` |
+//! | D4 | `no-ambient-rng` | all | `SeedStream` only, no `thread_rng`/`OsRng` |
+//! | D5 | `forbid-unsafe` | all crate roots | `#![forbid(unsafe_code)]` present |
+//! | D6 | `no-panic-on-user-input` | cli, formats | no `unwrap`/`expect`/`panic!` |
+//! | D7 | `vendored-deps-only` | all manifests | deps are workspace crates or `vendor/` |
+//!
+//! The `prophunt lint` CLI subcommand runs [`lint_workspace`] and reports in
+//! human or JSON-lines form; `crates/lint/tests/selflint.rs` pins the
+//! workspace itself at zero unsuppressed findings.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use rules::{lint_source, Finding, Rule, SuppressionSite, ALL_RULES};
+pub use workspace::{lint_manifest, lint_workspace, LintReport};

@@ -1,0 +1,763 @@
+//! The lint rules and the per-file rule engine.
+//!
+//! Each rule encodes an invariant the workspace otherwise keeps only by
+//! convention (see the rule table in the repository README). Rules are
+//! token-level heuristics, not type analysis: they are tuned to have zero
+//! false positives on the current workspace, and anything a rule gets wrong
+//! can be silenced — with a written justification — by a suppression comment
+//! on the offending line or the line above:
+//!
+//! ```text
+//! // lint: allow(no-wall-clock) — timing-only: feeds wall_s, never the counts
+//! let t0 = Instant::now();
+//! ```
+//!
+//! A suppression without a justification (or naming an unknown rule) is
+//! itself a diagnostic (`S0-suppression`) and cannot be suppressed.
+
+use crate::lexer::{lex, Comment, Token, TokenKind};
+
+/// The lint rules. `D1`–`D6` scan Rust sources; `D7` scans `Cargo.toml`
+/// manifests; `S0` guards the suppression syntax itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `Instant::now` / `SystemTime` forbidden in deterministic-path crates.
+    NoWallClock,
+    /// Unordered iteration over `HashMap`/`HashSet` in deterministic-path
+    /// crates must be converted to sorted order or justified.
+    NoHashIter,
+    /// Thread creation is the runtime crate's job alone.
+    NoThreadSpawn,
+    /// Ambient RNG (`thread_rng`, `OsRng`, entropy seeding) is forbidden
+    /// everywhere; all randomness flows from `SeedStream`.
+    NoAmbientRng,
+    /// Every crate root must carry `#![forbid(unsafe_code)]`.
+    ForbidUnsafe,
+    /// `unwrap`/`expect`/`panic!` in user-input crates (cli, formats).
+    NoPanicOnUserInput,
+    /// Every Cargo dependency must be a workspace crate or vendored.
+    VendoredDepsOnly,
+    /// Malformed suppression comment (unknown rule or missing justification).
+    Suppression,
+}
+
+/// All source/manifest rules in display order (excludes [`Rule::Suppression`],
+/// which is emitted by the engine itself, not matched).
+pub const ALL_RULES: [Rule; 7] = [
+    Rule::NoWallClock,
+    Rule::NoHashIter,
+    Rule::NoThreadSpawn,
+    Rule::NoAmbientRng,
+    Rule::ForbidUnsafe,
+    Rule::NoPanicOnUserInput,
+    Rule::VendoredDepsOnly,
+];
+
+impl Rule {
+    /// Short code (`"D1"`…`"D7"`, `"S0"`).
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::NoWallClock => "D1",
+            Rule::NoHashIter => "D2",
+            Rule::NoThreadSpawn => "D3",
+            Rule::NoAmbientRng => "D4",
+            Rule::ForbidUnsafe => "D5",
+            Rule::NoPanicOnUserInput => "D6",
+            Rule::VendoredDepsOnly => "D7",
+            Rule::Suppression => "S0",
+        }
+    }
+
+    /// Kebab-case name, as written in `allow(...)` clauses.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoWallClock => "no-wall-clock",
+            Rule::NoHashIter => "no-hash-iter",
+            Rule::NoThreadSpawn => "no-thread-spawn",
+            Rule::NoAmbientRng => "no-ambient-rng",
+            Rule::ForbidUnsafe => "forbid-unsafe",
+            Rule::NoPanicOnUserInput => "no-panic-on-user-input",
+            Rule::VendoredDepsOnly => "vendored-deps-only",
+            Rule::Suppression => "suppression",
+        }
+    }
+
+    /// Display id: `code-name`, e.g. `D1-no-wall-clock`.
+    pub fn id(self) -> String {
+        format!("{}-{}", self.code(), self.name())
+    }
+
+    /// Resolves an `allow(...)` argument (code, name, or `code-name`).
+    pub fn from_str_any(s: &str) -> Option<Rule> {
+        let all = [
+            Rule::NoWallClock,
+            Rule::NoHashIter,
+            Rule::NoThreadSpawn,
+            Rule::NoAmbientRng,
+            Rule::ForbidUnsafe,
+            Rule::NoPanicOnUserInput,
+            Rule::VendoredDepsOnly,
+        ];
+        all.into_iter()
+            .find(|r| s == r.code() || s == r.name() || s == r.id())
+    }
+
+    /// Whether the rule constrains Rust sources of the crate with directory
+    /// name `crate_key` (`"maxsat"`, `"circuit"`, …, `"suite"` for the
+    /// umbrella sources at the repository root).
+    pub fn applies_to(self, crate_key: &str) -> bool {
+        /// Crates on the deterministic path: fixed `(seed, chunk_size)` must
+        /// be bit-identical at any thread count, on any machine.
+        const DETERMINISTIC: [&str; 7] = [
+            "maxsat", "circuit", "qec", "gf2", "decoders", "search", "prophunt",
+        ];
+        match self {
+            Rule::NoWallClock => DETERMINISTIC.contains(&crate_key),
+            // The session cache (api) and the worker pool (runtime) sit on the
+            // deterministic path too; their maps must not leak hash order.
+            Rule::NoHashIter => {
+                DETERMINISTIC.contains(&crate_key) || crate_key == "api" || crate_key == "runtime"
+            }
+            Rule::NoThreadSpawn => crate_key != "runtime",
+            Rule::NoAmbientRng => true,
+            Rule::ForbidUnsafe => true,
+            Rule::NoPanicOnUserInput => crate_key == "cli" || crate_key == "formats",
+            Rule::VendoredDepsOnly | Rule::Suppression => false,
+        }
+    }
+}
+
+/// One diagnostic, suppressed or not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// The justification of the suppression covering this finding, if any.
+    pub suppressed_by: Option<String>,
+}
+
+impl Finding {
+    /// Renders the diagnostic in the canonical
+    /// `file:line:col · RULE-ID · message` form.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{} · {} · {}{}",
+            self.file,
+            self.line,
+            self.col,
+            self.rule.id(),
+            self.message,
+            match &self.suppressed_by {
+                Some(reason) => format!(" [suppressed: {reason}]"),
+                None => String::new(),
+            }
+        )
+    }
+}
+
+/// A parsed suppression comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuppressionSite {
+    /// Rules the comment allows.
+    pub rules: Vec<Rule>,
+    /// The written justification (always non-empty on a well-formed site).
+    pub reason: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the comment.
+    pub line: usize,
+    /// First line the suppression covers.
+    pub from_line: usize,
+    /// Last line the suppression covers: the first *code* line after the
+    /// comment (continuation comment lines are skipped), so a site works
+    /// trailing the offending line, directly above it, or atop a multi-line
+    /// justification block.
+    pub to_line: usize,
+}
+
+/// Iteration-ordered `HashMap`/`HashSet` methods (D2).
+const HASH_ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Panicking constructs on the user-input path (D6).
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Lints one Rust source file.
+///
+/// `crate_key` is the crate's directory name under `crates/` (the umbrella
+/// sources at the repository root use `"suite"`); `rel_path` is the
+/// workspace-relative path used in diagnostics; `is_crate_root` enables the
+/// D5 `#![forbid(unsafe_code)]` check.
+///
+/// Returns every finding, including suppressed ones (callers filter on
+/// [`Finding::suppressed_by`]), plus the suppression sites encountered.
+pub fn lint_source(
+    crate_key: &str,
+    rel_path: &str,
+    source: &str,
+    is_crate_root: bool,
+) -> (Vec<Finding>, Vec<SuppressionSite>) {
+    let lexed = lex(source);
+    let in_test = test_regions(&lexed.tokens);
+    let (sites, mut findings) = parse_suppressions(&lexed.comments, rel_path);
+
+    let toks = &lexed.tokens;
+    let flag = |findings: &mut Vec<Finding>, rule: Rule, tok: &Token, message: String| {
+        findings.push(Finding {
+            rule,
+            file: rel_path.to_string(),
+            line: tok.line,
+            col: tok.col,
+            message,
+            suppressed_by: None,
+        });
+    };
+
+    if is_crate_root && !has_forbid_unsafe(toks) {
+        findings.push(Finding {
+            rule: Rule::ForbidUnsafe,
+            file: rel_path.to_string(),
+            line: 1,
+            col: 1,
+            message: "crate root is missing #![forbid(unsafe_code)]".to_string(),
+            suppressed_by: None,
+        });
+    }
+
+    let hash_names = if Rule::NoHashIter.applies_to(crate_key) {
+        collect_hash_typed_names(toks)
+    } else {
+        Vec::new()
+    };
+
+    for i in 0..toks.len() {
+        if in_test[i] || toks[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let t = &toks[i];
+        let text = t.text.as_str();
+
+        if Rule::NoWallClock.applies_to(crate_key) {
+            if text == "Instant" && path_follows(toks, i, &["now"]) {
+                flag(
+                    &mut findings,
+                    Rule::NoWallClock,
+                    t,
+                    "Instant::now() on the deterministic path: results must not depend on \
+                     wall-clock time"
+                        .to_string(),
+                );
+            }
+            if text == "SystemTime" {
+                flag(
+                    &mut findings,
+                    Rule::NoWallClock,
+                    t,
+                    "SystemTime on the deterministic path: results must not depend on \
+                     wall-clock time"
+                        .to_string(),
+                );
+            }
+        }
+
+        if Rule::NoThreadSpawn.applies_to(crate_key)
+            && text == "thread"
+            && (path_follows(toks, i, &["spawn"])
+                || path_follows(toks, i, &["scope"])
+                || path_follows(toks, i, &["Builder"]))
+        {
+            flag(
+                &mut findings,
+                Rule::NoThreadSpawn,
+                t,
+                "thread creation outside prophunt-runtime: all parallelism goes through \
+                 the deterministic worker pool"
+                    .to_string(),
+            );
+        }
+
+        if Rule::NoAmbientRng.applies_to(crate_key) {
+            if text == "thread_rng" || text == "OsRng" || text == "from_entropy" {
+                flag(
+                    &mut findings,
+                    Rule::NoAmbientRng,
+                    t,
+                    format!("ambient RNG `{text}`: all randomness must flow from SeedStream"),
+                );
+            }
+            if text == "rand" && path_follows(toks, i, &["random"]) {
+                flag(
+                    &mut findings,
+                    Rule::NoAmbientRng,
+                    t,
+                    "ambient RNG `rand::random`: all randomness must flow from SeedStream"
+                        .to_string(),
+                );
+            }
+        }
+
+        if Rule::NoHashIter.applies_to(crate_key)
+            && !hash_names.is_empty()
+            && HASH_ITER_METHODS.contains(&text)
+            && prev_is(toks, i, ".")
+            && i >= 2
+            && toks[i - 2].kind == TokenKind::Ident
+            && hash_names.contains(&toks[i - 2].text)
+        {
+            flag(
+                &mut findings,
+                Rule::NoHashIter,
+                t,
+                format!(
+                    "`{}.{}()` iterates a hash collection in arbitrary order on the \
+                     deterministic path: convert to sorted/BTree order or justify why \
+                     order cannot matter",
+                    toks[i - 2].text,
+                    text
+                ),
+            );
+        }
+
+        // `for x in [&[mut]] map {` — direct iteration without a method call.
+        if Rule::NoHashIter.applies_to(crate_key) && !hash_names.is_empty() && text == "in" {
+            let mut j = i + 1;
+            while j < toks.len() && (toks[j].text == "&" || toks[j].text == "mut") {
+                j += 1;
+            }
+            if j + 1 < toks.len()
+                && toks[j].kind == TokenKind::Ident
+                && hash_names.contains(&toks[j].text)
+                && toks[j + 1].text == "{"
+            {
+                flag(
+                    &mut findings,
+                    Rule::NoHashIter,
+                    &toks[j],
+                    format!(
+                        "`for … in {}` iterates a hash collection in arbitrary order on \
+                         the deterministic path: convert to sorted/BTree order or justify \
+                         why order cannot matter",
+                        toks[j].text
+                    ),
+                );
+            }
+        }
+
+        if Rule::NoPanicOnUserInput.applies_to(crate_key) {
+            if (text == "unwrap" || text == "expect") && prev_is(toks, i, ".") {
+                flag(
+                    &mut findings,
+                    Rule::NoPanicOnUserInput,
+                    t,
+                    format!(
+                        "`.{text}()` on the user-input path: return a typed error \
+                         (exit code 1/2) instead of panicking"
+                    ),
+                );
+            }
+            if PANIC_MACROS.contains(&text) && next_is(toks, i, "!") {
+                flag(
+                    &mut findings,
+                    Rule::NoPanicOnUserInput,
+                    t,
+                    format!(
+                        "`{text}!` on the user-input path: return a typed error \
+                         (exit code 1/2) instead of panicking"
+                    ),
+                );
+            }
+        }
+    }
+
+    apply_suppressions(&mut findings, &sites);
+    (findings, sites)
+}
+
+/// Marks token index ranges belonging to `#[cfg(test)]` / `#[test]` items.
+fn test_regions(toks: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text == "#" && i + 1 < toks.len() && toks[i + 1].text == "[" {
+            let attr_start = i;
+            let Some(attr_end) = matching(toks, i + 1, "[", "]") else {
+                break;
+            };
+            if attr_is_test(&toks[i + 2..attr_end]) {
+                let item_end = item_end_after(toks, attr_end + 1);
+                for flag in &mut in_test[attr_start..=item_end.min(toks.len() - 1)] {
+                    *flag = true;
+                }
+                i = item_end + 1;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    in_test
+}
+
+/// True for `cfg(test)`, `cfg(any(test, …))`, `test`, `cfg_attr(test, …)`.
+fn attr_is_test(inner: &[Token]) -> bool {
+    match inner.first().map(|t| t.text.as_str()) {
+        Some("test") => true,
+        Some("cfg") | Some("cfg_attr") => inner.iter().any(|t| t.text == "test"),
+        _ => false,
+    }
+}
+
+/// Index of the `]`/`}`/`)` matching the opener at `open_idx`.
+fn matching(toks: &[Token], open_idx: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.text == open {
+            depth += 1;
+        } else if t.text == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Index of the last token of the item starting at `start` (after its
+/// attributes): the matching `}` of its first top-level brace, or the first
+/// top-level `;`, whichever comes first.
+fn item_end_after(toks: &[Token], start: usize) -> usize {
+    let (mut parens, mut brackets) = (0i32, 0i32);
+    let mut j = start;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "(" => parens += 1,
+            ")" => parens -= 1,
+            "[" => brackets += 1,
+            "]" => brackets -= 1,
+            "{" if parens == 0 && brackets == 0 => {
+                return matching(toks, j, "{", "}").unwrap_or(toks.len() - 1);
+            }
+            ";" if parens == 0 && brackets == 0 => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// True if the crate root carries `#![forbid(unsafe_code)]`.
+fn has_forbid_unsafe(toks: &[Token]) -> bool {
+    toks.windows(8).any(|w| {
+        w[0].text == "#"
+            && w[1].text == "!"
+            && w[2].text == "["
+            && w[3].text == "forbid"
+            && w[4].text == "("
+            && w[5].text == "unsafe_code"
+            && w[6].text == ")"
+            && w[7].text == "]"
+    })
+}
+
+/// True if tokens after `i` spell `:: seg1 [:: seg2 …]` for `segs`.
+fn path_follows(toks: &[Token], i: usize, segs: &[&str]) -> bool {
+    let mut j = i + 1;
+    for seg in segs {
+        if !(j + 2 < toks.len() + 1
+            && toks.get(j).is_some_and(|t| t.text == ":")
+            && toks.get(j + 1).is_some_and(|t| t.text == ":")
+            && toks.get(j + 2).is_some_and(|t| t.text == *seg))
+        {
+            return false;
+        }
+        j += 3;
+    }
+    true
+}
+
+fn prev_is(toks: &[Token], i: usize, text: &str) -> bool {
+    i >= 1 && toks[i - 1].text == text
+}
+
+fn next_is(toks: &[Token], i: usize, text: &str) -> bool {
+    toks.get(i + 1).is_some_and(|t| t.text == text)
+}
+
+/// Collects identifiers declared (or typed) as `HashMap`/`HashSet` in this
+/// file: `name: …HashMap<…>` field/param/let-type forms and
+/// `name = …HashMap::new()` initializer forms.
+fn collect_hash_typed_names(toks: &[Token]) -> Vec<String> {
+    let mut names = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].text != "HashMap" && toks[i].text != "HashSet" {
+            continue;
+        }
+        // Walk back over path segments (`std :: collections ::`) and
+        // reference sigils to the `:` or `=` introducing this type/value.
+        let mut j = i;
+        while j >= 1 {
+            let prev = toks[j - 1].text.as_str();
+            if prev == ":" && j >= 2 && toks[j - 2].text == ":" {
+                j -= 2; // `::` path separator
+                continue;
+            }
+            if matches!(prev, "&" | "mut")
+                || (toks[j - 1].kind == TokenKind::Ident && prev != "in" && prev != "let")
+            {
+                j -= 1;
+                continue;
+            }
+            break;
+        }
+        if j >= 2 && (toks[j - 1].text == ":" || toks[j - 1].text == "=") {
+            let name = &toks[j - 2];
+            if name.kind == TokenKind::Ident && !names.contains(&name.text) {
+                names.push(name.text.clone());
+            }
+        }
+    }
+    names
+}
+
+/// Parses suppression comments; returns the well-formed sites and `S0`
+/// findings for malformed ones.
+pub(crate) fn parse_suppressions(
+    comments: &[Comment],
+    rel_path: &str,
+) -> (Vec<SuppressionSite>, Vec<Finding>) {
+    let mut sites = Vec::new();
+    let mut findings = Vec::new();
+    for comment in comments {
+        let Some(idx) = comment.text.find("lint:") else {
+            continue;
+        };
+        let body = comment.text[idx + "lint:".len()..].trim();
+        let mut malformed = |message: String| {
+            findings.push(Finding {
+                rule: Rule::Suppression,
+                file: rel_path.to_string(),
+                line: comment.line,
+                col: 1,
+                message,
+                suppressed_by: None,
+            });
+        };
+        let Some(args) = body.strip_prefix("allow") else {
+            malformed(format!(
+                "malformed lint comment (expected `lint: allow(<rule>) — <reason>`): {:?}",
+                comment.text
+            ));
+            continue;
+        };
+        let args = args.trim_start();
+        let (Some(open), Some(close)) = (args.find('('), args.find(')')) else {
+            malformed("suppression is missing its (<rule>) list".to_string());
+            continue;
+        };
+        let mut rules = Vec::new();
+        let mut bad_rule = false;
+        for part in args[open + 1..close].split(',') {
+            match Rule::from_str_any(part.trim()) {
+                Some(rule) => rules.push(rule),
+                None => {
+                    malformed(format!(
+                        "suppression names an unknown rule {:?}",
+                        part.trim()
+                    ));
+                    bad_rule = true;
+                }
+            }
+        }
+        if bad_rule {
+            continue;
+        }
+        if rules.is_empty() {
+            malformed("suppression allows no rules".to_string());
+            continue;
+        }
+        // Everything after the `)` — minus a leading dash of any flavour —
+        // is the justification, and it must exist.
+        let reason = args[close + 1..]
+            .trim_start()
+            .trim_start_matches(['—', '–', '-'])
+            .trim();
+        if reason.is_empty() {
+            malformed(
+                "suppression is missing its written justification \
+                 (`lint: allow(<rule>) — <reason>`)"
+                    .to_string(),
+            );
+            continue;
+        }
+        // Coverage extends to the first code line after the comment: a
+        // justification may continue across further comment lines (or sit in a
+        // stack of suppressions), and the line it guards is the one below the
+        // whole block. Continuation lines that aren't themselves suppressions
+        // are folded into the justification text.
+        let mut reason = reason.to_string();
+        let mut to_line = comment.end_line + 1;
+        while let Some(next) = comments.iter().find(|c| c.line == to_line) {
+            if !next.text.contains("lint:") {
+                reason.push(' ');
+                reason.push_str(next.text.trim());
+            }
+            to_line = next.end_line + 1;
+        }
+        sites.push(SuppressionSite {
+            rules,
+            reason,
+            file: rel_path.to_string(),
+            line: comment.line,
+            from_line: comment.line,
+            to_line,
+        });
+    }
+    (sites, findings)
+}
+
+/// Marks findings covered by a suppression site (same rule, finding line
+/// within the site's covered range). `S0` findings are never suppressible.
+pub(crate) fn apply_suppressions(findings: &mut [Finding], sites: &[SuppressionSite]) {
+    for finding in findings.iter_mut() {
+        if finding.rule == Rule::Suppression {
+            continue;
+        }
+        if let Some(site) = sites.iter().find(|s| {
+            s.rules.contains(&finding.rule)
+                && finding.line >= s.from_line
+                && finding.line <= s.to_line
+        }) {
+            finding.suppressed_by = Some(site.reason.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unsuppressed(findings: &[Finding]) -> Vec<&Finding> {
+        findings
+            .iter()
+            .filter(|f| f.suppressed_by.is_none())
+            .collect()
+    }
+
+    #[test]
+    fn rule_ids_round_trip_through_allow_syntax() {
+        for rule in ALL_RULES {
+            assert_eq!(Rule::from_str_any(rule.name()), Some(rule));
+            assert_eq!(Rule::from_str_any(rule.code()), Some(rule));
+            assert_eq!(Rule::from_str_any(&rule.id()), Some(rule));
+        }
+        assert_eq!(Rule::from_str_any("nonsense"), None);
+    }
+
+    #[test]
+    fn wall_clock_flagged_only_in_deterministic_crates() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        let (findings, _) = lint_source("maxsat", "x.rs", src, false);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::NoWallClock);
+        assert_eq!((findings[0].line, findings[0].col), (1, 18));
+        let (findings, _) = lint_source("obs", "x.rs", src, false);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn suppression_with_reason_silences_and_without_reason_errors() {
+        let good = "// lint: allow(no-wall-clock) — timing seam, stats only\n\
+                    let t = Instant::now();\n";
+        let (findings, sites) = lint_source("maxsat", "x.rs", good, false);
+        assert_eq!(unsuppressed(&findings).len(), 0);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].reason, "timing seam, stats only");
+
+        let bare = "// lint: allow(no-wall-clock)\nlet t = Instant::now();\n";
+        let (findings, _) = lint_source("maxsat", "x.rs", bare, false);
+        assert!(findings.iter().any(|f| f.rule == Rule::Suppression));
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == Rule::NoWallClock && f.suppressed_by.is_none()));
+    }
+
+    #[test]
+    fn hash_iteration_found_and_lookup_is_clean() {
+        let src = "\
+fn f() {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    let _ = m.get(&1);
+    for (k, v) in m.iter() { let _ = (k, v); }
+}
+";
+        let (findings, _) = lint_source("circuit", "x.rs", src, false);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::NoHashIter);
+        assert_eq!(findings[0].line, 5);
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn t() { let i = Instant::now(); let r = thread_rng(); }
+}
+";
+        let (findings, _) = lint_source("maxsat", "x.rs", src, false);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn strings_and_comments_never_trigger() {
+        let src = "const DOC: &str = \"Instant::now() thread_rng()\"; // Instant::now()\n";
+        let (findings, _) = lint_source("maxsat", "x.rs", src, false);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn crate_root_without_forbid_unsafe_is_flagged() {
+        let (findings, _) = lint_source("obs", "lib.rs", "pub fn f() {}\n", true);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::ForbidUnsafe);
+        let (findings, _) = lint_source(
+            "obs",
+            "lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {}\n",
+            true,
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_cli_flagged_unwrap_or_else_is_not() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(3); x.unwrap() }\n";
+        let (findings, _) = lint_source("cli", "x.rs", src, false);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("unwrap"));
+        let (findings, _) = lint_source("qec", "x.rs", src, false);
+        assert!(findings.is_empty(), "D6 only constrains cli/formats");
+    }
+}

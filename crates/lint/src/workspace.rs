@@ -1,0 +1,434 @@
+//! Workspace walking and the D7 manifest rule.
+//!
+//! The walker enumerates every workspace crate under `crates/` (plus the
+//! umbrella sources at the repository root, keyed `"suite"`), lints each
+//! `src/**/*.rs` file through the rule engine, and checks every member
+//! `Cargo.toml` — vendored shims included — against D7: a dependency is
+//! legal only if it resolves to a workspace crate (`crates/…`) or a
+//! vendored tree (`vendor/…`). Tests, benches and examples are not
+//! production code and are not scanned.
+
+use crate::rules::{lint_source, Finding, Rule, SuppressionSite};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The result of linting a whole workspace.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Every finding, suppressed ones included, ordered by file then line.
+    pub findings: Vec<Finding>,
+    /// Every well-formed suppression site encountered.
+    pub suppressions: Vec<SuppressionSite>,
+    /// Number of Rust source files scanned.
+    pub files_scanned: usize,
+    /// Number of manifests checked.
+    pub manifests_checked: usize,
+}
+
+impl LintReport {
+    /// Findings not covered by a suppression (the CI-gating set).
+    pub fn unsuppressed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.suppressed_by.is_none())
+    }
+
+    /// Number of suppressed findings.
+    pub fn suppressed_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.suppressed_by.is_some())
+            .count()
+    }
+}
+
+/// Lints the workspace rooted at `root` (the directory holding the virtual
+/// workspace `Cargo.toml`).
+///
+/// # Errors
+///
+/// Returns an error only for I/O failures (unreadable directories or
+/// files); lint findings are data, not errors.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut report = LintReport::default();
+
+    let workspace_dep_paths = workspace_dependency_paths(root, &mut report)?;
+
+    // Member crates under crates/.
+    let mut crate_dirs: Vec<PathBuf> = read_dir_sorted(&root.join("crates"))?
+        .into_iter()
+        .filter(|p| p.join("Cargo.toml").is_file())
+        .collect();
+    // Vendored shims: manifests are checked (D7), sources are exempt.
+    let vendor_dirs: Vec<PathBuf> = match read_dir_sorted(&root.join("vendor")) {
+        Ok(dirs) => dirs
+            .into_iter()
+            .filter(|p| p.join("Cargo.toml").is_file())
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    crate_dirs.sort();
+
+    for dir in &crate_dirs {
+        let crate_key = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        lint_manifest_file(
+            root,
+            &dir.join("Cargo.toml"),
+            &workspace_dep_paths,
+            &mut report,
+        )?;
+
+        // The umbrella crate (crates/suite) keeps its sources at the
+        // repository root; every other crate's sources live in its src/.
+        let src_dir = if crate_key == "suite" {
+            root.join("src")
+        } else {
+            dir.join("src")
+        };
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src_dir, &mut files)?;
+        files.sort();
+        let crate_root = crate_root_file(&src_dir);
+        for file in files {
+            let source = fs::read_to_string(&file)?;
+            let rel = rel_to(root, &file);
+            let is_root = Some(&file) == crate_root.as_ref();
+            let (findings, sites) = lint_source(&crate_key, &rel, &source, is_root);
+            report.findings.extend(findings);
+            report.suppressions.extend(sites);
+            report.files_scanned += 1;
+        }
+    }
+
+    for dir in &vendor_dirs {
+        lint_manifest_file(
+            root,
+            &dir.join("Cargo.toml"),
+            &workspace_dep_paths,
+            &mut report,
+        )?;
+    }
+
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    Ok(report)
+}
+
+/// The crate-root file D5 applies to: `lib.rs` if present, else `main.rs`.
+fn crate_root_file(src_dir: &Path) -> Option<PathBuf> {
+    let lib = src_dir.join("lib.rs");
+    if lib.is_file() {
+        return Some(lib);
+    }
+    let main = src_dir.join("main.rs");
+    main.is_file().then_some(main)
+}
+
+fn read_dir_sorted(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    entries.sort();
+    Ok(entries)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_to(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Parses the root manifest's `[workspace.dependencies]` table into
+/// `name -> path`, flagging entries that are not path-based or whose path
+/// escapes `crates/` and `vendor/`.
+fn workspace_dependency_paths(
+    root: &Path,
+    report: &mut LintReport,
+) -> io::Result<BTreeMap<String, String>> {
+    let manifest = root.join("Cargo.toml");
+    let text = fs::read_to_string(&manifest)?;
+    let rel = rel_to(root, &manifest);
+    let mut deps = BTreeMap::new();
+    let mut section = String::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_toml_comment(raw).trim().to_string();
+        if line.starts_with('[') {
+            section = line.trim_matches(['[', ']']).to_string();
+            continue;
+        }
+        if section != "workspace.dependencies" || line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once('=') else {
+            continue;
+        };
+        let name = name.trim().trim_matches('"').to_string();
+        match extract_path(value) {
+            Some(path) if path_is_vendored(&path) => {
+                deps.insert(name, path);
+            }
+            Some(path) => report.findings.push(manifest_finding(
+                &rel,
+                lineno + 1,
+                format!(
+                    "workspace dependency `{name}` resolves to {path:?}, outside crates/ \
+                     and vendor/"
+                ),
+            )),
+            None => report.findings.push(manifest_finding(
+                &rel,
+                lineno + 1,
+                format!(
+                    "workspace dependency `{name}` is not path-based: only workspace \
+                     crates and vendored trees are allowed (offline build discipline)"
+                ),
+            )),
+        }
+    }
+    report.manifests_checked += 1;
+    Ok(deps)
+}
+
+/// Checks one member manifest's dependency sections against D7.
+fn lint_manifest_file(
+    root: &Path,
+    manifest: &Path,
+    workspace_deps: &BTreeMap<String, String>,
+    report: &mut LintReport,
+) -> io::Result<()> {
+    let text = fs::read_to_string(manifest)?;
+    let rel = rel_to(root, manifest);
+    let manifest_dir = manifest.parent().unwrap_or(Path::new(""));
+    let rel_dir = rel_to(root, manifest_dir);
+    report
+        .findings
+        .extend(lint_manifest(&rel, &rel_dir, &text, workspace_deps));
+    report.manifests_checked += 1;
+    Ok(())
+}
+
+/// Lints one member `Cargo.toml` given its workspace-relative path, its
+/// directory (for resolving relative dependency paths) and the root
+/// `[workspace.dependencies]` path table. Exposed for fixture tests.
+pub fn lint_manifest(
+    rel_path: &str,
+    rel_dir: &str,
+    text: &str,
+    workspace_deps: &BTreeMap<String, String>,
+) -> Vec<Finding> {
+    // `# lint: allow(vendored-deps-only) — reason` works in TOML too.
+    let comments: Vec<crate::lexer::Comment> = text
+        .lines()
+        .enumerate()
+        .filter_map(|(i, raw)| {
+            let trimmed = raw.trim();
+            let text = trimmed.strip_prefix('#')?.trim().to_string();
+            Some(crate::lexer::Comment {
+                text,
+                line: i + 1,
+                end_line: i + 1,
+            })
+        })
+        .collect();
+    let (sites, mut findings) = crate::rules::parse_suppressions(&comments, rel_path);
+    let mut section = String::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_toml_comment(raw).trim().to_string();
+        if line.starts_with('[') {
+            section = line.trim_matches(['[', ']']).to_string();
+            continue;
+        }
+        let in_deps = section == "dependencies"
+            || section == "dev-dependencies"
+            || section == "build-dependencies"
+            || (section.ends_with(".dependencies") && section != "workspace.dependencies");
+        if !in_deps || line.is_empty() {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim();
+        // `name.workspace = true` / `name.path = "…"` dotted forms.
+        let (name, attr) = match key.split_once('.') {
+            Some((n, a)) => (n.trim().trim_matches('"'), Some(a.trim())),
+            None => (key.trim_matches('"'), None),
+        };
+        let uses_workspace = attr == Some("workspace") && value.contains("true")
+            || value.contains("workspace") && value.contains("true");
+        let path = if attr == Some("path") {
+            Some(value.trim().trim_matches('"').to_string())
+        } else {
+            extract_path(value)
+        };
+        if uses_workspace {
+            if !workspace_deps.contains_key(name) {
+                findings.push(manifest_finding(
+                    rel_path,
+                    lineno + 1,
+                    format!(
+                        "dependency `{name}` inherits from the workspace, but the root \
+                         [workspace.dependencies] table has no vendored path for it"
+                    ),
+                ));
+            }
+            continue;
+        }
+        match path {
+            Some(p) => {
+                let resolved = normalize_path(&format!("{rel_dir}/{p}"));
+                if !path_is_vendored(&resolved) {
+                    findings.push(manifest_finding(
+                        rel_path,
+                        lineno + 1,
+                        format!(
+                            "dependency `{name}` resolves to {resolved:?}, outside crates/ \
+                             and vendor/"
+                        ),
+                    ));
+                }
+            }
+            None => findings.push(manifest_finding(
+                rel_path,
+                lineno + 1,
+                format!(
+                    "dependency `{name}` is not a workspace crate or vendored tree: \
+                     registry/git dependencies are forbidden (offline build discipline)"
+                ),
+            )),
+        }
+    }
+    crate::rules::apply_suppressions(&mut findings, &sites);
+    findings
+}
+
+/// Strips a trailing `#` comment from a TOML line (quote-aware enough for
+/// the manifests in this workspace: `#` inside a quoted string is kept).
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn manifest_finding(rel_path: &str, line: usize, message: String) -> Finding {
+    Finding {
+        rule: Rule::VendoredDepsOnly,
+        file: rel_path.to_string(),
+        line,
+        col: 1,
+        message,
+        suppressed_by: None,
+    }
+}
+
+/// Pulls `path = "…"` out of an inline-table dependency value.
+fn extract_path(value: &str) -> Option<String> {
+    let idx = value.find("path")?;
+    let rest = &value[idx + "path".len()..];
+    let rest = rest.trim_start().strip_prefix('=')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// True when a workspace-relative path points into `crates/` or `vendor/`.
+fn path_is_vendored(path: &str) -> bool {
+    path.starts_with("crates/") || path.starts_with("vendor/")
+}
+
+/// Lexically normalizes `a/b/../c` style paths.
+fn normalize_path(path: &str) -> String {
+    let mut parts: Vec<&str> = Vec::new();
+    for part in path.split('/') {
+        match part {
+            "" | "." => {}
+            ".." => {
+                parts.pop();
+            }
+            p => parts.push(p),
+        }
+    }
+    parts.join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws_deps() -> BTreeMap<String, String> {
+        BTreeMap::from([
+            ("prophunt-gf2".to_string(), "crates/gf2".to_string()),
+            ("rand".to_string(), "vendor/rand".to_string()),
+        ])
+    }
+
+    #[test]
+    fn workspace_and_path_deps_pass_registry_deps_fail() {
+        let text = "\
+[package]
+name = \"x\"
+
+[dependencies]
+prophunt-gf2.workspace = true
+rand = { workspace = true }
+local = { path = \"../gf2\" }
+serde = \"1.0\"
+remote = { git = \"https://example.com/x\" }
+";
+        let findings = lint_manifest("crates/x/Cargo.toml", "crates/x", text, &ws_deps());
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].message.contains("serde"));
+        assert_eq!(findings[0].line, 8);
+        assert!(findings[1].message.contains("remote"));
+    }
+
+    #[test]
+    fn escaping_paths_are_flagged() {
+        let text = "[dependencies]\nout = { path = \"../../elsewhere/thing\" }\n";
+        let findings = lint_manifest("crates/x/Cargo.toml", "crates/x", text, &ws_deps());
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("elsewhere/thing"));
+    }
+
+    #[test]
+    fn workspace_inherit_without_root_path_is_flagged() {
+        let text = "[dependencies]\nmystery.workspace = true\n";
+        let findings = lint_manifest("crates/x/Cargo.toml", "crates/x", text, &ws_deps());
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("mystery"));
+    }
+
+    #[test]
+    fn non_dependency_sections_are_ignored() {
+        let text = "[package]\nversion = \"1.0\"\n[lints]\nworkspace = true\n";
+        let findings = lint_manifest("crates/x/Cargo.toml", "crates/x", text, &ws_deps());
+        assert!(findings.is_empty());
+    }
+}

@@ -1,0 +1,240 @@
+//! Fixture-driven tests for the `D1`–`D7` rules and the suppression engine:
+//! every rule has at least one positive fixture (must fire) and one negative
+//! fixture (must stay silent), plus string/comment false-positive and
+//! suppression coverage cases.
+
+use prophunt_lint::{lint_manifest, lint_source, Finding};
+use std::collections::BTreeMap;
+
+/// Lints a fixture in a deterministic crate (`decoders`) as a non-root file.
+fn lint_deterministic(rel_path: &str, source: &str) -> Vec<Finding> {
+    lint_source("decoders", rel_path, source, false).0
+}
+
+fn codes(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule.code()).collect()
+}
+
+fn unsuppressed(findings: &[Finding]) -> Vec<&Finding> {
+    findings
+        .iter()
+        .filter(|f| f.suppressed_by.is_none())
+        .collect()
+}
+
+#[test]
+fn d1_wall_clock_fires_on_instant_and_system_time() {
+    let findings = lint_deterministic("d1_positive.rs", include_str!("fixtures/d1_positive.rs"));
+    // One finding per wall-clock token: the SystemTime import, Instant::now()
+    // and both SystemTime uses (`now`, `UNIX_EPOCH`).
+    assert_eq!(codes(&findings), vec!["D1", "D1", "D1", "D1"]);
+    assert!(findings.iter().any(|f| f.message.contains("Instant::now")));
+    assert!(findings.iter().any(|f| f.message.contains("SystemTime")));
+    assert!(findings.iter().all(|f| f.suppressed_by.is_none()));
+}
+
+#[test]
+fn d1_ignores_comments_strings_and_test_code() {
+    let findings = lint_deterministic("d1_negative.rs", include_str!("fixtures/d1_negative.rs"));
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn d1_does_not_apply_to_observability_crates() {
+    // The same wall-clock-heavy source is fine in `obs`, `bench` and `cli`.
+    for crate_key in ["obs", "bench", "cli"] {
+        let findings = lint_source(
+            crate_key,
+            "d1_positive.rs",
+            include_str!("fixtures/d1_positive.rs"),
+            false,
+        )
+        .0;
+        assert!(
+            findings.iter().all(|f| f.rule.code() != "D1"),
+            "{crate_key}: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn d2_hash_iteration_fires_on_values_and_iter() {
+    let findings = lint_deterministic("d2_positive.rs", include_str!("fixtures/d2_positive.rs"));
+    assert_eq!(codes(&findings), vec!["D2", "D2"]);
+}
+
+#[test]
+fn d2_ignores_btree_iteration_and_hash_lookups() {
+    let findings = lint_deterministic("d2_negative.rs", include_str!("fixtures/d2_negative.rs"));
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn d3_thread_spawn_fires_outside_runtime() {
+    let findings = lint_deterministic("d3_positive.rs", include_str!("fixtures/d3_positive.rs"));
+    assert_eq!(codes(&findings), vec!["D3"]);
+}
+
+#[test]
+fn d3_allows_runtime_and_ignores_mentions() {
+    let in_runtime = lint_source(
+        "runtime",
+        "d3_positive.rs",
+        include_str!("fixtures/d3_positive.rs"),
+        false,
+    )
+    .0;
+    assert!(in_runtime.is_empty(), "unexpected: {in_runtime:?}");
+    let mentions = lint_deterministic("d3_negative.rs", include_str!("fixtures/d3_negative.rs"));
+    assert!(mentions.is_empty(), "unexpected: {mentions:?}");
+}
+
+#[test]
+fn d4_ambient_rng_fires_on_thread_rng_and_random() {
+    let findings = lint_deterministic("d4_positive.rs", include_str!("fixtures/d4_positive.rs"));
+    assert!(!findings.is_empty());
+    assert!(
+        findings.iter().all(|f| f.rule.code() == "D4"),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn d4_allows_seeded_streams() {
+    let findings = lint_deterministic("d4_negative.rs", include_str!("fixtures/d4_negative.rs"));
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn d5_fires_on_crate_root_missing_forbid_unsafe() {
+    let findings = lint_source(
+        "decoders",
+        "src/lib.rs",
+        include_str!("fixtures/d5_positive.rs"),
+        true,
+    )
+    .0;
+    assert_eq!(codes(&findings), vec!["D5"]);
+}
+
+#[test]
+fn d5_satisfied_by_the_attribute_and_skips_non_roots() {
+    let with_attr = lint_source(
+        "decoders",
+        "src/lib.rs",
+        include_str!("fixtures/d5_negative.rs"),
+        true,
+    )
+    .0;
+    assert!(with_attr.is_empty(), "unexpected: {with_attr:?}");
+    // The doc comment in d5_positive mentions the attribute; a non-root file
+    // is not required to carry it.
+    let non_root = lint_source(
+        "decoders",
+        "src/util.rs",
+        include_str!("fixtures/d5_positive.rs"),
+        false,
+    )
+    .0;
+    assert!(non_root.is_empty(), "unexpected: {non_root:?}");
+}
+
+#[test]
+fn d6_panics_fire_in_user_facing_crates() {
+    let findings = lint_source(
+        "cli",
+        "d6_positive.rs",
+        include_str!("fixtures/d6_positive.rs"),
+        false,
+    )
+    .0;
+    // unwrap, panic!, expect, unreachable! — one finding each.
+    assert_eq!(findings.len(), 4, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule.code() == "D6"));
+}
+
+#[test]
+fn d6_exempts_tests_and_lookalike_method_names() {
+    let findings = lint_source(
+        "cli",
+        "d6_negative.rs",
+        include_str!("fixtures/d6_negative.rs"),
+        false,
+    )
+    .0;
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+    // The same panicky source is no finding in a non-user-facing crate.
+    let elsewhere = lint_deterministic("d6_positive.rs", include_str!("fixtures/d6_positive.rs"));
+    assert!(elsewhere.iter().all(|f| f.rule.code() != "D6"));
+}
+
+#[test]
+fn d7_flags_registry_and_escaping_dependencies() {
+    let deps = workspace_deps();
+    let findings = lint_manifest(
+        "crates/fixture/Cargo.toml",
+        "crates/fixture",
+        include_str!("fixtures/d7_positive.toml"),
+        &deps,
+    );
+    // serde, rand (version form), escapee, proptest.
+    assert_eq!(findings.len(), 4, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule.code() == "D7"));
+}
+
+#[test]
+fn d7_accepts_workspace_and_vendored_dependencies() {
+    let deps = workspace_deps();
+    let findings = lint_manifest(
+        "crates/fixture/Cargo.toml",
+        "crates/fixture",
+        include_str!("fixtures/d7_negative.toml"),
+        &deps,
+    );
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+fn workspace_deps() -> BTreeMap<String, String> {
+    [
+        ("prophunt-gf2", "crates/gf2"),
+        ("prophunt-qec", "crates/qec"),
+        ("rand", "vendor/rand"),
+        ("proptest", "vendor/proptest"),
+    ]
+    .into_iter()
+    .map(|(k, v)| (k.to_string(), v.to_string()))
+    .collect()
+}
+
+#[test]
+fn justified_suppressions_cover_same_line_next_line_and_blocks() {
+    let findings = lint_deterministic(
+        "suppression_justified.rs",
+        include_str!("fixtures/suppression_justified.rs"),
+    );
+    // All three Instant::now() findings exist but every one is suppressed.
+    assert_eq!(codes(&findings), vec!["D1", "D1", "D1"]);
+    assert!(unsuppressed(&findings).is_empty(), "{findings:?}");
+    // The multi-line justification is captured in full.
+    let multiline = &findings[1];
+    let reason = multiline.suppressed_by.as_deref().unwrap_or("");
+    assert!(
+        reason.contains("second comment line"),
+        "continuation lost: {reason:?}"
+    );
+}
+
+#[test]
+fn malformed_suppressions_are_s0_and_do_not_suppress() {
+    let findings = lint_deterministic(
+        "suppression_malformed.rs",
+        include_str!("fixtures/suppression_malformed.rs"),
+    );
+    let s0: Vec<_> = findings.iter().filter(|f| f.rule.code() == "S0").collect();
+    let d1: Vec<_> = findings.iter().filter(|f| f.rule.code() == "D1").collect();
+    assert_eq!(s0.len(), 3, "{findings:?}");
+    assert_eq!(d1.len(), 3, "{findings:?}");
+    // None of the malformed comments shields its finding, and the S0
+    // diagnostics themselves are unsuppressible.
+    assert!(findings.iter().all(|f| f.suppressed_by.is_none()));
+}

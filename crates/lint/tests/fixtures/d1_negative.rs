@@ -1,0 +1,22 @@
+//! D1 negative: Instant::now() appears only in comments, string literals and
+//! test code, none of which may trigger the rule.
+
+pub fn describe() -> &'static str {
+    // A comment mentioning Instant::now() and SystemTime::now() is fine.
+    "the old implementation called Instant::now() per shot"
+}
+
+pub fn raw_doc() -> &'static str {
+    r#"even raw strings with SystemTime::now() inside are fine"#
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn timing_inside_tests_is_exempt() {
+        let start = Instant::now();
+        assert!(start.elapsed().as_nanos() < u128::MAX);
+    }
+}

@@ -1,0 +1,14 @@
+// D1 positive: wall-clock reads on the deterministic path.
+use std::time::{Instant, SystemTime};
+
+pub fn elapsed_ns() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_nanos()
+}
+
+pub fn unix_seconds() -> u64 {
+    match SystemTime::now().duration_since(SystemTime::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

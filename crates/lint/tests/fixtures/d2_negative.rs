@@ -1,0 +1,15 @@
+// D2 negative: BTree collections iterate in sorted order, and hash
+// collections used for membership/lookup only never iterate.
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub fn sorted_total(counts: &BTreeMap<String, u64>) -> u64 {
+    counts.values().sum()
+}
+
+pub fn lookup(index: &HashMap<u64, u64>, present: &HashSet<u64>, key: u64) -> Option<u64> {
+    if present.contains(&key) {
+        index.get(&key).copied()
+    } else {
+        None
+    }
+}

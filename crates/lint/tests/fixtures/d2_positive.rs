@@ -1,0 +1,10 @@
+// D2 positive: iteration over hash-ordered collections on the deterministic path.
+use std::collections::{HashMap, HashSet};
+
+pub fn total(counts: &HashMap<String, u64>) -> u64 {
+    counts.values().sum()
+}
+
+pub fn first_member(members: &HashSet<u64>) -> Option<u64> {
+    members.iter().next().copied()
+}

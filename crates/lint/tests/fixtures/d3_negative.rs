@@ -1,0 +1,7 @@
+//! D3 negative: the words "thread::spawn" in comments or strings are not a
+//! spawn, and scoped helpers that never name thread::spawn are clean.
+
+pub fn describe() -> &'static str {
+    // workers are started via thread::spawn inside prophunt-runtime only
+    "see prophunt-runtime for the thread::spawn call"
+}

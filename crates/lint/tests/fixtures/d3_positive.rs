@@ -1,0 +1,5 @@
+// D3 positive: raw thread spawns outside prophunt-runtime.
+pub fn fan_out() {
+    let handle = std::thread::spawn(|| 42);
+    let _ = handle.join();
+}

@@ -1,0 +1,14 @@
+//! D4 negative: seeded RNG streams are the sanctioned source of randomness;
+//! mentions of thread_rng in comments/strings must not trigger.
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub fn seeded_coin(seed: u64) -> bool {
+    // never use thread_rng() here — splitmix64-derived seeds only
+    let mut rng = SmallRng::seed_from_u64(seed);
+    rng.gen_bool(0.5)
+}
+
+pub fn describe() -> &'static str {
+    "thread_rng() and rand::random() are banned outside this string"
+}

@@ -1,0 +1,11 @@
+// D4 positive: ambient RNG sources.
+use rand::thread_rng;
+use rand::Rng;
+
+pub fn ambient_coin() -> bool {
+    thread_rng().gen_bool(0.5)
+}
+
+pub fn ambient_value() -> u64 {
+    rand::random()
+}

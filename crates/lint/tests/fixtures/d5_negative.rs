@@ -1,0 +1,8 @@
+//! D5 negative: the crate root carries the attribute.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub fn answer() -> u64 {
+    42
+}

@@ -1,0 +1,6 @@
+//! D5 positive: a crate root with no `#![forbid(unsafe_code)]` attribute.
+//! (The phrase in this doc comment must not satisfy the check.)
+
+pub fn answer() -> u64 {
+    42
+}

@@ -1,0 +1,30 @@
+//! D6 negative: unwraps in test code are exempt, method names that merely
+//! contain "expect" are not panics, and string/comment mentions never count.
+
+pub struct Cursor;
+
+impl Cursor {
+    pub fn expect_char(&mut self, _c: char) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+pub fn parse(text: &str) -> Result<u64, String> {
+    // .unwrap() would panic here; we return a typed error instead.
+    let mut cursor = Cursor;
+    cursor.expect_char('{')?;
+    text.trim()
+        .parse::<u64>()
+        .map_err(|e| format!("not a count ({e}): {text:?}, try .unwrap() elsewhere"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse;
+
+    #[test]
+    fn unwraps_in_tests_are_exempt() {
+        assert_eq!(parse("{7").unwrap(), 7);
+        parse("x").unwrap_err();
+    }
+}

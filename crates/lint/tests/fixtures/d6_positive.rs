@@ -1,0 +1,17 @@
+// D6 positive: panics reachable from user input in a user-facing crate.
+pub fn parse_count(text: &str) -> u64 {
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        panic!("empty count");
+    }
+    trimmed.parse::<u64>().unwrap()
+}
+
+pub fn parse_ratio(text: &str) -> f64 {
+    text.parse::<f64>().expect("ratio must be a float")
+}
+
+pub fn never(text: &str) -> ! {
+    let _ = text;
+    unreachable!("user input reached an impossible state")
+}

@@ -1,0 +1,17 @@
+// A justified suppression: the finding is reported as suppressed.
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    // lint: allow(no-wall-clock) — timing-only: feeds a log line, never the counts
+    Instant::now()
+}
+
+pub fn stamp_multiline() -> Instant {
+    // lint: allow(no-wall-clock) — timing-only: this justification continues
+    // onto a second comment line and still covers the code below it.
+    Instant::now()
+}
+
+pub fn stamp_trailing() -> Instant {
+    Instant::now() // lint: allow(no-wall-clock) — trailing-form suppression
+}

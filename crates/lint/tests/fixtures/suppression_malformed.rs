@@ -1,0 +1,18 @@
+// Malformed suppressions: each produces an unsuppressible S0 diagnostic and
+// leaves the underlying finding unsuppressed.
+use std::time::Instant;
+
+pub fn bare_reason() -> Instant {
+    // lint: allow(no-wall-clock)
+    Instant::now()
+}
+
+pub fn unknown_rule() -> Instant {
+    // lint: allow(no-flux-capacitor) — not a rule this engine knows
+    Instant::now()
+}
+
+pub fn missing_rule_list() -> Instant {
+    // lint: allow — forgot the parenthesised rule list
+    Instant::now()
+}

@@ -98,7 +98,7 @@ impl CnfBuilder {
 mod tests {
     use super::*;
     use crate::cnf::Var;
-    use crate::solver::SolveResult;
+    use crate::solver::{SolveBudget, SolveResult};
 
     /// Enumerates every assignment of `vars` and checks that the formula's satisfying
     /// assignments (projected to `vars`) are exactly those where `predicate` holds.
@@ -115,7 +115,7 @@ mod tests {
                 fixed.add_unit(if val { v.positive() } else { v.negative() });
             }
             let mut solver = fixed.build_solver();
-            let sat = solver.solve(None).is_sat();
+            let sat = solver.solve(SolveBudget::Unlimited).is_sat();
             assert_eq!(
                 sat,
                 predicate(&values),
@@ -152,11 +152,14 @@ mod tests {
     fn empty_xor_true_is_unsat() {
         let mut b = CnfBuilder::new();
         b.add_xor_constraint(&[], true);
-        assert_eq!(b.build_solver().solve(None), SolveResult::Unsat);
+        assert_eq!(
+            b.build_solver().solve(SolveBudget::Unlimited),
+            SolveResult::Unsat
+        );
         let mut b = CnfBuilder::new();
         let _ = b.new_var();
         b.add_xor_constraint(&[], false);
-        assert!(b.build_solver().solve(None).is_sat());
+        assert!(b.build_solver().solve(SolveBudget::Unlimited).is_sat());
     }
 
     #[test]

@@ -12,8 +12,13 @@
 //! * [`Solver`] — a CDCL SAT solver with watched literals, first-UIP clause learning,
 //!   activity-based branching and restarts ([`solver`]),
 //! * [`MaxSatSolver`] — linear-search (LSU) MaxSAT on top of the SAT solver, with
-//!   wall-clock budgets and model-size statistics matching the columns of the paper's
-//!   Table 2 ([`maxsat`]).
+//!   deterministic conflict budgets ([`SolveBudget`]) and model-size statistics
+//!   matching the columns of the paper's Table 2 ([`maxsat`]).
+//!
+//! Termination is deterministic by construction: budgets are measured in SAT-solver
+//! conflicts, never wall-clock time, so the same instance with the same budget
+//! returns the same outcome on every machine. `Duration`-denominated budgets are
+//! converted through the fixed [`maxsat::CONFLICTS_PER_BUDGET_SECOND`] exchange rate.
 //!
 //! # Example
 //!
@@ -43,5 +48,5 @@ pub mod maxsat;
 pub mod solver;
 
 pub use cnf::{CnfBuilder, Lit, Var};
-pub use maxsat::{MaxSatOutcome, MaxSatSolver, MaxSatStats};
-pub use solver::{SolveResult, Solver};
+pub use maxsat::{duration_to_conflicts, MaxSatOutcome, MaxSatSolver, MaxSatStats};
+pub use solver::{SolveBudget, SolveResult, Solver};

@@ -9,7 +9,39 @@
 //! intentionally allowed to time out, exactly as they do in the paper.
 
 use crate::cnf::Lit;
-use std::time::Instant;
+
+/// A deterministic search-effort budget for a [`Solver::solve`] call.
+///
+/// Budgets are measured in *conflicts*, not wall-clock time: two solves of
+/// the same formula with the same budget do exactly the same work and return
+/// the same result on any machine, under any load, at any thread count —
+/// which is what keeps the `maxsat` search arm inside the workspace's
+/// determinism contract. (An earlier revision used an `Instant`-based
+/// deadline; a solve racing a heavily loaded machine could then return a
+/// different incumbent than the same solve on an idle one.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveBudget {
+    /// Search until a verdict is reached, however long that takes.
+    Unlimited,
+    /// Give up (returning [`SolveResult::Unknown`]) after this many
+    /// conflicts in this call.
+    Conflicts(u64),
+}
+
+impl SolveBudget {
+    /// Returns the remaining budget after `spent` conflicts, saturating at 0.
+    pub fn minus(self, spent: u64) -> SolveBudget {
+        match self {
+            SolveBudget::Unlimited => SolveBudget::Unlimited,
+            SolveBudget::Conflicts(n) => SolveBudget::Conflicts(n.saturating_sub(spent)),
+        }
+    }
+
+    /// True when the budget allows no further conflicts.
+    pub fn is_exhausted(self) -> bool {
+        matches!(self, SolveBudget::Conflicts(0))
+    }
+}
 
 /// The outcome of a SAT solve call.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,7 +50,7 @@ pub enum SolveResult {
     Sat(Vec<bool>),
     /// The formula is unsatisfiable.
     Unsat,
-    /// The time budget was exhausted before a verdict was reached.
+    /// The conflict budget was exhausted before a verdict was reached.
     Unknown,
 }
 
@@ -49,7 +81,7 @@ struct Clause {
 /// A CDCL SAT solver over a fixed set of variables.
 ///
 /// Clauses are added with [`Solver::add_clause`]; [`Solver::solve`] runs the search
-/// within an optional deadline. The solver can be reused for repeated solves only by
+/// within a deterministic conflict budget. The solver can be reused for repeated solves only by
 /// rebuilding it (the MaxSAT driver rebuilds per iteration, which is cheap at the model
 /// sizes involved).
 #[derive(Debug)]
@@ -331,8 +363,14 @@ impl Solver {
         best.map(|v| Lit::new(crate::cnf::Var(v as u32), self.phase[v]))
     }
 
-    /// Runs the CDCL search, optionally bounded by a wall-clock deadline.
-    pub fn solve(&mut self, deadline: Option<Instant>) -> SolveResult {
+    /// Runs the CDCL search, bounded by a deterministic conflict budget.
+    ///
+    /// With [`SolveBudget::Conflicts`]`(n)` the search gives up and returns
+    /// [`SolveResult::Unknown`] once this call has generated `n` conflicts
+    /// (conflicts from earlier calls on a reused solver do not count against
+    /// the budget). The same formula with the same budget always returns the
+    /// same result, independent of machine speed or load.
+    pub fn solve(&mut self, budget: SolveBudget) -> SolveResult {
         if !self.ok {
             return SolveResult::Unsat;
         }
@@ -340,11 +378,12 @@ impl Solver {
             self.ok = false;
             return SolveResult::Unsat;
         }
+        let conflicts_at_start = self.conflicts;
         let mut restart_limit = 128u64;
         let mut conflicts_since_restart = 0u64;
         loop {
-            if let Some(deadline) = deadline {
-                if self.conflicts.is_multiple_of(64) && Instant::now() > deadline {
+            if let SolveBudget::Conflicts(limit) = budget {
+                if self.conflicts - conflicts_at_start >= limit {
                     self.backtrack(0);
                     return SolveResult::Unknown;
                 }
@@ -411,19 +450,19 @@ mod tests {
     fn trivially_sat_and_unsat() {
         let mut s = Solver::new(1);
         assert!(s.add_clause(&[lit(0, true)]));
-        assert!(s.solve(None).is_sat());
+        assert!(s.solve(SolveBudget::Unlimited).is_sat());
 
         let mut s = Solver::new(1);
         s.add_clause(&[lit(0, true)]);
         s.add_clause(&[lit(0, false)]);
-        assert_eq!(s.solve(None), SolveResult::Unsat);
+        assert_eq!(s.solve(SolveBudget::Unlimited), SolveResult::Unsat);
     }
 
     #[test]
     fn empty_clause_is_unsat() {
         let mut s = Solver::new(2);
         assert!(!s.add_clause(&[]));
-        assert_eq!(s.solve(None), SolveResult::Unsat);
+        assert_eq!(s.solve(SolveBudget::Unlimited), SolveResult::Unsat);
     }
 
     #[test]
@@ -433,7 +472,7 @@ mod tests {
         s.add_clause(&[lit(0, true)]);
         s.add_clause(&[lit(0, false), lit(1, true)]);
         s.add_clause(&[lit(1, false), lit(2, true)]);
-        match s.solve(None) {
+        match s.solve(SolveBudget::Unlimited) {
             SolveResult::Sat(m) => assert_eq!(m, vec![true, true, true]),
             other => panic!("expected SAT, got {other:?}"),
         }
@@ -454,7 +493,7 @@ mod tests {
                 }
             }
         }
-        assert_eq!(s.solve(None), SolveResult::Unsat);
+        assert_eq!(s.solve(SolveBudget::Unlimited), SolveResult::Unsat);
     }
 
     /// Brute-force satisfiability check for cross-validation.
@@ -492,7 +531,7 @@ mod tests {
             }
             let mut solver = builder.build_solver();
             let expected = brute_force_sat(num_vars, &clauses);
-            let result = solver.solve(None);
+            let result = solver.solve(SolveBudget::Unlimited);
             match (&result, expected) {
                 (SolveResult::Sat(model), true) => {
                     // Verify the model actually satisfies every clause.
@@ -523,6 +562,6 @@ mod tests {
         s.add_clause(&[!v(0, 0), !v(1, 0)]);
         s.add_clause(&[!v(0, 1), !v(1, 1)]);
         s.add_clause(&[!v(0, 2), !v(1, 2)]);
-        assert!(s.solve(None).is_sat());
+        assert!(s.solve(SolveBudget::Unlimited).is_sat());
     }
 }

@@ -30,6 +30,8 @@
 //! plus a running sum are enough for p50/p90/p99 estimates to within a factor
 //! of two, which is the resolution the report analyzer needs.
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};

@@ -193,6 +193,9 @@ pub fn find_ambiguous_subgraph<R: Rng>(
         return None;
     }
     for _ in 0..max_steps {
+        // lint: allow(no-hash-iter) — false positive: this detector_set is the
+        // BTreeSet above (sorted iteration); the rule's file-scope name heuristic
+        // matches the unrelated HashSet of the same name in restricted_matrices.
         let detectors: Vec<usize> = detector_set.iter().copied().collect();
         let (h_sub, l_sub, errors) = graph.restricted_matrices(&detectors);
         if is_ambiguous(&h_sub, &l_sub) {

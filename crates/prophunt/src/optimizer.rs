@@ -39,7 +39,11 @@ pub struct PropHuntConfig {
     /// [`NoiseModel::uniform_depolarizing`] at [`Self::physical_error_rate`]; `Some`
     /// optimizes against that model instead (SI1000-style, biased, ...).
     pub noise: Option<NoiseModel>,
-    /// Wall-clock budget per MaxSAT solve (the paper uses 360 s).
+    /// Budget per MaxSAT solve, denominated in `Duration` for parity with the
+    /// paper (which uses 360 s) but enforced as a deterministic *conflict*
+    /// budget: the duration is converted through the fixed
+    /// `prophunt_maxsat::maxsat::CONFLICTS_PER_BUDGET_SECOND` exchange rate, so
+    /// the same budget buys the same amount of search on every machine.
     pub maxsat_budget: Duration,
     /// Maximum subgraph-expansion steps before a sample gives up.
     pub max_subgraph_steps: usize,
@@ -48,15 +52,9 @@ pub struct PropHuntConfig {
     /// Shared parallel-runtime configuration: worker-thread bound, chunk size
     /// and the base random seed. The run is a deterministic function of
     /// `(runtime.seed, runtime.chunk_size)`; `runtime.threads` affects
-    /// wall-clock time only.
-    ///
-    /// Caveat: [`Self::maxsat_budget`] is a *wall-clock* deadline. If a MaxSAT
-    /// solve actually hits it (possible when many solves share few cores, or
-    /// on a heavily loaded machine), the returned incumbent can differ between
-    /// runs and the determinism guarantee degrades to "per (seed, chunk_size,
-    /// machine-load)". The shipped configurations keep budgets 2-3 orders of
-    /// magnitude above observed solve times precisely so the deadline never
-    /// fires in practice.
+    /// wall-clock time only. MaxSAT budget exhaustion is part of that
+    /// determinism: because [`Self::maxsat_budget`] is enforced in conflicts,
+    /// a solve that runs out of budget returns the same incumbent everywhere.
     pub runtime: RuntimeConfig,
 }
 

@@ -83,8 +83,10 @@ pub struct SearchParams {
     pub noise: NoiseModel,
     /// Subgraph-expansion samples per MaxSAT-descent iteration.
     pub samples_per_iteration: usize,
-    /// Wall-clock budget per MaxSAT solve (kept far above observed solve
-    /// times, as in [`prophunt::PropHuntConfig`]).
+    /// Budget per MaxSAT solve. Enforced as a deterministic conflict budget
+    /// (converted at a fixed exchange rate, as in
+    /// [`prophunt::PropHuntConfig`]), so exhausting it cannot introduce
+    /// machine-dependent results.
     pub maxsat_budget: Duration,
     /// Rounds without improvement before [`HillClimb`] restarts from a fresh
     /// randomized coloration.
