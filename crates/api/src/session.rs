@@ -281,6 +281,7 @@ impl Session {
         mut observer: impl FnMut(&Event),
     ) -> Result<LerOutcome, ApiError> {
         let span = self.obs.span("job.ler.ns");
+        let _trace = self.obs.tracer().map(|t| t.span("job.ler", "job"));
         let seed = job.seed.unwrap_or(self.runtime.config().seed);
         observer(&Event::JobStarted {
             kind: JobKind::Ler,
@@ -358,6 +359,7 @@ impl Session {
         mut observer: impl FnMut(&Event),
     ) -> Result<OptimizeOutcome, ApiError> {
         let span = self.obs.span("job.optimize.ns");
+        let _trace = self.obs.tracer().map(|t| t.span("job.optimize", "job"));
         let seed = job.seed.unwrap_or(self.runtime.config().seed);
         let mut config = PropHuntConfig::quick(job.spec.rounds());
         config.iterations = job.iterations;
@@ -425,6 +427,7 @@ impl Session {
         mut observer: impl FnMut(&Event),
     ) -> Result<SearchOutcome, ApiError> {
         let span = self.obs.span("job.search.ns");
+        let _trace = self.obs.tracer().map(|t| t.span("job.search", "job"));
         let seed = job.seed.unwrap_or(self.runtime.config().seed);
         observer(&Event::JobStarted {
             kind: JobKind::Search,
@@ -500,6 +503,7 @@ impl Session {
         mut observer: impl FnMut(&Event),
     ) -> Result<LerOutcome, ApiError> {
         let span = self.obs.span("job.ler.ns");
+        let _trace = self.obs.tracer().map(|t| t.span("job.ler", "job"));
         let decoder = self.registry.build(decoder_name, dem)?;
         observer(&Event::JobStarted {
             kind: JobKind::Ler,

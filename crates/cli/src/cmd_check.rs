@@ -2,22 +2,23 @@
 //!
 //! Used by CI (and humans) to confirm that every artifact the tool wrote can be
 //! read back. Detection is by content: the `prophunt-code v1` /
-//! `prophunt-schedule v1` headers, a leading `{` for JSON-lines reports, and the
+//! `prophunt-schedule v1` headers, a leading `{"traceEvents"` for Chrome
+//! trace-event JSON, any other leading `{` for JSON-lines reports, and the
 //! Stim DEM instruction set otherwise.
 
 use crate::args::CliError;
 use crate::common::read_file;
 use prophunt_formats::{
-    code::CODE_SPEC_HEADER, parse_code_spec, parse_dem, parse_report, parse_schedule,
+    code::CODE_SPEC_HEADER, json::Json, parse_code_spec, parse_dem, parse_report, parse_schedule,
     schedule::SCHEDULE_HEADER,
 };
 
 pub const USAGE: &str = "\
 prophunt check <file>...
 
-  Re-parses each file (code spec, schedule, .dem, or JSON-lines report,
-  auto-detected by content) and prints a one-line summary. Exits non-zero on the
-  first file that fails to parse.";
+  Re-parses each file (code spec, schedule, .dem, JSON-lines report, or Chrome
+  trace-event JSON written by --trace, auto-detected by content) and prints a
+  one-line summary. Exits non-zero on the first file that fails to parse.";
 
 pub fn run(args: &[String]) -> Result<(), CliError> {
     if args.is_empty() {
@@ -55,6 +56,21 @@ fn check_one(content: &str) -> Result<String, String> {
                 .depth()
                 .map_err(|e| format!("schedule does not lay out: {e}"))?
         ))
+    } else if first_line.starts_with("{\"traceEvents\"") {
+        // The `<path>.chrome.json` sibling of --trace: one JSON document in the
+        // Chrome trace-event "object" form, not a JSON-lines stream.
+        let doc = Json::parse(content).map_err(|e| e.to_string())?;
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .ok_or("traceEvents must be an array")?;
+        if let Some(bad) = events.iter().find(|e| e.get("ph").is_none()) {
+            return Err(format!(
+                "trace event without a \"ph\" phase field: {}",
+                bad.to_json()
+            ));
+        }
+        Ok(format!("chrome trace, {} events", events.len()))
     } else if first_line.starts_with('{') {
         let records = parse_report(content).map_err(|e| e.to_string())?;
         Ok(format!("report, {} records", records.len()))
@@ -105,5 +121,22 @@ mod tests {
         let truncated = &good[..good.len() / 2];
         let err = check_one(&format!("{good}\n{truncated}\n")).unwrap_err();
         assert!(err.contains("line 2"), "error must name the line: {err}");
+    }
+
+    #[test]
+    fn chrome_trace_documents_are_detected_and_validated() {
+        let good = r#"{"traceEvents":[{"name":"a","ph":"X","ts":0.0,"dur":1.5,"pid":0,"tid":1}]}"#;
+        assert_eq!(
+            check_one(good).expect("well-formed chrome trace validates"),
+            "chrome trace, 1 events"
+        );
+        let no_phase = r#"{"traceEvents":[{"name":"a","ts":0.0}]}"#;
+        let err = check_one(no_phase).unwrap_err();
+        assert!(
+            err.contains("ph"),
+            "error must name the missing field: {err}"
+        );
+        let not_array = r#"{"traceEvents":0}"#;
+        assert!(check_one(not_array).is_err());
     }
 }

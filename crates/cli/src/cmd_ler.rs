@@ -6,9 +6,9 @@ use crate::args::{CliError, Flags};
 use crate::common::{
     append_records, basis_selection_from_flags, budget_from_flags, decoder_from_flags,
     engine_from_flags, load_code, load_schedule, meta_record, noise_from_flags, read_file,
-    runtime_from_flags, write_metrics_file,
+    runtime_from_flags, session_from_flags, write_metrics_file, write_trace_files,
 };
-use prophunt_api::{ExperimentSpec, LerJob, LerOutcome, ScheduleSource, Session, StopReason};
+use prophunt_api::{ExperimentSpec, LerJob, LerOutcome, ScheduleSource, StopReason};
 use prophunt_formats::parse_dem;
 use prophunt_formats::report::ReportRecord;
 
@@ -40,6 +40,9 @@ prophunt ler --code <family-or-spec-file> [--schedule <s>] [options]
   --label         label stored in the emitted record (default dem/schedule source)
   --metrics       write a meta + metrics JSON-lines pair (session registry
                   snapshot: counters, gauges, span histograms) to this file
+  --trace         record a span-event trace of the run and write it to this
+                  file (JSON-lines `trace` records) plus a Chrome trace-event /
+                  Perfetto JSON sibling at <file>.chrome.json
   -o, --out       append the JSON-lines record(s) to a file as well as stdout
 
 The stdout stream starts with a `meta` provenance record (crate version, seed,
@@ -67,6 +70,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             "chunk-size",
             "label",
             "metrics",
+            "trace",
             "out",
         ],
     )?;
@@ -74,7 +78,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let budget = budget_from_flags(&flags, 2000)?;
     let decoder = decoder_from_flags(&flags);
     let engine = engine_from_flags(&flags)?;
-    let mut session = Session::new(runtime);
+    let (mut session, trace) = session_from_flags(&flags, runtime);
 
     let meta = meta_record(&runtime, engine.as_str());
     let mut records = vec![meta.clone()];
@@ -166,6 +170,9 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     }
     if let Some(path) = flags.get("metrics") {
         write_metrics_file(path, &meta, &session.metrics())?;
+    }
+    if let Some(sink) = &trace {
+        write_trace_files(sink, &meta)?;
     }
     Ok(())
 }

@@ -5,10 +5,10 @@
 
 use crate::args::{CliError, Flags};
 use crate::common::{
-    load_code, load_schedule, meta_record, noise_from_flags, runtime_from_flags, write_file,
-    write_metrics_file,
+    load_code, load_schedule, meta_record, noise_from_flags, runtime_from_flags,
+    session_from_flags, write_file, write_metrics_file, write_trace_files,
 };
-use prophunt_api::{Event, ExperimentSpec, OptimizeJob, ScheduleSource, Session};
+use prophunt_api::{Event, ExperimentSpec, OptimizeJob, ScheduleSource};
 use prophunt_formats::report::{iteration_to_record, ReportRecord};
 use prophunt_formats::write_schedule;
 use std::io::Write as _;
@@ -34,6 +34,9 @@ prophunt optimize --code <family-or-spec-file> [options]
                   (default: stream them to stdout)
   --metrics       write a meta + metrics JSON-lines pair (session registry
                   snapshot) to this file
+  --trace         record a span-event trace of the run and write it to this
+                  file (JSON-lines `trace` records) plus a Chrome trace-event /
+                  Perfetto JSON sibling at <file>.chrome.json
 
 The report stream starts with a `meta` provenance record; parsers treat it as
 optional.";
@@ -56,6 +59,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             "out-schedule",
             "report",
             "metrics",
+            "trace",
         ],
     )?;
     if flags.get("schedule").is_some() && flags.get("resume").is_some() {
@@ -113,7 +117,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         initial_schedule: write_schedule(&initial),
     })?;
 
-    let mut session = Session::new(runtime);
+    let (mut session, trace) = session_from_flags(&flags, runtime);
     // The unified event stream replaces the bespoke observer closure: iteration
     // events become `iteration` records as they complete.
     let mut stream_error: Option<CliError> = None;
@@ -142,6 +146,9 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     write_file(out_schedule, &write_schedule(&result.final_schedule))?;
     if let Some(path) = flags.get("metrics") {
         write_metrics_file(path, &meta, &session.metrics())?;
+    }
+    if let Some(sink) = &trace {
+        write_trace_files(sink, &meta)?;
     }
     eprintln!(
         "optimized {}: {} iterations ({}), {} changes, final CNOT depth {}; schedule written to {}",

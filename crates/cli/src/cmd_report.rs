@@ -1,8 +1,8 @@
 //! `prophunt report` — render a human-readable summary of a metrics stream
 //! written by `--metrics` (or any report file containing `metrics` records):
 //! counter totals, cache hit rates, and histogram quantiles. With a second
-//! file, also prints a diff of the deterministic counters and the histogram
-//! shapes against that baseline.
+//! file, also prints a diff of the deterministic counters, the gauges and the
+//! histogram shapes against that baseline.
 
 use crate::args::CliError;
 use crate::common::read_file;
@@ -21,9 +21,9 @@ ler/optimize/search/sweep, or any report stream carrying a `metrics` record):
   * gauges, and histogram count / p50 / p90 / p99 / mean (`.ns` names are
     rendered as durations)
 
-With a second path the counters and histograms of <metrics.jsonl> are diffed
-against <baseline.jsonl>: counters should match exactly across thread counts at
-a fixed seed; timing histograms are expected to differ.";
+With a second path the counters, gauges and histograms of <metrics.jsonl> are
+diffed against <baseline.jsonl>: counters should match exactly across thread
+counts at a fixed seed; gauges and timing histograms are expected to differ.";
 
 /// Everything `report` reads out of one metrics file.
 struct MetricsFile {
@@ -43,6 +43,7 @@ fn load(path: &str) -> Result<MetricsFile, CliError> {
             threads,
             chunk_size,
             engine,
+            ..
         } => Some((
             version.clone(),
             *seed,
@@ -185,6 +186,36 @@ fn print_diff(current: &MetricsFile, baseline: &MetricsFile) {
         }
     }
     println!("  {identical} counters identical");
+    // Gauge deltas, mirroring the counter loop. Gauges are thread-dependent
+    // (occupancy, peaks), so differences are expected — the diff makes them
+    // visible instead of silently dropping the class.
+    let mut gauge_names: Vec<&String> = current
+        .gauges
+        .iter()
+        .chain(baseline.gauges.iter())
+        .map(|(n, _)| n)
+        .collect();
+    gauge_names.sort();
+    gauge_names.dedup();
+    let gauge_in = |file: &MetricsFile, name: &str| {
+        file.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    };
+    let mut gauges_identical = 0usize;
+    for name in gauge_names {
+        let (a, b) = (gauge_in(current, name), gauge_in(baseline, name));
+        if a == b {
+            gauges_identical += 1;
+        } else {
+            println!(
+                "  gauge   {name:<28} {b:>12} -> {a:>12} ({:+})",
+                a as i128 - b as i128
+            );
+        }
+    }
+    println!("  {gauges_identical} gauges identical");
     for h in &current.histograms {
         let Some(base) = baseline.histograms.iter().find(|b| b.name == h.name) else {
             continue;

@@ -6,9 +6,9 @@
 use crate::args::{CliError, Flags};
 use crate::common::{
     load_code, load_schedule, meta_record, noise_from_flags, read_file, runtime_from_flags,
-    write_file, write_metrics_file,
+    session_from_flags, write_file, write_metrics_file, write_trace_files,
 };
-use prophunt_api::{Event, ExperimentSpec, ScheduleSource, SearchJob, Session, StrategyKind};
+use prophunt_api::{Event, ExperimentSpec, ScheduleSource, SearchJob, StrategyKind};
 use prophunt_formats::report::ReportRecord;
 use prophunt_formats::{parse_report, parse_schedule, write_schedule};
 use std::io::Write as _;
@@ -43,6 +43,10 @@ prophunt search --code <family-or-spec-file> [options]
                     (default: stream them to stdout)
   --metrics         write a meta + metrics JSON-lines pair (session registry
                     snapshot: search counters, span histograms) to this file
+  --trace           record a span-event trace of the run — including the
+                    deterministic per-round / per-arm convergence diagnostics —
+                    and write it to this file (JSON-lines `trace` records) plus
+                    a Chrome trace-event sibling at <file>.chrome.json
 
 The report stream starts with a `meta` provenance record; parsers treat it as
 optional. The result is a pure function of (--seed, --chunk-size): the best
@@ -71,6 +75,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             "out-schedule",
             "report",
             "metrics",
+            "trace",
         ],
     )?;
     if flags.get("schedule").is_some() && flags.get("resume").is_some() {
@@ -167,7 +172,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         initial_schedule: write_schedule(&initial),
     })?;
 
-    let mut session = Session::new(runtime);
+    let (mut session, trace) = session_from_flags(&flags, runtime);
     let mut stream_error: Option<CliError> = None;
     let outcome = session
         .run_search(&job, |event| {
@@ -211,6 +216,9 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     write_file(out_schedule, &write_schedule(&best.schedule))?;
     if let Some(path) = flags.get("metrics") {
         write_metrics_file(path, &meta, &session.metrics())?;
+    }
+    if let Some(sink) = &trace {
+        write_trace_files(sink, &meta)?;
     }
     eprintln!(
         "searched {}: {} rounds x {} instances ({}), CNOT depth {} -> {} (best from {}[{}] in \

@@ -9,9 +9,10 @@
 use crate::args::{CliError, Flags};
 use crate::common::{
     append_records, basis_selection_from_flags, budget_from_flags, engine_from_flags, load_code,
-    load_schedule, meta_record, runtime_from_flags, write_metrics_file,
+    load_schedule, meta_record, runtime_from_flags, session_from_flags, write_metrics_file,
+    write_trace_files,
 };
-use prophunt_api::{ExperimentSpec, LerJob, NoiseSpec, ScheduleSource, Session};
+use prophunt_api::{ExperimentSpec, LerJob, NoiseSpec, ScheduleSource};
 
 pub const USAGE: &str = "\
 prophunt sweep --codes <fam1,fam2,...> [options]
@@ -34,6 +35,9 @@ prophunt sweep --codes <fam1,fam2,...> [options]
   --chunk-size    shots per deterministic chunk (default 64)
   --metrics       write a meta + metrics JSON-lines pair (session registry
                   snapshot for the whole grid) to this file
+  --trace         record a span-event trace of the whole grid and write it to
+                  this file (JSON-lines `trace` records) plus a Chrome
+                  trace-event / Perfetto JSON sibling at <file>.chrome.json
   -o, --out       append the JSON-lines records to a file as well as stdout
 
 The stdout stream starts with a `meta` provenance record; parsers treat it as
@@ -74,6 +78,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             "threads",
             "chunk-size",
             "metrics",
+            "trace",
             "out",
         ],
     )?;
@@ -119,7 +124,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
 
     // One session for the whole grid: experiments are shared across p's and
     // models across decoders.
-    let mut session = Session::new(runtime);
+    let (mut session, trace) = session_from_flags(&flags, runtime);
     let meta = meta_record(&runtime, engine.as_str());
     let mut text = String::new();
     let meta_line = meta.to_json_line();
@@ -172,6 +177,9 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     }
     if let Some(path) = flags.get("metrics") {
         write_metrics_file(path, &meta, &session.metrics())?;
+    }
+    if let Some(sink) = &trace {
+        write_trace_files(sink, &meta)?;
     }
     Ok(())
 }

@@ -2,10 +2,14 @@
 //! configuration flags, and output sinks.
 
 use crate::args::{CliError, Flags};
+use prophunt_api::{DecoderRegistry, Session};
 use prophunt_circuit::schedule::ScheduleSpec;
 use prophunt_formats::report::ReportRecord;
-use prophunt_formats::{parse_code_spec, parse_schedule, resolve_family, ResolvedCode};
-use prophunt_obs::Snapshot;
+use prophunt_formats::{
+    parse_code_spec, parse_schedule, resolve_family, trace_event_to_record, write_chrome_trace,
+    ResolvedCode,
+};
+use prophunt_obs::{Obs, Snapshot, Tracer};
 use prophunt_runtime::RuntimeConfig;
 use std::io::Write as _;
 use std::path::Path;
@@ -48,7 +52,8 @@ pub fn append_records(path: &str, text: &str) -> Result<(), CliError> {
 
 /// Builds the provenance `meta` record every report and metrics stream starts
 /// with. `engine` names the estimation engine where one applies (empty for
-/// optimize/search runs).
+/// optimize/search runs). The record carries the invoking command line in the
+/// additive `cmdline` field (trace-v1 extension; parsers default it).
 pub fn meta_record(runtime: &RuntimeConfig, engine: &str) -> ReportRecord {
     ReportRecord::meta(
         env!("CARGO_PKG_VERSION"),
@@ -57,6 +62,68 @@ pub fn meta_record(runtime: &RuntimeConfig, engine: &str) -> ReportRecord {
         runtime.chunk_size as u64,
         engine,
     )
+    .with_cmdline(std::env::args().collect::<Vec<String>>().join(" "))
+}
+
+/// The `--trace` sink: the tracer attached to the session's [`Obs`] and the
+/// path its drained events are written to when the job completes.
+pub struct TraceSink {
+    tracer: Tracer,
+    path: String,
+}
+
+/// Builds the session for a job command, honoring `--trace <path>`: with the
+/// flag, the session's [`Obs`] carries a [`Tracer`] (alongside the usual
+/// metrics registry) and the returned [`TraceSink`] collects it for
+/// [`write_trace_files`]. Tracing is strictly out-of-band — it cannot change
+/// any deterministic result, only record how the run executed.
+pub fn session_from_flags(flags: &Flags, runtime: RuntimeConfig) -> (Session, Option<TraceSink>) {
+    match flags.get("trace") {
+        Some(path) => {
+            let tracer = Tracer::new();
+            let obs = Obs::enabled().with_tracer(tracer.clone());
+            let session = Session::with_obs(runtime, DecoderRegistry::with_defaults(), obs);
+            (
+                session,
+                Some(TraceSink {
+                    tracer,
+                    path: path.to_string(),
+                }),
+            )
+        }
+        None => (Session::new(runtime), None),
+    }
+}
+
+/// Drains the sink's tracer and writes both `--trace` outputs: the report
+/// JSON-lines file at the given path (`meta` line plus one `trace` record per
+/// event, re-parseable by `prophunt check` / `prophunt trace`) and the Chrome
+/// trace-event / Perfetto JSON sibling at `<path>.chrome.json`.
+pub fn write_trace_files(sink: &TraceSink, meta: &ReportRecord) -> Result<(), CliError> {
+    let log = sink.tracer.drain();
+    if log.dropped > 0 {
+        eprintln!(
+            "trace: {} events dropped (central buffer cap reached)",
+            log.dropped
+        );
+    }
+    let mut text = meta.to_json_line();
+    text.push('\n');
+    for event in &log.events {
+        text.push_str(&trace_event_to_record(event).to_json_line());
+        text.push('\n');
+    }
+    write_file(&sink.path, &text)?;
+    let chrome_path = format!("{}.chrome.json", sink.path);
+    let mut chrome = write_chrome_trace(&log.events);
+    chrome.push('\n');
+    write_file(&chrome_path, &chrome)?;
+    eprintln!(
+        "trace: {} events -> {} (+ {chrome_path})",
+        log.events.len(),
+        sink.path
+    );
+    Ok(())
 }
 
 /// Writes the `--metrics` file: a `meta` provenance line followed by one

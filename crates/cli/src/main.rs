@@ -15,6 +15,9 @@
 //! * `sweep` — a code × p × decoder grid evaluated through one shared Session.
 //! * `check` — re-parse any emitted file.
 //! * `report` — summarize (or diff) the metrics files written by `--metrics`.
+//! * `trace` — analyze the span-event trace files written by `--trace`:
+//!   pool-utilization timeline, per-stage concurrency, critical path, and the
+//!   search-convergence summary.
 //! * `lint` — run the `prophunt-lint` determinism & discipline rules (D1–D7)
 //!   over the workspace sources and manifests.
 //!
@@ -34,6 +37,7 @@ mod cmd_optimize;
 mod cmd_report;
 mod cmd_search;
 mod cmd_sweep;
+mod cmd_trace;
 mod common;
 
 use args::CliError;
@@ -53,6 +57,7 @@ commands:
   sweep     evaluate a code x p x decoder grid through one shared session
   check     re-parse emitted files (auto-detects the format)
   report    summarize or diff metrics files written with --metrics
+  trace     analyze a span-event trace written with --trace
   lint      statically check workspace crates against rules D1-D7
 
 run `prophunt <command> --help` for per-command flags";
@@ -72,6 +77,7 @@ fn dispatch(command: &str, rest: &[String]) -> Result<(), CliError> {
         "sweep" if wants_help => usage_of(cmd_sweep::USAGE),
         "check" if wants_help => usage_of(cmd_check::USAGE),
         "report" if wants_help => usage_of(cmd_report::USAGE),
+        "trace" if wants_help => usage_of(cmd_trace::USAGE),
         "lint" if wants_help => usage_of(cmd_lint::USAGE),
         "code" => cmd_code::run(rest),
         "dem" => cmd_dem::run(rest),
@@ -81,6 +87,7 @@ fn dispatch(command: &str, rest: &[String]) -> Result<(), CliError> {
         "sweep" => cmd_sweep::run(rest),
         "check" => cmd_check::run(rest),
         "report" => cmd_report::run(rest),
+        "trace" => cmd_trace::run(rest),
         "lint" => cmd_lint::run(rest),
         "--help" | "-h" | "help" => usage_of(USAGE),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
@@ -97,6 +104,7 @@ fn usage_for(command: &str) -> &'static str {
         "sweep" => cmd_sweep::USAGE,
         "check" => cmd_check::USAGE,
         "report" => cmd_report::USAGE,
+        "trace" => cmd_trace::USAGE,
         "lint" => cmd_lint::USAGE,
         _ => USAGE,
     }

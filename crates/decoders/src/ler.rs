@@ -24,7 +24,7 @@ use prophunt_circuit::DetectorErrorModel;
 use prophunt_gf2::{transpose_lane_words, BitVec};
 use prophunt_obs::{duration_ns, Histogram, Obs};
 use prophunt_runtime::{Runtime, SeedStream};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The result of a Monte-Carlo logical-error-rate estimate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -401,7 +401,13 @@ fn run_shots(
     let mut detectors = BitVec::zeros(dem.num_detectors());
     let mut observables = BitVec::zeros(dem.num_observables());
     let mut failures = 0usize;
-    if let Some(timing) = ScalarTiming::from_obs(obs) {
+    let timing = ScalarTiming::from_obs(obs);
+    let tracer = obs.tracer();
+    if timing.is_some() || tracer.is_some() {
+        let chunk_trace = tracer.map(|t| t.span("ler.chunk", "ler"));
+        // lint: allow(no-wall-clock) — timing seam: anchors the synthetic
+        // per-stage trace blocks only; shot results never depend on the clock.
+        let chunk_start = Instant::now();
         // Per-shot stage times are accumulated into chunk-local totals and
         // recorded once per chunk, so the enabled path adds two clock reads
         // per shot and two histogram ops per chunk.
@@ -409,10 +415,11 @@ fn run_shots(
         let mut decode_ns = 0u64;
         for _ in 0..shots {
             // lint: allow(no-wall-clock) — timing seam: feeds the obs stage
-            // histograms only; shot results never depend on the clock.
+            // histograms and trace stage blocks only; shot results never
+            // depend on the clock.
             let t0 = Instant::now();
             sampler.sample_into(&mut detectors, &mut observables);
-            // lint: allow(no-wall-clock) — timing seam (same stage histograms).
+            // lint: allow(no-wall-clock) — timing seam (same stage outputs).
             let t1 = Instant::now();
             let failed = decoder.decode(&detectors) != observables;
             decode_ns += duration_ns(t1.elapsed());
@@ -420,8 +427,34 @@ fn run_shots(
             failures += usize::from(failed);
         }
         if shots > 0 {
-            timing.sample.record(sample_ns);
-            timing.decode.record(decode_ns);
+            if let Some(timing) = &timing {
+                timing.sample.record(sample_ns);
+                timing.decode.record(decode_ns);
+            }
+            if let Some(t) = tracer {
+                // The per-shot stages interleave, so the timeline shows them
+                // as two back-to-back synthetic blocks anchored at the chunk
+                // start; they nest under the open `ler.chunk` span.
+                t.complete(
+                    "ler.scalar.sample",
+                    "ler.stage",
+                    chunk_start,
+                    sample_ns,
+                    &[],
+                );
+                t.complete(
+                    "ler.scalar.decode",
+                    "ler.stage",
+                    chunk_start + Duration::from_nanos(sample_ns),
+                    decode_ns,
+                    &[],
+                );
+            }
+        }
+        if let Some(mut span) = chunk_trace {
+            span.arg("shots", shots as u64);
+            span.arg("failures", failures as u64);
+            span.finish();
         }
     } else {
         for _ in 0..shots {
@@ -465,24 +498,44 @@ fn run_shots_frames(
     let mut failures = 0usize;
     let mut remaining = shots;
     let timing = FrameTiming::from_obs(obs);
+    let tracer = obs.tracer();
+    let chunk_trace = tracer.map(|t| t.span("ler.chunk", "ler"));
     while remaining > 0 {
         let lanes = remaining.min(64);
-        if let Some(timing) = &timing {
+        if timing.is_some() || tracer.is_some() {
             // lint: allow(no-wall-clock) — timing seam: the three stamps below
-            // feed the obs stage histograms only; decode results never depend
-            // on the clock.
+            // feed the obs stage histograms and trace stage blocks only;
+            // decode results never depend on the clock.
             let t0 = Instant::now();
             sampler.sample_frames(lanes, &mut det_frames, &mut obs_frames);
-            // lint: allow(no-wall-clock) — timing seam (same stage histograms).
+            // lint: allow(no-wall-clock) — timing seam (same stage outputs).
             let t1 = Instant::now();
             let det_shots = transpose_lane_words(&det_frames, lanes);
             let obs_shots = transpose_lane_words(&obs_frames, lanes);
-            // lint: allow(no-wall-clock) — timing seam (same stage histograms).
+            // lint: allow(no-wall-clock) — timing seam (same stage outputs).
             let t2 = Instant::now();
             let predictions = decoder.decode_batch(&det_shots);
-            timing.decode.record(duration_ns(t2.elapsed()));
-            timing.sample.record(duration_ns(t1.duration_since(t0)));
-            timing.transpose.record(duration_ns(t2.duration_since(t1)));
+            let decode_ns = duration_ns(t2.elapsed());
+            let sample_ns = duration_ns(t1.duration_since(t0));
+            let transpose_ns = duration_ns(t2.duration_since(t1));
+            if let Some(timing) = &timing {
+                timing.decode.record(decode_ns);
+                timing.sample.record(sample_ns);
+                timing.transpose.record(transpose_ns);
+            }
+            if let Some(t) = tracer {
+                // Truthful per-block stage events from the stamps above; one
+                // sample→transpose→decode triple per 64-lane block.
+                t.complete(
+                    "ler.frames.sample",
+                    "ler.stage",
+                    t0,
+                    sample_ns,
+                    &[("lanes", lanes as u64)],
+                );
+                t.complete("ler.frames.transpose", "ler.stage", t1, transpose_ns, &[]);
+                t.complete("ler.frames.decode", "ler.stage", t2, decode_ns, &[]);
+            }
             for (prediction, observed) in predictions.iter().zip(&obs_shots) {
                 if prediction != observed {
                     failures += 1;
@@ -500,6 +553,11 @@ fn run_shots_frames(
             }
         }
         remaining -= lanes;
+    }
+    if let Some(mut span) = chunk_trace {
+        span.arg("shots", shots as u64);
+        span.arg("failures", failures as u64);
+        span.finish();
     }
     LogicalErrorEstimate { shots, failures }
 }
@@ -953,5 +1011,57 @@ mod tests {
             &mut |_| {},
         );
         assert!(estimate.shots > 0);
+    }
+
+    #[test]
+    fn tracing_records_stage_events_without_changing_estimates() {
+        let dem = surface_dem(3, 0.02, 2);
+        let decoder = BpOsdDecoder::new(&dem);
+        let budget = ShotBudget::fixed(200);
+        for engine in [Engine::Scalar, Engine::Frames] {
+            let plain = Runtime::new(RuntimeConfig::new(2, 16, 0));
+            let (baseline, _) =
+                estimate_with_budget_engine(&dem, &decoder, budget, 7, engine, &plain, &mut |_| {});
+            // Tracer-only Obs: no registry, so histograms stay off and the
+            // trace path has to carry the instrumented branch alone.
+            let tracer = prophunt_obs::Tracer::new();
+            let obs = Obs::disabled().with_tracer(tracer.clone());
+            let traced = Runtime::with_obs(RuntimeConfig::new(2, 16, 0), obs);
+            let (estimate, _) = estimate_with_budget_engine(
+                &dem,
+                &decoder,
+                budget,
+                7,
+                engine,
+                &traced,
+                &mut |_| {},
+            );
+            assert_eq!(estimate, baseline, "{engine:?}: tracing changed the result");
+            let log = tracer.drain();
+            let chunk_spans = log.events.iter().filter(|e| e.name == "ler.chunk").count();
+            assert!(chunk_spans > 0, "{engine:?}: no ler.chunk spans");
+            let stages: &[&str] = match engine {
+                Engine::Scalar => &["ler.scalar.sample", "ler.scalar.decode"],
+                Engine::Frames => &[
+                    "ler.frames.sample",
+                    "ler.frames.transpose",
+                    "ler.frames.decode",
+                ],
+            };
+            for stage in stages {
+                let n = log.events.iter().filter(|e| e.name == *stage).count();
+                assert!(n > 0, "{engine:?}: no {stage} events");
+            }
+            // Stage events nest under their chunk span on the same lane.
+            let chunk_ids: std::collections::HashSet<u64> = log
+                .events
+                .iter()
+                .filter(|e| e.name == "ler.chunk")
+                .map(|e| e.id)
+                .collect();
+            for e in log.events.iter().filter(|e| e.cat == "ler.stage") {
+                assert!(chunk_ids.contains(&e.parent), "stage event orphaned");
+            }
+        }
     }
 }

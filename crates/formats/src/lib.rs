@@ -22,7 +22,9 @@
 //!   shared-qubit relative orders) as a self-contained file.
 //! * [`report`] — the JSON-lines run-report format ([`ReportRecord`]) for
 //!   optimization runs and LER sweeps, built on the hand-rolled [`json`] module
-//!   (the vendor tree ships no serde).
+//!   (the vendor tree ships no serde). The [`trace`] module adds the trace-v1
+//!   side of the format: report-record conversion and Chrome trace-event /
+//!   Perfetto export for `prophunt-obs` trace streams.
 //!
 //! All parsers return a typed [`FormatError`] carrying the 1-based line/column of
 //! the first offending token; none of them panic on malformed input.
@@ -49,6 +51,7 @@ pub mod error;
 pub mod json;
 pub mod report;
 pub mod schedule;
+pub mod trace;
 
 pub use code::{parse_code_spec, resolve_family, write_code_spec, CodeSpec, ResolvedCode};
 pub use dem::{parse_dem, write_dem};
@@ -59,3 +62,4 @@ pub use report::{
     write_report, MetricsHistogram, ReportRecord,
 };
 pub use schedule::{parse_schedule, write_schedule};
+pub use trace::{trace_event_to_record, write_chrome_trace};

@@ -25,6 +25,11 @@
 //!   deterministic counters in their own `"counters"` object, thread-dependent
 //!   gauges and log2-bucketed timing histograms in separate keys, so the
 //!   deterministic subset can be byte-compared across thread counts.
+//! * `trace` — one trace event from the `prophunt-obs` trace-event layer
+//!   (report v3 extension, trace-v1): timeline spans/instants with lane and
+//!   parent attribution, plus timeless `"diag"` convergence-diagnostic events
+//!   that stay bit-identical at any thread count. See [`crate::trace`] for the
+//!   Chrome trace-event export of the same stream.
 //!
 //! Streaming writers emit records one line at a time (`prophunt optimize` writes an
 //! `iteration` line as each iteration completes); [`parse_report`] reads a whole
@@ -199,6 +204,10 @@ pub enum ReportRecord {
         /// Estimation engine of the run (`"scalar"`/`"frames"`; empty for
         /// commands without one, e.g. `search`).
         engine: String,
+        /// Invoking command line, space-joined (empty if unknown). Additive
+        /// field: the writer omits the key when empty, and the parser defaults
+        /// it, so pre-trace-v1 documents and readers interoperate.
+        cmdline: String,
     },
     /// A `prophunt-obs` registry snapshot (report v3 extension).
     ///
@@ -214,6 +223,35 @@ pub enum ReportRecord {
         gauges: Vec<(String, u64)>,
         /// Timing histograms, name-sorted.
         histograms: Vec<MetricsHistogram>,
+    },
+    /// One trace event from the `prophunt-obs` trace-event layer (report v3
+    /// extension, trace-v1).
+    ///
+    /// Timeline events (`span`/`instant` kinds with wall-clock timestamps) are
+    /// thread- and machine-dependent; diag events (`cat == "diag"`, every
+    /// clock field zero) are the deterministic subset, bit-identical at any
+    /// thread count for a fixed `(seed, chunk_size)`. Only `name` is required
+    /// on parse, per the additive-versioning policy.
+    Trace {
+        /// Event name (e.g. `"runtime.task"`, `"search.round"`).
+        name: String,
+        /// Event category (`"runtime"`, `"ler.stage"`, `"diag"`, ...).
+        cat: String,
+        /// Event kind: `"span"` (carries a duration) or `"instant"`.
+        kind: String,
+        /// Lane the event belongs to: worker index for execution events,
+        /// instance slot for search diagnostics, 0 for the control thread.
+        tid: u64,
+        /// Span id (0 for events that never parent others).
+        id: u64,
+        /// Enclosing span id (0 when the event is a root).
+        parent: u64,
+        /// Start timestamp in ns since the tracer epoch (0 for diag events).
+        ts: u64,
+        /// Duration in ns (0 for instant and diag events).
+        dur: u64,
+        /// Ordered `(key, value)` event arguments.
+        args: Vec<(String, u64)>,
     },
     /// One `prophunt lint` static-analysis diagnostic (report v3 extension).
     ///
@@ -326,7 +364,7 @@ fn u64_pairs(obj: &Json, key: &str) -> Result<Vec<(String, u64)>, FormatError> {
     };
     let Json::Object(pairs) = val else {
         return Err(FormatError::whole_input(format!(
-            "metrics field {key:?} must be an object"
+            "record field {key:?} must be an object"
         )));
     };
     pairs
@@ -334,7 +372,7 @@ fn u64_pairs(obj: &Json, key: &str) -> Result<Vec<(String, u64)>, FormatError> {
         .map(|(k, v)| {
             v.as_u64().map(|v| (k.clone(), v)).ok_or_else(|| {
                 FormatError::whole_input(format!(
-                    "metrics {key} value for {k:?} must be an unsigned integer"
+                    "{key} value for {k:?} must be an unsigned integer"
                 ))
             })
         })
@@ -415,7 +453,18 @@ impl ReportRecord {
             threads,
             chunk_size,
             engine: engine.into(),
+            cmdline: String::new(),
         }
+    }
+
+    /// Sets the `cmdline` provenance field on a [`ReportRecord::Meta`]
+    /// (no-op on every other variant).
+    #[must_use]
+    pub fn with_cmdline(mut self, value: impl Into<String>) -> ReportRecord {
+        if let ReportRecord::Meta { cmdline, .. } = &mut self {
+            *cmdline = value.into();
+        }
+        self
     }
 
     /// Builds a [`ReportRecord::Metrics`] from a `prophunt-obs` registry
@@ -601,13 +650,51 @@ impl ReportRecord {
                 threads,
                 chunk_size,
                 engine,
+                cmdline,
+            } => {
+                let mut pairs = vec![
+                    ("type".into(), Json::Str("meta".into())),
+                    ("version".into(), Json::Str(version.clone())),
+                    ("seed".into(), Json::UInt(*seed)),
+                    ("threads".into(), Json::UInt(*threads)),
+                    ("chunk_size".into(), Json::UInt(*chunk_size)),
+                    ("engine".into(), Json::Str(engine.clone())),
+                ];
+                // Additive field: omitted when empty so pre-trace-v1 meta
+                // lines stay byte-identical.
+                if !cmdline.is_empty() {
+                    pairs.push(("cmdline".into(), Json::Str(cmdline.clone())));
+                }
+                Json::Object(pairs)
+            }
+            ReportRecord::Trace {
+                name,
+                cat,
+                kind,
+                tid,
+                id,
+                parent,
+                ts,
+                dur,
+                args,
             } => Json::Object(vec![
-                ("type".into(), Json::Str("meta".into())),
-                ("version".into(), Json::Str(version.clone())),
-                ("seed".into(), Json::UInt(*seed)),
-                ("threads".into(), Json::UInt(*threads)),
-                ("chunk_size".into(), Json::UInt(*chunk_size)),
-                ("engine".into(), Json::Str(engine.clone())),
+                ("type".into(), Json::Str("trace".into())),
+                ("name".into(), Json::Str(name.clone())),
+                ("cat".into(), Json::Str(cat.clone())),
+                ("kind".into(), Json::Str(kind.clone())),
+                ("tid".into(), Json::UInt(*tid)),
+                ("id".into(), Json::UInt(*id)),
+                ("parent".into(), Json::UInt(*parent)),
+                ("ts".into(), Json::UInt(*ts)),
+                ("dur".into(), Json::UInt(*dur)),
+                (
+                    "args".into(),
+                    Json::Object(
+                        args.iter()
+                            .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+                            .collect(),
+                    ),
+                ),
             ]),
             ReportRecord::Metrics {
                 counters,
@@ -819,6 +906,20 @@ impl ReportRecord {
                 threads: opt_u64(&obj, "threads", 0),
                 chunk_size: opt_u64(&obj, "chunk_size", 0),
                 engine: opt_str(&obj, "engine", ""),
+                cmdline: opt_str(&obj, "cmdline", ""),
+            }),
+            // Trace events: only the name is required, everything else
+            // defaults, so future emitters can extend the record additively.
+            "trace" => Ok(ReportRecord::Trace {
+                name: get_str(&obj, "name")?,
+                cat: opt_str(&obj, "cat", ""),
+                kind: opt_str(&obj, "kind", "span"),
+                tid: opt_u64(&obj, "tid", 0),
+                id: opt_u64(&obj, "id", 0),
+                parent: opt_u64(&obj, "parent", 0),
+                ts: opt_u64(&obj, "ts", 0),
+                dur: opt_u64(&obj, "dur", 0),
+                args: u64_pairs(&obj, "args")?,
             }),
             "metrics" => {
                 let histograms = match obj.get("histograms") {
@@ -967,9 +1068,9 @@ pub fn result_to_report(
 
 /// Rebuilds an [`OptimizationResult`] from its report records.
 ///
-/// `meta` and `metrics` records are skipped wherever they appear — streams
-/// carry a provenance header (and may have a metrics snapshot appended) that
-/// is not part of the optimization account.
+/// `meta`, `metrics` and `trace` records are skipped wherever they appear —
+/// streams carry a provenance header (and may have metrics snapshots or trace
+/// events appended) that is not part of the optimization account.
 ///
 /// # Errors
 ///
@@ -978,7 +1079,14 @@ pub fn result_to_report(
 pub fn report_to_result(records: &[ReportRecord]) -> Result<OptimizationResult, FormatError> {
     let records: Vec<&ReportRecord> = records
         .iter()
-        .filter(|r| !matches!(r, ReportRecord::Meta { .. } | ReportRecord::Metrics { .. }))
+        .filter(|r| {
+            !matches!(
+                r,
+                ReportRecord::Meta { .. }
+                    | ReportRecord::Metrics { .. }
+                    | ReportRecord::Trace { .. }
+            )
+        })
         .collect();
     let Some(ReportRecord::RunStart {
         initial_schedule, ..
@@ -1374,6 +1482,58 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.message.contains("buckets"), "{}", err.message);
+    }
+
+    #[test]
+    fn truncated_trace_record_mid_stream_is_rejected_with_its_line() {
+        // Mirrors the incumbent/metrics truncation regressions: a trace line
+        // cut off mid-write must fail parse_report with its line number.
+        let good = ReportRecord::Trace {
+            name: "runtime.task".into(),
+            cat: "runtime".into(),
+            kind: "span".into(),
+            tid: 2,
+            id: 17,
+            parent: 16,
+            ts: 1_000_000,
+            dur: 250_000,
+            args: vec![("task".into(), 4), ("worker".into(), 2)],
+        }
+        .to_json_line();
+        let truncated = &good[..good.len() / 2];
+        let err = parse_report(&format!("{good}\n{truncated}\n")).unwrap_err();
+        assert_eq!(err.line, 2);
+        // Structurally complete JSON missing the one required field is caught.
+        let err = parse_report("{\"type\":\"trace\",\"cat\":\"runtime\"}\n").unwrap_err();
+        assert!(err.message.contains("name"), "{}", err.message);
+        // Mistyped args are caught too.
+        let err = parse_report("{\"type\":\"trace\",\"name\":\"t\",\"args\":{\"a\":\"x\"}}\n")
+            .unwrap_err();
+        assert!(err.message.contains("unsigned integer"), "{}", err.message);
+    }
+
+    #[test]
+    fn meta_cmdline_is_optional_and_omitted_when_empty() {
+        // Without a cmdline the line is byte-identical to the pre-trace-v1
+        // writer's output: no "cmdline" key at all.
+        let bare = ReportRecord::meta("0.1.0", 7, 4, 64, "frames");
+        assert!(!bare.to_json_line().contains("cmdline"));
+        assert_eq!(
+            ReportRecord::from_json_line(&bare.to_json_line()).unwrap(),
+            bare
+        );
+        // With one, it round-trips.
+        let full = ReportRecord::meta("0.1.0", 7, 4, 64, "frames")
+            .with_cmdline("prophunt ler --code surface:3 --trace t.jsonl");
+        let line = full.to_json_line();
+        assert!(line.contains("\"cmdline\":\"prophunt ler"), "{line}");
+        assert_eq!(ReportRecord::from_json_line(&line).unwrap(), full);
+        // Older readers: the parser defaults a missing cmdline to empty.
+        let parsed = ReportRecord::from_json_line("{\"type\":\"meta\",\"seed\":1}").unwrap();
+        let ReportRecord::Meta { cmdline, .. } = parsed else {
+            panic!("expected a meta record");
+        };
+        assert_eq!(cmdline, "");
     }
 
     #[test]

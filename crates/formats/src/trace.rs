@@ -1,0 +1,278 @@
+//! Trace-v1 interchange: report-record conversion and Chrome trace-event
+//! export for `prophunt-obs` trace streams.
+//!
+//! A drained [`prophunt_obs::TraceLog`] has two serializations:
+//!
+//! * **Report records** ([`trace_event_to_record`]) — one
+//!   [`ReportRecord::Trace`] JSON line per event, appended to the run's
+//!   report stream so `prophunt check`, `prophunt trace` and the report
+//!   toolchain all read one format. Exact `u64` nanoseconds, lossless.
+//! * **Chrome trace-event JSON** ([`write_chrome_trace`]) — a
+//!   `{"traceEvents": [...]}` document loadable by `chrome://tracing` and
+//!   [Perfetto](https://ui.perfetto.dev). Spans become `"ph":"X"` complete
+//!   events and instants `"ph":"i"`, with timestamps in fractional
+//!   microseconds per the format. Execution lanes live in pid 0 (one `tid`
+//!   per runtime worker, 0 = control thread); deterministic search
+//!   diagnostics (`cat == "diag"`) live in pid 1 with one lane per portfolio
+//!   slot, so they never clutter the execution timeline.
+
+use crate::json::Json;
+use crate::report::ReportRecord;
+use prophunt_obs::{TraceEvent, DIAG_CATEGORY};
+
+/// Converts one obs trace event into its [`ReportRecord::Trace`] line.
+#[must_use]
+pub fn trace_event_to_record(event: &TraceEvent) -> ReportRecord {
+    ReportRecord::Trace {
+        name: event.name.clone(),
+        cat: event.cat.clone(),
+        kind: event.kind.as_str().to_string(),
+        tid: event.tid,
+        id: event.id,
+        parent: event.parent,
+        ts: event.ts_ns,
+        dur: event.dur_ns,
+        args: event.args.clone(),
+    }
+}
+
+/// Process id of execution-timeline lanes in the Chrome export.
+pub const CHROME_PID_EXECUTION: u64 = 0;
+/// Process id of deterministic diagnostic lanes in the Chrome export.
+pub const CHROME_PID_DIAG: u64 = 1;
+
+fn micros(ns: u64) -> Json {
+    // Chrome trace timestamps are microseconds; fractional values keep full
+    // nanosecond resolution.
+    Json::Float(ns as f64 / 1000.0)
+}
+
+fn args_obj(args: &[(String, u64)]) -> Json {
+    Json::Object(
+        args.iter()
+            .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+            .collect(),
+    )
+}
+
+/// Serializes trace events as a Chrome trace-event / Perfetto-compatible JSON
+/// document (object form, `{"traceEvents": [...]}`).
+///
+/// Span events become `"ph":"X"` complete events and instants `"ph":"i"`
+/// (thread-scoped). Diag events are placed in their own process
+/// ([`CHROME_PID_DIAG`]) so search diagnostics get lanes separate from the
+/// execution timeline. Thread-name metadata records label every lane.
+#[must_use]
+pub fn write_chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out: Vec<Json> = Vec::with_capacity(events.len() + 8);
+    let mut lanes: Vec<(u64, u64)> = Vec::new();
+    for event in events {
+        let diag = event.cat == DIAG_CATEGORY;
+        let pid = if diag {
+            CHROME_PID_DIAG
+        } else {
+            CHROME_PID_EXECUTION
+        };
+        if !lanes.contains(&(pid, event.tid)) {
+            lanes.push((pid, event.tid));
+        }
+        let mut pairs = vec![
+            ("name".into(), Json::Str(event.name.clone())),
+            ("cat".into(), Json::Str(event.cat.clone())),
+        ];
+        match event.kind {
+            prophunt_obs::TraceKind::Span => {
+                pairs.push(("ph".into(), Json::Str("X".into())));
+                pairs.push(("ts".into(), micros(event.ts_ns)));
+                pairs.push(("dur".into(), micros(event.dur_ns)));
+            }
+            prophunt_obs::TraceKind::Instant => {
+                pairs.push(("ph".into(), Json::Str("i".into())));
+                pairs.push(("ts".into(), micros(event.ts_ns)));
+                // Thread-scoped instant: renders as a tick on its lane.
+                pairs.push(("s".into(), Json::Str("t".into())));
+            }
+        }
+        pairs.push(("pid".into(), Json::UInt(pid)));
+        pairs.push(("tid".into(), Json::UInt(event.tid)));
+        if !event.args.is_empty() {
+            pairs.push(("args".into(), args_obj(&event.args)));
+        }
+        out.push(Json::Object(pairs));
+    }
+    // Name every process and lane so the viewer shows meaningful rows.
+    lanes.sort_unstable();
+    let meta = |name: &str, pid: u64, tid: u64, value: &str| {
+        Json::Object(vec![
+            ("name".into(), Json::Str(name.into())),
+            ("ph".into(), Json::Str("M".into())),
+            ("pid".into(), Json::UInt(pid)),
+            ("tid".into(), Json::UInt(tid)),
+            (
+                "args".into(),
+                Json::Object(vec![("name".into(), Json::Str(value.into()))]),
+            ),
+        ])
+    };
+    let mut pids: Vec<u64> = lanes.iter().map(|&(pid, _)| pid).collect();
+    pids.dedup();
+    for pid in pids {
+        let label = if pid == CHROME_PID_DIAG {
+            "search diagnostics"
+        } else {
+            "execution"
+        };
+        out.push(meta("process_name", pid, 0, label));
+    }
+    for (pid, tid) in lanes {
+        let label = if pid == CHROME_PID_DIAG {
+            format!("arm {tid}")
+        } else if tid == 0 {
+            "control".to_string()
+        } else {
+            format!("worker {tid}")
+        };
+        out.push(meta("thread_name", pid, tid, &label));
+    }
+    Json::Object(vec![("traceEvents".into(), Json::Array(out))]).to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{parse_report, write_report};
+    use prophunt_obs::{TraceKind, Tracer};
+
+    fn sample_events() -> Vec<TraceEvent> {
+        let tracer = Tracer::new();
+        {
+            let mut call = tracer.span("runtime.call", "runtime");
+            call.arg("tasks", 2);
+            let task = tracer.span_child_of("runtime.task", "runtime", call.id());
+            task.finish();
+            tracer.instant("checkpoint", "runtime", &[("round", 1)]);
+        }
+        tracer.diag("search.round", 0, &[("round", 0), ("depth", 5)]);
+        tracer.drain().events
+    }
+
+    #[test]
+    fn trace_events_round_trip_through_report_records() {
+        let events = sample_events();
+        let records: Vec<ReportRecord> = events.iter().map(trace_event_to_record).collect();
+        let text = write_report(&records);
+        let parsed = parse_report(&text).unwrap();
+        assert_eq!(parsed, records);
+        let ReportRecord::Trace {
+            name,
+            kind,
+            ts,
+            dur,
+            args,
+            ..
+        } = &parsed[0]
+        else {
+            panic!("expected a trace record");
+        };
+        // Diag events sort first (timeless), so record 0 is the search diag.
+        assert_eq!(name, "search.round");
+        assert_eq!(kind, "instant");
+        assert_eq!((*ts, *dur), (0, 0));
+        assert_eq!(
+            args,
+            &vec![("round".to_string(), 0), ("depth".to_string(), 5)]
+        );
+    }
+
+    #[test]
+    fn bare_trace_records_parse_with_defaults() {
+        let parsed = ReportRecord::from_json_line("{\"type\":\"trace\",\"name\":\"x\"}").unwrap();
+        let ReportRecord::Trace {
+            name,
+            cat,
+            kind,
+            tid,
+            id,
+            parent,
+            ts,
+            dur,
+            args,
+        } = parsed
+        else {
+            panic!("expected a trace record");
+        };
+        assert_eq!(name, "x");
+        assert_eq!(cat, "");
+        assert_eq!(kind, "span");
+        assert_eq!((tid, id, parent, ts, dur), (0, 0, 0, 0, 0));
+        assert!(args.is_empty());
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_expected_phases_and_lanes() {
+        let events = sample_events();
+        let text = write_chrome_trace(&events);
+        let doc = Json::parse(&text).unwrap();
+        let rows = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        // 4 events + process/thread metadata.
+        assert!(rows.len() >= 4 + 3);
+        let phase_of = |name: &str| {
+            rows.iter()
+                .find(|r| r.get("name").and_then(Json::as_str) == Some(name))
+                .and_then(|r| r.get("ph"))
+                .and_then(Json::as_str)
+                .map(str::to_string)
+        };
+        assert_eq!(phase_of("runtime.call").as_deref(), Some("X"));
+        assert_eq!(phase_of("checkpoint").as_deref(), Some("i"));
+        assert_eq!(phase_of("search.round").as_deref(), Some("i"));
+        // Diag rows land in the diagnostics process, timeline rows in pid 0.
+        for row in rows {
+            let Some(cat) = row.get("cat").and_then(Json::as_str) else {
+                continue; // metadata rows
+            };
+            let pid = row.get("pid").and_then(Json::as_u64).unwrap();
+            if cat == DIAG_CATEGORY {
+                assert_eq!(pid, CHROME_PID_DIAG);
+            } else {
+                assert_eq!(pid, CHROME_PID_EXECUTION);
+            }
+        }
+        // Lane labels exist for both processes.
+        let names: Vec<&str> = rows
+            .iter()
+            .filter(|r| r.get("ph").and_then(Json::as_str) == Some("M"))
+            .filter_map(|r| {
+                r.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+            })
+            .collect();
+        assert!(names.contains(&"execution"));
+        assert!(names.contains(&"search diagnostics"));
+        assert!(names.contains(&"control"));
+        assert!(names.contains(&"arm 0"));
+    }
+
+    #[test]
+    fn span_kinds_map_to_complete_events_with_microsecond_times() {
+        let event = TraceEvent {
+            name: "t".into(),
+            cat: "c".into(),
+            kind: TraceKind::Span,
+            tid: 3,
+            id: 9,
+            parent: 0,
+            ts_ns: 1500,
+            dur_ns: 2500,
+            args: vec![],
+        };
+        let text = write_chrome_trace(&[event]);
+        assert!(text.contains("\"ts\":1.5"), "{text}");
+        assert!(text.contains("\"dur\":2.5"), "{text}");
+        assert!(text.contains("\"tid\":3"), "{text}");
+    }
+}

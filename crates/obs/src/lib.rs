@@ -32,6 +32,13 @@
 
 #![forbid(unsafe_code)]
 
+mod trace;
+
+pub use trace::{
+    TraceEvent, TraceKind, TraceLog, TraceSpan, Tracer, WorkerScope, DIAG_CATEGORY, LOCAL_FLUSH,
+    MAX_EVENTS,
+};
+
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -348,6 +355,7 @@ impl Registry {
 #[derive(Debug, Clone, Default)]
 pub struct Obs {
     registry: Option<Arc<Registry>>,
+    tracer: Option<Tracer>,
 }
 
 impl Obs {
@@ -368,13 +376,46 @@ impl Obs {
     pub fn with_registry(registry: Arc<Registry>) -> Obs {
         Obs {
             registry: Some(registry),
+            tracer: None,
         }
+    }
+
+    /// Returns the handle with a [`Tracer`] attached (builder-style). Every
+    /// clone shares the tracer's sink, so one [`Obs::tracer`]`.drain()`
+    /// collects events from every instrumented layer. Tracing composes with
+    /// either registry state: a registry-less handle with a tracer records
+    /// trace events and nothing else.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Obs {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// Whether a registry is attached.
     #[must_use]
     pub fn is_enabled(&self) -> bool {
         self.registry.is_some()
+    }
+
+    /// Whether a tracer is attached.
+    #[must_use]
+    pub fn trace_enabled(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// The attached tracer, if any. Instrumented layers hoist this once
+    /// (`obs.tracer().cloned()`) so the disabled path is a single `None`
+    /// branch.
+    #[must_use]
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Opens a trace span, or `None` when no tracer is attached. See
+    /// [`Tracer::span`].
+    #[must_use]
+    pub fn trace_span(&self, name: &str, cat: &str) -> Option<TraceSpan> {
+        self.tracer.as_ref().map(|t| t.span(name, cat))
     }
 
     /// The attached registry, if any.
@@ -600,6 +641,26 @@ mod tests {
         let hs = snap.histogram("work.ns").unwrap();
         assert_eq!(hs.count, 2);
         assert!(wall.as_nanos() <= u128::from(u64::MAX));
+    }
+
+    #[test]
+    fn tracer_rides_the_obs_handle_and_composes_with_either_registry_state() {
+        let plain = Obs::disabled();
+        assert!(!plain.trace_enabled());
+        assert!(plain.trace_span("never", "test").is_none());
+        let traced = Obs::disabled().with_tracer(Tracer::new());
+        assert!(traced.trace_enabled() && !traced.is_enabled());
+        let clone = traced.clone();
+        clone.trace_span("work", "test").unwrap().finish();
+        let log = traced.tracer().unwrap().drain();
+        assert_eq!(log.events.len(), 1);
+        assert_eq!(log.events[0].name, "work");
+        // Registry + tracer on one handle: both planes record.
+        let both = Obs::enabled().with_tracer(Tracer::new());
+        both.inc("jobs");
+        both.trace_span("job", "test").unwrap().finish();
+        assert_eq!(both.snapshot().unwrap().counter("jobs"), 1);
+        assert_eq!(both.tracer().unwrap().drain().events.len(), 1);
     }
 
     #[test]

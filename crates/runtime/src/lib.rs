@@ -45,7 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use prophunt_obs::{duration_ns, Obs};
+use prophunt_obs::{duration_ns, Obs, TraceSpan};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -249,35 +249,67 @@ impl Runtime {
         self.obs.gauge_max("runtime.workers.peak", workers as u64);
         let task_hist = self.obs.histogram("runtime.task.ns");
         let wait_hist = self.obs.histogram("runtime.task.wait.ns");
-        let timed = |task: usize| -> U {
-            let Some(task_hist) = &task_hist else {
+        // Trace plumbing rides the same out-of-band contract: one pool-call
+        // span on the control lane, one task span per task on its worker's
+        // lane (parented to the call span across threads), queue-wait and
+        // worker attribution as task-span args.
+        let tracer = self.obs.tracer().cloned();
+        let mut call_trace = tracer.as_ref().map(|t| {
+            let mut span = t.span("runtime.call", "runtime");
+            span.arg("tasks", tasks as u64);
+            span.arg("workers", workers as u64);
+            span
+        });
+        let call_id = call_trace.as_ref().map_or(0, TraceSpan::id);
+        let timed = |worker: u64, task: usize| -> U {
+            if task_hist.is_none() && tracer.is_none() {
                 return f(task);
-            };
-            if let Some(wh) = &wait_hist {
-                wh.record(duration_ns(call_start.elapsed()));
             }
+            let wait_ns = duration_ns(call_start.elapsed());
+            if let Some(wh) = &wait_hist {
+                wh.record(wait_ns);
+            }
+            let task_trace = tracer.as_ref().map(|t| {
+                let mut span = t.span_child_of("runtime.task", "runtime", call_id);
+                span.arg("task", task as u64);
+                span.arg("worker", worker);
+                span.arg("wait_ns", wait_ns);
+                span
+            });
             let started = Instant::now();
             let out = f(task);
-            task_hist.record(duration_ns(started.elapsed()));
+            if let Some(th) = &task_hist {
+                th.record(duration_ns(started.elapsed()));
+            }
+            drop(task_trace);
             out
         };
         if workers <= 1 {
-            return (0..tasks).map(timed).collect();
+            let out = (0..tasks).map(|task| timed(0, task)).collect();
+            if let Some(span) = call_trace.take() {
+                span.finish();
+            }
+            return out;
         }
         let next = AtomicUsize::new(0);
         let timed = &timed;
         let next = &next;
+        let tracer = &tracer;
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
+                .map(|w| {
                     scope.spawn(move || {
+                        // Lane `w + 1`: lane 0 stays the control thread. The
+                        // guard's drop also flushes the worker's trace buffer
+                        // before the scope joins.
+                        let _lane = tracer.as_ref().map(|t| t.worker_scope(w as u64 + 1));
                         let mut local: Vec<(usize, U)> = Vec::new();
                         loop {
                             let task = next.fetch_add(1, Ordering::Relaxed);
                             if task >= tasks {
                                 break;
                             }
-                            local.push((task, timed(task)));
+                            local.push((task, timed(w as u64 + 1, task)));
                         }
                         local
                     })
@@ -288,7 +320,11 @@ impl Runtime {
                 indexed.extend(handle.join().expect("runtime worker panicked"));
             }
             indexed.sort_unstable_by_key(|(task, _)| *task);
-            indexed.into_iter().map(|(_, value)| value).collect()
+            let out: Vec<U> = indexed.into_iter().map(|(_, value)| value).collect();
+            if let Some(span) = call_trace.take() {
+                span.finish();
+            }
+            out
         })
     }
 
@@ -468,6 +504,66 @@ mod tests {
                 .count,
             1
         );
+    }
+
+    #[test]
+    fn tracer_records_call_and_task_spans_with_worker_attribution() {
+        let tracer = prophunt_obs::Tracer::new();
+        // Tracer-only Obs: no registry, so histogram handles are all None and
+        // tracing must carry the instrumented path on its own.
+        let obs = Obs::disabled().with_tracer(tracer.clone());
+        let runtime = Runtime::with_obs(RuntimeConfig::new(3, 4, 0), obs);
+        let out = runtime.run_tasks(10, |i| i * 2);
+        assert_eq!(out, (0..10).map(|i| i * 2).collect::<Vec<_>>());
+        let log = tracer.drain();
+        assert_eq!(log.dropped, 0);
+        let calls: Vec<_> = log
+            .events
+            .iter()
+            .filter(|e| e.name == "runtime.call")
+            .collect();
+        assert_eq!(calls.len(), 1);
+        let call = calls[0];
+        assert_eq!(call.tid, 0, "pool call is recorded on the control lane");
+        assert_eq!(call.args, vec![("tasks".into(), 10), ("workers".into(), 3)]);
+        let tasks: Vec<_> = log
+            .events
+            .iter()
+            .filter(|e| e.name == "runtime.task")
+            .collect();
+        assert_eq!(tasks.len(), 10);
+        let mut seen: Vec<u64> = Vec::new();
+        for task in &tasks {
+            assert_eq!(task.parent, call.id, "task spans hang off the pool call");
+            assert!((1..=3).contains(&task.tid), "worker lanes are 1..=workers");
+            let args: std::collections::HashMap<&str, u64> =
+                task.args.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+            assert_eq!(args["worker"], task.tid);
+            assert!(args.contains_key("wait_ns"));
+            seen.push(args["task"]);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<u64>>());
+        // The call span closes after every task span.
+        for task in &tasks {
+            assert!(call.ts_ns + call.dur_ns >= task.ts_ns + task.dur_ns);
+        }
+
+        // Single-threaded path uses lane 0 for the inline worker.
+        let tracer1 = prophunt_obs::Tracer::new();
+        let runtime1 = Runtime::with_obs(
+            RuntimeConfig::new(1, 4, 0),
+            Obs::disabled().with_tracer(tracer1.clone()),
+        );
+        runtime1.run_tasks(3, |i| i);
+        let log1 = tracer1.drain();
+        let lanes: Vec<u64> = log1
+            .events
+            .iter()
+            .filter(|e| e.name == "runtime.task")
+            .map(|e| e.tid)
+            .collect();
+        assert_eq!(lanes, vec![0, 0, 0]);
     }
 
     #[test]

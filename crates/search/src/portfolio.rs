@@ -208,6 +208,44 @@ impl Portfolio {
             .iter()
             .map(|name| obs.counter(&format!("search.{name}.wins")))
             .collect();
+        // Convergence diagnostics (trace-only): per-arm move-class counters
+        // are re-read at each round boundary so the tracer can emit exact
+        // per-round deltas. Every value involved — counter totals, dedup
+        // flags, plateau streak — is computed after the round's `run_tasks`
+        // barrier from thread-count-invariant state, so diag records are
+        // bit-identical at any thread count.
+        const DIAG_SUFFIXES: [&str; 7] = [
+            "proposals",
+            "wins",
+            "accepts",
+            "reverts",
+            "restarts",
+            "expansions",
+            "iterations",
+        ];
+        let tracer = obs.tracer().cloned();
+        let mut distinct_names: Vec<&'static str> = Vec::new();
+        for &name in &names {
+            if !distinct_names.contains(&name) {
+                distinct_names.push(name);
+            }
+        }
+        type DiagEntry = (&'static str, Option<Counter>, u64);
+        let mut diag_state: Vec<(&'static str, Vec<DiagEntry>)> = if tracer.is_some() {
+            distinct_names
+                .iter()
+                .map(|&name| {
+                    let entries = DIAG_SUFFIXES
+                        .iter()
+                        .map(|&suffix| (suffix, obs.counter(&format!("search.{name}.{suffix}")), 0))
+                        .collect();
+                    (name, entries)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut plateau: u64 = 0;
 
         let mut incumbent = Incumbent {
             schedule: initial.clone(),
@@ -231,6 +269,11 @@ impl Portfolio {
         let mut rounds = Vec::with_capacity(self.config.rounds);
         for round in 0..self.config.rounds {
             let _round_span = obs.span("search.round.ns");
+            let _round_trace = tracer.as_ref().map(|t| {
+                let mut span = t.span("search.round", "search");
+                span.arg("round", round as u64);
+                span
+            });
             let round_seeds = root.substream(stream::ROUND).substream(round as u64);
             // One runtime task per instance; results return in instance order
             // whatever the completion order, so everything below is
@@ -244,9 +287,11 @@ impl Portfolio {
             let fingerprints: Vec<u64> =
                 proposals.iter().map(|p| p.schedule.fingerprint()).collect();
             let mut duplicates = 0usize;
-            for &fp in &fingerprints {
+            let mut dup_flags = vec![false; fingerprints.len()];
+            for (i, &fp) in fingerprints.iter().enumerate() {
                 if !seen.insert(fp) {
                     duplicates += 1;
+                    dup_flags[i] = true;
                 }
             }
             if let Some(c) = &rounds_ctr {
@@ -304,6 +349,50 @@ impl Portfolio {
             for (i, instance) in instances.iter().enumerate() {
                 let mut strategy = instance.lock().expect("strategy mutex poisoned");
                 strategy.observe(&incumbent, improved && i == winner);
+            }
+
+            plateau = if improved { 0 } else { plateau + 1 };
+            if let Some(t) = &tracer {
+                // Deterministic convergence-diagnostic records: timeless diag
+                // events carrying only round-boundary state, emitted from this
+                // single thread in a fixed order. Per-slot arm records on lane
+                // = slot, per-strategy move-class deltas on the strategy's
+                // first slot, and one portfolio-level round record on lane 0.
+                for (i, p) in proposals.iter().enumerate() {
+                    t.diag(
+                        "search.arm",
+                        i as u64,
+                        &[
+                            ("round", round as u64),
+                            ("depth", p.depth as u64),
+                            ("win", u64::from(improved && i == winner)),
+                            ("dup", u64::from(dup_flags[i])),
+                        ],
+                    );
+                }
+                for (name, entries) in &mut diag_state {
+                    let mut args: Vec<(&str, u64)> = Vec::with_capacity(entries.len());
+                    for (suffix, handle, last) in entries.iter_mut() {
+                        let now = handle.as_ref().map_or(0, Counter::get);
+                        args.push((suffix, now.wrapping_sub(*last)));
+                        *last = now;
+                    }
+                    let lane = names.iter().position(|n| n == name).unwrap_or(0) as u64;
+                    t.diag(&format!("search.strategy.{name}"), lane, &args);
+                }
+                t.diag(
+                    "search.round",
+                    0,
+                    &[
+                        ("round", round as u64),
+                        ("depth", incumbent.depth as u64),
+                        ("improved", u64::from(improved)),
+                        ("duplicates", duplicates as u64),
+                        ("plateau", plateau),
+                        ("seen", seen.len() as u64),
+                        ("proposals", proposals.len() as u64),
+                    ],
+                );
             }
 
             let record = RoundRecord {
@@ -459,6 +548,66 @@ mod tests {
         for threads in [2, 8] {
             let snap = run(threads);
             assert_eq!(snap.counters, reference.counters, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn convergence_diagnostics_are_emitted_and_thread_count_invariant() {
+        let (code, _) = rotated_surface_code_with_layout(3);
+        let initial = ScheduleSpec::coloration(&code);
+        let run = |threads: usize| {
+            let mut config = local_config();
+            config.runtime.threads = threads;
+            let tracer = prophunt_obs::Tracer::new();
+            let obs = Obs::enabled().with_tracer(tracer.clone());
+            let result = Portfolio::with_obs(config, obs)
+                .run(&code, None, &initial, |_| {})
+                .unwrap();
+            let diags: Vec<_> = tracer
+                .drain()
+                .events
+                .into_iter()
+                .filter(|e| e.cat == prophunt_obs::DIAG_CATEGORY)
+                .collect();
+            (result, diags)
+        };
+        let (result, reference) = run(1);
+        // 4 rounds × (3 arm records + 3 strategy records + 1 round record).
+        assert_eq!(reference.len(), 4 * 7);
+        let rounds: Vec<_> = reference
+            .iter()
+            .filter(|e| e.name == "search.round")
+            .collect();
+        assert_eq!(rounds.len(), 4);
+        let last = rounds.last().unwrap();
+        let args: std::collections::HashMap<&str, u64> =
+            last.args.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        assert_eq!(args["depth"], result.best.depth as u64);
+        assert_eq!(args["proposals"], 3);
+        // Timeless by construction: the deterministic subset carries no clock.
+        for e in &reference {
+            assert_eq!((e.ts_ns, e.dur_ns, e.id, e.parent), (0, 0, 0, 0));
+        }
+        // Per-arm records attribute lanes to slots.
+        let arm_lanes: std::collections::HashSet<u64> = reference
+            .iter()
+            .filter(|e| e.name == "search.arm")
+            .map(|e| e.tid)
+            .collect();
+        assert_eq!(arm_lanes, (0..3).collect());
+        // Strategy move-class deltas exist for each arm in the mix.
+        for name in ["anneal", "beam", "hillclimb"] {
+            assert!(reference
+                .iter()
+                .any(|e| e.name == format!("search.strategy.{name}")));
+        }
+        for threads in [2, 8] {
+            let (other_result, diags) = run(threads);
+            assert_eq!(other_result, result, "threads = {threads}");
+            assert_eq!(
+                diags, reference,
+                "diag records diverged at {threads} threads"
+            );
         }
     }
 
