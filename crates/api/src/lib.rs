@@ -78,7 +78,7 @@ pub use spec::{BasisSelection, ExperimentSpec, ExperimentSpecBuilder, ScheduleSo
 
 // Re-export the budget, engine and strategy types jobs are parameterized by,
 // so downstream users need only this crate.
-pub use prophunt_decoders::{Engine, ShotBudget};
+pub use prophunt_decoders::{DecodeCache, Engine, ShotBudget};
 pub use prophunt_search::StrategyKind;
 
 // Re-export the observability layer sessions record into.

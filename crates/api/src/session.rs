@@ -22,7 +22,9 @@ use crate::search::{SearchJob, SearchOutcome};
 use crate::spec::ExperimentSpec;
 use prophunt::{PropHunt, PropHuntConfig};
 use prophunt_circuit::{DetectorErrorModel, MemoryBasis, MemoryExperiment};
-use prophunt_decoders::{estimate_with_budget_engine, Decoder, Engine, LogicalErrorEstimate};
+use prophunt_decoders::{
+    estimate_with_budget_engine_cached, DecodeCache, Decoder, Engine, LogicalErrorEstimate,
+};
 use prophunt_formats::write_schedule;
 use prophunt_obs::{Obs, Snapshot};
 use prophunt_runtime::{Runtime, RuntimeConfig};
@@ -294,12 +296,13 @@ impl Session {
             let dem = self.dem(&job.spec, basis)?;
             let decoder = self.decoder(&job.spec, basis)?;
             let runtime = self.runtime.clone();
-            let (estimate, reason) = estimate_with_budget_engine(
+            let (estimate, reason) = estimate_with_budget_engine_cached(
                 &dem,
                 decoder.as_ref(),
                 job.budget,
                 seed,
                 job.spec.engine(),
+                job.spec.decode_cache(),
                 &runtime,
                 &mut |progress| {
                     observer(&Event::ShotChunk {
@@ -487,12 +490,13 @@ impl Session {
     }
 
     /// Estimates a pre-built detector error model (e.g. parsed from a `.dem`
-    /// file) under `decoder_name`, `budget` and `engine` — the Session entry
-    /// point for model-only workloads, bypassing the spec caches.
+    /// file) under `decoder_name`, `budget`, `engine` and `decode_cache` — the
+    /// Session entry point for model-only workloads, bypassing the spec caches.
     ///
     /// # Errors
     ///
     /// Returns [`ApiError::UnknownDecoder`] when the decoder is not registered.
+    #[allow(clippy::too_many_arguments)]
     pub fn run_ler_on_dem(
         &mut self,
         dem: &DetectorErrorModel,
@@ -500,6 +504,7 @@ impl Session {
         budget: prophunt_decoders::ShotBudget,
         seed: u64,
         engine: Engine,
+        decode_cache: DecodeCache,
         mut observer: impl FnMut(&Event),
     ) -> Result<LerOutcome, ApiError> {
         let span = self.obs.span("job.ler.ns");
@@ -509,12 +514,13 @@ impl Session {
             kind: JobKind::Ler,
             label: "dem".to_string(),
         });
-        let (estimate, reason) = estimate_with_budget_engine(
+        let (estimate, reason) = estimate_with_budget_engine_cached(
             dem,
             decoder.as_ref(),
             budget,
             seed,
             engine,
+            decode_cache,
             &self.runtime,
             &mut |progress| {
                 observer(&Event::ShotChunk {

@@ -6,7 +6,7 @@ use crate::error::ApiError;
 use crate::noise::NoiseSpec;
 use prophunt_circuit::schedule::ScheduleSpec;
 use prophunt_circuit::MemoryBasis;
-use prophunt_decoders::Engine;
+use prophunt_decoders::{DecodeCache, Engine};
 use prophunt_formats::{resolve_family, ResolvedCode};
 use prophunt_qec::surface::SurfaceLayout;
 use prophunt_qec::CssCode;
@@ -75,6 +75,7 @@ pub struct ExperimentSpec {
     rounds: usize,
     basis: BasisSelection,
     engine: Engine,
+    decode_cache: DecodeCache,
 }
 
 impl ExperimentSpec {
@@ -129,6 +130,14 @@ impl ExperimentSpec {
         self.engine
     }
 
+    /// Returns the syndrome-dedup decode-cache setting (default:
+    /// [`DecodeCache::On`]). Only the frame engine consults it; results are
+    /// bit-identical either way — the knob exists for A/B timing and as a
+    /// belt-and-braces escape hatch.
+    pub fn decode_cache(&self) -> DecodeCache {
+        self.decode_cache
+    }
+
     /// Returns a derived spec with a different schedule (revalidated against the
     /// code) — the cheap way to evaluate an optimized schedule under the same
     /// noise/decoder settings.
@@ -165,6 +174,13 @@ impl ExperimentSpec {
         spec.engine = engine;
         spec
     }
+
+    /// Returns a derived spec with a different decode-cache setting.
+    pub fn with_decode_cache(&self, cache: DecodeCache) -> ExperimentSpec {
+        let mut spec = self.clone();
+        spec.decode_cache = cache;
+        spec
+    }
 }
 
 /// Builder for [`ExperimentSpec`]; see [`ExperimentSpec::builder`].
@@ -177,6 +193,7 @@ pub struct ExperimentSpecBuilder {
     rounds: usize,
     basis: BasisSelection,
     engine: Engine,
+    decode_cache: DecodeCache,
 }
 
 impl Default for ExperimentSpecBuilder {
@@ -189,6 +206,7 @@ impl Default for ExperimentSpecBuilder {
             rounds: 3,
             basis: BasisSelection::Z,
             engine: Engine::Scalar,
+            decode_cache: DecodeCache::On,
         }
     }
 }
@@ -273,6 +291,14 @@ impl ExperimentSpecBuilder {
         self
     }
 
+    /// Sets the frame engine's syndrome-dedup decode cache (default:
+    /// [`DecodeCache::On`]). Results are bit-identical either way; see
+    /// [`prophunt_decoders::decode_shots_cached`].
+    pub fn decode_cache(mut self, cache: DecodeCache) -> Self {
+        self.decode_cache = cache;
+        self
+    }
+
     /// Resolves and validates the spec.
     ///
     /// # Errors
@@ -311,6 +337,7 @@ impl ExperimentSpecBuilder {
             rounds: self.rounds,
             basis: self.basis,
             engine: self.engine,
+            decode_cache: self.decode_cache,
         })
     }
 }
@@ -412,5 +439,25 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(built.engine(), Engine::Frames);
+    }
+
+    #[test]
+    fn decode_cache_defaults_on_and_derives_like_the_other_knobs() {
+        let spec = ExperimentSpec::builder()
+            .code_family("surface:3")
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(spec.decode_cache(), DecodeCache::On);
+        let off = spec.with_decode_cache(DecodeCache::Off);
+        assert_eq!(off.decode_cache(), DecodeCache::Off);
+        assert_eq!(off.engine(), spec.engine());
+        let built = ExperimentSpec::builder()
+            .code_family("surface:3")
+            .unwrap()
+            .decode_cache(DecodeCache::Off)
+            .build()
+            .unwrap();
+        assert_eq!(built.decode_cache(), DecodeCache::Off);
     }
 }

@@ -12,13 +12,21 @@
 //! What the frame engine can and cannot speed up: it eliminates per-shot
 //! sampling cost (geometric-skip word sampling), per-shot allocation, and
 //! per-shot scratch resets — so codes whose scalar path is dominated by those
-//! overheads (the union-find surface rows) gain 5-10x. It does *not* change
-//! the decode arithmetic itself, so codes dominated by per-shot BP sweeps and
-//! OSD elimination (`bb_72_12` above all) are Amdahl-capped near the
-//! allocation-reuse win of `decode_batch` (~1.7x). The headline gate is
-//! therefore the *surface (union-find) sub-aggregate* `>= 5x`; the full-suite
-//! aggregate is reported and gated at its honest level, dominated as it is by
-//! `bb_72_12`'s decode arithmetic.
+//! overheads (the union-find surface rows) gain 5-10x. On the LDPC rows its
+//! decode stage is the three-layer batch pipeline: the zero-syndrome fast
+//! path, the per-chunk syndrome-dedup cache (each distinct syndrome decoded
+//! once, fanned back out in first-occurrence order), and the
+//! structure-of-arrays lane-parallel BP core with convergence-based lane
+//! retirement plus the reused-workspace eliminator-matrix OSD-0 for the
+//! non-converged residue. All three layers are bit-identity-preserving, so
+//! every layer's win is bounded by the decode *arithmetic* both engines
+//! share: at the Table 1 operating point `bb_72_12`'s chunks contain almost
+//! no repeated syndromes (the row reports `distinct_syndromes`), min-sum BP
+//! plus OSD dominate both engines, and the row — with it the LDPC and suite
+//! aggregates — is Amdahl-capped near ~1.7-2x. The per-bucket floors in
+//! [`BUCKET_GATES`] are set at that honest level (with headroom for run-to-
+//! run machine variance); the headline gate remains the surface (union-find)
+//! sub-aggregate `>= 5x`.
 //!
 //! The two engines lay out the per-chunk RNG stream differently (shot-major vs
 //! mechanism-major), so their failure counts legitimately differ; the
@@ -34,13 +42,36 @@ use prophunt_bench::{benchmark_suite, runtime_config_from_env, stage_seed};
 use prophunt_circuit::schedule::ScheduleSpec;
 use prophunt_circuit::{DetectorErrorModel, MemoryBasis, MemoryExperiment, NoiseModel};
 use prophunt_decoders::{
-    estimate_with_budget_engine, BpOsdDecoder, Decoder, Engine, ShotBudget, UnionFindDecoder,
+    decode_shots_cached, estimate_with_budget_engine, BpOsdDecoder, DecodeCache, Decoder, Engine,
+    ShotBudget, UnionFindDecoder,
 };
 use prophunt_formats::report::ReportRecord;
 use prophunt_formats::{write_report, Json};
 use prophunt_gf2::transpose_lane_words;
+use prophunt_obs::Obs;
 use prophunt_runtime::Runtime;
 use std::time::{Duration, Instant};
+
+/// The per-bucket speedup floors the full profile is gated on, in one place.
+/// The surface (union-find) sub-aggregate is the headline: the frame engine
+/// removes that family's dominant per-shot costs outright. The LDPC and
+/// whole-suite aggregates are capped by `bb_72_12`'s BP+OSD arithmetic —
+/// bit-identical work in both engines — so their floors are set at the
+/// measured honest level minus headroom for machine variance, not at the
+/// surface headline.
+const BUCKET_GATES: [(usize, &str, f64); 3] = [
+    (SURFACE, "surface (uf)", 5.0),
+    (LDPC, "ldpc (bposd)", 1.5),
+    (SUITE, "suite", 1.5),
+];
+
+/// Every per-code row must at least not regress against the scalar engine.
+const PER_CODE_FLOOR: f64 = 1.0;
+
+/// Aggregation-bucket indices into the wall-clock totals.
+const SURFACE: usize = 0;
+const LDPC: usize = 1;
+const SUITE: usize = 2;
 
 struct EngineRun {
     failures: usize,
@@ -55,6 +86,12 @@ struct FrameRow {
     frames: EngineRun,
     parity_shots: usize,
     parity_failures: usize,
+    /// Distinct non-zero syndromes the frames engine's chunks decoded
+    /// (`ler.decode.cache.miss` over the full budget) — how much per-chunk
+    /// dedup headroom this code has at the benchmarked operating point.
+    distinct_syndromes: u64,
+    /// Fraction of shots short-circuited by the zero-syndrome fast path.
+    zero_fraction: f64,
 }
 
 impl FrameRow {
@@ -99,15 +136,24 @@ impl FrameRow {
                     "parity_failures".into(),
                     Json::UInt(self.parity_failures as u64),
                 ),
+                // Additive batch-pipeline profile fields (see FORMATS.md):
+                // parsers that predate them ignore unknown table fields.
+                (
+                    "distinct_syndromes".into(),
+                    Json::UInt(self.distinct_syndromes),
+                ),
+                ("zero_fraction".into(), Json::Float(self.zero_fraction)),
             ],
         }
     }
 }
 
-/// Same-frames decode parity: sample `shots` error frames once, then decode the
-/// identical syndromes through the scalar per-shot path and through the frame
-/// pipeline's `decode_batch`. Returns the (common) failure count; panics when
-/// any per-shot prediction — or the resulting failure count — differs.
+/// Same-frames decode parity: sample `shots` error frames once, then decode
+/// the identical syndromes through the scalar per-shot path, the decoder's
+/// raw `decode_batch`, and the full batch pipeline ([`decode_shots_cached`])
+/// with the syndrome-dedup cache on and off. Returns the (common) failure
+/// count; panics when any per-shot prediction — or the resulting failure
+/// count — differs anywhere in the stack.
 fn assert_same_frames_parity(
     name: &str,
     dem: &DetectorErrorModel,
@@ -127,11 +173,22 @@ fn assert_same_frames_parity(
         let det_shots = transpose_lane_words(&det_frames, lanes);
         let obs_shots = transpose_lane_words(&obs_frames, lanes);
         let batch = decoder.decode_batch(&det_shots);
+        let (cached, _) = decode_shots_cached(decoder, &det_shots, DecodeCache::On);
+        let (uncached, _) = decode_shots_cached(decoder, &det_shots, DecodeCache::Off);
         for (lane, (shot, observed)) in det_shots.iter().zip(&obs_shots).enumerate() {
             let scalar = decoder.decode(shot);
             assert_eq!(
                 scalar, batch[lane],
                 "{name}: scalar decode and decode_batch disagree on identical frames \
+                 (seed {seed}, lane {lane})"
+            );
+            assert_eq!(
+                scalar, cached[lane],
+                "{name}: the dedup cache changed a prediction (seed {seed}, lane {lane})"
+            );
+            assert_eq!(
+                scalar, uncached[lane],
+                "{name}: the cache-off pipeline changed a prediction \
                  (seed {seed}, lane {lane})"
             );
             if &scalar != observed {
@@ -168,9 +225,6 @@ fn main() {
     let mut records = Vec::new();
     // (scalar wall, frames wall, shots) per aggregation bucket.
     let mut totals: [(Duration, Duration, usize); 3] = Default::default();
-    const SURFACE: usize = 0;
-    const LDPC: usize = 1;
-    const SUITE: usize = 2;
     for (stage, bench) in benchmark_suite(true).into_iter().enumerate() {
         // The Table 1 operating point (p = 1e-3), with the production decoder
         // for each family: union-find on the matchable surface codes, BP+OSD
@@ -220,6 +274,29 @@ fn main() {
         };
         let scalar = run(Engine::Scalar);
         let frames = run(Engine::Frames);
+        // Untimed, observability-enabled frames run for the deterministic
+        // batch pipeline profile: how many distinct non-zero syndromes the
+        // chunks actually decoded (`ler.decode.cache.miss`) and what fraction
+        // of shots the zero fast path short-circuited. Kept separate from the
+        // timed runs so registry updates never skew the speedup ratio.
+        let (distinct_syndromes, zero_fraction) = {
+            let obs = Obs::enabled();
+            let rt = Runtime::with_obs(runtime, obs.clone());
+            estimate_with_budget_engine(
+                &dem,
+                decoder,
+                ShotBudget::fixed(shots),
+                seed,
+                Engine::Frames,
+                &rt,
+                &mut |_| {},
+            );
+            let snap = obs.snapshot().expect("an enabled registry snapshots");
+            (
+                snap.counter("ler.decode.cache.miss"),
+                snap.counter("ler.decode.zero") as f64 / shots as f64,
+            )
+        };
         let row = FrameRow {
             code: bench.code.name().to_string(),
             p,
@@ -228,9 +305,12 @@ fn main() {
             frames,
             parity_shots,
             parity_failures,
+            distinct_syndromes,
+            zero_fraction,
         };
         println!(
-            "{:<14} {:>7} {:>6} {:>12.0} {:>12.0} {:>8.1}x  ok ({}/{} failures)",
+            "{:<14} {:>7} {:>6} {:>12.0} {:>12.0} {:>8.1}x  ok ({}/{} failures, \
+             {} distinct, {:.0}% zero)",
             row.code,
             row.p,
             row.shots,
@@ -239,6 +319,8 @@ fn main() {
             row.speedup(),
             row.parity_failures,
             row.parity_shots,
+            row.distinct_syndromes,
+            100.0 * row.zero_fraction,
         );
         // Per-code timing gates only run at the full budget: the smoke
         // profile's per-code windows are short enough that one scheduler
@@ -247,7 +329,7 @@ fn main() {
         // gate and always runs.)
         if !smoke {
             assert!(
-                row.speedup() >= 1.0,
+                row.speedup() >= PER_CODE_FLOOR,
                 "frame engine must not be slower than scalar on {}",
                 row.code
             );
@@ -264,16 +346,7 @@ fn main() {
         }
         records.push(row.to_record());
     }
-    // The headline gate (surface >= 5x) plus honest floors for the buckets the
-    // frame engine cannot lift further: the LDPC rows — and through bb_72_12
-    // the whole-suite aggregate — are dominated by BP+OSD decode arithmetic
-    // that is bit-identical work in both engines.
-    let buckets = [
-        (SURFACE, "surface (uf)", 5.0),
-        (LDPC, "ldpc (bposd)", 1.4),
-        (SUITE, "suite", 1.4),
-    ];
-    for (bucket, label, floor) in buckets {
+    for (bucket, label, floor) in BUCKET_GATES {
         let (scalar, frames, shots) = totals[bucket];
         let speedup = scalar.as_secs_f64() / frames.as_secs_f64().max(1e-12);
         let scalar_sps = shots as f64 / scalar.as_secs_f64().max(1e-12);

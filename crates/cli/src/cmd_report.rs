@@ -34,8 +34,11 @@ struct MetricsFile {
 }
 
 fn load(path: &str) -> Result<MetricsFile, CliError> {
-    let records =
-        parse_report(&read_file(path)?).map_err(|e| CliError::failure(format!("{path}: {e}")))?;
+    parse_metrics(path, &read_file(path)?)
+}
+
+fn parse_metrics(path: &str, text: &str) -> Result<MetricsFile, CliError> {
+    let records = parse_report(text).map_err(|e| CliError::failure(format!("{path}: {e}")))?;
     let meta = records.iter().find_map(|r| match r {
         ReportRecord::Meta {
             version,
@@ -79,6 +82,45 @@ fn load(path: &str) -> Result<MetricsFile, CliError> {
     })
 }
 
+/// Percentage rates derived from the deterministic counters: one
+/// `<prefix> hit rate` per `<prefix>.hit` / `<prefix>.miss` sibling pair
+/// (session caches, the frames-engine syndrome-dedup cache), plus the batch
+/// decode pipeline's BP convergence rate — the fraction of non-trivial
+/// distinct syndromes min-sum BP resolved without the OSD-0 fallback
+/// (`ler.decode.bp.converged` out of converged + `ler.decode.osd.calls`).
+///
+/// Derived from deterministic inputs, these rates are themselves bit-identical
+/// at any thread count for a fixed (seed, chunk_size, engine), so the diff
+/// mode treats them like counters: any drift is a real behavior change.
+fn derived_rates(counters: &[(String, u64)]) -> Vec<(String, f64)> {
+    let lookup = |name: &str| counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v);
+    let mut rates = Vec::new();
+    for (name, hits) in counters {
+        let Some(prefix) = name.strip_suffix(".hit") else {
+            continue;
+        };
+        let misses = lookup(&format!("{prefix}.miss")).unwrap_or(0);
+        let total = hits + misses;
+        if total > 0 {
+            rates.push((
+                format!("{prefix} hit rate"),
+                100.0 * *hits as f64 / total as f64,
+            ));
+        }
+    }
+    if let Some(converged) = lookup("ler.decode.bp.converged") {
+        let osd = lookup("ler.decode.osd.calls").unwrap_or(0);
+        let total = converged + osd;
+        if total > 0 {
+            rates.push((
+                "ler.decode.bp convergence rate".into(),
+                100.0 * converged as f64 / total as f64,
+            ));
+        }
+    }
+    rates
+}
+
 /// Formats a value that may be a duration: `.ns`-suffixed instruments render
 /// as human-readable times, everything else as a plain count.
 fn fmt_value(name: &str, v: f64) -> String {
@@ -110,26 +152,8 @@ fn print_summary(path: &str, file: &MetricsFile) {
         for (name, value) in &file.counters {
             println!("    {name:<36} {value:>14}");
         }
-        // Derived hit rates for every .hit/.miss sibling pair.
-        let lookup = |name: &str| {
-            file.counters
-                .iter()
-                .find(|(n, _)| n == name)
-                .map(|&(_, v)| v)
-        };
-        for (name, hits) in &file.counters {
-            let Some(prefix) = name.strip_suffix(".hit") else {
-                continue;
-            };
-            let misses = lookup(&format!("{prefix}.miss")).unwrap_or(0);
-            let total = hits + misses;
-            if total > 0 {
-                println!(
-                    "    {:<36} {:>13.1}%",
-                    format!("{prefix} hit rate"),
-                    100.0 * *hits as f64 / total as f64
-                );
-            }
+        for (name, rate) in derived_rates(&file.counters) {
+            println!("    {name:<36} {rate:>13.1}%");
         }
     }
     if !file.gauges.is_empty() {
@@ -186,6 +210,33 @@ fn print_diff(current: &MetricsFile, baseline: &MetricsFile) {
         }
     }
     println!("  {identical} counters identical");
+    // Derived rates are pure functions of the counters, so like the counters
+    // they must agree across thread counts at a fixed (seed, chunk_size,
+    // engine); a drifting hit or convergence rate is a real behavior change.
+    let current_rates = derived_rates(&current.counters);
+    let baseline_rates = derived_rates(&baseline.counters);
+    let rate_in = |rates: &[(String, f64)], name: &str| {
+        rates.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    };
+    let mut rates_identical = 0usize;
+    for (name, a) in &current_rates {
+        match rate_in(&baseline_rates, name) {
+            Some(b) if b == *a => rates_identical += 1,
+            Some(b) => {
+                println!(
+                    "  rate    {name:<28} {b:>11.1}% -> {a:>11.1}% ({:+.1}pp)",
+                    a - b
+                )
+            }
+            None => println!("  rate    {name:<28} {:>12} -> {a:>11.1}%", "-"),
+        }
+    }
+    for (name, b) in &baseline_rates {
+        if rate_in(&current_rates, name).is_none() {
+            println!("  rate    {name:<28} {b:>11.1}% -> {:>12}", "-");
+        }
+    }
+    println!("  {rates_identical} derived rates identical");
     // Gauge deltas, mirroring the counter loop. Gauges are thread-dependent
     // (occupancy, peaks), so differences are expected — the diff makes them
     // visible instead of silently dropping the class.
@@ -257,4 +308,66 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         print_diff(&current, &baseline);
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A golden `--metrics` stream from a frames-engine LER run: the meta
+    /// provenance line plus one metrics record carrying the batch decode
+    /// pipeline's deterministic counters (4096 shots: 781 all-zero syndromes,
+    /// 3315 non-trivial of which 352 were chunk-local cache hits, and of the
+    /// 2963 decoded distinct syndromes 2170 converged in BP while 793 fell
+    /// through to OSD-0).
+    const GOLDEN_METRICS: &str = concat!(
+        r#"{"type":"meta","version":"0.1.0","seed":7,"threads":8,"chunk_size":64,"#,
+        r#""engine":"frames"}"#,
+        "\n",
+        r#"{"type":"metrics","counters":{"ler.chunks":64,"ler.shots":4096,"#,
+        r#""ler.failures":21,"ler.decode.zero":781,"ler.decode.cache.hit":352,"#,
+        r#""ler.decode.cache.miss":2963,"ler.decode.bp.converged":2170,"#,
+        r#""ler.decode.osd.calls":793,"session.dem.hit":3,"session.dem.miss":1},"#,
+        r#""gauges":{},"histograms":[]}"#,
+        "\n",
+    );
+
+    #[test]
+    fn derived_rates_are_pinned_on_the_golden_metrics_fixture() {
+        let file = parse_metrics("golden.jsonl", GOLDEN_METRICS).expect("fixture parses");
+        assert_eq!(file.meta, Some(("0.1.0".into(), 7, 8, 64, "frames".into())));
+        let rates = derived_rates(&file.counters);
+        // One rate per .hit/.miss pair (in counter order) plus the BP
+        // convergence rate, each an exact function of the counters.
+        assert_eq!(rates.len(), 3);
+        let rate = |name: &str| {
+            rates
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing derived rate {name}"))
+                .1
+        };
+        assert_eq!(
+            rate("ler.decode.cache hit rate"),
+            100.0 * 352.0 / (352.0 + 2963.0)
+        );
+        assert_eq!(rate("session.dem hit rate"), 100.0 * 3.0 / 4.0);
+        assert_eq!(
+            rate("ler.decode.bp convergence rate"),
+            100.0 * 2170.0 / (2170.0 + 793.0)
+        );
+    }
+
+    #[test]
+    fn bp_convergence_rate_needs_batch_counters() {
+        // A scalar-engine stream has no ler.decode.* counters: no convergence
+        // rate row, and no division by an all-zero total.
+        let counters = vec![("ler.shots".to_string(), 4096u64)];
+        assert!(derived_rates(&counters).is_empty());
+        let zeroed = vec![
+            ("ler.decode.bp.converged".to_string(), 0u64),
+            ("ler.decode.osd.calls".to_string(), 0u64),
+        ];
+        assert!(derived_rates(&zeroed).is_empty());
+    }
 }

@@ -12,13 +12,18 @@
 //! selector: the scalar kernel samples and decodes one shot at a time, while the
 //! bit-parallel *frame* kernel packs 64 shots per machine word
 //! ([`DemSampler::sample_frames`](prophunt_circuit::DemSampler::sample_frames)),
-//! transposes the frames into per-shot syndromes and batch-decodes them through
-//! [`Decoder::decode_batch`]. Each engine is a pure function of
-//! `(seed, chunk_size)`, but the two lay out the chunk's RNG stream differently
-//! (shot-major vs mechanism-major), so their shot sequences — and hence failure
-//! counts — differ; what is identical across engines is the per-shot decode
-//! result on the same error frames.
+//! transposes the frames into per-shot syndromes and decodes the whole chunk
+//! through the batch pipeline ([`decode_shots_cached`]): zero-syndrome fast
+//! path, per-chunk syndrome-dedup cache, then [`Decoder::decode_batch`] on the
+//! distinct residue. Each engine is a pure function of `(seed, chunk_size)`,
+//! but the two lay out the chunk's RNG stream differently (shot-major vs
+//! mechanism-major), so their shot sequences — and hence failure counts —
+//! differ; what is identical across engines is the per-shot decode result on
+//! the same error frames. The pipeline's tallies surface as the deterministic
+//! `ler.decode.{zero,cache.hit,cache.miss,bp.converged,osd.calls}` counters,
+//! incremented — like every LER counter — only in the in-order adaptive scan.
 
+use crate::batch::{decode_shots_cached, DecodeCache, DecodeStats};
 use crate::Decoder;
 use prophunt_circuit::DetectorErrorModel;
 use prophunt_gf2::{transpose_lane_words, BitVec};
@@ -290,6 +295,37 @@ pub fn estimate_with_budget_engine(
     runtime: &Runtime,
     observer: &mut dyn FnMut(ChunkProgress),
 ) -> (LogicalErrorEstimate, LerStopReason) {
+    estimate_with_budget_engine_cached(
+        dem,
+        decoder,
+        budget,
+        seed,
+        engine,
+        DecodeCache::default(),
+        runtime,
+        observer,
+    )
+}
+
+/// [`estimate_with_budget_engine`] with an explicit [`DecodeCache`] knob for
+/// the frames engine's batch decode pipeline.
+///
+/// The cache is bit-identity-preserving (every prediction is a pure function
+/// of its syndrome), so the returned estimate is the same for both settings —
+/// which is exactly what the knob makes checkable; only wall-clock and the
+/// `ler.decode.*` counters differ. The scalar engine streams shot by shot and
+/// ignores the knob.
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_with_budget_engine_cached(
+    dem: &DetectorErrorModel,
+    decoder: &dyn Decoder,
+    budget: ShotBudget,
+    seed: u64,
+    engine: Engine,
+    cache: DecodeCache,
+    runtime: &Runtime,
+    observer: &mut dyn FnMut(ChunkProgress),
+) -> (LogicalErrorEstimate, LerStopReason) {
     let max_shots = budget.max_shots();
     if max_shots == 0 {
         return (LogicalErrorEstimate::ZERO, LerStopReason::ShotsExhausted);
@@ -307,6 +343,18 @@ pub fn estimate_with_budget_engine(
     let chunks_ctr = obs.counter("ler.chunks");
     let shots_ctr = obs.counter("ler.shots");
     let failures_ctr = obs.counter("ler.failures");
+    // The batch decode pipeline runs in the frames kernel only, so its
+    // counters are registered only there (a scalar run reporting them as
+    // zero would read as "the cache did nothing" rather than "not applicable").
+    let decode_ctr = |name: &str| match engine {
+        Engine::Frames => obs.counter(name),
+        Engine::Scalar => None,
+    };
+    let zero_ctr = decode_ctr("ler.decode.zero");
+    let hit_ctr = decode_ctr("ler.decode.cache.hit");
+    let miss_ctr = decode_ctr("ler.decode.cache.miss");
+    let bp_ctr = decode_ctr("ler.decode.bp.converged");
+    let osd_ctr = decode_ctr("ler.decode.osd.calls");
     while done < total_chunks {
         // One wave of chunks. The wave size is a wall-clock knob only: stopping is
         // decided by an in-order scan below, so overshooting a wave never changes
@@ -318,19 +366,36 @@ pub fn estimate_with_budget_engine(
             let chunk_seed = stream.seed_for(c as u64);
             match engine {
                 Engine::Scalar => run_shots(dem, decoder, chunk_shots, chunk_seed, obs),
-                Engine::Frames => run_shots_frames(dem, decoder, chunk_shots, chunk_seed, obs),
+                Engine::Frames => {
+                    run_shots_frames(dem, decoder, chunk_shots, chunk_seed, cache, obs)
+                }
             }
         });
         for (i, partial) in results.into_iter().enumerate() {
-            cumulative = cumulative.combined(partial);
+            cumulative = cumulative.combined(partial.estimate);
             if let Some(c) = &chunks_ctr {
                 c.inc();
             }
             if let Some(c) = &shots_ctr {
-                c.add(partial.shots as u64);
+                c.add(partial.estimate.shots as u64);
             }
             if let Some(c) = &failures_ctr {
-                c.add(partial.failures as u64);
+                c.add(partial.estimate.failures as u64);
+            }
+            if let Some(c) = &zero_ctr {
+                c.add(partial.decode.zero as u64);
+            }
+            if let Some(c) = &hit_ctr {
+                c.add(partial.decode.cache_hits as u64);
+            }
+            if let Some(c) = &miss_ctr {
+                c.add(partial.decode.cache_misses as u64);
+            }
+            if let Some(c) = &bp_ctr {
+                c.add(partial.decode.bp_converged as u64);
+            }
+            if let Some(c) = &osd_ctr {
+                c.add(partial.decode.osd_calls as u64);
             }
             observer(ChunkProgress {
                 chunk: done + i,
@@ -344,6 +409,14 @@ pub fn estimate_with_budget_engine(
         done += wave;
     }
     (cumulative, LerStopReason::ShotsExhausted)
+}
+
+/// One chunk kernel's result: the shot/failure tally plus the batch decode
+/// pipeline's deterministic per-chunk stats (populated by the frames kernel;
+/// the scalar kernel streams shot by shot and reports the all-zero default).
+struct ChunkResult {
+    estimate: LogicalErrorEstimate,
+    decode: DecodeStats,
 }
 
 /// Estimates the logical error rate of `decoder` on `shots` shots sampled from
@@ -396,7 +469,7 @@ fn run_shots(
     shots: usize,
     seed: u64,
     obs: &Obs,
-) -> LogicalErrorEstimate {
+) -> ChunkResult {
     let mut sampler = dem.sampler(seed);
     let mut detectors = BitVec::zeros(dem.num_detectors());
     let mut observables = BitVec::zeros(dem.num_observables());
@@ -464,7 +537,10 @@ fn run_shots(
             }
         }
     }
-    LogicalErrorEstimate { shots, failures }
+    ChunkResult {
+        estimate: LogicalErrorEstimate { shots, failures },
+        decode: DecodeStats::default(),
+    }
 }
 
 /// Hoisted histogram handles for one frame-kernel invocation; one record per
@@ -490,42 +566,45 @@ fn run_shots_frames(
     decoder: &dyn Decoder,
     shots: usize,
     seed: u64,
+    cache: DecodeCache,
     obs: &Obs,
-) -> LogicalErrorEstimate {
+) -> ChunkResult {
     let mut sampler = dem.sampler(seed);
     let mut det_frames = vec![0u64; dem.num_detectors()];
     let mut obs_frames = vec![0u64; dem.num_observables()];
+    let mut det_shots: Vec<BitVec> = Vec::with_capacity(shots);
+    let mut obs_shots: Vec<BitVec> = Vec::with_capacity(shots);
     let mut failures = 0usize;
     let mut remaining = shots;
     let timing = FrameTiming::from_obs(obs);
     let tracer = obs.tracer();
     let chunk_trace = tracer.map(|t| t.span("ler.chunk", "ler"));
+    // Sample and transpose every 64-lane block first — in the exact
+    // `sample_frames` call order of the per-block pipeline, so the RNG
+    // stream (and therefore the sampled shots) is unchanged — then decode
+    // the whole chunk at once so the syndrome-dedup cache sees the full
+    // chunk's duplicate structure.
     while remaining > 0 {
         let lanes = remaining.min(64);
         if timing.is_some() || tracer.is_some() {
-            // lint: allow(no-wall-clock) — timing seam: the three stamps below
-            // feed the obs stage histograms and trace stage blocks only;
-            // decode results never depend on the clock.
+            // lint: allow(no-wall-clock) — timing seam: the stamps below feed
+            // the obs stage histograms and trace stage blocks only; decode
+            // results never depend on the clock.
             let t0 = Instant::now();
             sampler.sample_frames(lanes, &mut det_frames, &mut obs_frames);
             // lint: allow(no-wall-clock) — timing seam (same stage outputs).
             let t1 = Instant::now();
-            let det_shots = transpose_lane_words(&det_frames, lanes);
-            let obs_shots = transpose_lane_words(&obs_frames, lanes);
-            // lint: allow(no-wall-clock) — timing seam (same stage outputs).
-            let t2 = Instant::now();
-            let predictions = decoder.decode_batch(&det_shots);
-            let decode_ns = duration_ns(t2.elapsed());
+            det_shots.extend(transpose_lane_words(&det_frames, lanes));
+            obs_shots.extend(transpose_lane_words(&obs_frames, lanes));
+            let transpose_ns = duration_ns(t1.elapsed());
             let sample_ns = duration_ns(t1.duration_since(t0));
-            let transpose_ns = duration_ns(t2.duration_since(t1));
             if let Some(timing) = &timing {
-                timing.decode.record(decode_ns);
                 timing.sample.record(sample_ns);
                 timing.transpose.record(transpose_ns);
             }
             if let Some(t) = tracer {
                 // Truthful per-block stage events from the stamps above; one
-                // sample→transpose→decode triple per 64-lane block.
+                // sample→transpose pair per 64-lane block.
                 t.complete(
                     "ler.frames.sample",
                     "ler.stage",
@@ -534,32 +613,45 @@ fn run_shots_frames(
                     &[("lanes", lanes as u64)],
                 );
                 t.complete("ler.frames.transpose", "ler.stage", t1, transpose_ns, &[]);
-                t.complete("ler.frames.decode", "ler.stage", t2, decode_ns, &[]);
-            }
-            for (prediction, observed) in predictions.iter().zip(&obs_shots) {
-                if prediction != observed {
-                    failures += 1;
-                }
             }
         } else {
             sampler.sample_frames(lanes, &mut det_frames, &mut obs_frames);
-            let det_shots = transpose_lane_words(&det_frames, lanes);
-            let obs_shots = transpose_lane_words(&obs_frames, lanes);
-            let predictions = decoder.decode_batch(&det_shots);
-            for (prediction, observed) in predictions.iter().zip(&obs_shots) {
-                if prediction != observed {
-                    failures += 1;
-                }
-            }
+            det_shots.extend(transpose_lane_words(&det_frames, lanes));
+            obs_shots.extend(transpose_lane_words(&obs_frames, lanes));
         }
         remaining -= lanes;
+    }
+    let (predictions, decode) = if timing.is_some() || tracer.is_some() {
+        // lint: allow(no-wall-clock) — timing seam (same stage outputs).
+        let t2 = Instant::now();
+        let result = decode_shots_cached(decoder, &det_shots, cache);
+        let decode_ns = duration_ns(t2.elapsed());
+        if let Some(timing) = &timing {
+            timing.decode.record(decode_ns);
+        }
+        if let Some(t) = tracer {
+            // One chunk-wide decode block: the cache works across lane
+            // blocks, so decode is no longer a per-block stage.
+            t.complete("ler.frames.decode", "ler.stage", t2, decode_ns, &[]);
+        }
+        result
+    } else {
+        decode_shots_cached(decoder, &det_shots, cache)
+    };
+    for (prediction, observed) in predictions.iter().zip(&obs_shots) {
+        if prediction != observed {
+            failures += 1;
+        }
     }
     if let Some(mut span) = chunk_trace {
         span.arg("shots", shots as u64);
         span.arg("failures", failures as u64);
         span.finish();
     }
-    LogicalErrorEstimate { shots, failures }
+    ChunkResult {
+        estimate: LogicalErrorEstimate { shots, failures },
+        decode,
+    }
 }
 
 #[cfg(test)]

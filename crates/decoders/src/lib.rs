@@ -36,18 +36,34 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bposd;
 pub mod ler;
 pub mod unionfind;
 
+pub use batch::{decode_shots_cached, DecodeCache, DecodeStats};
 pub use bposd::BpOsdDecoder;
 pub use ler::{
-    estimate_logical_error_rate, estimate_with_budget, estimate_with_budget_engine, ChunkProgress,
-    Engine, LerStopReason, LogicalErrorEstimate, ShotBudget,
+    estimate_logical_error_rate, estimate_with_budget, estimate_with_budget_engine,
+    estimate_with_budget_engine_cached, ChunkProgress, Engine, LerStopReason, LogicalErrorEstimate,
+    ShotBudget,
 };
 pub use unionfind::UnionFindDecoder;
 
 use prophunt_gf2::BitVec;
+
+/// Decoder-side tallies for one [`Decoder::decode_batch_with_stats`] call.
+///
+/// Like every deterministic counter in this workspace, the fields are pure
+/// functions of the input shots. Decoders without a BP/OSD split (union-find)
+/// report the default all-zero stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchStats {
+    /// Shots whose BP pass converged (reproduced the syndrome).
+    pub bp_converged: usize,
+    /// Shots that fell through to the OSD post-processor.
+    pub osd_calls: usize,
+}
 
 /// A decoder over a fixed detector error model.
 ///
@@ -69,6 +85,17 @@ pub trait Decoder: Send + Sync {
     /// the frame engine's batch-decoding speedup comes from.
     fn decode_batch(&self, shots: &[BitVec]) -> Vec<BitVec> {
         shots.iter().map(|s| self.decode(s)).collect()
+    }
+
+    /// [`Decoder::decode_batch`] plus decoder-side [`BatchStats`] tallies.
+    ///
+    /// The predictions obey the exact same strict-equality contract as
+    /// [`Decoder::decode_batch`]; the stats are a pure function of the shots
+    /// (deterministic at any thread count). The default implementation
+    /// returns the plain batch result with all-zero stats; [`BpOsdDecoder`]
+    /// overrides it to report BP convergence and OSD fallback counts.
+    fn decode_batch_with_stats(&self, shots: &[BitVec]) -> (Vec<BitVec>, BatchStats) {
+        (self.decode_batch(shots), BatchStats::default())
     }
 
     /// Number of detectors the decoder expects per shot.

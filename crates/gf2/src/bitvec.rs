@@ -300,6 +300,28 @@ impl BitVec {
         out
     }
 
+    /// Returns a 64-bit content hash folded over the backing words.
+    ///
+    /// The hash is a pure function of `(len, words)` with no per-process
+    /// randomization, so it is stable across runs, threads and platforms —
+    /// which is what lets the frame engine's per-chunk syndrome-dedup cache
+    /// key syndromes by content while keeping results bit-identical at any
+    /// thread count. Equal vectors always hash equal; the converse is only
+    /// probabilistic, so hash buckets must still compare contents (`==`).
+    pub fn hash_words(&self) -> u64 {
+        // splitmix64 finalizer folded over the length and each word.
+        fn mix(mut z: u64) -> u64 {
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        let mut h = mix(self.len as u64 ^ 0x9e37_79b9_7f4a_7c15);
+        for &w in &self.words {
+            h = mix(h ^ w).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        }
+        h
+    }
+
     /// Returns the sub-vector given by the listed positions, in order.
     ///
     /// # Panics
@@ -574,7 +596,55 @@ mod tests {
         assert_eq!(format!("{empty:?}"), "BitVec[]");
     }
 
+    #[test]
+    fn hash_words_is_a_pure_content_function() {
+        // Same content built two different ways hashes equal.
+        let a = BitVec::from_indices(130, &[0, 64, 129]);
+        let mut b = BitVec::zeros(130);
+        for i in [129, 0, 64] {
+            b.set(i, true);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.hash_words(), b.hash_words());
+        // Setting then clearing a bit restores the hash (tail words stay zero).
+        let mut c = a.clone();
+        c.set(70, true);
+        assert_ne!(c.hash_words(), a.hash_words());
+        c.set(70, false);
+        assert_eq!(c.hash_words(), a.hash_words());
+    }
+
+    #[test]
+    fn hash_words_distinguishes_length_and_nearby_contents() {
+        // Different lengths with identical (empty) words must not collide: a
+        // zero syndrome over 64 detectors is not a zero syndrome over 65.
+        assert_ne!(
+            BitVec::zeros(64).hash_words(),
+            BitVec::zeros(65).hash_words()
+        );
+        // Single-bit differences across the word boundary all hash apart.
+        let base = BitVec::zeros(128);
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(base.hash_words());
+        for i in 0..128 {
+            let v = BitVec::from_indices(128, &[i]);
+            assert!(seen.insert(v.hash_words()), "collision at bit {i}");
+        }
+    }
+
     proptest! {
+        #[test]
+        fn prop_hash_words_matches_on_equal_contents(
+            bits in proptest::collection::vec(any::<bool>(), 0..300),
+        ) {
+            let v = BitVec::from_bools(&bits);
+            let w = BitVec::from_bools(&bits);
+            prop_assert_eq!(v.hash_words(), w.hash_words());
+            // XOR with itself gives the all-zero vector of the same length.
+            let z = &v ^ &v;
+            prop_assert_eq!(z.hash_words(), BitVec::zeros(bits.len()).hash_words());
+        }
+
         #[test]
         fn prop_xor_self_is_zero(bits in proptest::collection::vec(any::<bool>(), 0..300)) {
             let v = BitVec::from_bools(&bits);
